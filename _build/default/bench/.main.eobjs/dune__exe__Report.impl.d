@@ -1,0 +1,1 @@
+bench/report.ml: Analyze Bechamel Bechamel_notty Benchmark Fmt Instance List Measure Notty_unix Printf String Test Time Toolkit Unix

@@ -1,0 +1,1 @@
+bench/workloads.ml: Array Cardinality Class_def Printf Schema Seed_baseline Seed_core Seed_error Seed_schema Seed_util Spades_tool Value Value_type

@@ -1,0 +1,422 @@
+(* The SEED benchmark harness: one suite per experiment of DESIGN.md §3.
+
+   The paper (ICDE 1986) reports no quantitative tables; its evaluation
+   is the qualitative claim that SPADES-on-SEED became "considerably
+   slower, but much more flexible". Each suite below regenerates the
+   scenario of one figure (or of that claim) and prints timings/sizes so
+   the *shape* — who wins, by what factor, where the costs sit — can be
+   compared against the paper's narrative. See EXPERIMENTS.md.
+
+   Run all suites:      dune exec bench/main.exe
+   Run one suite:       dune exec bench/main.exe -- fig4 spades *)
+
+open Bechamel
+open Seed_util
+open Seed_schema
+module DB = Seed_core.Database
+module Rigid = Seed_baseline.Rigid_store
+module Raw = Seed_baseline.Raw_store
+module Persist = Seed_core.Persist
+
+let ok = Seed_error.ok_exn
+
+let heading id what =
+  Fmt.pr "@.==================================================================@.";
+  Fmt.pr "Experiment %s - %s@." id what;
+  Fmt.pr "==================================================================@."
+
+(* ------------------------------------------------------------------ *)
+(* F1/F2: the Fig. 1/2 workload: populate + retrieve-by-name            *)
+(* ------------------------------------------------------------------ *)
+
+let fig1_2 () =
+  heading "F1/F2" "storing and retrieving the Fig. 1 structure (3 backends)";
+  let n = 100 in
+  Report.bench ~name:(Printf.sprintf "populate %d clusters" n)
+    [
+      Test.make ~name:"seed" (Staged.stage (fun () -> ignore (Workloads.seed_populate n)));
+      Test.make ~name:"rigid"
+        (Staged.stage (fun () -> ignore (Workloads.rigid_populate n)));
+      Test.make ~name:"raw" (Staged.stage (fun () -> ignore (Workloads.raw_populate n)));
+    ];
+  let size = 2000 in
+  let seed_db = Workloads.seed_populate size in
+  let rigid_db = Workloads.rigid_populate size in
+  let raw_db = Workloads.raw_populate size in
+  let counter = ref 0 in
+  let next () =
+    counter := (!counter + 1) mod size;
+    Workloads.data_name !counter
+  in
+  Report.bench ~name:(Printf.sprintf "retrieve by name (db of %d clusters)" size)
+    [
+      Test.make ~name:"seed" (Staged.stage (fun () -> ignore (DB.find_object seed_db (next ()))));
+      Test.make ~name:"rigid" (Staged.stage (fun () -> ignore (Rigid.mem rigid_db (next ()))));
+      Test.make ~name:"raw" (Staged.stage (fun () -> ignore (Raw.mem raw_db (next ()))));
+    ];
+  Report.table ~title:"capability comparison (same workload)"
+    ~header:[ "backend"; "objects"; "relationships"; "checks on entry"; "vague data" ]
+    [
+      [ "seed"; string_of_int (DB.object_count seed_db); "2000"; "consistency only"; "yes" ];
+      [ "rigid"; string_of_int (Rigid.object_count rigid_db); "2000"; "consistency + completeness"; "no" ];
+      [ "raw"; string_of_int (Raw.object_count raw_db); "2000"; "none"; "untyped" ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* F3: the vague-to-precise lifecycle of Fig. 3                         *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  heading "F3" "vague entry and stepwise refinement (Fig. 3 lifecycle)";
+  let seed_db = DB.create Workloads.schema in
+  let rigid_db = Rigid.create Workloads.schema in
+  let raw_db = Raw.create () in
+  let c1 = ref 0 and c2 = ref 0 and c3 = ref 0 in
+  Report.bench ~name:"one full lifecycle (enter vague, refine twice)"
+    [
+      Test.make ~name:"seed (re-classify in place)"
+        (Staged.stage (fun () ->
+             incr c1;
+             ignore (Workloads.seed_vague_lifecycle seed_db !c1)));
+      Test.make ~name:"rigid (delete + re-insert)"
+        (Staged.stage (fun () ->
+             incr c2;
+             ignore (Workloads.rigid_vague_lifecycle rigid_db !c2)));
+      Test.make ~name:"raw (overwrite, unchecked)"
+        (Staged.stage (fun () ->
+             incr c3;
+             ignore (Workloads.raw_vague_lifecycle raw_db !c3)));
+    ];
+  Report.table ~title:"expressiveness along the refinement path"
+    ~header:
+      [ "backend"; "storable stages"; "update ops"; "identity kept"; "checked" ]
+    [
+      [ "seed"; "3 of 3 (Thing, Data+Access, InputData+Read)"; "7"; "yes"; "yes" ];
+      [ "rigid"; "1 of 3 (only the fully precise state)"; "4 + data re-entry"; "no"; "yes" ];
+      [ "raw"; "3 of 3"; "7"; "n/a"; "no" ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* F4: versions - delta storage vs full copies (Fig. 4)                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  heading "F4" "version storage and views: SEED deltas vs full copies (Fig. 4)";
+  let n = 1000 and rounds = 8 in
+  let churn = n / 20 in
+  (* SEED: delta snapshots *)
+  let db, descriptions = Workloads.seed_versioned_db n in
+  let _ = ok (DB.create_version db) in
+  let base_size = String.length (Persist.encode_db db) in
+  let seed_rows = ref [] in
+  let prev_size = ref base_size in
+  for round = 1 to rounds do
+    Workloads.seed_churn db descriptions ~churn ~round;
+    let v, t = Report.time_of (fun () -> ok (DB.create_version db)) in
+    let size = String.length (Persist.encode_db db) in
+    seed_rows :=
+      [
+        Version_id.to_string v;
+        Report.human_bytes (size - !prev_size);
+        Report.ms t;
+      ]
+      :: !seed_rows;
+    prev_size := size
+  done;
+  (* rigid: full copies *)
+  let rt = Workloads.rigid_versioned_db n in
+  let rigid_rows = ref [] in
+  for round = 1 to rounds do
+    Workloads.rigid_churn rt n ~churn ~round;
+    let snap, t = Report.time_of (fun () -> Rigid.Full_copy.take rt) in
+    rigid_rows :=
+      [
+        Printf.sprintf "copy %d" round;
+        Report.human_bytes (Rigid.Full_copy.size_bytes snap);
+        Report.ms t;
+      ]
+      :: !rigid_rows
+  done;
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "per-version storage cost, %d objects, %d touched per round (SEED \
+          deltas)"
+         n churn)
+    ~header:[ "version"; "added bytes"; "snapshot time" ]
+    (List.rev !seed_rows);
+  Report.table ~title:"per-version storage cost (full copies, Tichy-style)"
+    ~header:[ "version"; "copy bytes"; "copy time" ]
+    (List.rev !rigid_rows);
+  (* view reconstruction: reading an old version vs the current one *)
+  let v1 = Version_id.trunk 1 in
+  let counter = ref 0 in
+  let next () =
+    counter := (!counter + 1) mod n;
+    Workloads.data_name !counter
+  in
+  ok (DB.select_version db None);
+  Report.bench ~name:"retrieval: current vs old version view"
+    [
+      Test.make ~name:"current version"
+        (Staged.stage (fun () -> ignore (DB.find_object db (next ()))));
+      Test.make ~name:"version 1.0 (resolved through the tree)"
+        (Staged.stage (fun () ->
+             let v = ok (DB.view_at db v1) in
+             ignore (Seed_core.View.find_object v (next ()))));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* F5: patterns - one shared update vs K copies (Fig. 5)                *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  heading "F5" "pattern update propagation vs per-copy updates (Fig. 5)";
+  let rows = ref [] in
+  List.iter
+    (fun k ->
+      let db, deadline = Workloads.seed_pattern_family k in
+      let flip = ref false in
+      let _, seed_t =
+        Report.time_of (fun () ->
+            for _ = 1 to 100 do
+              flip := not !flip;
+              let d = if !flip then Value.date 1986 12 31 else Value.date 1986 6 1 in
+              ok (DB.set_value db deadline (Some d))
+            done)
+      in
+      let raw = Workloads.raw_copy_family k in
+      let _, raw_t =
+        Report.time_of (fun () ->
+            for _ = 1 to 100 do
+              for i = 0 to k - 1 do
+                Raw.set_attr raw ~name:(Printf.sprintf "P%04d" i)
+                  ~attr:"Deadline" (Value.String "1986-12-31")
+              done
+            done)
+      in
+      rows :=
+        [
+          string_of_int k;
+          Report.ms (seed_t /. 100.);
+          Report.ms (raw_t /. 100.);
+          Printf.sprintf "%.2fx" (raw_t /. seed_t);
+        ]
+        :: !rows)
+    [ 10; 100; 1000 ];
+  Report.table
+    ~title:
+      "updating one shared deadline of K inheritors (100 updates averaged)"
+    ~header:[ "K"; "seed pattern (1 update)"; "raw copies (K updates)"; "copies/pattern" ]
+    (List.rev !rows);
+  (* the retrieval side of the trade: reading through the expansion *)
+  let db, _ = Workloads.seed_pattern_family 100 in
+  let raw = Workloads.raw_copy_family 100 in
+  let member = Option.get (DB.find_object db "P0050") in
+  let item = Option.get (Seed_core.Db_state.find_item (DB.raw db) member) in
+  Report.bench ~name:"reading one member's deadline (family of 100)"
+    [
+      Test.make ~name:"seed (query-time expansion)"
+        (Staged.stage (fun () ->
+             let v = DB.view db in
+             ignore
+               (Seed_core.View.child_v v (Seed_core.View.vitem_real item)
+                  ~role:"Deadline" ())));
+      Test.make ~name:"raw (direct field)"
+        (Staged.stage (fun () ->
+             ignore (Raw.get_attr raw ~name:"P0050" ~attr:"Deadline")));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* S1: the SPADES claim - "considerably slower, but much more flexible" *)
+(* ------------------------------------------------------------------ *)
+
+let spades () =
+  heading "S1" "SPADES-on-SEED vs SPADES-on-raw-structures";
+  let n = 200 in
+  let (_ : Spades_tool.Spades.t), seed_t =
+    Report.time_of (fun () -> Workloads.spades_session_on_seed n)
+  in
+  let (_ : Spades_tool.Spades_raw.t), raw_t =
+    Report.time_of (fun () -> Workloads.spades_session_on_raw n)
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "identical specification session (%d things, flows, refinements)" n)
+    ~header:[ "configuration"; "session time"; "slowdown"; "gains" ]
+    [
+      [ "SPADES on raw structures"; Report.ms raw_t; "1.0x"; "-" ];
+      [
+        "SPADES on SEED";
+        Report.ms seed_t;
+        Printf.sprintf "%.1fx" (seed_t /. raw_t);
+        "consistency, versions, completeness, queries";
+      ];
+    ];
+  Fmt.pr
+    "@.paper: \"SPADES has become considerably slower, but much more \
+     flexible\" - the factor above is this build's 'considerably'.@."
+
+(* ------------------------------------------------------------------ *)
+(* C1: ablation - what the permanent consistency checking costs         *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  heading "C1" "cost of the permanent consistency checks";
+  (* acyclicity: the DFS grows with the containment chain depth *)
+  let chain_db depth =
+    let db = DB.create Workloads.schema in
+    let prev = ref None in
+    let last = ref None in
+    for i = 0 to depth - 1 do
+      let a = ok (DB.create_object db ~cls:"Action" ~name:(Workloads.action_name i) ()) in
+      (match !prev with
+      | Some p ->
+        ignore (ok (DB.create_relationship db ~assoc:"Contained" ~endpoints:[ a; p ] ()))
+      | None -> ());
+      prev := Some a;
+      last := Some a
+    done;
+    (db, Option.get !last)
+  in
+  let mk_test depth =
+    let db, deepest = chain_db depth in
+    let leaf = ok (DB.create_object db ~cls:"Action" ~name:"Leaf" ()) in
+    Test.make ~name:(Printf.sprintf "chain depth %d" depth)
+      (Staged.stage (fun () ->
+           let r =
+             ok
+               (DB.create_relationship db ~assoc:"Contained"
+                  ~endpoints:[ leaf; deepest ] ())
+           in
+           ok (DB.delete db r)))
+  in
+  Report.bench ~name:"ACYCLIC check: add+remove an edge below a chain"
+    [ mk_test 10; mk_test 100; mk_test 500 ];
+  (* completeness: on-demand, full sweep *)
+  let rows =
+    List.map
+      (fun n ->
+        let db = Workloads.seed_populate n in
+        let report, t = Report.time_of (fun () -> DB.completeness_report db) in
+        [ string_of_int (2 * n); Report.ms t; string_of_int (List.length report) ])
+      [ 100; 500; 2000 ]
+  in
+  Report.table ~title:"completeness sweep (on demand, whole database)"
+    ~header:[ "objects"; "sweep time"; "diagnostics" ]
+    rows;
+  (* persistence: encode/decode scale *)
+  let rows =
+    List.map
+      (fun n ->
+        let db = Workloads.seed_populate n in
+        let payload, enc_t = Report.time_of (fun () -> Persist.encode_db db) in
+        let _, dec_t =
+          Report.time_of (fun () -> ok (Persist.decode_db payload))
+        in
+        [
+          string_of_int (2 * n);
+          Report.human_bytes (String.length payload);
+          Report.ms enc_t;
+          Report.ms dec_t;
+        ])
+      [ 100; 500; 2000 ]
+  in
+  Report.table ~title:"snapshot encode/decode (decode includes verification)"
+    ~header:[ "objects"; "bytes"; "encode"; "decode" ]
+    rows;
+  (* structural pattern updates re-validate every inheritor context —
+     the correctness price that value updates avoid *)
+  let rows =
+    List.map
+      (fun k ->
+        let db, _ = Workloads.seed_pattern_family k in
+        let p = Option.get (DB.find_pattern db "Std") in
+        let _, structural_t =
+          Report.time_of (fun () ->
+              for _ = 1 to 20 do
+                (* add and remove a pattern sub-object: each step
+                   re-checks all K contexts *)
+                match
+                  DB.create_sub_object db ~parent:p ~role:"Note"
+                    ~value:(Value.String "structural") ()
+                with
+                | Ok id -> ok (DB.delete db id)
+                | Error _ -> ()
+              done)
+        in
+        [ string_of_int k; Report.ms (structural_t /. 40.) ])
+      [ 10; 100; 1000 ]
+  in
+  Report.table
+    ~title:
+      "structural pattern update (re-validates all K inheritor contexts)"
+    ~header:[ "K inheritors"; "per update" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* P1: storage substrate micro-benchmarks                               *)
+(* ------------------------------------------------------------------ *)
+
+let storage () =
+  heading "P1" "storage substrate micro-benchmarks";
+  let module BT = Seed_storage.Btree.Make (Int) in
+  let grow = BT.create () in
+  let c = ref 0 in
+  let lookup_tree = BT.create () in
+  for i = 0 to 99_999 do
+    BT.insert lookup_tree i i
+  done;
+  let k = ref 0 in
+  let payload = String.make 4096 'x' in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "seed_bench_journal" in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let jpath = Filename.concat dir "bench.log" in
+  (try Sys.remove jpath with Sys_error _ -> ());
+  let journal = ok (Seed_storage.Journal.open_ jpath) in
+  Report.bench ~name:"primitives"
+    [
+      Test.make ~name:"btree insert (growing)"
+        (Staged.stage (fun () ->
+             incr c;
+             BT.insert grow !c !c));
+      Test.make ~name:"btree lookup (100k keys)"
+        (Staged.stage (fun () ->
+             k := (!k + 7919) mod 100_000;
+             ignore (BT.find lookup_tree !k)));
+      Test.make ~name:"crc32 of 4 KiB"
+        (Staged.stage (fun () -> ignore (Seed_storage.Crc32.digest payload)));
+      Test.make ~name:"journal append 4 KiB"
+        (Staged.stage (fun () -> ok (Seed_storage.Journal.append journal payload)));
+    ];
+  Seed_storage.Journal.close journal
+
+(* ------------------------------------------------------------------ *)
+
+let suites =
+  [
+    ("fig1-2", fig1_2);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("spades", spades);
+    ("ablation", ablation);
+    ("storage", storage);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst suites
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name suites with
+      | Some f -> f ()
+      | None ->
+        Fmt.epr "unknown suite %S; available: %s@." name
+          (String.concat ", " (List.map fst suites));
+        exit 1)
+    requested

@@ -1,0 +1,756 @@
+(* seed — a command-line shell around a persistent SEED database.
+
+   The database lives in a directory (snapshot + journal). Every command
+   opens the directory, performs its operation, flushes, and exits; the
+   directory is created by `seed init`.
+
+     seed init /tmp/db
+     seed add /tmp/db --class Thing Alarms
+     seed set /tmp/db Alarms.Description "Alarms are things"
+     seed reclassify /tmp/db Alarms Data
+     seed link /tmp/db --assoc Access --from Alarms --by Sensor
+     seed report /tmp/db
+     seed snapshot /tmp/db
+     seed show /tmp/db Alarms
+     seed history /tmp/db Alarms *)
+
+open Cmdliner
+open Seed_util
+open Seed_schema
+module DB = Seed_core.Database
+module Persist = Seed_core.Persist
+
+let exit_err e =
+  Fmt.epr "seed: %s@." (Seed_error.to_string e);
+  exit 1
+
+let with_session dir f =
+  match Persist.Session.open_ ~dir () with
+  | Error e -> exit_err e
+  | Ok session ->
+    let db = Persist.Session.db session in
+    let result = f db in
+    (match Persist.Session.flush session with
+    | Ok () -> ()
+    | Error e ->
+      Persist.Session.close session;
+      exit_err e);
+    Persist.Session.close session;
+    (match result with Ok () -> () | Error e -> exit_err e)
+
+let dir_arg =
+  Arg.(
+    required
+    & pos 0 (some dir) None
+    & info [] ~docv:"DB" ~doc:"Database directory.")
+
+let dir_new_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DB" ~doc:"Database directory (created).")
+
+(* --- init ----------------------------------------------------------- *)
+
+let init_cmd =
+  let run dir schema_file =
+    let schema =
+      match schema_file with
+      | None -> Spades_tool.Spec_model.schema
+      | Some path -> (
+        let src =
+          let ic = open_in path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        match Schema_text.parse src with
+        | Ok s -> s
+        | Error e -> exit_err e)
+    in
+    match Persist.Session.open_ ~dir ~schema () with
+    | Error e -> exit_err e
+    | Ok session ->
+      (match Persist.Session.compact session with
+      | Ok () -> Fmt.pr "initialized SEED database in %s@." dir
+      | Error e ->
+        Persist.Session.close session;
+        exit_err e);
+      Persist.Session.close session
+  in
+  let schema_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "schema"; "s" ] ~docv:"FILE"
+          ~doc:
+            "Schema definition file (see the Schema_text language); \
+             defaults to the built-in SPADES specification schema.")
+  in
+  Cmd.v
+    (Cmd.info "init"
+       ~doc:"Create a database (default: the SPADES specification schema).")
+    Term.(const run $ dir_new_arg $ schema_file)
+
+let schema_cmd =
+  let run dir =
+    with_session dir (fun db ->
+        print_string (Schema_text.print (DB.schema db));
+        Ok ())
+  in
+  Cmd.v
+    (Cmd.info "schema" ~doc:"Print the database's schema in the textual \
+                             schema language.")
+    Term.(const run $ dir_arg)
+
+(* --- add ------------------------------------------------------------ *)
+
+let add_cmd =
+  let run dir cls pattern name =
+    with_session dir (fun db ->
+        match DB.create_object db ~cls ~name ~pattern () with
+        | Ok id ->
+          Fmt.pr "created %s %s (%a)@."
+            (if pattern then "pattern" else "object")
+            name Ident.pp id;
+          Ok ()
+        | Error e -> Error e)
+  in
+  let cls =
+    Arg.(
+      value
+      & opt string "Thing"
+      & info [ "class"; "c" ] ~docv:"CLASS" ~doc:"Object class (default Thing).")
+  in
+  let pattern =
+    Arg.(value & flag & info [ "pattern" ] ~doc:"Enter the object as a pattern.")
+  in
+  let name_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME")
+  in
+  Cmd.v
+    (Cmd.info "add" ~doc:"Add an independent object.")
+    Term.(const run $ dir_arg $ cls $ pattern $ name_arg)
+
+(* --- set ------------------------------------------------------------ *)
+
+let parse_value s =
+  match int_of_string_opt s with
+  | Some i -> Value.Int i
+  | None -> (
+    match bool_of_string_opt s with
+    | Some b -> Value.Bool b
+    | None -> (
+      match float_of_string_opt s with
+      | Some f -> Value.Float f
+      | None -> Value.String s))
+
+let set_cmd =
+  let run dir path value =
+    with_session dir (fun db ->
+        let open Seed_error in
+        let* id =
+          match DB.resolve db path with
+          | Some id -> Ok id
+          | None -> (
+            (* auto-create a missing single sub-object: X.Role *)
+            match String.rindex_opt path '.' with
+            | None -> fail (Unknown_object path)
+            | Some i ->
+              let parent = String.sub path 0 i in
+              let role = String.sub path (i + 1) (String.length path - i - 1) in
+              (match DB.resolve db parent with
+              | Some p ->
+                DB.create_sub_object db ~parent:p ~role
+                  ~value:(parse_value value) ()
+              | None -> fail (Unknown_object parent)))
+        in
+        let* () = DB.set_value db id (Some (parse_value value)) in
+        Fmt.pr "%s = %s@." path value;
+        Ok ())
+  in
+  let path = Arg.(required & pos 1 (some string) None & info [] ~docv:"PATH") in
+  let value = Arg.(required & pos 2 (some string) None & info [] ~docv:"VALUE") in
+  Cmd.v
+    (Cmd.info "set"
+       ~doc:"Set the value of a (sub-)object, creating the sub-object if \
+             needed.")
+    Term.(const run $ dir_arg $ path $ value)
+
+(* --- reclassify ------------------------------------------------------ *)
+
+let reclassify_cmd =
+  let run dir name cls =
+    with_session dir (fun db ->
+        let open Seed_error in
+        let* id =
+          match DB.resolve db name with
+          | Some id -> Ok id
+          | None -> fail (Unknown_object name)
+        in
+        let* () = DB.reclassify db id ~to_:cls in
+        Fmt.pr "%s is now a %s@." name cls;
+        Ok ())
+  in
+  let name_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME") in
+  let cls = Arg.(required & pos 2 (some string) None & info [] ~docv:"CLASS") in
+  Cmd.v
+    (Cmd.info "reclassify"
+       ~doc:"Make vague information more precise (or vaguer) by moving an \
+             object within its generalization hierarchy.")
+    Term.(const run $ dir_arg $ name_arg $ cls)
+
+(* --- link ------------------------------------------------------------ *)
+
+let link_cmd =
+  let run dir assoc from_ by =
+    with_session dir (fun db ->
+        let open Seed_error in
+        let resolve n =
+          match DB.find_object db n with
+          | Some id -> Ok id
+          | None -> fail (Unknown_object n)
+        in
+        let* a = resolve from_ in
+        let* b = resolve by in
+        let* id = DB.create_relationship db ~assoc ~endpoints:[ a; b ] () in
+        Fmt.pr "%s(%s, %s) created (%a)@." assoc from_ by Ident.pp id;
+        Ok ())
+  in
+  let assoc =
+    Arg.(
+      value & opt string "Access"
+      & info [ "assoc"; "a" ] ~docv:"ASSOC" ~doc:"Association (default Access).")
+  in
+  let from_ =
+    Arg.(required & opt (some string) None & info [ "from" ] ~docv:"NAME")
+  in
+  let by = Arg.(required & opt (some string) None & info [ "by" ] ~docv:"NAME") in
+  Cmd.v
+    (Cmd.info "link" ~doc:"Relate two objects.")
+    Term.(const run $ dir_arg $ assoc $ from_ $ by)
+
+(* --- show ------------------------------------------------------------ *)
+
+let show_cmd =
+  let run dir name =
+    with_session dir (fun db ->
+        let v = DB.view db in
+        let module View = Seed_core.View in
+        let rec print_tree indent (vi : View.vitem) =
+          let label =
+            match View.vitem_name v vi with
+            | Some n -> n
+            | None -> Ident.to_string vi.View.item.Seed_core.Item.id
+          in
+          let value =
+            match View.obj_state v vi.View.item with
+            | Some { Seed_core.Item.value = Some value; _ } ->
+              " = " ^ Value.to_string value
+            | _ -> ""
+          in
+          let cls =
+            match View.obj_state v vi.View.item with
+            | Some o -> o.Seed_core.Item.cls
+            | None -> "?"
+          in
+          let inherited = if vi.View.via <> None then "  (inherited)" else "" in
+          Fmt.pr "%s%s : %s%s%s@." (String.make indent ' ') label cls value
+            inherited;
+          List.iter (print_tree (indent + 2)) (View.children_v v vi)
+        in
+        match name with
+        | Some n -> (
+          match View.resolve_name v n with
+          | Some item ->
+            print_tree 0 (View.vitem_real item);
+            Ok ()
+          | None -> Seed_error.fail (Seed_error.Unknown_object n))
+        | None ->
+          List.iter
+            (fun it -> print_tree 0 (View.vitem_real it))
+            (View.all_objects v);
+          let patterns = View.all_patterns v in
+          if patterns <> [] then begin
+            Fmt.pr "@.patterns:@.";
+            List.iter (fun it -> print_tree 2 (View.vitem_real it)) patterns
+          end;
+          Ok ())
+  in
+  let name_arg = Arg.(value & pos 1 (some string) None & info [] ~docv:"NAME") in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print an object tree (or the whole database).")
+    Term.(const run $ dir_arg $ name_arg)
+
+(* --- dot -------------------------------------------------------------- *)
+
+let dot_cmd =
+  let run dir no_subs no_patterns =
+    with_session dir (fun db ->
+        print_string
+          (Seed_core.Dot.of_view ~include_subs:(not no_subs)
+             ~include_patterns:(not no_patterns) (DB.view db));
+        Ok ())
+  in
+  let no_subs =
+    Arg.(value & flag & info [ "no-subs" ] ~doc:"Omit sub-object values.")
+  in
+  let no_patterns =
+    Arg.(value & flag & info [ "no-patterns" ] ~doc:"Omit patterns and inheritance.")
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Emit the current view as a Graphviz digraph (Fig. 1 style).")
+    Term.(const run $ dir_arg $ no_subs $ no_patterns)
+
+(* --- select ------------------------------------------------------------ *)
+
+let select_cmd =
+  let run dir cls incomplete =
+    with_session dir (fun db ->
+        let v = DB.view db in
+        let module Q = Seed_core.Query in
+        let pred =
+          let base = match cls with None -> Q.is_a "Thing" | Some c -> Q.is_a c in
+          if incomplete then Q.( &&& ) base Q.is_incomplete else base
+        in
+        List.iter
+          (fun (it : Seed_core.Item.t) ->
+            Fmt.pr "%s : %s@."
+              (Option.get (Seed_core.View.full_name v it))
+              (Option.value
+                 (Seed_core.View.class_path_of v it)
+                 ~default:"?"))
+          (Q.select v pred);
+        Ok ())
+  in
+  let cls =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "class"; "c" ] ~docv:"CLASS"
+          ~doc:"Only objects of this class or its specializations.")
+  in
+  let incomplete =
+    Arg.(value & flag & info [ "incomplete" ] ~doc:"Only incomplete objects.")
+  in
+  Cmd.v
+    (Cmd.info "select" ~doc:"Query objects by class and completeness.")
+    Term.(const run $ dir_arg $ cls $ incomplete)
+
+(* --- export / import ---------------------------------------------------- *)
+
+let export_cmd =
+  let run dir =
+    with_session dir (fun db ->
+        print_string (Seed_core.Data_text.export_view (DB.view db));
+        Ok ())
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Write the current view as a data text (objects, patterns, \
+             relationships).")
+    Term.(const run $ dir_arg)
+
+let import_cmd =
+  let run dir file =
+    with_session dir (fun db ->
+        let src =
+          let ic = open_in file in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        let open Seed_error in
+        let* () = Seed_core.Data_text.import db src in
+        Fmt.pr "imported %s (%d objects now live)@." file (DB.object_count db);
+        Ok ())
+  in
+  let file =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "import"
+       ~doc:"Replay a data text into the database; every operation goes \
+             through the consistency checker.")
+    Term.(const run $ dir_arg $ file)
+
+(* --- report ----------------------------------------------------------- *)
+
+let report_cmd =
+  let run dir =
+    with_session dir (fun db ->
+        let report = DB.completeness_report db in
+        if report = [] then Fmt.pr "the database is complete@."
+        else begin
+          Fmt.pr "%d incompleteness finding(s):@." (List.length report);
+          List.iter
+            (fun d -> Fmt.pr "  - %a@." Seed_core.Completeness.pp_diagnostic d)
+            report
+        end;
+        Ok ())
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Check the completeness conditions (minimum cardinalities, \
+             covering generalizations) on demand.")
+    Term.(const run $ dir_arg)
+
+(* --- snapshot / versions / history ------------------------------------ *)
+
+let stats_cmd =
+  let run dir =
+    with_session dir (fun db ->
+        Fmt.pr "%a@." DB.pp_stats (DB.stats db);
+        Ok ())
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Database size and state summary.")
+    Term.(const run $ dir_arg)
+
+let snapshot_cmd =
+  let run dir =
+    with_session dir (fun db ->
+        let open Seed_error in
+        let* v = DB.create_version db in
+        Fmt.pr "version %a created@." Version_id.pp v;
+        Ok ())
+  in
+  Cmd.v
+    (Cmd.info "snapshot" ~doc:"Save the current database state as a version.")
+    Term.(const run $ dir_arg)
+
+let versions_cmd =
+  let run dir =
+    with_session dir (fun db ->
+        List.iter
+          (fun (n : Seed_core.Versioning.node) ->
+            Fmt.pr "%a%s@." Version_id.pp n.Seed_core.Versioning.vid
+              (match n.Seed_core.Versioning.parent with
+              | Some p -> "  (from " ^ Version_id.to_string p ^ ")"
+              | None -> ""))
+          (DB.versions db);
+        Ok ())
+  in
+  Cmd.v (Cmd.info "versions" ~doc:"List saved versions.") Term.(const run $ dir_arg)
+
+let branch_cmd =
+  let run dir version force =
+    with_session dir (fun db ->
+        let open Seed_error in
+        let* v = Version_id.of_string version in
+        let* () = DB.begin_alternative db ~from_:v ~force () in
+        Fmt.pr "current version now based on %a@." Version_id.pp v;
+        Ok ())
+  in
+  let version =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"VERSION")
+  in
+  let force =
+    Arg.(value & flag & info [ "force"; "f" ] ~doc:"Discard unsaved changes.")
+  in
+  Cmd.v
+    (Cmd.info "branch"
+       ~doc:"Make a historical version the basis of the current version (an \
+             alternative). The next snapshot opens a branch.")
+    Term.(const run $ dir_arg $ version $ force)
+
+let delete_version_cmd =
+  let run dir version =
+    with_session dir (fun db ->
+        let open Seed_error in
+        let* v = Version_id.of_string version in
+        let* () = DB.delete_version db v in
+        Fmt.pr "version %a deleted@." Version_id.pp v;
+        Ok ())
+  in
+  let version =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"VERSION")
+  in
+  Cmd.v
+    (Cmd.info "delete-version"
+       ~doc:"Delete a leaf version (versions cannot be modified, except for \
+             deletion).")
+    Term.(const run $ dir_arg $ version)
+
+let diff_cmd =
+  let run dir v1 v2 =
+    with_session dir (fun db ->
+        let open Seed_error in
+        let* v1 = Version_id.of_string v1 in
+        let* v2 = Version_id.of_string v2 in
+        let* changed = Seed_core.History.changed_between db v1 v2 in
+        if changed = [] then Fmt.pr "versions are identical@."
+        else
+          List.iter
+            (fun id ->
+              let describe v =
+                match Seed_core.History.state_in db id v with
+                | Ok (Some (Seed_core.Item.Obj o)) ->
+                  Printf.sprintf "%s%s%s"
+                    o.Seed_core.Item.cls
+                    (match o.Seed_core.Item.value with
+                    | Some value -> " = " ^ Seed_schema.Value.to_string value
+                    | None -> "")
+                    (if o.Seed_core.Item.deleted then " (deleted)" else "")
+                | Ok (Some (Seed_core.Item.Rel r)) ->
+                  Printf.sprintf "%s%s" r.Seed_core.Item.assoc
+                    (if r.Seed_core.Item.rel_deleted then " (deleted)" else "")
+                | Ok None -> "(absent)"
+                | Error _ -> "(?)"
+              in
+              let name =
+                match DB.full_name db id with
+                | Some n -> n
+                | None -> Ident.to_string id
+              in
+              Fmt.pr "%s: %s  ->  %s@." name (describe v1) (describe v2))
+            changed;
+        Ok ())
+  in
+  let v1 = Arg.(required & pos 1 (some string) None & info [] ~docv:"FROM") in
+  let v2 = Arg.(required & pos 2 (some string) None & info [] ~docv:"TO") in
+  Cmd.v
+    (Cmd.info "diff" ~doc:"Show the items whose state differs between two versions.")
+    Term.(const run $ dir_arg $ v1 $ v2)
+
+let history_cmd =
+  let run dir name from_ =
+    with_session dir (fun db ->
+        let open Seed_error in
+        let* from_ =
+          match from_ with
+          | None -> Ok None
+          | Some s ->
+            let* v = Version_id.of_string s in
+            Ok (Some v)
+        in
+        let* entries = Seed_core.History.versions_of_object db name ?from_ () in
+        List.iter (fun e -> Fmt.pr "%a@." Seed_core.History.pp_entry e) entries;
+        Ok ())
+  in
+  let name_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME") in
+  let from_ =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from" ] ~docv:"VERSION"
+          ~doc:"List versions beginning with this one.")
+  in
+  Cmd.v
+    (Cmd.info "history"
+       ~doc:"Find all versions of an object, optionally beginning with a \
+             given version.")
+    Term.(const run $ dir_arg $ name_arg $ from_)
+
+(* --- shell -------------------------------------------------------------- *)
+
+(* minimal tokenizer: whitespace-separated words, double quotes group *)
+let split_words line =
+  let n = String.length line in
+  let words = ref [] and buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      words := Buffer.contents buf :: !words;
+      Buffer.clear buf
+    end
+  in
+  let rec go i in_quotes =
+    if i >= n then flush ()
+    else
+      match line.[i] with
+      | '"' -> go (i + 1) (not in_quotes)
+      | (' ' | '\t') when not in_quotes ->
+        flush ();
+        go (i + 1) false
+      | c ->
+        Buffer.add_char buf c;
+        go (i + 1) in_quotes
+  in
+  go 0 false;
+  List.rev !words
+
+let shell_help () =
+  print_string
+    "commands:\n\
+    \  add [-p] CLASS NAME        create an (optionally pattern) object\n\
+    \  set PATH VALUE             set a value (creates the sub-object)\n\
+    \  link ASSOC FROM TO         relate two objects\n\
+    \  reclassify NAME CLASS      move within the generalization hierarchy\n\
+    \  inherit PATTERN NAME       NAME inherits PATTERN\n\
+    \  delete PATH                logical deletion\n\
+    \  show [NAME]                object tree(s)\n\
+    \  report                     completeness findings\n\
+    \  stats                      database summary\n\
+    \  snapshot                   save a version\n\
+    \  versions                   list versions\n\
+    \  select [VERSION]           choose the retrieval version\n\
+    \  branch VERSION             rebase the current state\n\
+    \  help                       this text\n\
+    \  quit                       flush and exit\n"
+
+let shell_cmd =
+  let run dir =
+    match Persist.Session.open_ ~dir () with
+    | Error e -> exit_err e
+    | Ok session ->
+      let db = Persist.Session.db session in
+      let report_result = function
+        | Ok () -> ()
+        | Error e -> Fmt.pr "error: %s@." (Seed_error.to_string e)
+      in
+      let resolve_or_fail name k =
+        match DB.resolve db name with
+        | Some id -> k id
+        | None -> Fmt.pr "error: unknown object %s@." name
+      in
+      let running = ref true in
+      while !running do
+        print_string "seed> ";
+        match In_channel.input_line stdin with
+        | None -> running := false
+        | Some line -> (
+          match split_words line with
+          | [] -> ()
+          | [ "quit" ] | [ "exit" ] -> running := false
+          | [ "help" ] -> shell_help ()
+          | [ "add"; cls; name ] ->
+            report_result
+              (Result.map (fun _ -> ()) (DB.create_object db ~cls ~name ()))
+          | [ "add"; "-p"; cls; name ] ->
+            report_result
+              (Result.map
+                 (fun _ -> ())
+                 (DB.create_object db ~cls ~name ~pattern:true ()))
+          | [ "set"; path; value ] ->
+            let open Seed_error in
+            report_result
+              (let* id =
+                 match DB.resolve db path with
+                 | Some id -> Ok id
+                 | None -> (
+                   match String.rindex_opt path '.' with
+                   | None -> fail (Unknown_object path)
+                   | Some i -> (
+                     let parent = String.sub path 0 i in
+                     let role =
+                       String.sub path (i + 1) (String.length path - i - 1)
+                     in
+                     match DB.resolve db parent with
+                     | Some p ->
+                       DB.create_sub_object db ~parent:p ~role
+                         ~value:(parse_value value) ()
+                     | None -> fail (Unknown_object parent)))
+               in
+               DB.set_value db id (Some (parse_value value)))
+          | [ "link"; assoc; a; b ] ->
+            resolve_or_fail a (fun x ->
+                resolve_or_fail b (fun y ->
+                    report_result
+                      (Result.map
+                         (fun _ -> ())
+                         (DB.create_relationship db ~assoc
+                            ~endpoints:[ x; y ] ()))))
+          | [ "reclassify"; name; cls ] ->
+            resolve_or_fail name (fun id ->
+                report_result (DB.reclassify db id ~to_:cls))
+          | [ "inherit"; pname; iname ] -> (
+            match (DB.find_pattern db pname, DB.find_object db iname) with
+            | Some pattern, Some inheritor ->
+              report_result (DB.inherit_pattern db ~pattern ~inheritor)
+            | _ -> Fmt.pr "error: unknown pattern or object@.")
+          | [ "delete"; path ] ->
+            resolve_or_fail path (fun id -> report_result (DB.delete db id))
+          | [ "show" ] | [ "show"; _ ] -> (
+            let v = DB.view db in
+            let module View = Seed_core.View in
+            let rec tree indent (vi : View.vitem) =
+              (match View.vitem_name v vi with
+              | Some n ->
+                Fmt.pr "%s%s : %s%s@." (String.make indent ' ') n
+                  (Option.value (View.class_path_of v vi.View.item) ~default:"?")
+                  (match View.obj_state v vi.View.item with
+                  | Some { Seed_core.Item.value = Some value; _ } ->
+                    " = " ^ Seed_schema.Value.to_string value
+                  | _ -> "")
+              | None -> ());
+              List.iter (tree (indent + 2)) (View.children_v v vi)
+            in
+            match split_words line with
+            | [ "show"; name ] -> (
+              match View.resolve_name v name with
+              | Some it -> tree 0 (View.vitem_real it)
+              | None -> Fmt.pr "error: unknown object %s@." name)
+            | _ ->
+              List.iter (fun it -> tree 0 (View.vitem_real it)) (View.all_objects v))
+          | [ "report" ] ->
+            let findings = DB.completeness_report db in
+            if findings = [] then Fmt.pr "complete@."
+            else
+              List.iter
+                (fun d -> Fmt.pr "- %a@." Seed_core.Completeness.pp_diagnostic d)
+                findings
+          | [ "stats" ] -> Fmt.pr "%a@." DB.pp_stats (DB.stats db)
+          | [ "snapshot" ] ->
+            report_result
+              (Result.map
+                 (fun v -> Fmt.pr "version %a@." Version_id.pp v)
+                 (DB.create_version db))
+          | [ "versions" ] ->
+            List.iter
+              (fun (n : Seed_core.Versioning.node) ->
+                Fmt.pr "%a@." Version_id.pp n.Seed_core.Versioning.vid)
+              (DB.versions db)
+          | [ "select" ] -> report_result (DB.select_version db None)
+          | [ "select"; v ] ->
+            let open Seed_error in
+            report_result
+              (let* vid = Version_id.of_string v in
+               DB.select_version db (Some vid))
+          | [ "branch"; v ] ->
+            let open Seed_error in
+            report_result
+              (let* vid = Version_id.of_string v in
+               DB.begin_alternative db ~from_:vid ())
+          | w :: _ -> Fmt.pr "error: unknown command %s (try 'help')@." w)
+      done;
+      (match Persist.Session.flush session with
+      | Ok () -> ()
+      | Error e -> Fmt.epr "flush failed: %s@." (Seed_error.to_string e));
+      Persist.Session.close session
+  in
+  Cmd.v
+    (Cmd.info "shell"
+       ~doc:"Interactive session against a database directory; changes are \
+             flushed on exit.")
+    Term.(const run $ dir_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "seed" ~version:"1.0"
+       ~doc:
+         "A DBMS for software engineering applications based on the \
+          entity-relationship approach (Glinz & Ludewig, ICDE 1986).")
+    [
+      init_cmd;
+      schema_cmd;
+      add_cmd;
+      set_cmd;
+      reclassify_cmd;
+      link_cmd;
+      show_cmd;
+      select_cmd;
+      dot_cmd;
+      export_cmd;
+      import_cmd;
+      report_cmd;
+      stats_cmd;
+      snapshot_cmd;
+      versions_cmd;
+      branch_cmd;
+      delete_version_cmd;
+      diff_cmd;
+      history_cmd;
+      shell_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/alarm_system.ml: Fmt Ident List Option Seed_core Seed_error Seed_schema Seed_util Spades_tool Value Version_id

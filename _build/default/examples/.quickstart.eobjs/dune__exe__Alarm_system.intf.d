@@ -1,0 +1,1 @@
+examples/alarm_system.mli:

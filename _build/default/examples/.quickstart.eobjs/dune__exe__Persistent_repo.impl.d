@@ -1,0 +1,1 @@
+examples/persistent_repo.ml: Array Filename Fmt List Option Seed_core Seed_error Seed_schema Seed_server Seed_util Spades_tool Sys Version_id

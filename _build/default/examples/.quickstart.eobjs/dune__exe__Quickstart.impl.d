@@ -1,0 +1,1 @@
+examples/quickstart.ml: Assoc_def Cardinality Class_def Fmt List Option Schema Seed_core Seed_error Seed_schema Seed_util Value Value_type Version_id

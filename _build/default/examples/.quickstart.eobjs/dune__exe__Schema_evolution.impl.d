@@ -1,0 +1,1 @@
+examples/schema_evolution.ml: Fmt List Schema Schema_diff Schema_text Seed_core Seed_error Seed_schema Seed_util Value Version_id

@@ -1,0 +1,1 @@
+examples/spades_workflow.ml: Fmt List Seed_core Seed_error Seed_schema Seed_util Spades_tool Version_id

@@ -1,0 +1,1 @@
+examples/spades_workflow.mli:

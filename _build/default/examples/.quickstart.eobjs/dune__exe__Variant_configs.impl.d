@@ -1,0 +1,1 @@
+examples/variant_configs.ml: Assoc_def Cardinality Class_def Fmt Ident List Option Schema Seed_core Seed_error Seed_schema Seed_util String Value_type Version_id

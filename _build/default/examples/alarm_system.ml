@@ -1,0 +1,146 @@
+(* The paper's running example, Figures 1-4: the alarm-handling
+   specification, entered vaguely, refined step by step, and versioned.
+
+   Run with: dune exec examples/alarm_system.exe *)
+
+open Seed_util
+open Seed_schema
+module DB = Seed_core.Database
+module History = Seed_core.History
+
+let ok = Seed_error.ok_exn
+
+let banner title = Fmt.pr "@.== %s ==@." title
+
+let show_report db =
+  let report = DB.completeness_report db in
+  if report = [] then Fmt.pr "  (the specification is complete)@."
+  else
+    List.iter
+      (fun d -> Fmt.pr "  incomplete: %a@." Seed_core.Completeness.pp_diagnostic d)
+      report
+
+let () =
+  let db = DB.create Spades_tool.Spec_model.schema in
+
+  banner "Step 1 - vague entry (Fig. 3: 'there is a thing with name Alarms')";
+  let alarms = ok (DB.create_object db ~cls:"Thing" ~name:"Alarms" ()) in
+  let handler = ok (DB.create_object db ~cls:"Thing" ~name:"AlarmHandler" ()) in
+  let _ =
+    ok
+      (DB.create_sub_object db ~parent:handler ~role:"Description"
+         ~value:(Value.String "Handles alarms") ())
+  in
+  Fmt.pr "  entered %s and %s as bare Things@."
+    (Option.get (DB.full_name db alarms))
+    (Option.get (DB.full_name db handler));
+  show_report db;
+
+  banner "Step 2 - first milestone (version 1.0 of Fig. 4)";
+  let v1 = ok (DB.create_version db) in
+  Fmt.pr "  saved as %a@." Version_id.pp v1;
+
+  banner "Step 3 - refinement: Alarms is data, read by the handler";
+  ok (DB.reclassify db alarms ~to_:"Data");
+  ok (DB.reclassify db handler ~to_:"Action");
+  let access =
+    ok (DB.create_relationship_named db ~assoc:"Access"
+          ~bindings:[ ("from", alarms); ("by", handler) ] ())
+  in
+  Fmt.pr "  Access relationship %a established@." Ident.pp access;
+  (* Fig. 1's textual annotation *)
+  let text = ok (DB.create_sub_object db ~parent:alarms ~role:"Text" ()) in
+  let _ =
+    ok
+      (DB.create_sub_object db ~parent:text ~role:"Body"
+         ~value:(Value.String "Alarms are represented in an alarm display matrix")
+         ())
+  in
+  let _ =
+    ok
+      (DB.create_sub_object db ~parent:text ~role:"Selector"
+         ~value:(Value.String "Representation") ())
+  in
+  List.iter
+    (fun kw ->
+      ignore
+        (ok
+           (DB.create_sub_object db ~parent:alarms ~role:"Keywords"
+              ~value:(Value.String kw) ())))
+    [ "Alarmhandling"; "Display" ];
+  Fmt.pr "  annotated: %s = %s@."
+    (Option.get (DB.full_name db (Option.get (DB.resolve db "Alarms.Text[0].Body"))))
+    (match DB.get_value db (Option.get (DB.resolve db "Alarms.Text[0].Body")) with
+    | Some v -> Value.to_string v
+    | None -> "(undefined)");
+  show_report db;
+
+  banner "Step 4 - second milestone, then full precision";
+  let v2 = ok (DB.create_version db) in
+  Fmt.pr "  saved as %a@." Version_id.pp v2;
+  ok (DB.reclassify db alarms ~to_:"InputData");
+  ok (DB.reclassify db access ~to_:"Read");
+  let d =
+    ok (DB.resolve db "AlarmHandler.Description" |> Option.to_result ~none:(Seed_error.Unknown_object "AlarmHandler.Description"))
+  in
+  ok (DB.set_value db d
+        (Some (Value.String "Generates alarms from process data, triggers Operator Alert")));
+  show_report db;
+  let v3 = ok (DB.create_version db) in
+  Fmt.pr "  saved as %a@." Version_id.pp v3;
+
+  banner "Step 5 - Fig. 4 views: the same question in three versions";
+  let describe_at version =
+    (match version with
+    | Some v -> ok (DB.select_version db (Some v))
+    | None -> ok (DB.select_version db None));
+    let cls = Option.get (DB.class_of db alarms) in
+    let desc =
+      match DB.resolve db "AlarmHandler.Description" with
+      | Some id -> (
+        match DB.get_value db id with
+        | Some v -> Value.to_string v
+        | None -> "(undefined)")
+      | None -> "(no description)"
+    in
+    let label =
+      match version with
+      | Some v -> Version_id.to_string v
+      | None -> "current"
+    in
+    Fmt.pr "  [%s] Alarms : %s; AlarmHandler.Description = %s@." label cls desc
+  in
+  describe_at (Some v1);
+  describe_at (Some v2);
+  describe_at None;
+  ok (DB.select_version db None);
+
+  banner "Step 6 - history navigation";
+  let entries = ok (History.versions_of_object db "AlarmHandler" ()) in
+  Fmt.pr "  all stored versions of AlarmHandler:@.";
+  List.iter (fun e -> Fmt.pr "    %a@." History.pp_entry e) entries;
+  let d_id = Option.get (DB.resolve db "AlarmHandler.Description") in
+  let entries = ok (History.versions_of db d_id ~from_:v2 ()) in
+  Fmt.pr "  versions of its description beginning with %a:@." Version_id.pp v2;
+  List.iter (fun e -> Fmt.pr "    %a@." History.pp_entry e) entries;
+
+  banner "Step 7 - exploring an alternative from 1.0";
+  ok (DB.begin_alternative db ~from_:v1 ());
+  Fmt.pr "  back on the basis of %a: Alarms is a %s again@." Version_id.pp v1
+    (Option.get (DB.class_of db alarms));
+  (* in this alternative, Alarms turns out to be an output *)
+  ok (DB.reclassify db alarms ~to_:"OutputData");
+  ok (DB.reclassify db handler ~to_:"Action");
+  let _ =
+    ok (DB.create_relationship db ~assoc:"Write" ~endpoints:[ alarms; handler ] ())
+  in
+  let alt = ok (DB.create_version db) in
+  Fmt.pr "  alternative saved as %a@." Version_id.pp alt;
+  Fmt.pr "@.version tree:@.";
+  List.iter
+    (fun (n : Seed_core.Versioning.node) ->
+      Fmt.pr "  %a%s@." Version_id.pp n.Seed_core.Versioning.vid
+        (match n.Seed_core.Versioning.parent with
+        | Some p -> "  (derived from " ^ Version_id.to_string p ^ ")"
+        | None -> ""))
+    (DB.versions db)

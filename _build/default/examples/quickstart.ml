@@ -1,0 +1,83 @@
+(* Quickstart: define a small schema, store vague information, refine it,
+   check completeness, and take a version snapshot.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Seed_util
+open Seed_schema
+module DB = Seed_core.Database
+
+let ok = Seed_error.ok_exn
+
+let () =
+  (* 1. A schema: documents and authors, with a generalized 'Involved'
+     association that can later be refined to 'Wrote' or 'Reviewed'. *)
+  let schema =
+    Schema.of_defs_exn
+      [
+        Class_def.v ~covering:true [ "Person" ];
+        Class_def.v ~super:"Person" [ "Author" ];
+        Class_def.v ~super:"Person" [ "Reviewer" ];
+        Class_def.v [ "Document" ];
+        Class_def.v ~card:Cardinality.opt ~content:Value_type.String
+          [ "Document"; "Title" ];
+        Class_def.v ~card:(Cardinality.between 0 4)
+          ~content:Value_type.String
+          [ "Document"; "Tags" ];
+      ]
+      [
+        Assoc_def.v "Involved"
+          [
+            Assoc_def.role ~card:Cardinality.any "who" "Person";
+            Assoc_def.role ~card:(Cardinality.at_least 1) "what" "Document";
+          ];
+        Assoc_def.v ~super:"Involved" "Wrote"
+          [ Assoc_def.role "who" "Author"; Assoc_def.role "what" "Document" ];
+        Assoc_def.v ~super:"Involved" "Reviewed"
+          [ Assoc_def.role "who" "Reviewer"; Assoc_def.role "what" "Document" ];
+      ]
+  in
+  let db = DB.create schema in
+
+  (* 2. Enter information as vague as it currently is. *)
+  let martin = ok (DB.create_object db ~cls:"Person" ~name:"Martin" ()) in
+  let paper = ok (DB.create_object db ~cls:"Document" ~name:"SEED-Paper" ()) in
+  let _ =
+    ok
+      (DB.create_sub_object db ~parent:paper ~role:"Title"
+         ~value:(Value.String "SEED - A DBMS for Software Engineering Applications")
+         ())
+  in
+  let involvement =
+    ok (DB.create_relationship db ~assoc:"Involved" ~endpoints:[ martin; paper ] ())
+  in
+  Fmt.pr "Stored: %s involved with %s@."
+    (Option.get (DB.full_name db martin))
+    (Option.get (DB.full_name db paper));
+
+  (* 3. Completeness is checked only on demand. *)
+  let report = DB.completeness_report db in
+  Fmt.pr "@.Completeness report (%d findings):@." (List.length report);
+  List.iter
+    (fun d -> Fmt.pr "  - %a@." Seed_core.Completeness.pp_diagnostic d)
+    report;
+
+  (* 4. Save this state, then make the information more precise. *)
+  let v1 = ok (DB.create_version db) in
+  Fmt.pr "@.Saved version %a@." Version_id.pp v1;
+
+  ok (DB.reclassify db martin ~to_:"Author");
+  ok (DB.reclassify db involvement ~to_:"Wrote");
+  Fmt.pr "Refined: Martin is an Author who Wrote the paper@.";
+  Fmt.pr "Complete now? %b@." (DB.is_complete db);
+
+  let v2 = ok (DB.create_version db) in
+  Fmt.pr "Saved version %a@." Version_id.pp v2;
+
+  (* 5. Old versions remain retrievable, unchanged. *)
+  ok (DB.select_version db (Some v1));
+  Fmt.pr "@.In version %a, Martin was classified as: %s@." Version_id.pp v1
+    (Option.get (DB.class_of db martin));
+  ok (DB.select_version db None);
+  Fmt.pr "In the current version, Martin is: %s@."
+    (Option.get (DB.class_of db martin))

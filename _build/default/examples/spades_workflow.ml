@@ -1,0 +1,80 @@
+(* An evolutionary specification session with the SPADES tool layer:
+   informal, incomplete and vague information first, formality grown step
+   by step, milestones saved, maturity tracked — the development style
+   the paper's Concepts section describes.
+
+   Run with: dune exec examples/spades_workflow.exe *)
+
+open Seed_util
+module S = Spades_tool.Spades
+module DB = Seed_core.Database
+
+let ok = Seed_error.ok_exn
+
+let show t label =
+  Fmt.pr "@.-- %s --@.%a@." label S.pp_maturity (S.maturity t)
+
+let () =
+  let t = S.create () in
+
+  (* Session 1: brain dump. Nothing is classified yet. *)
+  List.iter
+    (fun (name, description) ->
+      ignore (ok (S.note_thing t name ~description ())))
+    [
+      ("Alarms", "Alarms are represented in an alarm display matrix");
+      ("ProcessData", "Raw values sampled from the plant");
+      ("Sensor", "Watches process data");
+      ("AlarmHandler", "Generates alarms from process data");
+      ("OperatorAlert", "Rings the operator");
+    ];
+  show t "after the first brain dump";
+  let m1 = ok (S.save_milestone t) in
+  Fmt.pr "milestone %a saved@." Version_id.pp m1;
+
+  (* Session 2: data flows appear, still partly vague. *)
+  let f1 = ok (S.add_flow t ~data:"ProcessData" ~action:"Sensor" S.Vague) in
+  let f2 = ok (S.add_flow t ~data:"ProcessData" ~action:"AlarmHandler" S.Vague) in
+  let f3 = ok (S.add_flow t ~data:"Alarms" ~action:"AlarmHandler" S.Vague) in
+  ok (S.classify_action t "OperatorAlert");
+  ignore (ok (S.contain t ~container:"AlarmHandler" ~action:"OperatorAlert"));
+  show t "after sketching the data flows";
+  let m2 = ok (S.save_milestone t) in
+  Fmt.pr "milestone %a saved@." Version_id.pp m2;
+
+  (* Session 3: precision. The handler turns out to GENERATE alarms. *)
+  ok (S.refine_flow t f1 S.Reading);
+  ok (S.refine_flow t f3 S.Writing);
+  show t "after refining two flows";
+
+  (* The remaining gaps are found by the completeness machinery. *)
+  let diags = (S.maturity t).S.diagnostics in
+  Fmt.pr "@.the tool's to-do list:@.";
+  List.iter
+    (fun d -> Fmt.pr "  * %a@." Seed_core.Completeness.pp_diagnostic d)
+    diags;
+
+  (* Session 4: finishing up — and being caught by the checker. Alarms
+     became OutputData when f3 turned into a Write; letting the operator
+     alert READ it would contradict that, and SEED refuses. *)
+  (match S.add_flow t ~data:"Alarms" ~action:"OperatorAlert" S.Reading with
+  | Error e ->
+    Fmt.pr "@.consistency check caught a modelling conflict:@.  %s@."
+      (Seed_error.to_string e)
+  | Ok _ -> assert false);
+  (* the alert writes its own output instead *)
+  ignore (ok (S.note_thing t "OperatorMessage" ()));
+  ignore (ok (S.add_flow t ~data:"OperatorMessage" ~action:"OperatorAlert" S.Writing));
+  ok (S.refine_flow t f2 S.Reading);
+  ok (S.set_revised t "Alarms" { Seed_schema.Value.year = 1986; month = 2; day = 5 });
+  show t "after the last refinements";
+  Fmt.pr "@.implementable: %b@." (S.is_implementable t);
+  let m3 = ok (S.save_milestone t) in
+  Fmt.pr "milestone %a saved@." Version_id.pp m3;
+
+  (* Rollback to prior states is always possible. *)
+  let db = S.db t in
+  ok (DB.select_version db (Some m1));
+  Fmt.pr "@.in milestone %a the database held %d objects, all vague@."
+    Version_id.pp m1 (DB.object_count db);
+  ok (DB.select_version db None)

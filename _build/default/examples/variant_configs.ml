@@ -1,0 +1,115 @@
+(* Fig. 5 of the paper: a variants family. A set of system
+   configurations shares most of its software modules (the common part)
+   but differs in some hardware-dependent modules (the variant parts).
+   The connections between common and variant parts are pattern
+   relationships, so pattern semantics guarantee that every variant has
+   the same relationships to the common part.
+
+   Run with: dune exec examples/variant_configs.exe *)
+
+open Seed_util
+open Seed_schema
+module DB = Seed_core.Database
+module Variant = Seed_core.Variant
+module View = Seed_core.View
+
+let ok = Seed_error.ok_exn
+
+let schema =
+  Schema.of_defs_exn
+    [
+      Class_def.v [ "Module" ];
+      Class_def.v ~card:Cardinality.opt ~content:Value_type.String
+        [ "Module"; "Platform" ];
+      Class_def.v [ "Config" ];
+    ]
+    [
+      Assoc_def.v "Uses"
+        [
+          Assoc_def.role ~card:Cardinality.any "user" "Config";
+          Assoc_def.role ~card:Cardinality.any "used" "Module";
+        ];
+    ]
+
+let () =
+  let db = DB.create schema in
+
+  (* the common part: software modules every configuration ships *)
+  let kernel = ok (DB.create_object db ~cls:"Module" ~name:"Kernel" ()) in
+  let netstack = ok (DB.create_object db ~cls:"Module" ~name:"NetStack" ()) in
+  let ui = ok (DB.create_object db ~cls:"Module" ~name:"UI" ()) in
+
+  (* pattern objects PO1/PO2 of Fig. 5: stand-ins wired to the common
+     part through pattern relationships PR1/PR2 *)
+  let po = ok (DB.create_object db ~cls:"Config" ~name:"StandardConfig" ~pattern:true ()) in
+  List.iter
+    (fun common ->
+      ignore
+        (ok
+           (Variant.connect_common db ~pattern:po ~assoc:"Uses"
+              ~pattern_role:"user" ~common)))
+    [ kernel; netstack; ui ];
+  Fmt.pr "pattern 'StandardConfig' wired to 3 common modules@.";
+
+  (* the variant parts: one configuration per hardware platform *)
+  let mk_variant name platform_module =
+    let cfg = ok (DB.create_object db ~cls:"Config" ~name ()) in
+    ok (Variant.add_variant db ~member:cfg ~patterns:[ po ]);
+    let hw = ok (DB.create_object db ~cls:"Module" ~name:platform_module ()) in
+    let _ =
+      ok (DB.create_relationship db ~assoc:"Uses" ~endpoints:[ cfg; hw ] ())
+    in
+    cfg
+  in
+  let vax = mk_variant "Config-VAX" "Driver-VAX" in
+  let m68k = mk_variant "Config-68k" "Driver-68k" in
+  Fmt.pr "variants: Config-VAX and Config-68k created@.";
+
+  (* every variant sees the common modules through inheritance *)
+  let v = DB.view db in
+  let show_config id =
+    let item = Option.get (Seed_core.Db_state.find_item (DB.raw db) id) in
+    let uses =
+      View.rels_v v item
+      |> List.filter_map (fun (vr : View.vrel) ->
+             List.find_opt (fun e -> not (Ident.equal e id)) vr.View.endpoints)
+      |> List.filter_map (fun e ->
+             Option.bind
+               (Seed_core.Db_state.find_item (DB.raw db) e)
+               (View.full_name v))
+      |> List.sort String.compare
+    in
+    Fmt.pr "  %s uses: %a@."
+      (Option.get (DB.full_name db id))
+      Fmt.(list ~sep:(any ", ") string)
+      uses
+  in
+  show_config vax;
+  show_config m68k;
+
+  Fmt.pr "@.family invariant (same connections to the common part): %b@."
+    (Variant.shares_common v ~patterns:[ po ]);
+
+  (* evolving the common part once updates every variant *)
+  let crypto = ok (DB.create_object db ~cls:"Module" ~name:"Crypto" ()) in
+  let _ =
+    ok (Variant.connect_common db ~pattern:po ~assoc:"Uses" ~pattern_role:"user"
+          ~common:crypto)
+  in
+  Fmt.pr "@.added 'Crypto' to the common part (one update):@.";
+  show_config vax;
+  show_config m68k;
+
+  (* contrast with versions: an alternative is a different database
+     state, not a coexisting variant *)
+  let v1 = ok (DB.create_version db) in
+  ok (DB.begin_alternative db ~from_:v1 ());
+  ok (DB.delete db m68k);
+  let alt = ok (DB.create_version db) in
+  Fmt.pr
+    "@.alternative %a drops Config-68k entirely; variant family in %a is \
+     untouched@."
+    Version_id.pp alt Version_id.pp v1;
+  ok (DB.begin_alternative db ~from_:v1 ());
+  Fmt.pr "members on the basis of %a: %d@." Version_id.pp v1
+    (List.length (Variant.members (DB.view db) ~patterns:[ po ]))

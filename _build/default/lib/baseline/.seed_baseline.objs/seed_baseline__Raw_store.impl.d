@@ -1,0 +1,1 @@
+lib/baseline/raw_store.ml: Hashtbl List Seed_schema String Value

@@ -1,0 +1,1 @@
+lib/baseline/raw_store.mli: Seed_schema Value

@@ -1,0 +1,1 @@
+lib/baseline/rigid_store.ml: Assoc_def Cardinality Class_def Hashtbl List Marshal Option Printf Schema Seed_error Seed_schema Seed_util String Value

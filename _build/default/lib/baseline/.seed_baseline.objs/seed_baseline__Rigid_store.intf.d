@@ -1,0 +1,1 @@
+lib/baseline/rigid_store.mli: Schema Seed_error Seed_schema Seed_util Value

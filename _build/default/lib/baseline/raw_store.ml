@@ -1,0 +1,56 @@
+open Seed_schema
+
+type obj = {
+  mutable cls : string;
+  attrs : (string, Value.t) Hashtbl.t;
+}
+
+type t = {
+  objects : (string, obj) Hashtbl.t;
+  mutable rels : (string * string * string) list;
+}
+
+let create () = { objects = Hashtbl.create 256; rels = [] }
+
+let obj_of t name =
+  match Hashtbl.find_opt t.objects name with
+  | Some o -> o
+  | None ->
+    let o = { cls = ""; attrs = Hashtbl.create 4 } in
+    Hashtbl.replace t.objects name o;
+    o
+
+let put_object t ~name ~cls =
+  let o = obj_of t name in
+  o.cls <- cls
+
+let set_attr t ~name ~attr v = Hashtbl.replace (obj_of t name).attrs attr v
+
+let get_attr t ~name ~attr =
+  match Hashtbl.find_opt t.objects name with
+  | Some o -> Hashtbl.find_opt o.attrs attr
+  | None -> None
+
+let add_rel t ~assoc ~from_ ~to_ = t.rels <- (assoc, from_, to_) :: t.rels
+
+let mem t name = Hashtbl.mem t.objects name
+
+let class_of t name =
+  match Hashtbl.find_opt t.objects name with
+  | Some o -> Some o.cls
+  | None -> None
+
+let rels_of t name =
+  List.filter
+    (fun (_, f, to_) -> String.equal f name || String.equal to_ name)
+    t.rels
+
+let delete_object t name =
+  Hashtbl.remove t.objects name;
+  t.rels <-
+    List.filter
+      (fun (_, f, to_) -> not (String.equal f name || String.equal to_ name))
+      t.rels
+
+let object_count t = Hashtbl.length t.objects
+let rel_count t = List.length t.rels

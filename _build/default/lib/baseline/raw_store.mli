@@ -1,0 +1,36 @@
+(** The no-database baseline: plain hash tables, no checking.
+
+    This is what a tool keeps in memory when it does not use a DBMS at
+    all — the configuration SPADES had before SEED. Benches compare SEED
+    against it to quantify the paper's qualitative claim that SPADES
+    "has become considerably slower, but much more flexible". *)
+
+open Seed_schema
+
+type t
+
+val create : unit -> t
+
+val put_object : t -> name:string -> cls:string -> unit
+(** Insert or overwrite; no uniqueness or class checking. *)
+
+val set_attr : t -> name:string -> attr:string -> Value.t -> unit
+(** Attach an attribute value to an object; dangling names are created
+    silently (no checking is the point). *)
+
+val get_attr : t -> name:string -> attr:string -> Value.t option
+
+val add_rel : t -> assoc:string -> from_:string -> to_:string -> unit
+
+val mem : t -> string -> bool
+
+val class_of : t -> string -> string option
+
+val rels_of : t -> string -> (string * string * string) list
+(** [(assoc, from, to)] triples involving the object. *)
+
+val delete_object : t -> string -> unit
+(** Physical removal, relationships included. *)
+
+val object_count : t -> int
+val rel_count : t -> int

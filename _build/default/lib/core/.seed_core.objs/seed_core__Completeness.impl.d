@@ -1,0 +1,1 @@
+lib/core/completeness.ml: Assoc_def Cardinality Class_def Consistency Fmt Ident Item List Schema Seed_schema Seed_util String View

@@ -1,0 +1,1 @@
+lib/core/completeness.mli: Format Ident Item Seed_util View

@@ -1,0 +1,1 @@
+lib/core/consistency.ml: Assoc_def Cardinality Class_def Db_state Ident Item List Map Printf Schema Seed_error Seed_schema Seed_util String Value View

@@ -1,0 +1,1 @@
+lib/core/consistency.mli: Assoc_def Class_def Item Seed_error Seed_schema Seed_util Value View

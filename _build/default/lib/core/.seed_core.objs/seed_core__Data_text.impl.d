@@ -1,0 +1,1 @@
+lib/core/data_text.ml: Buffer Database Db_state Ident Item List Option Printf Seed_error Seed_schema Seed_util String Value View

@@ -1,0 +1,1 @@
+lib/core/data_text.mli: Database Seed_util View

@@ -1,0 +1,1 @@
+lib/core/database.mli: Completeness Db_state Format Ident Schema Seed_error Seed_schema Seed_util Value Version_id Versioning View

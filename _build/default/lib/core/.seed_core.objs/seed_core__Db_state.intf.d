@@ -1,0 +1,1 @@
+lib/core/db_state.mli: Event Hashtbl Ident Item Schema Seed_error Seed_schema Seed_storage Seed_util String Version_id Versioning

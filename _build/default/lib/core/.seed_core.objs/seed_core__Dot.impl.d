@@ -1,0 +1,1 @@
+lib/core/dot.ml: Buffer Db_state Fun Ident Item List Option Printf Seed_schema Seed_util String Value View

@@ -1,0 +1,1 @@
+lib/core/er_algebra.ml: Assoc_def Db_state Hashtbl Ident Item List Map Printf Schema Seed_error Seed_schema Seed_util View

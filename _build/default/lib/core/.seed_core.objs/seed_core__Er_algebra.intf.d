@@ -1,0 +1,1 @@
+lib/core/er_algebra.mli: Item Seed_error Seed_util View

@@ -1,0 +1,1 @@
+lib/core/event.ml: Fmt Ident Seed_schema Seed_util Value

@@ -1,0 +1,1 @@
+lib/core/event.mli: Format Ident Seed_schema Seed_util Value

@@ -1,0 +1,1 @@
+lib/core/history.ml: Database Db_state Fmt Ident Int Item List Printf Seed_error Seed_schema Seed_util String Version_id Versioning

@@ -1,0 +1,1 @@
+lib/core/history.mli: Database Format Ident Item Seed_error Seed_util Version_id

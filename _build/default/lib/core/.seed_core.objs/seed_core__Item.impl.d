@@ -1,0 +1,1 @@
+lib/core/item.ml: Ident List Seed_schema Seed_util Value Version_id

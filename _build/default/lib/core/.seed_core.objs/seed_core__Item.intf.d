@@ -1,0 +1,1 @@
+lib/core/item.mli: Ident Seed_schema Seed_util Value Version_id

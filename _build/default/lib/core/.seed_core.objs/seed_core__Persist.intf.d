@@ -1,0 +1,1 @@
+lib/core/persist.mli: Database Schema Seed_error Seed_schema Seed_util

@@ -1,0 +1,1 @@
+lib/core/query.ml: Completeness Db_state Ident Item List Schema Seed_schema Seed_util String View

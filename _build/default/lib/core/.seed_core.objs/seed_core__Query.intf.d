@@ -1,0 +1,1 @@
+lib/core/query.mli: Ident Item Seed_schema Seed_util Value View

@@ -1,0 +1,1 @@
+lib/core/variant.ml: Assoc_def Database Db_state Ident Item List Option Schema Seed_error Seed_schema Seed_util View

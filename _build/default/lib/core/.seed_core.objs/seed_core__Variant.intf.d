@@ -1,0 +1,1 @@
+lib/core/variant.mli: Database Ident Item Seed_error Seed_util View

@@ -1,0 +1,1 @@
+lib/core/versioning.ml: Int Item List Printf Seed_error Seed_util Version_id

@@ -1,0 +1,1 @@
+lib/core/versioning.mli: Item Seed_error Seed_util Version_id

@@ -1,0 +1,1 @@
+lib/core/view.ml: Db_state Ident Item List Path Printf Seed_util String Version_id Versioning

@@ -1,0 +1,1 @@
+lib/core/view.mli: Db_state Ident Item Schema Seed_schema Seed_util Version_id

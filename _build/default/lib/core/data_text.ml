@@ -1,0 +1,609 @@
+open Seed_util
+open Seed_schema
+open Seed_error
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let render_value = function
+  | Value.String s -> escape_string s
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%h" f
+  | Value.Bool b -> string_of_bool b
+  | Value.Date d -> Printf.sprintf "%04d-%02d-%02d" d.Value.year d.Value.month d.Value.day
+  | Value.Enum c -> c
+
+let component (it : Item.t) =
+  match it.Item.body with
+  | Item.Dependent { role; index; _ } -> (
+    match index with
+    | Some i -> Printf.sprintf "%s[%d]" role i
+    | None -> role)
+  | Item.Independent | Item.Relationship -> "?"
+
+let rec export_subs v buf indent (it : Item.t) =
+  List.iter
+    (fun (kid : Item.t) ->
+      let pad = String.make indent ' ' in
+      let value =
+        match View.obj_state v kid with
+        | Some { Item.value = Some value; _ } -> Some value
+        | Some _ | None -> None
+      in
+      let kids = View.children v kid.Item.id in
+      match (value, kids) with
+      | Some value, [] ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s = %s\n" pad (component kid) (render_value value))
+      | Some value, _ ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s = %s {\n" pad (component kid) (render_value value));
+        export_subs v buf (indent + 2) kid;
+        Buffer.add_string buf (pad ^ "}\n")
+      | None, [] ->
+        Buffer.add_string buf (Printf.sprintf "%s%s\n" pad (component kid))
+      | None, _ ->
+        Buffer.add_string buf (Printf.sprintf "%s%s {\n" pad (component kid));
+        export_subs v buf (indent + 2) kid;
+        Buffer.add_string buf (pad ^ "}\n"))
+    (View.children v it.Item.id)
+
+let export_object v buf ~pattern (it : Item.t) =
+  let name =
+    match View.full_name v it with
+    | Some n -> n
+    | None -> Ident.to_string it.Item.id
+  in
+  let cls = Option.value (View.class_path_of v it) ~default:"?" in
+  Buffer.add_string buf (if pattern then "pattern " else "object ");
+  Buffer.add_string buf (Printf.sprintf "%s : %s" name cls);
+  (match View.obj_state v it with
+  | Some { Item.value = Some value; _ } ->
+    Buffer.add_string buf (" = " ^ render_value value)
+  | Some _ | None -> ());
+  let inherits =
+    View.inherits_of v it
+    |> List.filter_map (fun pid ->
+           match Db_state.find_item (View.db v) pid with
+           | Some p when View.live_pattern v p -> View.full_name v p
+           | Some _ | None -> None)
+  in
+  if inherits <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf " inherits (%s)" (String.concat ", " inherits));
+  if View.children v it.Item.id <> [] then begin
+    Buffer.add_string buf " {\n";
+    export_subs v buf 2 it;
+    Buffer.add_string buf "}\n"
+  end
+  else Buffer.add_char buf '\n'
+
+let by_name v (a : Item.t) (b : Item.t) =
+  compare (View.full_name v a) (View.full_name v b)
+
+let export_rel v buf ~pattern (rel : Item.t) =
+  match View.rel_state v rel with
+  | None -> ()
+  | Some rs ->
+    let names =
+      List.map
+        (fun e ->
+          match Db_state.find_item (View.db v) e with
+          | Some it -> Option.value (View.full_name v it) ~default:(Ident.to_string e)
+          | None -> Ident.to_string e)
+        rs.Item.endpoints
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%srel %s (%s)"
+         (if pattern then "pattern " else "")
+         rs.Item.assoc (String.concat ", " names));
+    (match
+       List.sort (fun (a, _) (b, _) -> String.compare a b) rs.Item.rel_attrs
+     with
+    | [] -> Buffer.add_char buf '\n'
+    | attrs ->
+      Buffer.add_string buf " {\n";
+      List.iter
+        (fun (n, value) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s = %s\n" n (render_value value)))
+        attrs;
+      Buffer.add_string buf "}\n")
+
+let export_view v =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (export_object v buf ~pattern:false)
+    (List.sort (by_name v) (View.all_objects v));
+  List.iter
+    (export_object v buf ~pattern:true)
+    (List.sort (by_name v) (View.all_patterns v));
+  Buffer.add_char buf '\n';
+  let rels =
+    View.all_rels v
+    @ Db_state.fold_items (View.db v) ~init:[] ~f:(fun acc it ->
+          if it.Item.body = Item.Relationship && View.live_pattern v it then
+            it :: acc
+          else acc)
+  in
+  let endpoint_name e =
+    match Db_state.find_item (View.db v) e with
+    | Some it -> Option.value (View.full_name v it) ~default:(Ident.to_string e)
+    | None -> Ident.to_string e
+  in
+  let keyed =
+    List.map
+      (fun (r : Item.t) ->
+        let key =
+          match View.rel_state v r with
+          | Some rs ->
+            ( rs.Item.assoc,
+              List.map endpoint_name rs.Item.endpoints,
+              rs.Item.rel_pattern )
+          | None -> ("", [], false)
+        in
+        (key, r))
+      rels
+    |> List.sort compare
+  in
+  List.iter
+    (fun ((_, _, pattern), r) -> export_rel v buf ~pattern r)
+    keyed;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | EQUALS
+  | COLON
+  | COMMA
+  | MINUS
+  | EOF
+
+let token_name = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | EQUALS -> "'='"
+  | COLON -> "':'"
+  | COMMA -> "','"
+  | MINUS -> "'-'"
+  | EOF -> "end of input"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+let lex src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let error msg =
+    fail (Invalid_operation (Printf.sprintf "data text, line %d: %s" !line msg))
+  in
+  let rec go i =
+    if i >= n then begin
+      out := (EOF, !line) :: !out;
+      Ok (List.rev !out)
+    end
+    else
+      let c = src.[i] in
+      if c = '\n' then begin
+        incr line;
+        go (i + 1)
+      end
+      else if c = ' ' || c = '\t' || c = '\r' then go (i + 1)
+      else if c = '/' && i + 1 < n && src.[i + 1] = '/' then begin
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i)
+      end
+      else if c = '"' then begin
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then error "unterminated string"
+          else
+            match src.[j] with
+            | '"' ->
+              out := (STRING (Buffer.contents buf), !line) :: !out;
+              go (j + 1)
+            | '\\' when j + 1 < n ->
+              (match src.[j + 1] with
+              | 'n' -> Buffer.add_char buf '\n'
+              | 't' -> Buffer.add_char buf '\t'
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | c -> Buffer.add_char buf c);
+              str (j + 2)
+            | '\n' -> error "newline in string literal"
+            | c ->
+              Buffer.add_char buf c;
+              str (j + 1)
+        in
+        str (i + 1)
+      end
+      else if c >= '0' && c <= '9' then begin
+        (* number: int, float (with '.', 'e', 'x', 'p' for %h) *)
+        let rec eat j =
+          if
+            j < n
+            && ((src.[j] >= '0' && src.[j] <= '9')
+               || src.[j] = '.' || src.[j] = 'e' || src.[j] = 'E'
+               || src.[j] = 'x' || src.[j] = 'p' || src.[j] = 'P'
+               || (src.[j] >= 'a' && src.[j] <= 'f')
+               || (src.[j] >= 'A' && src.[j] <= 'F')
+               || src.[j] = '+'
+               || (src.[j] = '-' && j > i && (src.[j - 1] = 'e' || src.[j - 1] = 'E' || src.[j - 1] = 'p' || src.[j - 1] = 'P')))
+          then eat (j + 1)
+          else j
+        in
+        let j = eat i in
+        let text = String.sub src i (j - i) in
+        (match (int_of_string_opt text, float_of_string_opt text) with
+        | Some k, _ ->
+          out := (INT k, !line) :: !out;
+          go j
+        | None, Some f ->
+          out := (FLOAT f, !line) :: !out;
+          go j
+        | None, None -> error (Printf.sprintf "bad number %S" text))
+      end
+      else if is_ident_char c then begin
+        let rec eat j = if j < n && is_ident_char src.[j] then eat (j + 1) else j in
+        let j = eat i in
+        out := (IDENT (String.sub src i (j - i)), !line) :: !out;
+        go j
+      end
+      else
+        let simple t =
+          out := (t, !line) :: !out;
+          go (i + 1)
+        in
+        match c with
+        | '{' -> simple LBRACE
+        | '}' -> simple RBRACE
+        | '(' -> simple LPAREN
+        | ')' -> simple RPAREN
+        | '[' -> simple LBRACKET
+        | ']' -> simple RBRACKET
+        | '=' -> simple EQUALS
+        | ':' -> simple COLON
+        | ',' -> simple COMMA
+        | '-' -> simple MINUS
+        | _ -> error (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Parser (to an AST, then replayed)                                    *)
+(* ------------------------------------------------------------------ *)
+
+type sub_ast = {
+  s_role : string;
+  s_index : int option;
+  s_value : Value.t option;
+  s_children : sub_ast list;
+}
+
+type obj_ast = {
+  o_name : string;
+  o_cls : string;
+  o_value : Value.t option;
+  o_pattern : bool;
+  o_inherits : string list;
+  o_children : sub_ast list;
+}
+
+type rel_ast = {
+  r_assoc : string;
+  r_endpoints : string list;
+  r_pattern : bool;
+  r_attrs : (string * Value.t) list;
+}
+
+type stream = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with [] -> (EOF, 0) | t :: _ -> t
+let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
+
+let syntax_error line what got =
+  fail
+    (Invalid_operation
+       (Printf.sprintf "data text, line %d: expected %s, found %s" line what
+          (token_name got)))
+
+let expect st tok what =
+  let got, line = peek st in
+  if got = tok then begin
+    advance st;
+    Ok ()
+  end
+  else syntax_error line what got
+
+let ident st what =
+  match peek st with
+  | IDENT s, _ ->
+    advance st;
+    Ok s
+  | got, line -> syntax_error line what got
+
+let parse_value st =
+  match peek st with
+  | STRING s, _ ->
+    advance st;
+    Ok (Value.String s)
+  | FLOAT f, _ ->
+    advance st;
+    Ok (Value.Float f)
+  | MINUS, _ -> (
+    advance st;
+    match peek st with
+    | INT n, _ ->
+      advance st;
+      Ok (Value.Int (-n))
+    | FLOAT f, _ ->
+      advance st;
+      Ok (Value.Float (-.f))
+    | got, line -> syntax_error line "a number after '-'" got)
+  | INT a, _ -> (
+    advance st;
+    (* maybe a date: INT-INT-INT *)
+    match peek st with
+    | MINUS, _ -> (
+      advance st;
+      match peek st with
+      | INT m, line -> (
+        advance st;
+        let* () = expect st MINUS "'-' in a date" in
+        match peek st with
+        | INT d, _ ->
+          advance st;
+          (try Ok (Value.date a m d)
+           with Invalid_argument msg -> fail (Invalid_operation msg))
+        | got, _ -> syntax_error line "a day" got)
+      | got, line -> syntax_error line "a month" got)
+    | _ -> Ok (Value.Int a))
+  | IDENT "true", _ ->
+    advance st;
+    Ok (Value.Bool true)
+  | IDENT "false", _ ->
+    advance st;
+    Ok (Value.Bool false)
+  | IDENT c, _ ->
+    advance st;
+    Ok (Value.Enum c)
+  | got, line -> syntax_error line "a value" got
+
+let parse_opt_index st =
+  match peek st with
+  | LBRACKET, _ -> (
+    advance st;
+    match peek st with
+    | INT i, _ ->
+      advance st;
+      let* () = expect st RBRACKET "']'" in
+      Ok (Some i)
+    | got, line -> syntax_error line "an index" got)
+  | _ -> Ok None
+
+let rec parse_subs st acc =
+  match peek st with
+  | RBRACE, _ ->
+    advance st;
+    Ok (List.rev acc)
+  | IDENT _, _ ->
+    let* s_role = ident st "a role" in
+    let* s_index = parse_opt_index st in
+    let* s_value =
+      match peek st with
+      | EQUALS, _ ->
+        advance st;
+        let* v = parse_value st in
+        Ok (Some v)
+      | _ -> Ok None
+    in
+    let* s_children =
+      match peek st with
+      | LBRACE, _ ->
+        advance st;
+        parse_subs st []
+      | _ -> Ok []
+    in
+    parse_subs st ({ s_role; s_index; s_value; s_children } :: acc)
+  | got, line -> syntax_error line "a role or '}'" got
+
+let parse_name_list st =
+  let* () = expect st LPAREN "'('" in
+  let rec go acc =
+    let* n = ident st "a name" in
+    match peek st with
+    | COMMA, _ ->
+      advance st;
+      go (n :: acc)
+    | _ ->
+      let* () = expect st RPAREN "')'" in
+      Ok (List.rev (n :: acc))
+  in
+  go []
+
+let parse_object st ~pattern =
+  let* o_name = ident st "an object name" in
+  let* () = expect st COLON "':'" in
+  let* o_cls = ident st "a class" in
+  let* o_value =
+    match peek st with
+    | EQUALS, _ ->
+      advance st;
+      let* v = parse_value st in
+      Ok (Some v)
+    | _ -> Ok None
+  in
+  let* o_inherits =
+    if (match peek st with IDENT "inherits", _ -> true | _ -> false) then begin
+      advance st;
+      parse_name_list st
+    end
+    else Ok []
+  in
+  let* o_children =
+    match peek st with
+    | LBRACE, _ ->
+      advance st;
+      parse_subs st []
+    | _ -> Ok []
+  in
+  Ok { o_name; o_cls; o_value; o_pattern = pattern; o_inherits; o_children }
+
+let parse_attrs st =
+  match peek st with
+  | LBRACE, _ ->
+    advance st;
+    let rec go acc =
+      match peek st with
+      | RBRACE, _ ->
+        advance st;
+        Ok (List.rev acc)
+      | IDENT _, _ ->
+        let* n = ident st "an attribute" in
+        let* () = expect st EQUALS "'='" in
+        let* v = parse_value st in
+        go ((n, v) :: acc)
+      | got, line -> syntax_error line "an attribute or '}'" got
+    in
+    go []
+  | _ -> Ok []
+
+let parse_rel st ~pattern =
+  let* r_assoc = ident st "an association" in
+  let* r_endpoints = parse_name_list st in
+  let* r_attrs = parse_attrs st in
+  Ok { r_assoc; r_endpoints; r_pattern = pattern; r_attrs }
+
+let parse src =
+  let* toks = lex src in
+  let st = { toks } in
+  let rec go objs rels =
+    match peek st with
+    | EOF, _ -> Ok (List.rev objs, List.rev rels)
+    | IDENT "object", _ ->
+      advance st;
+      let* o = parse_object st ~pattern:false in
+      go (o :: objs) rels
+    | IDENT "pattern", _ -> (
+      advance st;
+      match peek st with
+      | IDENT "rel", _ ->
+        advance st;
+        let* r = parse_rel st ~pattern:true in
+        go objs (r :: rels)
+      | _ ->
+        let* o = parse_object st ~pattern:true in
+        go (o :: objs) rels)
+    | IDENT "rel", _ ->
+      advance st;
+      let* r = parse_rel st ~pattern:false in
+      go objs (r :: rels)
+    | got, line -> syntax_error line "'object', 'pattern' or 'rel'" got
+  in
+  go [] []
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec create_subs db ~parent subs =
+  iter_result
+    (fun s ->
+      let* id =
+        Database.create_sub_object db ~parent ~role:s.s_role ?index:s.s_index
+          ?value:s.s_value ()
+      in
+      create_subs db ~parent:id s.s_children)
+    subs
+
+let resolve_obj db name =
+  match Database.find_object db name with
+  | Some id -> Ok id
+  | None -> (
+    match Database.find_pattern db name with
+    | Some id -> Ok id
+    | None -> fail (Unknown_object name))
+
+let import db src =
+  let* objs, rels = parse src in
+  (* objects (and their sub-trees) *)
+  let* () =
+    iter_result
+      (fun o ->
+        let* id =
+          Database.create_object db ~cls:o.o_cls ~name:o.o_name
+            ~pattern:o.o_pattern ()
+        in
+        let* () =
+          match o.o_value with
+          | None -> Ok ()
+          | Some v -> Database.set_value db id (Some v)
+        in
+        create_subs db ~parent:id o.o_children)
+      objs
+  in
+  (* inheritance *)
+  let* () =
+    iter_result
+      (fun o ->
+        iter_result
+          (fun pname ->
+            let* inheritor = resolve_obj db o.o_name in
+            let* pattern = resolve_obj db pname in
+            Database.inherit_pattern db ~pattern ~inheritor)
+          o.o_inherits)
+      objs
+  in
+  (* relationships *)
+  iter_result
+    (fun r ->
+      let* endpoints = map_result (resolve_obj db) r.r_endpoints in
+      let* rel =
+        Database.create_relationship db ~assoc:r.r_assoc ~endpoints
+          ~pattern:r.r_pattern ()
+      in
+      iter_result
+        (fun (n, v) -> Database.set_rel_attr db rel n (Some v))
+        r.r_attrs)
+    rels

@@ -1,0 +1,46 @@
+(** Textual import/export of database contents.
+
+    One view of a database — objects with their sub-object trees and
+    values, patterns, inheritance, relationships with attributes — as a
+    human-readable text, so specifications can be exchanged, diffed and
+    seeded from files:
+
+    {v
+    object Alarms : InputData {
+      Description = "alarm store"
+      Text[0] {
+        Body = "Alarms are represented in an alarm display matrix"
+        Selector = "Representation"
+      }
+      Keywords[0] = "Alarmhandling"
+    }
+    pattern Template : Data {
+      Description = "std"
+    }
+    object Real : Data inherits (Template)
+
+    rel Read (Alarms, Handler)
+    rel Write (Alarms, Handler) {
+      NumberOfWrites = 3
+      OnError = repeat
+    }
+    pattern rel Access (Template, Handler)
+    v}
+
+    Values: quoted strings (with backslash escapes for quotes and
+    newlines), integers, floats, [true]/[false], dates as [1986-02-05],
+    enum constants as bare identifiers. Comments run from [//] to end
+    of line.
+
+    {!export_view} renders one version's view (versions themselves are
+    not part of the format); {!import} replays a text into a database
+    under the same schema, going through the full operational interface
+    — so imports are consistency-checked like any other update. *)
+
+val export_view : View.t -> string
+
+val import : Database.t -> string -> (unit, Seed_util.Seed_error.t) result
+(** Creates every object (patterns included), then the inheritance
+    links, then the relationships. The first failing operation aborts
+    the import; already-imported items remain (wrap in a fresh database
+    or a server transaction for all-or-nothing semantics). *)

@@ -1,0 +1,700 @@
+open Seed_util
+open Seed_schema
+open Seed_error
+
+let log_src = Logs.Src.create "seed.database" ~doc:"SEED operational interface"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = Db_state.t
+
+let create schema = Db_state.create schema
+let schema (db : t) = db.Db_state.schema
+let raw db = db
+let of_raw st = st
+
+let view db = View.retrieval db
+let view_current db = View.current db
+
+let view_at db vid =
+  if Versioning.mem db.Db_state.versions vid then Ok (View.at db vid)
+  else fail (Unknown_version (Version_id.to_string vid))
+
+let register_procedure db name p = Db_state.register_procedure db name p
+
+(* ------------------------------------------------------------------ *)
+(* Rollback machinery                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type saved = { s_item : Item.t; s_state : Item.state option; s_dirty : bool }
+
+let save (it : Item.t) = { s_item = it; s_state = it.current; s_dirty = it.dirty }
+
+let deindex_current_name db (it : Item.t) =
+  match (it.Item.body, it.Item.current) with
+  | Item.Independent, Some (Item.Obj { name = Some n; deleted = false; _ }) ->
+    Db_state.unindex_name db n
+  | _ -> ()
+
+let index_current_name db (it : Item.t) =
+  match (it.Item.body, it.Item.current) with
+  | Item.Independent, Some (Item.Obj { name = Some n; deleted = false; _ }) ->
+    Db_state.index_name db n it.Item.id
+  | _ -> ()
+
+let restore db saved =
+  let it = saved.s_item in
+  deindex_current_name db it;
+  it.Item.current <- saved.s_state;
+  it.Item.dirty <- saved.s_dirty;
+  index_current_name db it
+
+(* ------------------------------------------------------------------ *)
+(* Attached procedures                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let procedure_names db (it : Item.t) =
+  let schema = db.Db_state.schema in
+  match it.Item.current with
+  | Some (Item.Obj o) ->
+    let chain =
+      if it.Item.body = Item.Independent then
+        o.Item.cls :: Schema.class_supers schema o.Item.cls
+      else begin
+        (* a sub-object update also counts as an update of its enclosing
+           composite objects: run the procedures of every class-path
+           prefix, and the generalization chain of the root *)
+        let components = String.split_on_char '.' o.Item.cls in
+        let prefixes =
+          List.fold_left
+            (fun acc c ->
+              match acc with
+              | [] -> [ c ]
+              | last :: _ -> (last ^ "." ^ c) :: acc)
+            [] components
+        in
+        match List.rev prefixes with
+        | root :: _ -> prefixes @ Schema.class_supers schema root
+        | [] -> prefixes
+      end
+    in
+    List.concat_map
+      (fun c ->
+        match Schema.find_class schema c with
+        | Some def -> def.Class_def.procedures
+        | None -> [])
+      chain
+  | Some (Item.Rel r) ->
+    let chain = r.Item.assoc :: Schema.assoc_supers schema r.Item.assoc in
+    List.concat_map
+      (fun a ->
+        match Schema.find_assoc schema a with
+        | Some def -> def.Assoc_def.procedures
+        | None -> [])
+      chain
+  | None -> []
+
+let run_procedures db (it : Item.t) event =
+  let names = procedure_names db it in
+  if names = [] then Ok ()
+  else if db.Db_state.proc_depth >= 16 then
+    fail (Invalid_operation "attached procedure recursion too deep")
+  else
+    let* procs = map_result (Db_state.find_procedure db) names in
+    db.Db_state.proc_depth <- db.Db_state.proc_depth + 1;
+    let result = iter_result (fun p -> p db event) procs in
+    db.Db_state.proc_depth <- db.Db_state.proc_depth - 1;
+    result
+
+(* After a mutation touching [it], re-validate the normal contexts that
+   see it through pattern inheritance, then run attached procedures. Any
+   failure triggers [undo].
+
+   [recheck_contexts] is false for updates that cannot affect counting
+   constraints (value changes, renames): their structural checks have
+   already run, so pattern value updates stay O(1) regardless of the
+   number of inheritors — the point of patterns. *)
+let commit ?(recheck_contexts = true) db (it : Item.t) event ~undo =
+  let v = View.current db in
+  let contexts =
+    match View.state v it with
+    | Some s when recheck_contexts && Item.state_pattern s ->
+      Consistency.normal_inheritor_contexts v it
+    | Some _ | None -> []
+  in
+  let result =
+    let* () =
+      iter_result (Consistency.check_inheritor_context v) contexts
+    in
+    run_procedures db it event
+  in
+  match result with
+  | Ok () -> Ok ()
+  | Error e ->
+    Log.debug (fun m ->
+        m "update of %a rolled back: %a" Ident.pp it.Item.id Seed_error.pp e);
+    undo ();
+    Error e
+
+(* ------------------------------------------------------------------ *)
+(* Creation                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let create_object db ~cls ~name ?(pattern = false) () =
+  let v = View.current db in
+  let* () = Consistency.check_new_object v ~cls ~name in
+  let id = Db_state.fresh_id db in
+  let state =
+    Item.Obj
+      {
+        Item.name = Some name;
+        cls;
+        value = None;
+        pattern;
+        inherits = [];
+        deleted = false;
+      }
+  in
+  let item = Item.make id Item.Independent state in
+  Db_state.add_item db item;
+  Db_state.mark_dirty db item;
+  let* () =
+    commit db item (Event.Created id) ~undo:(fun () ->
+        Db_state.remove_item db item)
+  in
+  Ok id
+
+let used_indices v parent ~role =
+  View.children_v v (View.vitem_real parent)
+  |> List.filter_map (fun (vi : View.vitem) ->
+         match vi.View.item.Item.body with
+         | Item.Dependent d when String.equal d.role role -> d.index
+         | Item.Dependent _ | Item.Independent | Item.Relationship -> None)
+
+let smallest_free used =
+  let sorted = List.sort_uniq Int.compare used in
+  let rec go i = function
+    | [] -> i
+    | x :: rest -> if x = i then go (i + 1) rest else i
+  in
+  go 0 sorted
+
+let create_sub_object db ~parent ~role ?index ?value () =
+  let v = View.current db in
+  let* parent_item = Db_state.find_item_res db parent in
+  let* def =
+    Consistency.check_new_sub_object v ~parent:parent_item ~role ~index ~value
+  in
+  let single =
+    match def.Class_def.card.Cardinality.max with Some 1 -> true | _ -> false
+  in
+  let index =
+    match (index, single) with
+    | Some i, _ -> Some i
+    | None, true -> None
+    | None, false -> Some (smallest_free (used_indices v parent_item ~role))
+  in
+  let pattern =
+    match View.obj_state v parent_item with
+    | Some o -> o.Item.pattern
+    | None -> false
+  in
+  let id = Db_state.fresh_id db in
+  let state =
+    Item.Obj
+      {
+        Item.name = None;
+        cls = Class_def.name def;
+        value;
+        pattern;
+        inherits = [];
+        deleted = false;
+      }
+  in
+  let item = Item.make id (Item.Dependent { parent; role; index }) state in
+  Db_state.add_item db item;
+  Db_state.mark_dirty db item;
+  let* () =
+    commit db item (Event.Created id) ~undo:(fun () ->
+        Db_state.remove_item db item)
+  in
+  Ok id
+
+let create_relationship db ~assoc ~endpoints ?(pattern = false) () =
+  let v = View.current db in
+  let* endpoint_items = map_result (Db_state.find_item_res db) endpoints in
+  let* _def =
+    Consistency.check_new_relationship v ~assoc ~endpoints:endpoint_items
+      ~pattern
+  in
+  let id = Db_state.fresh_id db in
+  let state =
+    Item.Rel
+      {
+        Item.assoc;
+        endpoints;
+        rel_attrs = [];
+        rel_pattern = pattern;
+        rel_deleted = false;
+      }
+  in
+  let item = Item.make id Item.Relationship state in
+  Db_state.add_item db item;
+  Db_state.mark_dirty db item;
+  let* () =
+    commit db item (Event.Created id) ~undo:(fun () ->
+        Db_state.remove_item db item)
+  in
+  Ok id
+
+let create_relationship_named db ~assoc ~bindings ?(pattern = false) () =
+  let* def = Schema.find_assoc_res db.Db_state.schema assoc in
+  let* endpoints =
+    map_result
+      (fun (role : Assoc_def.role) ->
+        match
+          List.find_opt
+            (fun (n, _) -> String.equal n role.Assoc_def.role_name)
+            bindings
+        with
+        | Some (_, id) -> Ok id
+        | None ->
+          fail
+            (Invalid_operation
+               (Printf.sprintf "missing binding for role %s of %s"
+                  role.Assoc_def.role_name assoc)))
+      def.Assoc_def.roles
+  in
+  let* () =
+    if List.length bindings = Assoc_def.arity def then Ok ()
+    else
+      fail
+        (Invalid_operation
+           (Printf.sprintf "association %s takes %d bindings, got %d" assoc
+              (Assoc_def.arity def) (List.length bindings)))
+  in
+  create_relationship db ~assoc ~endpoints ~pattern ()
+
+(* ------------------------------------------------------------------ *)
+(* Updates                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let update_item_state db (item : Item.t) new_state =
+  deindex_current_name db item;
+  item.Item.current <- Some new_state;
+  index_current_name db item;
+  Db_state.mark_dirty db item
+
+let set_value db id value =
+  let v = View.current db in
+  let* item = Db_state.find_item_res db id in
+  let* () = Consistency.check_set_value v item value in
+  match View.obj_state v item with
+  | None -> fail (Unknown_item (Ident.to_string id))
+  | Some o ->
+    let before = save item in
+    let old_value = o.Item.value in
+    update_item_state db item (Item.Obj { o with Item.value });
+    commit ~recheck_contexts:false db item
+      (Event.Value_updated { id; old_value })
+      ~undo:(fun () -> restore db before)
+
+let set_rel_attr db id name value =
+  let v = View.current db in
+  let* item = Db_state.find_item_res db id in
+  let* () = Consistency.check_set_rel_attr v item name value in
+  match View.rel_state v item with
+  | None -> fail (Unknown_item (Ident.to_string id))
+  | Some r ->
+    let before = save item in
+    let attrs = List.remove_assoc name r.Item.rel_attrs in
+    let attrs =
+      match value with None -> attrs | Some value -> (name, value) :: attrs
+    in
+    update_item_state db item (Item.Rel { r with Item.rel_attrs = attrs });
+    commit ~recheck_contexts:false db item
+      (Event.Value_updated
+         { id; old_value = List.assoc_opt name r.Item.rel_attrs })
+      ~undo:(fun () -> restore db before)
+
+let rel_attr db id name =
+  let v = view db in
+  match Db_state.find_item db id with
+  | Some it -> (
+    match View.rel_state v it with
+    | Some r -> List.assoc_opt name r.Item.rel_attrs
+    | None -> None)
+  | None -> None
+
+let rename_object db id new_name =
+  let v = View.current db in
+  let* item = Db_state.find_item_res db id in
+  let* () = Consistency.check_rename v item new_name in
+  match View.obj_state v item with
+  | None -> fail (Unknown_item (Ident.to_string id))
+  | Some o ->
+    let before = save item in
+    let old_name = Option.value o.Item.name ~default:"" in
+    update_item_state db item (Item.Obj { o with Item.name = Some new_name });
+    commit ~recheck_contexts:false db item
+      (Event.Renamed { id; old_name })
+      ~undo:(fun () -> restore db before)
+
+let reclassify db id ~to_ =
+  let v = View.current db in
+  let* item = Db_state.find_item_res db id in
+  match View.state v item with
+  | None -> fail (Unknown_item (Ident.to_string id))
+  | Some (Item.Obj o) ->
+    let* () = Consistency.check_reclassify_object v item ~to_ in
+    let before = save item in
+    let from_ = o.Item.cls in
+    update_item_state db item (Item.Obj { o with Item.cls = to_ });
+    commit db item
+      (Event.Reclassified { id; from_ })
+      ~undo:(fun () -> restore db before)
+  | Some (Item.Rel r) ->
+    let* () = Consistency.check_reclassify_rel v item ~to_ in
+    let before = save item in
+    let from_ = r.Item.assoc in
+    update_item_state db item (Item.Rel { r with Item.assoc = to_ });
+    commit db item
+      (Event.Reclassified { id; from_ })
+      ~undo:(fun () -> restore db before)
+
+(* the sub-object tree below an object, live items only *)
+let rec subtree v acc (item : Item.t) =
+  let acc = item :: acc in
+  List.fold_left (subtree v) acc (View.children v item.Item.id)
+
+let delete db id =
+  let v = View.current db in
+  let* item = Db_state.find_item_res db id in
+  let* () = Consistency.check_delete v item in
+  let cascade =
+    match item.Item.body with
+    | Item.Relationship -> [ item ]
+    | Item.Independent ->
+      let tree = subtree v [] item in
+      let incident =
+        View.rels v item.Item.id |> List.filter (View.live v)
+      in
+      tree @ incident
+    | Item.Dependent _ -> subtree v [] item
+  in
+  let saves = List.map save cascade in
+  let mark_deleted (it : Item.t) =
+    match it.Item.current with
+    | Some (Item.Obj o) ->
+      update_item_state db it (Item.Obj { o with Item.deleted = true })
+    | Some (Item.Rel r) ->
+      update_item_state db it (Item.Rel { r with Item.rel_deleted = true })
+    | None -> ()
+  in
+  List.iter mark_deleted cascade;
+  commit db item (Event.Deleted id) ~undo:(fun () ->
+      List.iter (restore db) saves)
+
+(* ------------------------------------------------------------------ *)
+(* Patterns                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let inherit_pattern db ~pattern ~inheritor =
+  let v = View.current db in
+  let* pat = Db_state.find_item_res db pattern in
+  let* inh = Db_state.find_item_res db inheritor in
+  let* () = Consistency.check_inheritance v ~pattern:pat ~inheritor:inh in
+  match View.obj_state v inh with
+  | None -> fail (Unknown_item (Ident.to_string inheritor))
+  | Some o ->
+    let before = save inh in
+    update_item_state db inh
+      (Item.Obj { o with Item.inherits = o.Item.inherits @ [ pattern ] });
+    Db_state.index_inheritor db ~pattern ~inheritor;
+    let undo () =
+      Db_state.unindex_inheritor db ~pattern ~inheritor;
+      restore db before
+    in
+    let result =
+      (* the combined context must be consistent right away *)
+      if View.live_normal v inh then Consistency.check_inheritor_context v inh
+      else Ok ()
+    in
+    (match result with
+    | Error e ->
+      undo ();
+      Error e
+    | Ok () -> commit db inh (Event.Inherited { pattern; inheritor }) ~undo)
+
+let uninherit_pattern db ~pattern ~inheritor =
+  let v = View.current db in
+  let* inh = Db_state.find_item_res db inheritor in
+  match View.obj_state v inh with
+  | None -> fail (Unknown_item (Ident.to_string inheritor))
+  | Some o ->
+    if not (List.exists (Ident.equal pattern) o.Item.inherits) then
+      fail (Pattern_violation "pattern is not inherited by this object")
+    else begin
+      let inherits =
+        List.filter (fun p -> not (Ident.equal p pattern)) o.Item.inherits
+      in
+      update_item_state db inh (Item.Obj { o with Item.inherits });
+      Db_state.unindex_inheritor db ~pattern ~inheritor;
+      Ok ()
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Versions                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let current_base (db : t) = db.Db_state.current_base
+
+let is_dirty db =
+  List.exists
+    (fun id ->
+      match Db_state.find_item db id with
+      | Some it -> it.Item.dirty
+      | None -> false)
+    db.Db_state.dirty_queue
+
+let create_version db =
+  let* () =
+    iter_result
+      (fun (_, rule) -> rule db ~base:db.Db_state.current_base)
+      db.Db_state.transition_rules
+  in
+  let* vid =
+    Versioning.derive db.Db_state.versions ~base:db.Db_state.current_base
+      ~schema_rev:(Schema.revision db.Db_state.schema)
+  in
+  let dirty = Db_state.take_dirty db in
+  List.iter (fun it -> Item.stamp it vid) dirty;
+  db.Db_state.current_base <- Some vid;
+  Log.info (fun m ->
+      m "version %a created (%d items stamped)" Version_id.pp vid
+        (List.length dirty));
+  Ok vid
+
+let select_version db vid_opt =
+  match vid_opt with
+  | None ->
+    db.Db_state.retrieval_version <- None;
+    Ok ()
+  | Some vid ->
+    if Versioning.mem db.Db_state.versions vid then begin
+      db.Db_state.retrieval_version <- Some vid;
+      Ok ()
+    end
+    else fail (Unknown_version (Version_id.to_string vid))
+
+let selected_version (db : t) = db.Db_state.retrieval_version
+
+let begin_alternative db ~from_ ?(force = false) () =
+  let* _node = Versioning.find_res db.Db_state.versions from_ in
+  let* () =
+    if is_dirty db && not force then
+      fail
+        (Unsaved_changes
+           (match db.Db_state.current_base with
+           | Some v -> Version_id.to_string v
+           | None -> "(unsaved initial state)"))
+    else Ok ()
+  in
+  Db_state.clear_dirty db;
+  Db_state.iter_items db (fun it ->
+      it.Item.current <- Versioning.state_at db.Db_state.versions it from_;
+      it.Item.dirty <- false);
+  Db_state.rebuild_state_indexes db;
+  db.Db_state.current_base <- Some from_;
+  Ok ()
+
+let delete_version db vid =
+  let* () =
+    match db.Db_state.current_base with
+    | Some b when Version_id.equal b vid ->
+      fail
+        (Invalid_operation
+           "the current version derives from this version; switch first")
+    | Some _ | None -> Ok ()
+  in
+  let* () =
+    match db.Db_state.retrieval_version with
+    | Some r when Version_id.equal r vid ->
+      fail (Invalid_operation "version is selected for retrieval; deselect first")
+    | Some _ | None -> Ok ()
+  in
+  let* () = Versioning.delete db.Db_state.versions vid in
+  Db_state.iter_items db (fun it -> Item.drop_stamp it vid);
+  Ok ()
+
+let versions db = Versioning.all db.Db_state.versions
+
+let add_transition_rule db name rule =
+  db.Db_state.transition_rules <- db.Db_state.transition_rules @ [ (name, rule) ]
+
+(* ------------------------------------------------------------------ *)
+(* Schema evolution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let update_schema db new_schema =
+  let* () = Schema.validate new_schema in
+  let rev = Schema.revision db.Db_state.schema + 1 in
+  let stamped = Schema.with_revision new_schema rev in
+  let old = db.Db_state.schema in
+  db.Db_state.schema <- stamped;
+  match Consistency.check_database (View.current db) with
+  | Error e ->
+    db.Db_state.schema <- old;
+    Error e
+  | Ok () ->
+    db.Db_state.schemas <- (rev, stamped) :: db.Db_state.schemas;
+    Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Retrieval                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let find_object db name =
+  let v = view db in
+  match View.find_object v name with
+  | Some it when View.live_normal v it -> Some it.Item.id
+  | Some _ | None -> None
+
+let find_pattern db name =
+  let v = view db in
+  match View.find_object v name with
+  | Some it when View.live_pattern v it -> Some it.Item.id
+  | Some _ | None -> None
+
+let resolve db path =
+  let v = view db in
+  match View.resolve_name v path with
+  | Some it -> Some it.Item.id
+  | None -> None
+
+let full_name db id =
+  let v = view db in
+  match Db_state.find_item db id with
+  | Some it -> View.full_name v it
+  | None -> None
+
+let class_of db id =
+  let v = view db in
+  match Db_state.find_item db id with
+  | Some it -> (
+    match View.obj_state v it with
+    | Some o -> Some o.Item.cls
+    | None -> None)
+  | None -> None
+
+let assoc_of db id =
+  let v = view db in
+  match Db_state.find_item db id with
+  | Some it -> (
+    match View.rel_state v it with
+    | Some r -> Some r.Item.assoc
+    | None -> None)
+  | None -> None
+
+let get_value db id =
+  let v = view db in
+  match Db_state.find_item db id with
+  | Some it -> (
+    match View.obj_state v it with
+    | Some o -> o.Item.value
+    | None -> None)
+  | None -> None
+
+let is_pattern db id =
+  let v = view db in
+  match Db_state.find_item db id with
+  | Some it -> (
+    match View.state v it with
+    | Some s -> Item.state_pattern s
+    | None -> false)
+  | None -> false
+
+let exists db id =
+  let v = view db in
+  match Db_state.find_item db id with
+  | Some it -> View.live v it
+  | None -> false
+
+let children db id =
+  let v = view db in
+  View.children v id |> List.map (fun (it : Item.t) -> it.Item.id)
+
+let relationships db id =
+  let v = view db in
+  View.rels v id
+  |> List.filter (fun it -> View.live_normal v it)
+  |> List.map (fun (it : Item.t) -> it.Item.id)
+
+let endpoints db id =
+  let v = view db in
+  match Db_state.find_item db id with
+  | Some it -> (
+    match View.rel_state v it with
+    | Some r -> r.Item.endpoints
+    | None -> [])
+  | None -> []
+
+let inheritors db id =
+  let v = view db in
+  View.inheritors_of v id |> List.map (fun (it : Item.t) -> it.Item.id)
+
+let object_count db = List.length (View.all_objects (view db))
+
+type stats = {
+  st_objects : int;
+  st_sub_objects : int;
+  st_relationships : int;
+  st_patterns : int;
+  st_versions : int;
+  st_items_total : int;
+  st_dirty : int;
+  st_schema_revision : int;
+}
+
+let stats db =
+  let v = view db in
+  let st_sub_objects =
+    Db_state.fold_items db ~init:0 ~f:(fun acc it ->
+        match it.Item.body with
+        | Item.Dependent _ when View.live v it -> acc + 1
+        | _ -> acc)
+  in
+  {
+    st_objects = List.length (View.all_objects v);
+    st_sub_objects;
+    st_relationships = List.length (View.all_rels v);
+    st_patterns = List.length (View.all_patterns v);
+    st_versions = List.length (Versioning.all db.Db_state.versions);
+    st_items_total = Db_state.fold_items db ~init:0 ~f:(fun acc _ -> acc + 1);
+    st_dirty =
+      List.length
+        (List.filter
+           (fun id ->
+             match Db_state.find_item db id with
+             | Some it -> it.Item.dirty
+             | None -> false)
+           db.Db_state.dirty_queue);
+    st_schema_revision = Schema.revision db.Db_state.schema;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "@[<v>objects: %d@,\
+     sub-objects: %d@,\
+     relationships: %d@,\
+     patterns: %d@,\
+     versions: %d@,\
+     physical items: %d@,\
+     unsaved changes: %d@,\
+     schema revision: %d@]"
+    s.st_objects s.st_sub_objects s.st_relationships s.st_patterns
+    s.st_versions s.st_items_total s.st_dirty s.st_schema_revision
+
+let completeness_report db = Completeness.check_database (view db)
+
+let is_complete db = Completeness.is_complete (view db)

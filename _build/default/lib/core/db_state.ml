@@ -1,0 +1,187 @@
+open Seed_util
+open Seed_schema
+open Seed_error
+
+module Name_index = Seed_storage.Btree.Make (String)
+
+type proc = t -> Event.t -> (unit, Seed_error.t) result
+
+and t = {
+  mutable schema : Schema.t;
+  mutable schemas : (int * Schema.t) list;
+  items : Item.t Ident.Tbl.t;
+  gen : Ident.Gen.t;
+  name_index : Ident.t Name_index.t;
+  children : Ident.t list ref Ident.Tbl.t;
+  rels_of : Ident.t list ref Ident.Tbl.t;
+  inheritors : Ident.t list ref Ident.Tbl.t;
+  versions : Versioning.t;
+  mutable current_base : Version_id.t option;
+  mutable retrieval_version : Version_id.t option;
+  mutable dirty_queue : Ident.t list;
+  procedures : (string, proc) Hashtbl.t;
+  mutable proc_depth : int;
+  mutable transition_rules :
+    (string * (t -> base:Version_id.t option -> (unit, Seed_error.t) result))
+    list;
+}
+
+let create schema =
+  {
+    schema;
+    schemas = [ (Schema.revision schema, schema) ];
+    items = Ident.Tbl.create 256;
+    gen = Ident.Gen.create ();
+    name_index = Name_index.create ();
+    children = Ident.Tbl.create 64;
+    rels_of = Ident.Tbl.create 64;
+    inheritors = Ident.Tbl.create 16;
+    versions = Versioning.create ();
+    current_base = None;
+    retrieval_version = None;
+    dirty_queue = [];
+    procedures = Hashtbl.create 8;
+    proc_depth = 0;
+    transition_rules = [];
+  }
+
+let find_item t id = Ident.Tbl.find_opt t.items id
+
+let find_item_res t id =
+  match find_item t id with
+  | Some it -> Ok it
+  | None -> fail (Unknown_item (Ident.to_string id))
+
+let fresh_id t = Ident.Gen.next t.gen
+
+let multi_add tbl key v =
+  match Ident.Tbl.find_opt tbl key with
+  | Some cell -> cell := v :: !cell
+  | None -> Ident.Tbl.replace tbl key (ref [ v ])
+
+let multi_remove tbl key v =
+  match Ident.Tbl.find_opt tbl key with
+  | Some cell -> cell := List.filter (fun x -> not (Ident.equal x v)) !cell
+  | None -> ()
+
+let multi_get tbl key =
+  match Ident.Tbl.find_opt tbl key with Some cell -> List.rev !cell | None -> []
+
+let index_name t name id = Name_index.insert t.name_index name id
+let unindex_name t name = ignore (Name_index.remove t.name_index name)
+
+let add_item t (item : Item.t) =
+  Ident.Tbl.replace t.items item.id item;
+  (match item.body with
+  | Item.Dependent { parent; _ } -> multi_add t.children parent item.id
+  | Item.Independent -> (
+    match Item.obj_state item with
+    | Some { name = Some n; _ } -> index_name t n item.id
+    | Some _ | None -> ())
+  | Item.Relationship -> (
+    match Item.rel_state item with
+    | Some { endpoints; _ } ->
+      List.iter (fun e -> multi_add t.rels_of e item.id) endpoints
+    | None -> ()))
+
+let add_loaded_item t (item : Item.t) =
+  (* Like [add_item] but suitable for items loaded from storage: an item
+     may exist only in history (current = None), in which case the
+     relationship index must still cover its historical endpoints. Name
+     and inheritor indexes are rebuilt wholesale afterwards. *)
+  Ident.Tbl.replace t.items item.id item;
+  (match item.body with
+  | Item.Dependent { parent; _ } -> multi_add t.children parent item.id
+  | Item.Independent -> ()
+  | Item.Relationship ->
+    let state =
+      match item.current with
+      | Some s -> Some s
+      | None -> ( match item.history with (_, s) :: _ -> Some s | [] -> None)
+    in
+    (match state with
+    | Some (Item.Rel { endpoints; _ }) ->
+      List.iter (fun e -> multi_add t.rels_of e item.id) endpoints
+    | Some (Item.Obj _) | None -> ()))
+
+let remove_item t (item : Item.t) =
+  Ident.Tbl.remove t.items item.id;
+  (match item.body with
+  | Item.Dependent { parent; _ } -> multi_remove t.children parent item.id
+  | Item.Independent -> (
+    match Item.obj_state item with
+    | Some { name = Some n; _ } -> unindex_name t n
+    | Some _ | None -> ())
+  | Item.Relationship -> (
+    match Item.rel_state item with
+    | Some { endpoints; _ } ->
+      List.iter (fun e -> multi_remove t.rels_of e item.id) endpoints
+    | None -> ()));
+  t.dirty_queue <- List.filter (fun i -> not (Ident.equal i item.id)) t.dirty_queue
+
+let mark_dirty t (item : Item.t) =
+  if not item.dirty then begin
+    item.dirty <- true;
+    t.dirty_queue <- item.id :: t.dirty_queue
+  end
+
+let take_dirty t =
+  let ids = t.dirty_queue in
+  t.dirty_queue <- [];
+  List.filter_map
+    (fun id ->
+      match find_item t id with
+      | Some it when it.Item.dirty -> Some it
+      | Some _ | None -> None)
+    (List.rev ids)
+
+let clear_dirty t =
+  List.iter
+    (fun id ->
+      match find_item t id with
+      | Some it -> it.Item.dirty <- false
+      | None -> ())
+    t.dirty_queue;
+  t.dirty_queue <- []
+
+let children_ids t id = multi_get t.children id
+let rels_ids t id = multi_get t.rels_of id
+let inheritor_ids t id = multi_get t.inheritors id
+
+let index_inheritor t ~pattern ~inheritor = multi_add t.inheritors pattern inheritor
+
+let unindex_inheritor t ~pattern ~inheritor =
+  multi_remove t.inheritors pattern inheritor
+
+let iter_items t f = Ident.Tbl.iter (fun _ it -> f it) t.items
+
+let fold_items t ~init ~f =
+  Ident.Tbl.fold (fun _ it acc -> f acc it) t.items init
+
+let rebuild_state_indexes t =
+  (* name index *)
+  let names = Name_index.to_list t.name_index in
+  List.iter (fun (n, _) -> unindex_name t n) names;
+  Ident.Tbl.reset t.inheritors;
+  iter_items t (fun it ->
+      match (it.Item.body, it.Item.current) with
+      | Item.Independent, Some (Item.Obj o) when not o.Item.deleted ->
+        (match o.Item.name with
+        | Some n -> index_name t n it.Item.id
+        | None -> ());
+        List.iter
+          (fun p -> index_inheritor t ~pattern:p ~inheritor:it.Item.id)
+          o.Item.inherits
+      | _ -> ())
+
+let find_id_by_name t name = Name_index.find t.name_index name
+
+let register_procedure t name p = Hashtbl.replace t.procedures name p
+
+let find_procedure t name =
+  match Hashtbl.find_opt t.procedures name with
+  | Some p -> Ok p
+  | None -> fail (Unknown_procedure name)
+
+let schema_at_revision t rev =
+  List.assoc_opt rev t.schemas

@@ -1,0 +1,101 @@
+(** Mutable database state: item tables, indexes, version tree, and the
+    attached-procedure registry.
+
+    This module is the engine room — it performs no semantic checking.
+    {!Database} is the checked operational interface; {!Consistency} and
+    {!Completeness} read through these accessors. *)
+
+open Seed_util
+open Seed_schema
+
+module Name_index : module type of Seed_storage.Btree.Make (String)
+
+type proc = t -> Event.t -> (unit, Seed_error.t) result
+(** An attached procedure: called after the mutation it observes; an
+    [Error] vetoes and rolls back the update. *)
+
+and t = {
+  mutable schema : Schema.t;
+  mutable schemas : (int * Schema.t) list;
+      (** every schema revision ever in force, newest first — schema
+          versions in the sense of the paper *)
+  items : Item.t Ident.Tbl.t;
+  gen : Ident.Gen.t;
+  name_index : Ident.t Name_index.t;
+      (** name → id for independent objects live in the current state *)
+  children : Ident.t list ref Ident.Tbl.t;  (** parent id → sub-object ids *)
+  rels_of : Ident.t list ref Ident.Tbl.t;  (** object id → relationship ids *)
+  inheritors : Ident.t list ref Ident.Tbl.t;  (** pattern id → inheritor ids *)
+  versions : Versioning.t;
+  mutable current_base : Version_id.t option;
+      (** the saved version the current state derives from *)
+  mutable retrieval_version : Version_id.t option;
+      (** the version retrieval operations read from; [None] = current *)
+  mutable dirty_queue : Ident.t list;
+  procedures : (string, proc) Hashtbl.t;
+  mutable proc_depth : int;
+      (** attached-procedure nesting depth (recursion guard) *)
+  mutable transition_rules :
+    (string * (t -> base:Version_id.t option -> (unit, Seed_error.t) result))
+    list;
+      (** history-sensitive consistency rules, checked when a version is
+          created (paper §Discussion lists these as an open problem) *)
+}
+
+val create : Schema.t -> t
+
+val find_item : t -> Ident.t -> Item.t option
+val find_item_res : t -> Ident.t -> (Item.t, Seed_error.t) result
+
+val fresh_id : t -> Ident.t
+
+val add_item : t -> Item.t -> unit
+(** Insert into the item table and all identity-level indexes, and the
+    name index when applicable. *)
+
+val add_loaded_item : t -> Item.t -> unit
+(** Insert an item loaded from storage: identity indexes are updated
+    (covering items that exist only in history); name and inheritor
+    indexes must be rebuilt with {!rebuild_state_indexes} afterwards. *)
+
+val remove_item : t -> Item.t -> unit
+(** Physically remove a just-created item (update rollback only — user
+    deletion is always logical). *)
+
+val mark_dirty : t -> Item.t -> unit
+(** Add to the delta set for the next version snapshot. *)
+
+val take_dirty : t -> Item.t list
+(** Items changed since the last snapshot; clears the queue but not the
+    per-item flags (stamping does that). *)
+
+val clear_dirty : t -> unit
+(** Reset all dirty flags and the queue (after a branch switch). *)
+
+val children_ids : t -> Ident.t -> Ident.t list
+val rels_ids : t -> Ident.t -> Ident.t list
+val inheritor_ids : t -> Ident.t -> Ident.t list
+
+val index_inheritor : t -> pattern:Ident.t -> inheritor:Ident.t -> unit
+val unindex_inheritor : t -> pattern:Ident.t -> inheritor:Ident.t -> unit
+
+val index_name : t -> string -> Ident.t -> unit
+val unindex_name : t -> string -> unit
+
+val find_id_by_name : t -> string -> Ident.t option
+(** Current-state lookup through the name index. *)
+
+val rebuild_state_indexes : t -> unit
+(** Recompute the name and inheritor indexes from current item states
+    (after a branch switch or a load). *)
+
+val register_procedure : t -> string -> proc -> unit
+
+val find_procedure : t -> string -> (proc, Seed_error.t) result
+
+val schema_at_revision : t -> int -> Schema.t option
+(** The schema that was in force at a given revision. *)
+
+val iter_items : t -> (Item.t -> unit) -> unit
+
+val fold_items : t -> init:'a -> f:('a -> Item.t -> 'a) -> 'a

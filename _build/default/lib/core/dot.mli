@@ -1,0 +1,14 @@
+(** Graphviz export of a view — the modified entity-relationship
+    diagrams the paper draws (Fig. 1) as machine-generated [dot].
+
+    Objects become nodes labelled with their composed name, class and
+    leaf values; relationships become labelled edges. Patterns render
+    dashed and grey; inherited (virtual) relationships render dashed
+    with an ["inherited"] tail label, so Fig. 5-style variant wiring is
+    visible. *)
+
+val of_view : ?include_subs:bool -> ?include_patterns:bool -> View.t -> string
+(** A complete [digraph]. [include_subs] (default [true]) lists
+    sub-object values inside the node label; [include_patterns]
+    (default [true]) also renders pattern objects and the inheritance
+    structure. *)

@@ -1,0 +1,74 @@
+(** An entity-relationship algebra over SEED views.
+
+    The paper cites Parent & Spaccapietra's ER algebra [10] among the
+    sources of SEED's design; the prototype itself shipped without
+    complex retrieval. This module supplies a small, set-semantics
+    algebra in that spirit: relations are sets of object tuples, built
+    from classes and associations of a {!View} and combined with
+    selection, projection, product, join and the set operations.
+
+    Entity-relationship operations are defined on {e existing}
+    relationships only, so undefined (incomplete) items never produce
+    phantom rows — the property the paper notes in §Manipulating vague
+    and incomplete data. Inherited pattern relationships participate,
+    like in every other retrieval operation. *)
+
+open Seed_util
+
+type row = Item.t list
+(** A tuple of live objects. *)
+
+type t
+(** A relation: a fixed arity and a set of rows (duplicates removed,
+    deterministic order). *)
+
+val arity : t -> int
+val rows : t -> row list
+val cardinality : t -> int
+val is_empty : t -> bool
+
+(** {1 Sources} *)
+
+val objects : View.t -> cls:string -> t
+(** Unary: every live normal object classified in [cls] or one of its
+    specializations. *)
+
+val relationship : View.t -> assoc:string -> t
+(** n-ary: one row per relationship of the association (or any of its
+    specializations), endpoints in role order. Inherited pattern
+    relationships appear with the pattern root substituted. *)
+
+val of_rows : arity:int -> row list -> t
+(** Escape hatch for tests; rows of the wrong arity are rejected with
+    [Invalid_argument]. *)
+
+(** {1 Operators} *)
+
+val select : t -> (row -> bool) -> t
+
+val select_obj : t -> col:int -> (Item.t -> bool) -> t
+(** Selection on one column. *)
+
+val project : t -> cols:int list -> t
+(** Keep the given columns, in the given order (duplicates in [cols]
+    are allowed); resulting duplicate rows collapse. *)
+
+val product : t -> t -> t
+
+val join : t -> int -> t -> int -> t
+(** [join r i s j] — rows of [r ×] [s] whose [i]-th and [j]-th objects
+    are the same, with [s]'s join column dropped. *)
+
+val union : t -> t -> (t, Seed_error.t) result
+(** Arity mismatch is an [Invalid_operation]. *)
+
+val inter : t -> t -> (t, Seed_error.t) result
+val diff : t -> t -> (t, Seed_error.t) result
+
+(** {1 Convenience} *)
+
+val column : t -> int -> Item.t list
+(** Distinct objects of one column. *)
+
+val names : View.t -> t -> string list list
+(** Rows rendered as object names, for display and tests. *)

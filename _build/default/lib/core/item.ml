@@ -1,0 +1,86 @@
+open Seed_util
+open Seed_schema
+
+type obj_state = {
+  name : string option;
+  cls : string;
+  value : Value.t option;
+  pattern : bool;
+  inherits : Ident.t list;
+  deleted : bool;
+}
+
+type rel_state = {
+  assoc : string;
+  endpoints : Ident.t list;
+  rel_attrs : (string * Value.t) list;
+  rel_pattern : bool;
+  rel_deleted : bool;
+}
+
+type state = Obj of obj_state | Rel of rel_state
+
+type body =
+  | Independent
+  | Dependent of { parent : Ident.t; role : string; index : int option }
+  | Relationship
+
+type t = {
+  id : Ident.t;
+  body : body;
+  mutable current : state option;
+  mutable dirty : bool;
+  mutable history : (Version_id.t * state) list;
+}
+
+(* dirty starts false so that Db_state.mark_dirty both sets the flag and
+   enqueues the item in the delta set *)
+let make id body state =
+  { id; body; current = Some state; dirty = false; history = [] }
+
+let state_deleted = function
+  | Obj o -> o.deleted
+  | Rel r -> r.rel_deleted
+
+let state_pattern = function
+  | Obj o -> o.pattern
+  | Rel r -> r.rel_pattern
+
+let is_live t =
+  match t.current with Some s -> not (state_deleted s) | None -> false
+
+let is_live_normal t =
+  match t.current with
+  | Some s -> (not (state_deleted s)) && not (state_pattern s)
+  | None -> false
+
+let is_live_pattern t =
+  match t.current with
+  | Some s -> (not (state_deleted s)) && state_pattern s
+  | None -> false
+
+let obj_state t =
+  match t.current with Some (Obj o) -> Some o | Some (Rel _) | None -> None
+
+let rel_state t =
+  match t.current with Some (Rel r) -> Some r | Some (Obj _) | None -> None
+
+let stamp_at t vid =
+  List.find_map
+    (fun (v, s) -> if Version_id.equal v vid then Some s else None)
+    t.history
+
+let stamp t vid =
+  (match t.current with
+  | Some s -> t.history <- (vid, s) :: t.history
+  | None -> ());
+  t.dirty <- false
+
+let drop_stamp t vid =
+  t.history <- List.filter (fun (v, _) -> not (Version_id.equal v vid)) t.history
+
+let kind_name t =
+  match t.body with
+  | Independent -> "object"
+  | Dependent _ -> "sub-object"
+  | Relationship -> "relationship"

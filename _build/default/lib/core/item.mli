@@ -1,0 +1,89 @@
+(** Data items: objects, dependent sub-objects, and relationships.
+
+    An item separates {e identity} — allocated once, immutable — from
+    {e state} — everything an update can change, and therefore
+    everything a version snapshot must capture. Logical deletion is a
+    state whose [deleted] flag is set, never physical removal, which is
+    what makes SEED's delta-based version storage possible (paper,
+    §Versions: "items that have been deleted ... is made easy by marking
+    items as deleted instead of removing them physically"). *)
+
+open Seed_util
+open Seed_schema
+
+type obj_state = {
+  name : string option;
+      (** independent objects only; dependent names are composed *)
+  cls : string;
+      (** top-level class (independent) or resolved class path such as
+          ["Data.Text.Body"] (dependent); changes on re-classification *)
+  value : Value.t option;  (** leaf content *)
+  pattern : bool;  (** pattern items are invisible to normal retrieval *)
+  inherits : Ident.t list;
+      (** patterns this object inherits, in inheritance order *)
+  deleted : bool;
+}
+
+type rel_state = {
+  assoc : string;  (** association name; changes on re-classification *)
+  endpoints : Ident.t list;
+      (** positional: element [i] plays role [i] of the association *)
+  rel_attrs : (string * Value.t) list;
+      (** relationship attributes (Fig. 3's [NumberOfWrites]); undefined
+          attributes are simply absent *)
+  rel_pattern : bool;
+  rel_deleted : bool;
+}
+
+type state = Obj of obj_state | Rel of rel_state
+
+type body =
+  | Independent
+  | Dependent of { parent : Ident.t; role : string; index : int option }
+  | Relationship
+
+type t = {
+  id : Ident.t;
+  body : body;
+  mutable current : state option;
+      (** working state; [None] when the item does not exist in the
+          current alternative (it was created on another branch) *)
+  mutable dirty : bool;
+      (** changed since the last version stamp — the delta set *)
+  mutable history : (Version_id.t * state) list;
+      (** newest stamp first; append-only except for version deletion *)
+}
+
+val make : Ident.t -> body -> state -> t
+(** Fresh item with the given initial current state. The dirty flag
+    starts clear; creation paths call [Db_state.mark_dirty], which both
+    sets it and enqueues the item in the delta set. *)
+
+val state_deleted : state -> bool
+val state_pattern : state -> bool
+
+val is_live : t -> bool
+(** Has a current state that is not deleted. *)
+
+val is_live_normal : t -> bool
+(** Live and not a pattern — visible to normal retrieval. *)
+
+val is_live_pattern : t -> bool
+
+val obj_state : t -> obj_state option
+(** Current state when the item is an object. *)
+
+val rel_state : t -> rel_state option
+
+val stamp_at : t -> Version_id.t -> state option
+(** The state stamped exactly at the given version, if any. *)
+
+val stamp : t -> Version_id.t -> unit
+(** Record the current state (or nonexistence, encoded as a deleted
+    stamp) under [vid] and clear the dirty flag. *)
+
+val drop_stamp : t -> Version_id.t -> unit
+(** Remove the stamp for a deleted version. *)
+
+val kind_name : t -> string
+(** ["object"], ["sub-object"] or ["relationship"] for messages. *)

@@ -1,0 +1,54 @@
+(** Durable storage for SEED databases.
+
+    A database directory holds an atomic snapshot plus an append-only
+    journal ({!Seed_storage.Store}). Journal records are idempotent full
+    re-assignments of items (last record wins), so replaying an old
+    journal over a newer snapshot after a crash between compaction steps
+    is harmless.
+
+    {!Session} is the intended interface: open a directory, mutate the
+    database through {!Database}, call {!Session.flush} at transaction
+    boundaries (it appends only the items that changed since the last
+    flush) and {!Session.compact} occasionally. *)
+
+open Seed_util
+open Seed_schema
+
+val encode_db : Database.t -> string
+(** Whole-database snapshot payload. *)
+
+val decode_db : string -> (Database.t, Seed_error.t) result
+
+val save : Database.t -> dir:string -> (unit, Seed_error.t) result
+(** One-shot: write a snapshot of the database into [dir] (creating it),
+    truncating any journal. *)
+
+val load : ?verify:bool -> dir:string -> unit -> (Database.t, Seed_error.t) result
+(** Rebuild a database from [dir]: snapshot plus journal replay. With
+    [verify] (default [true]) the loaded state is swept by
+    {!Consistency.check_database} and refused when corrupt. *)
+
+module Session : sig
+  type t
+
+  val open_ :
+    dir:string -> ?schema:Schema.t -> ?verify:bool -> unit ->
+    (t, Seed_error.t) result
+  (** Open (or create, given [schema]) the database at [dir]. Opening an
+      empty directory without a schema fails. *)
+
+  val db : t -> Database.t
+
+  val flush : t -> (unit, Seed_error.t) result
+  (** Append journal records for every item whose state or history
+      changed since the last flush, plus a metadata record when the
+      version tree, schema, or id generator advanced. *)
+
+  val compact : t -> (unit, Seed_error.t) result
+  (** Write a fresh snapshot and truncate the journal. *)
+
+  val journal_records : t -> int
+  (** Records in the journal since the last compaction. *)
+
+  val close : t -> unit
+end

@@ -1,0 +1,114 @@
+open Seed_util
+open Seed_schema
+
+type pred = View.t -> Item.t -> bool
+
+let in_class cls v it =
+  match View.obj_state v it with
+  | Some o -> String.equal o.Item.cls cls
+  | None -> false
+
+let is_a cls v it =
+  match View.obj_state v it with
+  | Some o -> Schema.class_is_a (View.schema v) ~sub:o.Item.cls ~super:cls
+  | None -> false
+
+let name_is n v it =
+  match View.full_name v it with Some m -> String.equal m n | None -> false
+
+let name_matches f v it =
+  match View.full_name v it with Some m -> f m | None -> false
+
+let has_value f v it =
+  match View.obj_state v it with
+  | Some { Item.value = Some value; _ } -> f value
+  | Some { Item.value = None; _ } | None -> false
+
+let has_child ~role v it =
+  View.child_v v (View.vitem_real it) ~role () <> None
+
+let child_value ~role f v it =
+  View.children_v v (View.vitem_real it)
+  |> List.exists (fun (vi : View.vitem) ->
+         match vi.View.item.Item.body with
+         | Item.Dependent d when String.equal d.role role -> (
+           match View.obj_state v vi.View.item with
+           | Some { Item.value = Some value; _ } -> f value
+           | Some _ | None -> false)
+         | Item.Dependent _ | Item.Independent | Item.Relationship -> false)
+
+let rel_is_a v ~assoc (rel : Item.t) =
+  match View.rel_state v rel with
+  | Some rs -> Schema.assoc_is_a (View.schema v) ~sub:rs.Item.assoc ~super:assoc
+  | None -> false
+
+let related ~assoc v it =
+  View.rels_v v it
+  |> List.exists (fun (vr : View.vrel) -> rel_is_a v ~assoc vr.View.rel)
+
+let related_to ~assoc other v it =
+  View.rels_v v it
+  |> List.exists (fun (vr : View.vrel) ->
+         rel_is_a v ~assoc vr.View.rel
+         &&
+         let occurrences =
+           List.length (List.filter (Ident.equal other) vr.View.endpoints)
+         in
+         (* the object's own binding does not make it "related to
+            itself"; a genuine self-loop binds it twice *)
+         if Ident.equal other it.Item.id then occurrences >= 2
+         else occurrences >= 1)
+
+let is_incomplete v it = Completeness.check_object v it <> []
+
+let ( &&& ) p q v it = p v it && q v it
+let ( ||| ) p q v it = p v it || q v it
+let not_ p v it = not (p v it)
+
+let by_name v (a : Item.t) (b : Item.t) =
+  match (View.full_name v a, View.full_name v b) with
+  | Some x, Some y -> String.compare x y
+  | Some _, None -> -1
+  | None, Some _ -> 1
+  | None, None -> Ident.compare a.Item.id b.Item.id
+
+let select v p =
+  View.all_objects v |> List.filter (p v) |> List.sort (by_name v)
+
+let count v p = List.length (select v p)
+
+let select_rels v ~assoc =
+  View.all_rels v |> List.filter (rel_is_a v ~assoc)
+
+let neighbors v (it : Item.t) ~assoc ~from_pos ~to_pos =
+  let db = View.db v in
+  View.rels_v v it
+  |> List.filter_map (fun (vr : View.vrel) ->
+         if not (rel_is_a v ~assoc vr.View.rel) then None
+         else
+           match
+             (List.nth_opt vr.View.endpoints from_pos,
+              List.nth_opt vr.View.endpoints to_pos)
+           with
+           | Some f, Some t when Ident.equal f it.Item.id -> (
+             match Db_state.find_item db t with
+             | Some other when View.live_normal v other -> Some other
+             | Some _ | None -> None)
+           | _ -> None)
+  |> List.sort_uniq (fun (a : Item.t) b -> Ident.compare a.Item.id b.Item.id)
+
+let reachable v it ~assoc ~from_pos ~to_pos =
+  let seen = ref Ident.Set.empty in
+  let order = ref [] in
+  let rec go (node : Item.t) =
+    List.iter
+      (fun (next : Item.t) ->
+        if not (Ident.Set.mem next.Item.id !seen) then begin
+          seen := Ident.Set.add next.Item.id !seen;
+          order := next :: !order;
+          go next
+        end)
+      (neighbors v node ~assoc ~from_pos ~to_pos)
+  in
+  go it;
+  List.rev !order

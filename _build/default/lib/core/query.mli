@@ -1,0 +1,83 @@
+(** Query combinators — an extension beyond the paper's prototype.
+
+    The SEED prototype provides the procedures for data creation, update,
+    and simple retrieval by name; retrieval with complex queries is not
+    supported (paper, §Data manipulation). This module supplies the
+    missing complex retrieval as composable predicates and navigation
+    over a {!View} — so queries are version-aware and see inherited
+    pattern information, like every other retrieval operation. *)
+
+open Seed_util
+open Seed_schema
+
+type pred = View.t -> Item.t -> bool
+(** A predicate over live items of a view. *)
+
+(** {1 Object predicates} *)
+
+val in_class : string -> pred
+(** Exactly this classification. *)
+
+val is_a : string -> pred
+(** This class or any of its specializations — the generalization-aware
+    membership test. *)
+
+val name_is : string -> pred
+
+val name_matches : (string -> bool) -> pred
+(** Applied to the composed full name. *)
+
+val has_value : (Value.t -> bool) -> pred
+(** The object carries a value satisfying the given test. Undefined
+    values match nothing (paper, §Manipulating vague and incomplete
+    data). *)
+
+val has_child : role:string -> pred
+(** Some live (possibly inherited) sub-object with this role exists. *)
+
+val child_value : role:string -> (Value.t -> bool) -> pred
+(** Some sub-object with this role carries a matching value; undefined
+    values match nothing. *)
+
+val related : assoc:string -> pred
+(** Participates in a relationship of this association or a
+    specialization (inherited relationships included). *)
+
+val related_to : assoc:string -> Ident.t -> pred
+(** Related to the given object through this association (or a
+    specialization). *)
+
+val is_incomplete : pred
+(** The object has at least one completeness diagnostic. *)
+
+(** {1 Combinators} *)
+
+val ( &&& ) : pred -> pred -> pred
+val ( ||| ) : pred -> pred -> pred
+val not_ : pred -> pred
+
+(** {1 Execution} *)
+
+val select : View.t -> pred -> Item.t list
+(** All live normal independent objects satisfying the predicate, in
+    name order. *)
+
+val count : View.t -> pred -> int
+
+val select_rels : View.t -> assoc:string -> Item.t list
+(** Live normal relationships of this association or a specialization. *)
+
+(** {1 Navigation} *)
+
+val neighbors :
+  View.t -> Item.t -> assoc:string -> from_pos:int -> to_pos:int -> Item.t list
+(** Objects bound at [to_pos] of relationships (of the association's
+    subtree, inherited ones included) that bind the given object at
+    [from_pos]. This is join-by-relationship: undefined items never
+    appear because entity-relationship operations are defined on
+    existing relationships only. *)
+
+val reachable :
+  View.t -> Item.t -> assoc:string -> from_pos:int -> to_pos:int -> Item.t list
+(** Transitive closure of {!neighbors}, cycle-safe, excluding the start
+    object unless it lies on a cycle. *)

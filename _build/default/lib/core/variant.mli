@@ -1,0 +1,56 @@
+(** Variant families on top of patterns (paper, §Patterns and Variants,
+    Fig. 5).
+
+    A variants family is a set of variants: sets of objects and
+    relationships that have a part of their information in common (the
+    common part) but differ in some other parts (the variant parts).
+    The connections between the common part and the variant parts are
+    established by pattern relationships; every variant inherits these
+    patterns, so pattern semantics guarantee that all variant parts have
+    the same relationships to the common part — which ordinary
+    relationships could not assure.
+
+    Variants are different from {e alternatives}: alternatives are
+    coexisting versions of the database ({!Database.begin_alternative});
+    variants express that some information consists of a common part and
+    varying parts. *)
+
+open Seed_util
+
+val connect_common :
+  Database.t ->
+  pattern:Ident.t ->
+  assoc:string ->
+  pattern_role:string ->
+  common:Ident.t ->
+  (Ident.t, Seed_error.t) result
+(** Create the pattern relationship wiring a pattern object to an object
+    of the common part: [pattern] plays [pattern_role] of [assoc], the
+    common object plays the other role. (Binary associations only — the
+    shape of Fig. 5.) *)
+
+val add_variant :
+  Database.t ->
+  member:Ident.t ->
+  patterns:Ident.t list ->
+  (unit, Seed_error.t) result
+(** Enroll an object as a variant: it inherits every family pattern, and
+    thereby all their relationships to the common part. *)
+
+val remove_variant :
+  Database.t ->
+  member:Ident.t ->
+  patterns:Ident.t list ->
+  (unit, Seed_error.t) result
+
+val members : View.t -> patterns:Ident.t list -> Item.t list
+(** Objects inheriting {e all} the family patterns — the variants. *)
+
+val common_of : View.t -> member:Item.t -> assoc:string -> Item.t list
+(** The common-part objects a variant is connected to through inherited
+    relationships of the given association. *)
+
+val shares_common : View.t -> patterns:Ident.t list -> bool
+(** True when every member has identical inherited connections to the
+    common part — the invariant pattern semantics are meant to
+    guarantee. Exposed so tests (and sceptical users) can observe it. *)

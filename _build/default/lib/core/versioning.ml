@@ -1,0 +1,172 @@
+open Seed_util
+open Seed_error
+
+type node = {
+  vid : Version_id.t;
+  parent : Version_id.t option;
+  mutable children : Version_id.t list;
+  seq : int;
+  schema_rev : int;
+  mutable next_branch : int;
+}
+
+type t = {
+  mutable nodes : node Version_id.Map.t;
+  mutable next_seq : int;
+  mutable trunk : int;
+}
+
+let create () = { nodes = Version_id.Map.empty; next_seq = 1; trunk = 0 }
+
+let is_empty t = Version_id.Map.is_empty t.nodes
+let mem t vid = Version_id.Map.mem vid t.nodes
+let find t vid = Version_id.Map.find_opt vid t.nodes
+
+let find_res t vid =
+  match find t vid with
+  | Some n -> Ok n
+  | None -> fail (Unknown_version (Version_id.to_string vid))
+
+let trunk_count t = t.trunk
+
+let add_node t ~vid ~parent ~schema_rev =
+  let node =
+    { vid; parent; children = []; seq = t.next_seq; schema_rev; next_branch = 1 }
+  in
+  t.next_seq <- t.next_seq + 1;
+  t.nodes <- Version_id.Map.add vid node t.nodes;
+  (match parent with
+  | None -> ()
+  | Some p -> (
+    match find t p with
+    | Some pn -> pn.children <- pn.children @ [ vid ]
+    | None -> assert false));
+  vid
+
+let derive t ~base ~schema_rev =
+  match base with
+  | None ->
+    if t.trunk > 0 then
+      fail (Invalid_operation "version tree: trunk exists but no base version")
+    else begin
+      t.trunk <- 1;
+      Ok (add_node t ~vid:(Version_id.trunk 1) ~parent:None ~schema_rev)
+    end
+  | Some b ->
+    let* bn = find_res t b in
+    if Version_id.is_trunk b && Version_id.major b = t.trunk then begin
+      (* continuing the latest trunk version extends the trunk *)
+      t.trunk <- t.trunk + 1;
+      Ok (add_node t ~vid:(Version_id.trunk t.trunk) ~parent:(Some b) ~schema_rev)
+    end
+    else begin
+      let vid = Version_id.child b bn.next_branch in
+      bn.next_branch <- bn.next_branch + 1;
+      if mem t vid then
+        fail (Duplicate_version (Version_id.to_string vid))
+      else Ok (add_node t ~vid ~parent:(Some b) ~schema_rev)
+    end
+
+let ancestors t vid =
+  let rec go acc v =
+    match find t v with
+    | None -> List.rev acc
+    | Some n -> (
+      match n.parent with
+      | None -> List.rev (v :: acc)
+      | Some p -> go (v :: acc) p)
+  in
+  go [] vid
+
+let state_at t item vid =
+  let rec go v =
+    match Item.stamp_at item v with
+    | Some s -> Some s
+    | None -> (
+      match find t v with
+      | None -> None
+      | Some n -> ( match n.parent with None -> None | Some p -> go p))
+  in
+  go vid
+
+let delete t vid =
+  let* n = find_res t vid in
+  if n.children <> [] then
+    fail
+      (Invalid_operation
+         (Printf.sprintf "version %s has derived versions and cannot be deleted"
+            (Version_id.to_string vid)))
+  else begin
+    (match n.parent with
+    | None -> ()
+    | Some p -> (
+      match find t p with
+      | Some pn ->
+        pn.children <-
+          List.filter (fun c -> not (Version_id.equal c vid)) pn.children
+      | None -> ()));
+    t.nodes <- Version_id.Map.remove vid t.nodes;
+    (* the latest trunk version may be deleted; the trunk counter keeps
+       counting upward so labels are never reused *)
+    Ok ()
+  end
+
+let all t =
+  Version_id.Map.bindings t.nodes
+  |> List.map snd
+  |> List.sort (fun a b -> Int.compare a.seq b.seq)
+
+let since t vid =
+  match find t vid with
+  | None -> []
+  | Some n -> List.filter (fun m -> m.seq >= n.seq) (all t)
+
+type raw = {
+  r_vid : Version_id.t;
+  r_parent : Version_id.t option;
+  r_seq : int;
+  r_schema_rev : int;
+  r_next_branch : int;
+}
+
+let dump t =
+  ( t.trunk,
+    List.map
+      (fun n ->
+        {
+          r_vid = n.vid;
+          r_parent = n.parent;
+          r_seq = n.seq;
+          r_schema_rev = n.schema_rev;
+          r_next_branch = n.next_branch;
+        })
+      (all t) )
+
+let restore t ~trunk ~nodes =
+  t.nodes <- Version_id.Map.empty;
+  t.trunk <- trunk;
+  t.next_seq <- 1;
+  List.iter
+    (fun r ->
+      let node =
+        {
+          vid = r.r_vid;
+          parent = r.r_parent;
+          children = [];
+          seq = r.r_seq;
+          schema_rev = r.r_schema_rev;
+          next_branch = r.r_next_branch;
+        }
+      in
+      t.nodes <- Version_id.Map.add r.r_vid node t.nodes;
+      if r.r_seq >= t.next_seq then t.next_seq <- r.r_seq + 1)
+    nodes;
+  List.iter
+    (fun node ->
+      match node.parent with
+      | None -> ()
+      | Some p -> (
+        match find t p with
+        | Some pn -> pn.children <- pn.children @ [ node.vid ]
+        | None -> ()))
+    (all t)

@@ -1,0 +1,1 @@
+lib/schema/assoc_def.ml: Cardinality Fmt List String Value_type

@@ -1,0 +1,1 @@
+lib/schema/assoc_def.mli: Cardinality Format Value_type

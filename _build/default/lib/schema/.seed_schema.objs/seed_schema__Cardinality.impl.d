@@ -1,0 +1,1 @@
+lib/schema/cardinality.ml: Fmt Printf Seed_error Seed_util String

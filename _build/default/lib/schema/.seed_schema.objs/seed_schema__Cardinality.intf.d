@@ -1,0 +1,1 @@
+lib/schema/cardinality.mli: Format Seed_util

@@ -1,0 +1,1 @@
+lib/schema/class_def.ml: Cardinality Fmt List String Value_type

@@ -1,0 +1,1 @@
+lib/schema/class_def.mli: Cardinality Format Value_type

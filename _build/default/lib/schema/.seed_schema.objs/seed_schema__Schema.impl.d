@@ -1,0 +1,1 @@
+lib/schema/schema.ml: Assoc_def Class_def Fmt List Map Printf Seed_error Seed_util String

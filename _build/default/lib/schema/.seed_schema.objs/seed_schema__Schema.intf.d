@@ -1,0 +1,1 @@
+lib/schema/schema.mli: Assoc_def Class_def Format Seed_util

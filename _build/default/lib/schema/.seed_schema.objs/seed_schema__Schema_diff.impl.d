@@ -1,0 +1,1 @@
+lib/schema/schema_diff.ml: Assoc_def Bool Cardinality Class_def Fmt List Option Schema String Value_type

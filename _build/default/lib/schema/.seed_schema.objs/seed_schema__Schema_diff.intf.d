@@ -1,0 +1,1 @@
+lib/schema/schema_diff.mli: Cardinality Format Schema

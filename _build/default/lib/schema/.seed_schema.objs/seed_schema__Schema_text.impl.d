@@ -1,0 +1,1 @@
+lib/schema/schema_text.ml: Assoc_def Buffer Cardinality Class_def List Option Printf Schema Seed_error Seed_util String Value_type

@@ -1,0 +1,1 @@
+lib/schema/schema_text.mli: Schema Seed_util

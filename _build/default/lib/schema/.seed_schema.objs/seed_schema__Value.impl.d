@@ -1,0 +1,1 @@
+lib/schema/value.ml: Bool Float Fmt Int List Printf Seed_error Seed_util Stdlib String Value_type

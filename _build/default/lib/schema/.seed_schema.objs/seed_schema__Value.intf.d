@@ -1,0 +1,1 @@
+lib/schema/value.mli: Format Seed_util Value_type

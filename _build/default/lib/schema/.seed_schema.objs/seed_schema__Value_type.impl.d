@@ -1,0 +1,1 @@
+lib/schema/value_type.ml: Fmt List Printf Seed_error Seed_util String

@@ -1,0 +1,1 @@
+lib/schema/value_type.mli: Format Seed_util

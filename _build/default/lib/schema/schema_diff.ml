@@ -1,0 +1,189 @@
+type change =
+  | Class_added of string
+  | Class_removed of string
+  | Class_content_changed of { cls : string; from_ : string; to_ : string }
+  | Class_card_changed of {
+      cls : string;
+      from_ : Cardinality.t;
+      to_ : Cardinality.t;
+    }
+  | Class_super_changed of {
+      cls : string;
+      from_ : string option;
+      to_ : string option;
+    }
+  | Class_covering_changed of { cls : string; covering : bool }
+  | Assoc_added of string
+  | Assoc_removed of string
+  | Assoc_roles_changed of string
+  | Assoc_attrs_changed of { assoc : string; grew : bool }
+  | Assoc_card_changed of {
+      assoc : string;
+      role : string;
+      from_ : Cardinality.t;
+      to_ : Cardinality.t;
+    }
+  | Assoc_acyclic_changed of { assoc : string; acyclic : bool }
+  | Assoc_super_changed of {
+      assoc : string;
+      from_ : string option;
+      to_ : string option;
+    }
+  | Assoc_covering_changed of { assoc : string; covering : bool }
+
+type compatibility = Compatible | Incompatible
+
+let max_relaxed ~from_ ~to_ =
+  (* to_'s maximum admits at least everything from_'s did *)
+  match ((from_ : Cardinality.t), (to_ : Cardinality.t)) with
+  | _, { max = None; _ } -> true
+  | { max = None; _ }, _ -> false
+  | { max = Some a; _ }, { max = Some b; _ } -> b >= a
+
+let classify = function
+  | Class_added _ | Assoc_added _ -> Compatible
+  | Class_removed _ | Assoc_removed _ | Assoc_roles_changed _ -> Incompatible
+  | Assoc_attrs_changed { grew; _ } -> if grew then Compatible else Incompatible
+  | Class_content_changed _ -> Incompatible
+  | Class_card_changed { from_; to_; _ } | Assoc_card_changed { from_; to_; _ }
+    ->
+    (* Minima are completeness information: tightening a minimum never
+       invalidates stored data, it only makes it (more) incomplete. *)
+    if max_relaxed ~from_ ~to_ then Compatible else Incompatible
+  | Class_super_changed _ | Assoc_super_changed _ -> Incompatible
+  | Class_covering_changed _ | Assoc_covering_changed _ ->
+    (* Covering is a completeness condition only. *)
+    Compatible
+  | Assoc_acyclic_changed { acyclic; _ } ->
+    if acyclic then Incompatible (* newly imposed structural constraint *)
+    else Compatible
+
+let content_name = function
+  | None -> "(none)"
+  | Some ty -> Value_type.to_string ty
+
+let diff_class acc (o : Class_def.t) (n : Class_def.t) =
+  let cls = Class_def.name o in
+  let acc =
+    if Option.equal Value_type.equal o.content n.content then acc
+    else
+      Class_content_changed
+        { cls; from_ = content_name o.content; to_ = content_name n.content }
+      :: acc
+  in
+  let acc =
+    if Cardinality.equal o.card n.card then acc
+    else Class_card_changed { cls; from_ = o.card; to_ = n.card } :: acc
+  in
+  let acc =
+    if Option.equal String.equal o.super n.super then acc
+    else Class_super_changed { cls; from_ = o.super; to_ = n.super } :: acc
+  in
+  if Bool.equal o.covering n.covering then acc
+  else Class_covering_changed { cls; covering = n.covering } :: acc
+
+let diff_assoc acc (o : Assoc_def.t) (n : Assoc_def.t) =
+  let assoc = o.name in
+  let same_shape =
+    Assoc_def.arity o = Assoc_def.arity n
+    && List.for_all2
+         (fun (a : Assoc_def.role) (b : Assoc_def.role) ->
+           String.equal a.role_name b.role_name
+           && String.equal a.target b.target)
+         o.roles n.roles
+  in
+  if not same_shape then Assoc_roles_changed assoc :: acc
+  else
+    let attrs_acc acc =
+      if o.attrs = n.attrs then acc
+      else
+        let kept (x : Assoc_def.attr) =
+          List.exists (fun (y : Assoc_def.attr) -> x = y) n.attrs
+        in
+        Assoc_attrs_changed { assoc; grew = List.for_all kept o.attrs } :: acc
+    in
+    let acc = attrs_acc acc in
+    let acc =
+      List.fold_left2
+        (fun acc (a : Assoc_def.role) (b : Assoc_def.role) ->
+          if Cardinality.equal a.card b.card then acc
+          else
+            Assoc_card_changed
+              { assoc; role = a.role_name; from_ = a.card; to_ = b.card }
+            :: acc)
+        acc o.roles n.roles
+    in
+    let acc =
+      if Bool.equal o.acyclic n.acyclic then acc
+      else Assoc_acyclic_changed { assoc; acyclic = n.acyclic } :: acc
+    in
+    let acc =
+      if Option.equal String.equal o.super n.super then acc
+      else Assoc_super_changed { assoc; from_ = o.super; to_ = n.super } :: acc
+    in
+    if Bool.equal o.covering n.covering then acc
+    else Assoc_covering_changed { assoc; covering = n.covering } :: acc
+
+let diff old_ new_ =
+  let changes = ref [] in
+  let old_classes = Schema.classes old_ and new_classes = Schema.classes new_ in
+  List.iter
+    (fun (c : Class_def.t) ->
+      let name = Class_def.name c in
+      match Schema.find_class new_ name with
+      | None -> changes := Class_removed name :: !changes
+      | Some n -> changes := diff_class !changes c n)
+    old_classes;
+  List.iter
+    (fun (c : Class_def.t) ->
+      let name = Class_def.name c in
+      if Schema.find_class old_ name = None then
+        changes := Class_added name :: !changes)
+    new_classes;
+  List.iter
+    (fun (a : Assoc_def.t) ->
+      match Schema.find_assoc new_ a.name with
+      | None -> changes := Assoc_removed a.name :: !changes
+      | Some n -> changes := diff_assoc !changes a n)
+    (Schema.assocs old_);
+  List.iter
+    (fun (a : Assoc_def.t) ->
+      if Schema.find_assoc old_ a.name = None then
+        changes := Assoc_added a.name :: !changes)
+    (Schema.assocs new_);
+  List.rev !changes
+
+let compatible old_ new_ =
+  List.for_all (fun c -> classify c = Compatible) (diff old_ new_)
+
+let pp_opt ppf = function
+  | None -> Fmt.string ppf "(none)"
+  | Some s -> Fmt.string ppf s
+
+let pp_change ppf = function
+  | Class_added c -> Fmt.pf ppf "+ class %s" c
+  | Class_removed c -> Fmt.pf ppf "- class %s" c
+  | Class_content_changed { cls; from_; to_ } ->
+    Fmt.pf ppf "~ class %s content: %s -> %s" cls from_ to_
+  | Class_card_changed { cls; from_; to_ } ->
+    Fmt.pf ppf "~ class %s cardinality: %a -> %a" cls Cardinality.pp from_
+      Cardinality.pp to_
+  | Class_super_changed { cls; from_; to_ } ->
+    Fmt.pf ppf "~ class %s super: %a -> %a" cls pp_opt from_ pp_opt to_
+  | Class_covering_changed { cls; covering } ->
+    Fmt.pf ppf "~ class %s covering: %b" cls covering
+  | Assoc_added a -> Fmt.pf ppf "+ assoc %s" a
+  | Assoc_removed a -> Fmt.pf ppf "- assoc %s" a
+  | Assoc_roles_changed a -> Fmt.pf ppf "~ assoc %s roles reshaped" a
+  | Assoc_attrs_changed { assoc; grew } ->
+    Fmt.pf ppf "~ assoc %s attributes %s" assoc
+      (if grew then "extended" else "reshaped")
+  | Assoc_card_changed { assoc; role; from_; to_ } ->
+    Fmt.pf ppf "~ assoc %s role %s cardinality: %a -> %a" assoc role
+      Cardinality.pp from_ Cardinality.pp to_
+  | Assoc_acyclic_changed { assoc; acyclic } ->
+    Fmt.pf ppf "~ assoc %s acyclic: %b" assoc acyclic
+  | Assoc_super_changed { assoc; from_; to_ } ->
+    Fmt.pf ppf "~ assoc %s super: %a -> %a" assoc pp_opt from_ pp_opt to_
+  | Assoc_covering_changed { assoc; covering } ->
+    Fmt.pf ppf "~ assoc %s covering: %b" assoc covering

@@ -1,0 +1,61 @@
+(** Structural difference between two schema revisions.
+
+    When the schema is modified, the interpretation of versions created
+    before the modification becomes a problem; therefore SEED generates
+    schema versions too (paper, §Versions). This module computes what
+    changed between two schema revisions and classifies every change as
+    {e compatible} (old data remains interpretable: additions, bound
+    relaxations) or {e incompatible} (old data may violate the new
+    schema: removals, bound tightenings, type changes). *)
+
+type change =
+  | Class_added of string
+  | Class_removed of string
+  | Class_content_changed of { cls : string; from_ : string; to_ : string }
+  | Class_card_changed of {
+      cls : string;
+      from_ : Cardinality.t;
+      to_ : Cardinality.t;
+    }
+  | Class_super_changed of {
+      cls : string;
+      from_ : string option;
+      to_ : string option;
+    }
+  | Class_covering_changed of { cls : string; covering : bool }
+  | Assoc_added of string
+  | Assoc_removed of string
+  | Assoc_roles_changed of string
+  | Assoc_attrs_changed of { assoc : string; grew : bool }
+      (** [grew] when the new revision only adds attributes — old
+          relationships stay valid (missing required attributes are a
+          completeness matter only) *)
+  | Assoc_card_changed of {
+      assoc : string;
+      role : string;
+      from_ : Cardinality.t;
+      to_ : Cardinality.t;
+    }
+  | Assoc_acyclic_changed of { assoc : string; acyclic : bool }
+  | Assoc_super_changed of {
+      assoc : string;
+      from_ : string option;
+      to_ : string option;
+    }
+  | Assoc_covering_changed of { assoc : string; covering : bool }
+
+type compatibility = Compatible | Incompatible
+
+val classify : change -> compatibility
+(** Additions and relaxations are {!Compatible}; removals, tightenings
+    and retyping are {!Incompatible}. Minimum-cardinality changes are
+    always compatible because minima are completeness information only. *)
+
+val diff : Schema.t -> Schema.t -> change list
+(** [diff old new_] lists all changes, classes first. *)
+
+val compatible : Schema.t -> Schema.t -> bool
+(** True when every change is {!Compatible}: data valid under [old] is
+    valid under [new_]. *)
+
+val pp_change : Format.formatter -> change -> unit

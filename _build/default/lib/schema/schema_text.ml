@@ -1,0 +1,432 @@
+open Seed_util
+open Seed_error
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COLON
+  | COMMA
+  | DOTDOT
+  | STAR
+  | EOF
+
+let token_name = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COLON -> "':'"
+  | COMMA -> "','"
+  | DOTDOT -> "'..'"
+  | STAR -> "'*'"
+  | EOF -> "end of input"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+let lex src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let error msg = fail (Schema_violation (Printf.sprintf "line %d: %s" !line msg)) in
+  let rec go i =
+    if i >= n then begin
+      tokens := (EOF, !line) :: !tokens;
+      Ok (List.rev !tokens)
+    end
+    else
+      let c = src.[i] in
+      if c = '\n' then begin
+        incr line;
+        go (i + 1)
+      end
+      else if c = ' ' || c = '\t' || c = '\r' then go (i + 1)
+      else if c = '/' && i + 1 < n && src.[i + 1] = '/' then begin
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i)
+      end
+      else if c = '.' && i + 1 < n && src.[i + 1] = '.' then begin
+        tokens := (DOTDOT, !line) :: !tokens;
+        go (i + 2)
+      end
+      else if c >= '0' && c <= '9' then begin
+        let rec eat j = if j < n && src.[j] >= '0' && src.[j] <= '9' then eat (j + 1) else j in
+        let j = eat i in
+        tokens := (INT (int_of_string (String.sub src i (j - i))), !line) :: !tokens;
+        go j
+      end
+      else if is_ident_char c then begin
+        let rec eat j = if j < n && is_ident_char src.[j] then eat (j + 1) else j in
+        let j = eat i in
+        tokens := (IDENT (String.sub src i (j - i)), !line) :: !tokens;
+        go j
+      end
+      else
+        let simple t =
+          tokens := (t, !line) :: !tokens;
+          go (i + 1)
+        in
+        match c with
+        | '{' -> simple LBRACE
+        | '}' -> simple RBRACE
+        | '(' -> simple LPAREN
+        | ')' -> simple RPAREN
+        | '[' -> simple LBRACKET
+        | ']' -> simple RBRACKET
+        | ':' -> simple COLON
+        | ',' -> simple COMMA
+        | '*' -> simple STAR
+        | _ -> error (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type stream = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with [] -> (EOF, 0) | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let syntax_error line what got =
+  fail
+    (Schema_violation
+       (Printf.sprintf "line %d: expected %s, found %s" line what
+          (token_name got)))
+
+let expect st tok what =
+  let got, line = peek st in
+  if got = tok then begin
+    advance st;
+    Ok ()
+  end
+  else syntax_error line what got
+
+let ident st what =
+  match peek st with
+  | IDENT s, _ ->
+    advance st;
+    Ok s
+  | got, line -> syntax_error line what got
+
+(* keyword = a specific identifier appearing next *)
+let at_keyword st kw = match peek st with IDENT s, _ -> s = kw | _ -> false
+
+let eat_keyword st kw = if at_keyword st kw then (advance st; true) else false
+
+let parse_card st =
+  (* "[" INT ".." (INT | "*") "]" *)
+  let* () = expect st LBRACKET "'['" in
+  let* lo =
+    match peek st with
+    | INT n, _ ->
+      advance st;
+      Ok n
+    | got, line -> syntax_error line "a minimum bound" got
+  in
+  let* () = expect st DOTDOT "'..'" in
+  let* hi =
+    match peek st with
+    | INT n, _ ->
+      advance st;
+      Ok (Some n)
+    | STAR, _ ->
+      advance st;
+      Ok None
+    | got, line -> syntax_error line "a maximum bound or '*'" got
+  in
+  let* () = expect st RBRACKET "']'" in
+  match hi with
+  | Some h when h < lo ->
+    fail (Invalid_cardinality (Printf.sprintf "%d..%d" lo h))
+  | _ -> Ok (Cardinality.make lo hi)
+
+let parse_opt_card st =
+  match peek st with
+  | LBRACKET, _ ->
+    let* c = parse_card st in
+    Ok (Some c)
+  | _ -> Ok None
+
+let parse_type st =
+  let* name = ident st "a value type" in
+  match name with
+  | "STRING" -> Ok Value_type.String
+  | "INT" -> Ok Value_type.Int
+  | "FLOAT" -> Ok Value_type.Float
+  | "BOOL" -> Ok Value_type.Bool
+  | "DATE" -> Ok Value_type.Date
+  | "ENUM" ->
+    let* () = expect st LPAREN "'(' after ENUM" in
+    let rec cases acc =
+      let* c = ident st "an enum constant" in
+      match peek st with
+      | COMMA, _ ->
+        advance st;
+        cases (c :: acc)
+      | _ ->
+        let* () = expect st RPAREN "')'" in
+        Ok (List.rev (c :: acc))
+    in
+    let* cs = cases [] in
+    Ok (Value_type.Enum cs)
+  | other ->
+    fail (Schema_violation (Printf.sprintf "unknown value type %s" other))
+
+let parse_procedures st =
+  if not (eat_keyword st "procedures") then Ok []
+  else
+    let* () = expect st LPAREN "'('" in
+    let rec go acc =
+      let* p = ident st "a procedure name" in
+      match peek st with
+      | COMMA, _ ->
+        advance st;
+        go (p :: acc)
+      | _ ->
+        let* () = expect st RPAREN "')'" in
+        Ok (List.rev (p :: acc))
+    in
+    go []
+
+(* members of a class body; [path] is the enclosing class path *)
+let rec parse_members st ~path acc =
+  match peek st with
+  | RBRACE, _ ->
+    advance st;
+    Ok (List.rev acc)
+  | IDENT _, _ ->
+    let* name = ident st "a member name" in
+    let* content =
+      match peek st with
+      | COLON, _ ->
+        advance st;
+        let* ty = parse_type st in
+        Ok (Some ty)
+      | _ -> Ok None
+    in
+    let* card = parse_opt_card st in
+    let card = Option.value card ~default:Cardinality.any in
+    let* procedures = parse_procedures st in
+    let member_path = path @ [ name ] in
+    let def = Class_def.v ~card ?content ~procedures member_path in
+    let* nested =
+      match peek st with
+      | LBRACE, _ ->
+        advance st;
+        parse_members st ~path:member_path []
+      | _ -> Ok []
+    in
+    parse_members st ~path (List.rev_append (def :: nested) acc)
+  | got, line -> syntax_error line "a member name or '}'" got
+
+let parse_class st =
+  let* name = ident st "a class name" in
+  let* super =
+    if eat_keyword st "isa" then
+      let* s = ident st "a super class" in
+      Ok (Some s)
+    else Ok None
+  in
+  let covering = eat_keyword st "covering" in
+  let* procedures = parse_procedures st in
+  let def = Class_def.v ?super ~covering ~procedures [ name ] in
+  match peek st with
+  | LBRACE, _ ->
+    advance st;
+    let* members = parse_members st ~path:[ name ] [] in
+    Ok (def :: members)
+  | _ -> Ok [ def ]
+
+let parse_role st =
+  let* role_name = ident st "a role name" in
+  let* () = expect st COLON "':'" in
+  let* target = ident st "a target class" in
+  let* card = parse_opt_card st in
+  Ok (Assoc_def.role ~card:(Option.value card ~default:Cardinality.any) role_name target)
+
+let parse_attrs st =
+  match peek st with
+  | LBRACE, _ ->
+    advance st;
+    let rec go acc =
+      match peek st with
+      | RBRACE, _ ->
+        advance st;
+        Ok (List.rev acc)
+      | IDENT _, _ ->
+        let* attr_name = ident st "an attribute name" in
+        let* () = expect st COLON "':'" in
+        let* ty = parse_type st in
+        let required = eat_keyword st "required" in
+        go (Assoc_def.attr ~required attr_name ty :: acc)
+      | got, line -> syntax_error line "an attribute or '}'" got
+    in
+    go []
+  | _ -> Ok []
+
+let parse_assoc st =
+  let* name = ident st "an association name" in
+  let* super =
+    if eat_keyword st "isa" then
+      let* s = ident st "a super association" in
+      Ok (Some s)
+    else Ok None
+  in
+  (* acyclic/covering in either order *)
+  let acyclic = ref false and covering = ref false in
+  let rec flags () =
+    if eat_keyword st "acyclic" then begin
+      acyclic := true;
+      flags ()
+    end
+    else if eat_keyword st "covering" then begin
+      covering := true;
+      flags ()
+    end
+  in
+  flags ();
+  let* procedures = parse_procedures st in
+  let* () = expect st LPAREN "'(' opening the role list" in
+  let rec roles acc =
+    let* r = parse_role st in
+    match peek st with
+    | COMMA, _ ->
+      advance st;
+      roles (r :: acc)
+    | _ ->
+      let* () = expect st RPAREN "')'" in
+      Ok (List.rev (r :: acc))
+  in
+  let* roles = roles [] in
+  let* attrs = parse_attrs st in
+  if List.length roles < 2 then
+    fail (Schema_violation (name ^ ": associations need at least two roles"))
+  else
+    Ok
+      (Assoc_def.v ~attrs ~acyclic:!acyclic ?super ~covering:!covering
+         ~procedures name roles)
+
+let parse src =
+  let* toks = lex src in
+  let st = { toks } in
+  let rec go classes assocs =
+    match peek st with
+    | EOF, _ -> Ok (List.rev classes, List.rev assocs)
+    | IDENT "class", _ ->
+      advance st;
+      let* defs = parse_class st in
+      go (List.rev_append defs classes) assocs
+    | IDENT "assoc", _ ->
+      advance st;
+      let* a = parse_assoc st in
+      go classes (a :: assocs)
+    | got, line -> syntax_error line "'class' or 'assoc'" got
+  in
+  let* classes, assocs = go [] [] in
+  Schema.of_defs classes assocs
+
+(* ------------------------------------------------------------------ *)
+(* Printer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let print_card buf (c : Cardinality.t) =
+  if not (Cardinality.equal c Cardinality.any) then
+    Buffer.add_string buf (Printf.sprintf " [%s]" (Cardinality.to_string c))
+
+let print_procedures buf = function
+  | [] -> ()
+  | ps -> Buffer.add_string buf (Printf.sprintf " procedures (%s)" (String.concat ", " ps))
+
+let rec print_members schema buf indent cls_name =
+  let children = Schema.own_children schema cls_name in
+  List.iter
+    (fun (c : Class_def.t) ->
+      Buffer.add_string buf (String.make indent ' ');
+      Buffer.add_string buf (Class_def.simple_name c);
+      (match c.Class_def.content with
+      | Some ty -> Buffer.add_string buf (" : " ^ Value_type.to_string ty)
+      | None -> ());
+      print_card buf c.Class_def.card;
+      print_procedures buf c.Class_def.procedures;
+      let name = Class_def.name c in
+      if Schema.own_children schema name <> [] then begin
+        Buffer.add_string buf " {\n";
+        print_members schema buf (indent + 2) name;
+        Buffer.add_string buf (String.make indent ' ');
+        Buffer.add_string buf "}\n"
+      end
+      else Buffer.add_char buf '\n')
+    children
+
+let print schema =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (c : Class_def.t) ->
+      Buffer.add_string buf ("class " ^ Class_def.name c);
+      (match c.Class_def.super with
+      | Some s -> Buffer.add_string buf (" isa " ^ s)
+      | None -> ());
+      if c.Class_def.covering then Buffer.add_string buf " covering";
+      print_procedures buf c.Class_def.procedures;
+      if Schema.own_children schema (Class_def.name c) <> [] then begin
+        Buffer.add_string buf " {\n";
+        print_members schema buf 2 (Class_def.name c);
+        Buffer.add_string buf "}\n"
+      end
+      else Buffer.add_char buf '\n')
+    (Schema.top_level_classes schema);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (a : Assoc_def.t) ->
+      Buffer.add_string buf ("assoc " ^ a.Assoc_def.name);
+      (match a.Assoc_def.super with
+      | Some s -> Buffer.add_string buf (" isa " ^ s)
+      | None -> ());
+      if a.Assoc_def.acyclic then Buffer.add_string buf " acyclic";
+      if a.Assoc_def.covering then Buffer.add_string buf " covering";
+      print_procedures buf a.Assoc_def.procedures;
+      Buffer.add_string buf " (";
+      Buffer.add_string buf
+        (String.concat ", "
+           (List.map
+              (fun (r : Assoc_def.role) ->
+                let b = Buffer.create 16 in
+                Buffer.add_string b (r.Assoc_def.role_name ^ " : " ^ r.Assoc_def.target);
+                print_card b r.Assoc_def.card;
+                Buffer.contents b)
+              a.Assoc_def.roles));
+      Buffer.add_char buf ')';
+      (match a.Assoc_def.attrs with
+      | [] -> Buffer.add_char buf '\n'
+      | attrs ->
+        Buffer.add_string buf " {\n";
+        List.iter
+          (fun (x : Assoc_def.attr) ->
+            Buffer.add_string buf
+              (Printf.sprintf "  %s : %s%s\n" x.Assoc_def.attr_name
+                 (Value_type.to_string x.Assoc_def.attr_type)
+                 (if x.Assoc_def.required then " required" else "")))
+          attrs;
+        Buffer.add_string buf "}\n"))
+    (Schema.assocs schema);
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/server/client.ml: List Protocol Seed_core Server

@@ -1,0 +1,1 @@
+lib/server/client.mli: Ident Protocol Seed_error Seed_util Server

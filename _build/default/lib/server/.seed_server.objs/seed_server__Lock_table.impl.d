@@ -1,0 +1,1 @@
+lib/server/lock_table.ml: Hashtbl List Option Printf Seed_util String

@@ -1,0 +1,1 @@
+lib/server/lock_table.mli: Seed_util

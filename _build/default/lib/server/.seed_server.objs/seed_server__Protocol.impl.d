@@ -1,0 +1,1 @@
+lib/server/protocol.ml: Fmt Printf Seed_schema String Value

@@ -1,0 +1,1 @@
+lib/server/protocol.mli: Format Seed_schema Value

@@ -1,0 +1,1 @@
+lib/server/server.ml: Hashtbl Ident List Lock_table Printf Protocol Seed_core Seed_error Seed_util String

@@ -1,0 +1,1 @@
+lib/server/server.mli: Protocol Schema Seed_core Seed_error Seed_schema Seed_util Version_id

@@ -1,0 +1,56 @@
+open Seed_util.Seed_error
+
+type t = (string, string) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let acquire t ~client names =
+  let conflict =
+    List.find_opt
+      (fun n ->
+        match Hashtbl.find_opt t n with
+        | Some holder -> not (String.equal holder client)
+        | None -> false)
+      names
+  in
+  match conflict with
+  | Some n ->
+    fail (Locked { item = n; holder = Option.get (Hashtbl.find_opt t n) })
+  | None ->
+    List.iter (fun n -> Hashtbl.replace t n client) names;
+    Ok ()
+
+let release_all t ~client =
+  let mine =
+    Hashtbl.fold
+      (fun n c acc -> if String.equal c client then n :: acc else acc)
+      t []
+  in
+  List.iter (Hashtbl.remove t) mine
+
+let holder t name = Hashtbl.find_opt t name
+
+let held_by t ~client =
+  Hashtbl.fold
+    (fun n c acc -> if String.equal c client then n :: acc else acc)
+    t []
+  |> List.sort String.compare
+
+let covers t ~client names =
+  let missing =
+    List.find_opt
+      (fun n ->
+        match Hashtbl.find_opt t n with
+        | Some holder -> not (String.equal holder client)
+        | None -> true)
+      names
+  in
+  match missing with
+  | None -> Ok ()
+  | Some n ->
+    (match Hashtbl.find_opt t n with
+    | Some holder -> fail (Locked { item = n; holder })
+    | None ->
+      fail
+        (Invalid_operation
+           (Printf.sprintf "client %s has not checked out %s" client n)))

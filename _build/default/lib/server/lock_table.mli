@@ -1,0 +1,27 @@
+(** Central write locks on independent objects, by name.
+
+    "Data that has been copied to a client for update has a write lock
+    in the central database" (paper, §Discussion). Acquisition is
+    all-or-nothing so two clients cannot deadlock on overlapping
+    checkout sets. *)
+
+type t
+
+val create : unit -> t
+
+val acquire :
+  t -> client:string -> string list -> (unit, Seed_util.Seed_error.t) result
+(** Lock every name for [client]; already holding a lock is fine;
+    a name held by another client fails the whole acquisition with
+    [Locked] (nothing is acquired). *)
+
+val release_all : t -> client:string -> unit
+
+val holder : t -> string -> string option
+
+val held_by : t -> client:string -> string list
+(** Names this client currently locks, sorted. *)
+
+val covers :
+  t -> client:string -> string list -> (unit, Seed_util.Seed_error.t) result
+(** Check that [client] holds locks on all the given names. *)

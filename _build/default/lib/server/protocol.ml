@@ -1,0 +1,56 @@
+open Seed_schema
+
+type op =
+  | Create_object of { cls : string; name : string; pattern : bool }
+  | Create_sub of {
+      owner : string;
+      role : string;
+      index : int option;
+      value : Value.t option;
+    }
+  | Create_rel of { assoc : string; endpoints : string list; pattern : bool }
+  | Set_value of { path : string; value : Value.t option }
+  | Rename of { name : string; new_name : string }
+  | Reclassify_obj of { name : string; to_ : string }
+  | Reclassify_rel of { assoc : string; endpoints : string list; to_ : string }
+  | Delete of { path : string }
+  | Inherit of { pattern : string; inheritor : string }
+
+let root_of path =
+  match String.index_opt path '.' with
+  | Some i -> String.sub path 0 i
+  | None -> path
+
+let touches = function
+  | Create_object _ -> []
+  | Create_sub { owner; _ } -> [ root_of owner ]
+  | Create_rel { endpoints; _ } -> endpoints
+  | Set_value { path; _ } -> [ root_of path ]
+  | Rename { name; _ } -> [ name ]
+  | Reclassify_obj { name; _ } -> [ name ]
+  | Reclassify_rel { endpoints; _ } -> endpoints
+  | Delete { path } -> [ root_of path ]
+  | Inherit { pattern; inheritor } -> [ pattern; inheritor ]
+
+let pp ppf = function
+  | Create_object { cls; name; pattern } ->
+    Fmt.pf ppf "create %s%s : %s" name (if pattern then " (pattern)" else "") cls
+  | Create_sub { owner; role; index; _ } ->
+    Fmt.pf ppf "create sub %s.%s%s" owner role
+      (match index with Some i -> Printf.sprintf "[%d]" i | None -> "")
+  | Create_rel { assoc; endpoints; pattern } ->
+    Fmt.pf ppf "create rel %s(%s)%s" assoc
+      (String.concat ", " endpoints)
+      (if pattern then " (pattern)" else "")
+  | Set_value { path; value } ->
+    Fmt.pf ppf "set %s = %s" path
+      (match value with Some v -> Value.to_string v | None -> "(undefined)")
+  | Rename { name; new_name } -> Fmt.pf ppf "rename %s -> %s" name new_name
+  | Reclassify_obj { name; to_ } -> Fmt.pf ppf "reclassify %s as %s" name to_
+  | Reclassify_rel { assoc; endpoints; to_ } ->
+    Fmt.pf ppf "reclassify %s(%s) as %s" assoc
+      (String.concat ", " endpoints)
+      to_
+  | Delete { path } -> Fmt.pf ppf "delete %s" path
+  | Inherit { pattern; inheritor } ->
+    Fmt.pf ppf "%s inherits %s" inheritor pattern

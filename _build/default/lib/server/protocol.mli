@@ -1,0 +1,41 @@
+(** The client/server update language.
+
+    The paper sketches a two-level approach to multi-user operation
+    (§Discussion): one central server runs the complete database;
+    clients use the server for retrieval but take local copies for
+    making updates; checked-out data is write-locked centrally; sending
+    an updated copy back applies the modifications in a single
+    transaction.
+
+    Updates travel as name-addressed operations so they are independent
+    of server-side item identifiers. *)
+
+open Seed_schema
+
+type op =
+  | Create_object of { cls : string; name : string; pattern : bool }
+  | Create_sub of {
+      owner : string;  (** composed name of the parent (sub-)object *)
+      role : string;
+      index : int option;
+      value : Value.t option;
+    }
+  | Create_rel of { assoc : string; endpoints : string list; pattern : bool }
+  | Set_value of { path : string; value : Value.t option }
+  | Rename of { name : string; new_name : string }
+  | Reclassify_obj of { name : string; to_ : string }
+  | Reclassify_rel of {
+      assoc : string;
+      endpoints : string list;
+      to_ : string;
+    }  (** a relationship addressed by its association and endpoints *)
+  | Delete of { path : string }
+  | Inherit of { pattern : string; inheritor : string }
+
+val touches : op -> string list
+(** Names of existing independent objects the operation modifies — the
+    set that must be covered by the client's write locks. Fresh names
+    introduced by [Create_object] are not listed (the server rejects
+    duplicates at apply time). *)
+
+val pp : Format.formatter -> op -> unit

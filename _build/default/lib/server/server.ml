@@ -1,0 +1,152 @@
+open Seed_util
+open Seed_error
+module Database = Seed_core.Database
+module Persist = Seed_core.Persist
+
+type t = {
+  mutable db : Database.t;
+  locks : Lock_table.t;
+  mutable checkins : int;
+}
+
+let create schema =
+  { db = Database.create schema; locks = Lock_table.create (); checkins = 0 }
+
+let database t = t.db
+
+let checkout t ~client ~names =
+  let* () =
+    iter_result
+      (fun n ->
+        match Database.find_object t.db n with
+        | Some _ -> Ok ()
+        | None -> (
+          match Database.find_pattern t.db n with
+          | Some _ -> Ok ()
+          | None -> fail (Unknown_object n)))
+      names
+  in
+  Lock_table.acquire t.locks ~client names
+
+let release t ~client = Lock_table.release_all t.locks ~client
+
+let locked_by t ~client = Lock_table.held_by t.locks ~client
+
+let resolve_obj db name =
+  match Database.find_object db name with
+  | Some id -> Ok id
+  | None -> (
+    match Database.find_pattern db name with
+    | Some id -> Ok id
+    | None -> fail (Unknown_object name))
+
+let resolve_path db path =
+  match Database.resolve db path with
+  | Some id -> Ok id
+  | None -> (
+    (* resolve does not see patterns; fall back for pattern roots *)
+    match Database.find_pattern db path with
+    | Some id -> Ok id
+    | None -> fail (Unknown_object path))
+
+let find_rel db ~assoc ~endpoints =
+  let* ids = map_result (resolve_obj db) endpoints in
+  let candidates =
+    match ids with
+    | first :: _ -> Database.relationships db first
+    | [] -> []
+  in
+  let matching =
+    List.find_opt
+      (fun r ->
+        (match Database.assoc_of db r with
+        | Some a -> String.equal a assoc
+        | None -> false)
+        && List.equal Ident.equal (Database.endpoints db r) ids)
+      candidates
+  in
+  match matching with
+  | Some r -> Ok r
+  | None ->
+    fail
+      (Unknown_item
+         (Printf.sprintf "%s(%s)" assoc (String.concat ", " endpoints)))
+
+let apply_op db (op : Protocol.op) =
+  match op with
+  | Protocol.Create_object { cls; name; pattern } ->
+    let* _ = Database.create_object db ~cls ~name ~pattern () in
+    Ok ()
+  | Protocol.Create_sub { owner; role; index; value } ->
+    let* parent = resolve_path db owner in
+    let* _ = Database.create_sub_object db ~parent ~role ?index ?value () in
+    Ok ()
+  | Protocol.Create_rel { assoc; endpoints; pattern } ->
+    let* ids = map_result (resolve_obj db) endpoints in
+    let* _ = Database.create_relationship db ~assoc ~endpoints:ids ~pattern () in
+    Ok ()
+  | Protocol.Set_value { path; value } ->
+    let* id = resolve_path db path in
+    Database.set_value db id value
+  | Protocol.Rename { name; new_name } ->
+    let* id = resolve_obj db name in
+    Database.rename_object db id new_name
+  | Protocol.Reclassify_obj { name; to_ } ->
+    let* id = resolve_obj db name in
+    Database.reclassify db id ~to_
+  | Protocol.Reclassify_rel { assoc; endpoints; to_ } ->
+    let* rel = find_rel db ~assoc ~endpoints in
+    Database.reclassify db rel ~to_
+  | Protocol.Delete { path } ->
+    let* id = resolve_path db path in
+    Database.delete db id
+  | Protocol.Inherit { pattern; inheritor } ->
+    let* p = resolve_obj db pattern in
+    let* i = resolve_obj db inheritor in
+    Database.inherit_pattern db ~pattern:p ~inheritor:i
+
+let checkin t ~client ops =
+  (* names introduced by the batch itself (creations, rename targets)
+     cannot be pre-locked; they are covered by construction *)
+  let _, touched =
+    List.fold_left
+      (fun (introduced, touched) op ->
+        let needed =
+          List.filter
+            (fun n -> not (List.mem n introduced))
+            (Protocol.touches op)
+        in
+        let introduced =
+          match op with
+          | Protocol.Create_object { name; _ } -> name :: introduced
+          | Protocol.Rename { new_name; _ } -> new_name :: introduced
+          | _ -> introduced
+        in
+        (introduced, needed @ touched))
+      ([], []) ops
+  in
+  let touched = List.sort_uniq String.compare touched in
+  let* () = Lock_table.covers t.locks ~client touched in
+  (* single transaction: snapshot, apply, restore on any failure *)
+  let snapshot = Persist.encode_db t.db in
+  match iter_result (apply_op t.db) ops with
+  | Ok () ->
+    Lock_table.release_all t.locks ~client;
+    t.checkins <- t.checkins + 1;
+    Ok ()
+  | Error e ->
+    let* restored = Persist.decode_db snapshot in
+    (* closures (attached procedures, transition rules) cannot travel
+       through the codec; carry them over from the failed instance *)
+    let old_raw = Database.raw t.db and new_raw = Database.raw restored in
+    Hashtbl.iter
+      (fun name p -> Seed_core.Db_state.register_procedure new_raw name p)
+      old_raw.Seed_core.Db_state.procedures;
+    new_raw.Seed_core.Db_state.transition_rules <-
+      old_raw.Seed_core.Db_state.transition_rules;
+    t.db <- restored;
+    Error e
+
+let create_version t = Database.create_version t.db
+
+let checkin_count t = t.checkins

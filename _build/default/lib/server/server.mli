@@ -1,0 +1,42 @@
+(** The central SEED server.
+
+    One central server runs the complete database; several clients use
+    the server for retrieval operations but take local copies for making
+    updates (paper, §Discussion). Check-in applies a client's operations
+    as a single transaction: either every operation succeeds under the
+    permanent consistency rules, or the database is restored to its
+    pre-check-in state. Versions are kept globally under control of the
+    server. *)
+
+open Seed_util
+open Seed_schema
+
+type t
+
+val create : Schema.t -> t
+
+val database : t -> Seed_core.Database.t
+(** The central database — retrieval operations go straight here. *)
+
+val checkout :
+  t -> client:string -> names:string list -> (unit, Seed_error.t) result
+(** Write-lock the named independent objects for the client. All the
+    objects must exist in the current version. *)
+
+val release : t -> client:string -> unit
+(** Abandon a checkout without applying anything. *)
+
+val locked_by : t -> client:string -> string list
+
+val checkin :
+  t -> client:string -> Protocol.op list -> (unit, Seed_error.t) result
+(** Apply the client's operations in one transaction. Every touched
+    object must be covered by the client's locks; a failing operation
+    rolls the whole batch back and keeps the locks (the client may fix
+    and retry). On success the client's locks are released. *)
+
+val create_version : t -> (Version_id.t, Seed_error.t) result
+(** Global version creation, server-controlled. *)
+
+val checkin_count : t -> int
+(** Successful check-ins so far (monitoring). *)

@@ -1,0 +1,1 @@
+lib/spades/spades.ml: Fmt Ident List Schema Seed_core Seed_error Seed_schema Seed_util Spec_model String Value

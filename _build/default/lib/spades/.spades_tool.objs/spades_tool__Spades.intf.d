@@ -1,0 +1,1 @@
+lib/spades/spades.mli: Format Ident Seed_core Seed_error Seed_schema Seed_util Value Version_id

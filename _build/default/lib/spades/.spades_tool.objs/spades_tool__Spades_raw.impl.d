@@ -1,0 +1,1 @@
+lib/spades/spades_raw.ml: List Seed_baseline Seed_schema Spades String Value

@@ -1,0 +1,1 @@
+lib/spades/spades_raw.mli: Spades

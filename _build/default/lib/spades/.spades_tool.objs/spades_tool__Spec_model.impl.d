@@ -1,0 +1,1 @@
+lib/spades/spec_model.ml: Assoc_def Cardinality Class_def Schema Seed_schema Value_type

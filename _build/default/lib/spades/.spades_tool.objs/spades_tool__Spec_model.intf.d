@@ -1,0 +1,1 @@
+lib/spades/spec_model.mli: Seed_schema

@@ -1,0 +1,69 @@
+open Seed_schema
+
+let c = Cardinality.between
+let unlimited = Cardinality.any
+let at_least = Cardinality.at_least
+
+let schema_defs () =
+  let classes =
+    [
+      (* the vague root: everything starts as a Thing *)
+      Class_def.v ~covering:true [ "Thing" ];
+      Class_def.v ~card:(c 0 1) ~content:Value_type.String
+        [ "Thing"; "Description" ];
+      Class_def.v ~card:(c 0 1) ~content:Value_type.Date [ "Thing"; "Revised" ];
+      Class_def.v ~card:(c 0 8) ~content:Value_type.String
+        [ "Thing"; "Keywords" ];
+      Class_def.v ~super:"Thing" [ "Data" ];
+      Class_def.v ~card:(c 0 16) [ "Data"; "Text" ];
+      Class_def.v ~card:(c 1 1) ~content:Value_type.String
+        [ "Data"; "Text"; "Body" ];
+      Class_def.v ~card:(c 0 1) ~content:Value_type.String
+        [ "Data"; "Text"; "Selector" ];
+      Class_def.v ~super:"Data" [ "InputData" ];
+      Class_def.v ~super:"Data" [ "OutputData" ];
+      Class_def.v ~super:"Thing" [ "Action" ];
+      Class_def.v ~card:(c 0 1)
+        ~content:(Value_type.Enum [ "abort"; "repeat" ])
+        [ "Action"; "ErrorHandling" ];
+    ]
+  in
+  let assocs =
+    [
+      Assoc_def.v ~covering:true "Access"
+        [
+          Assoc_def.role ~card:unlimited "from" "Data";
+          Assoc_def.role ~card:(at_least 1) "by" "Action";
+        ];
+      Assoc_def.v ~super:"Access" "Read"
+        [
+          Assoc_def.role ~card:unlimited "from" "InputData";
+          Assoc_def.role ~card:unlimited "by" "Action";
+        ];
+      (* Fig. 3 annotates Write with NumberOfWrites 1..1 and the
+         (abort, repeat) error handling mode *)
+      Assoc_def.v ~super:"Access"
+        ~attrs:
+          [
+            Assoc_def.attr ~required:true "NumberOfWrites" Value_type.Int;
+            Assoc_def.attr "OnError" (Value_type.Enum [ "abort"; "repeat" ]);
+          ]
+        "Write"
+        [
+          Assoc_def.role ~card:unlimited "to" "OutputData";
+          Assoc_def.role ~card:unlimited "by" "Action";
+        ];
+      (* each action is contained in at most one container (a tree),
+         while a container may hold any number of actions *)
+      Assoc_def.v ~acyclic:true "Contained"
+        [
+          Assoc_def.role ~card:(c 0 1) "contained" "Action";
+          Assoc_def.role ~card:unlimited "container" "Action";
+        ];
+    ]
+  in
+  (classes, assocs)
+
+let schema =
+  let classes, assocs = schema_defs () in
+  Schema.of_defs_exn classes assocs

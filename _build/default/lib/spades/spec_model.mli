@@ -1,0 +1,30 @@
+(** The SPADES specification schema — the data model of a primitive
+    specification system where actions, data, and data flow may be
+    represented (paper, Figs. 2 and 3), with the generalizations of
+    Fig. 3 so vague information can be entered and refined.
+
+    Classes:
+    - [Thing] — covering generalization of [Data] and [Action], with
+      [Description] (0..1 STRING), [Revised] (0..1 DATE) and
+      [Keywords] (0..8 STRING);
+    - [Data] isa [Thing], with [Text] (0..16), each text having
+      [Body] (1..1 STRING) and [Selector] (0..1 STRING);
+    - [InputData], [OutputData] isa [Data];
+    - [Action] isa [Thing], with [ErrorHandling]
+      (0..1 ENUM(abort,repeat)).
+
+    Associations:
+    - [Access] (from: Data 0..any, by: Action 1..many), covering;
+    - [Read] isa [Access] (from: InputData, by: Action, both 0..any);
+    - [Write] isa [Access] (to: OutputData, by: Action, both 0..any),
+      carrying the relationship attributes [NumberOfWrites] (INT,
+      required) and [OnError] (ENUM(abort,repeat), optional);
+    - [Contained] (contained: Action 0..1, container: Action 0..any),
+      [ACYCLIC] — the tree structure on actions. *)
+
+val schema : Seed_schema.Schema.t
+(** The validated specification schema (revision 1). *)
+
+val schema_defs :
+  unit -> Seed_schema.Class_def.t list * Seed_schema.Assoc_def.t list
+(** The raw definitions, for tests and for deriving evolved revisions. *)

@@ -1,0 +1,1 @@
+lib/storage/btree.ml: Array List Map Option

@@ -1,0 +1,1 @@
+lib/storage/codec.ml: Buffer Char Int64 List Printf Seed_error Seed_util String Sys

@@ -1,0 +1,1 @@
+lib/storage/journal.ml: Buffer Crc32 Fun Int32 List Printf Seed_error Seed_util String Sys Unix

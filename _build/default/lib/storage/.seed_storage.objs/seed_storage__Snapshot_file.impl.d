@@ -1,0 +1,1 @@
+lib/storage/snapshot_file.ml: Buffer Crc32 Fun Int32 Journal Printf Seed_error Seed_util String Sys Unix

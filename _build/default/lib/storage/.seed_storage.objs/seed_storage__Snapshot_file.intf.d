@@ -1,0 +1,1 @@
+lib/storage/snapshot_file.mli: Seed_util

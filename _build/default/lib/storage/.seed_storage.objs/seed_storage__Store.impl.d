@@ -1,0 +1,1 @@
+lib/storage/store.ml: Filename Journal List Printf Seed_error Seed_util Snapshot_file Sys Unix

@@ -1,0 +1,383 @@
+module Make (Ord : Map.OrderedType) = struct
+  type key = Ord.t
+
+  (* Classic CLRS B-tree of minimum degree [t_deg]. Slots hold options so
+     no dummy key/value is ever fabricated. *)
+  let t_deg = 16
+  let max_keys = (2 * t_deg) - 1
+
+  type 'a node = {
+    mutable n : int;
+    keys : key option array; (* length max_keys, valid [0..n) *)
+    vals : 'a option array;
+    kids : 'a node option array; (* length 2*t_deg, valid [0..n] *)
+    mutable leaf : bool;
+  }
+
+  type 'a t = { mutable root : 'a node; mutable size : int }
+
+  let mk_node leaf =
+    {
+      n = 0;
+      keys = Array.make max_keys None;
+      vals = Array.make max_keys None;
+      kids = Array.make (2 * t_deg) None;
+      leaf;
+    }
+
+  let create () = { root = mk_node true; size = 0 }
+
+  let length t = t.size
+  let is_empty t = t.size = 0
+
+  let key_ nd i = Option.get nd.keys.(i)
+  let val_ nd i = Option.get nd.vals.(i)
+  let kid nd i = Option.get nd.kids.(i)
+
+  (* First index [i] in [0..nd.n] with [keys.(i) >= k]; snd is whether
+     [keys.(i) = k]. *)
+  let find_slot nd k =
+    let rec go lo hi =
+      (* invariant: keys.(lo-1) < k <= keys.(hi) (with sentinels) *)
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if Ord.compare (key_ nd mid) k < 0 then go (mid + 1) hi else go lo mid
+    in
+    let i = go 0 nd.n in
+    (i, i < nd.n && Ord.compare (key_ nd i) k = 0)
+
+  let rec find_node nd k =
+    let i, found = find_slot nd k in
+    if found then Some (val_ nd i)
+    else if nd.leaf then None
+    else find_node (kid nd i) k
+
+  let find t k = find_node t.root k
+  let mem t k = find t k <> None
+
+  (* --- insertion ---------------------------------------------------- *)
+
+  let split_child parent i =
+    let child = kid parent i in
+    let right = mk_node child.leaf in
+    right.n <- t_deg - 1;
+    for j = 0 to t_deg - 2 do
+      right.keys.(j) <- child.keys.(j + t_deg);
+      right.vals.(j) <- child.vals.(j + t_deg);
+      child.keys.(j + t_deg) <- None;
+      child.vals.(j + t_deg) <- None
+    done;
+    if not child.leaf then
+      for j = 0 to t_deg - 1 do
+        right.kids.(j) <- child.kids.(j + t_deg);
+        child.kids.(j + t_deg) <- None
+      done;
+    let mid_key = child.keys.(t_deg - 1) and mid_val = child.vals.(t_deg - 1) in
+    child.keys.(t_deg - 1) <- None;
+    child.vals.(t_deg - 1) <- None;
+    child.n <- t_deg - 1;
+    (* shift parent's keys and children right to make room at [i] *)
+    for j = parent.n downto i + 1 do
+      parent.keys.(j) <- parent.keys.(j - 1);
+      parent.vals.(j) <- parent.vals.(j - 1)
+    done;
+    for j = parent.n + 1 downto i + 2 do
+      parent.kids.(j) <- parent.kids.(j - 1)
+    done;
+    parent.keys.(i) <- mid_key;
+    parent.vals.(i) <- mid_val;
+    parent.kids.(i + 1) <- Some right;
+    parent.n <- parent.n + 1
+
+  (* Returns [true] when a fresh binding was added (vs. replaced). *)
+  let rec insert_nonfull nd k v =
+    let i, found = find_slot nd k in
+    if found then begin
+      nd.vals.(i) <- Some v;
+      false
+    end
+    else if nd.leaf then begin
+      for j = nd.n downto i + 1 do
+        nd.keys.(j) <- nd.keys.(j - 1);
+        nd.vals.(j) <- nd.vals.(j - 1)
+      done;
+      nd.keys.(i) <- Some k;
+      nd.vals.(i) <- Some v;
+      nd.n <- nd.n + 1;
+      true
+    end
+    else begin
+      let i =
+        if (kid nd i).n = max_keys then begin
+          split_child nd i;
+          let c = Ord.compare (key_ nd i) k in
+          if c = 0 then -1 (* key surfaced to this node: replace here *)
+          else if c < 0 then i + 1
+          else i
+        end
+        else i
+      in
+      if i = -1 then begin
+        let j, _ = find_slot nd k in
+        nd.vals.(j) <- Some v;
+        false
+      end
+      else insert_nonfull (kid nd i) k v
+    end
+
+  let insert t k v =
+    let root = t.root in
+    if root.n = max_keys then begin
+      let new_root = mk_node false in
+      new_root.kids.(0) <- Some root;
+      t.root <- new_root;
+      split_child new_root 0
+    end;
+    if insert_nonfull t.root k v then t.size <- t.size + 1
+
+  (* --- deletion ----------------------------------------------------- *)
+
+  let remove_from_leaf nd i =
+    for j = i to nd.n - 2 do
+      nd.keys.(j) <- nd.keys.(j + 1);
+      nd.vals.(j) <- nd.vals.(j + 1)
+    done;
+    nd.keys.(nd.n - 1) <- None;
+    nd.vals.(nd.n - 1) <- None;
+    nd.n <- nd.n - 1
+
+  let rec max_binding_node nd =
+    if nd.leaf then (key_ nd (nd.n - 1), val_ nd (nd.n - 1))
+    else max_binding_node (kid nd nd.n)
+
+  let rec min_binding_node nd =
+    if nd.leaf then (key_ nd 0, val_ nd 0)
+    else min_binding_node (kid nd 0)
+
+  (* Merge kid (i+1) and separator key i into kid i. *)
+  let merge_children nd i =
+    let left = kid nd i and right = kid nd (i + 1) in
+    left.keys.(left.n) <- nd.keys.(i);
+    left.vals.(left.n) <- nd.vals.(i);
+    for j = 0 to right.n - 1 do
+      left.keys.(left.n + 1 + j) <- right.keys.(j);
+      left.vals.(left.n + 1 + j) <- right.vals.(j)
+    done;
+    if not left.leaf then
+      for j = 0 to right.n do
+        left.kids.(left.n + 1 + j) <- right.kids.(j)
+      done;
+    left.n <- left.n + 1 + right.n;
+    for j = i to nd.n - 2 do
+      nd.keys.(j) <- nd.keys.(j + 1);
+      nd.vals.(j) <- nd.vals.(j + 1)
+    done;
+    for j = i + 1 to nd.n - 1 do
+      nd.kids.(j) <- nd.kids.(j + 1)
+    done;
+    nd.keys.(nd.n - 1) <- None;
+    nd.vals.(nd.n - 1) <- None;
+    nd.kids.(nd.n) <- None;
+    nd.n <- nd.n - 1
+
+  let borrow_from_prev nd i =
+    let child = kid nd i and left = kid nd (i - 1) in
+    for j = child.n - 1 downto 0 do
+      child.keys.(j + 1) <- child.keys.(j);
+      child.vals.(j + 1) <- child.vals.(j)
+    done;
+    if not child.leaf then
+      for j = child.n downto 0 do
+        child.kids.(j + 1) <- child.kids.(j)
+      done;
+    child.keys.(0) <- nd.keys.(i - 1);
+    child.vals.(0) <- nd.vals.(i - 1);
+    if not child.leaf then child.kids.(0) <- left.kids.(left.n);
+    nd.keys.(i - 1) <- left.keys.(left.n - 1);
+    nd.vals.(i - 1) <- left.vals.(left.n - 1);
+    left.keys.(left.n - 1) <- None;
+    left.vals.(left.n - 1) <- None;
+    left.kids.(left.n) <- None;
+    left.n <- left.n - 1;
+    child.n <- child.n + 1
+
+  let borrow_from_next nd i =
+    let child = kid nd i and right = kid nd (i + 1) in
+    child.keys.(child.n) <- nd.keys.(i);
+    child.vals.(child.n) <- nd.vals.(i);
+    if not child.leaf then child.kids.(child.n + 1) <- right.kids.(0);
+    nd.keys.(i) <- right.keys.(0);
+    nd.vals.(i) <- right.vals.(0);
+    for j = 0 to right.n - 2 do
+      right.keys.(j) <- right.keys.(j + 1);
+      right.vals.(j) <- right.vals.(j + 1)
+    done;
+    if not right.leaf then
+      for j = 0 to right.n - 1 do
+        right.kids.(j) <- right.kids.(j + 1)
+      done;
+    right.keys.(right.n - 1) <- None;
+    right.vals.(right.n - 1) <- None;
+    right.kids.(right.n) <- None;
+    right.n <- right.n - 1;
+    child.n <- child.n + 1
+
+  (* Ensure kid i has at least t_deg keys; returns the (possibly shifted)
+     child index to descend into. *)
+  let fill nd i =
+    if i > 0 && (kid nd (i - 1)).n >= t_deg then begin
+      borrow_from_prev nd i;
+      i
+    end
+    else if i < nd.n && (kid nd (i + 1)).n >= t_deg then begin
+      borrow_from_next nd i;
+      i
+    end
+    else if i < nd.n then begin
+      merge_children nd i;
+      i
+    end
+    else begin
+      merge_children nd (i - 1);
+      i - 1
+    end
+
+  let rec delete_node nd k =
+    let i, found = find_slot nd k in
+    if found then
+      if nd.leaf then begin
+        remove_from_leaf nd i;
+        true
+      end
+      else if (kid nd i).n >= t_deg then begin
+        let pk, pv = max_binding_node (kid nd i) in
+        nd.keys.(i) <- Some pk;
+        nd.vals.(i) <- Some pv;
+        ignore (delete_node (kid nd i) pk);
+        true
+      end
+      else if (kid nd (i + 1)).n >= t_deg then begin
+        let sk, sv = min_binding_node (kid nd (i + 1)) in
+        nd.keys.(i) <- Some sk;
+        nd.vals.(i) <- Some sv;
+        ignore (delete_node (kid nd (i + 1)) sk);
+        true
+      end
+      else begin
+        merge_children nd i;
+        delete_node (kid nd i) k
+      end
+    else if nd.leaf then false
+    else begin
+      let i = if (kid nd i).n < t_deg then fill nd i else i in
+      delete_node (kid nd i) k
+    end
+
+  let remove t k =
+    let removed = delete_node t.root k in
+    if removed then t.size <- t.size - 1;
+    (* descending may merge the root's two children even when the key is
+       absent, leaving an empty internal root *)
+    if t.root.n = 0 && not t.root.leaf then t.root <- kid t.root 0;
+    removed
+
+  (* --- traversal ---------------------------------------------------- *)
+
+  let rec iter_node f nd =
+    if nd.leaf then
+      for i = 0 to nd.n - 1 do
+        f (key_ nd i) (val_ nd i)
+      done
+    else begin
+      for i = 0 to nd.n - 1 do
+        iter_node f (kid nd i);
+        f (key_ nd i) (val_ nd i)
+      done;
+      iter_node f (kid nd nd.n)
+    end
+
+  let iter f t = iter_node f t.root
+
+  let fold f t init =
+    let acc = ref init in
+    iter (fun k v -> acc := f k v !acc) t;
+    !acc
+
+  let min_binding t = if is_empty t then None else Some (min_binding_node t.root)
+  let max_binding t = if is_empty t then None else Some (max_binding_node t.root)
+
+  let iter_range ?lo ?hi f t =
+    let above_lo k =
+      match lo with None -> true | Some l -> Ord.compare k l >= 0
+    in
+    let below_hi k =
+      match hi with None -> true | Some h -> Ord.compare k h <= 0
+    in
+    let rec go nd =
+      if nd.leaf then
+        for i = 0 to nd.n - 1 do
+          let k = key_ nd i in
+          if above_lo k && below_hi k then f k (val_ nd i)
+        done
+      else
+        for i = 0 to nd.n do
+          (* visit child i when its key range can intersect [lo, hi]:
+             keys of kid i lie strictly between keys (i-1) and i *)
+          let child_may_match =
+            (i = 0 || match hi with
+              | None -> true
+              | Some h -> Ord.compare (key_ nd (i - 1)) h < 0)
+            && (i = nd.n || match lo with
+                 | None -> true
+                 | Some l -> Ord.compare (key_ nd i) l > 0)
+          in
+          if child_may_match then go (kid nd i);
+          if i < nd.n then begin
+            let k = key_ nd i in
+            if above_lo k && below_hi k then f k (val_ nd i)
+          end
+        done
+    in
+    go t.root
+
+  let to_list t = List.rev (fold (fun k v acc -> (k, v) :: acc) t [])
+
+  let of_list bindings =
+    let t = create () in
+    List.iter (fun (k, v) -> insert t k v) bindings;
+    t
+
+  (* --- structural checks (tests) ------------------------------------ *)
+
+  let invariants_ok t =
+    let ok = ref true in
+    let check b = if not b then ok := false in
+    let rec depth nd = if nd.leaf then 1 else 1 + depth (kid nd 0) in
+    let d = depth t.root in
+    let rec go nd level ~is_root =
+      check (nd.n <= max_keys);
+      if not is_root then check (nd.n >= t_deg - 1)
+      else check (nd.leaf || nd.n >= 1);
+      for i = 0 to nd.n - 2 do
+        check (Ord.compare (key_ nd i) (key_ nd (i + 1)) < 0)
+      done;
+      if nd.leaf then check (level = d)
+      else begin
+        for i = 0 to nd.n do
+          check (nd.kids.(i) <> None);
+          go (kid nd i) (level + 1) ~is_root:false
+        done;
+        for i = nd.n + 1 to (2 * t_deg) - 1 do
+          check (nd.kids.(i) = None)
+        done
+      end;
+      for i = nd.n to max_keys - 1 do
+        check (nd.keys.(i) = None && nd.vals.(i) = None)
+      done
+    in
+    go t.root 1 ~is_root:true;
+    let count = fold (fun _ _ n -> n + 1) t 0 in
+    check (count = t.size);
+    !ok
+end

@@ -1,0 +1,56 @@
+(** In-memory B-tree map.
+
+    The storage engine's index structure: used for the name index
+    (object name → item id) and the item directory. A classic B-tree of
+    minimum degree [t = 16] (up to 31 keys per node), mutable, with
+    ordered iteration and range scans — the operations SEED's
+    retrieve-by-name interface and history navigation need.
+
+    The implementation is generic over the key order so tests can
+    cross-check it against [Stdlib.Map] with arbitrary key types. *)
+
+module Make (Ord : Map.OrderedType) : sig
+  type key = Ord.t
+
+  type 'a t
+  (** A mutable map from [key] to ['a]. *)
+
+  val create : unit -> 'a t
+
+  val length : 'a t -> int
+  (** Number of bindings; O(1). *)
+
+  val is_empty : 'a t -> bool
+
+  val find : 'a t -> key -> 'a option
+
+  val mem : 'a t -> key -> bool
+
+  val insert : 'a t -> key -> 'a -> unit
+  (** Adds or replaces the binding for [key]. *)
+
+  val remove : 'a t -> key -> bool
+  (** Removes the binding; returns whether it existed. *)
+
+  val iter : (key -> 'a -> unit) -> 'a t -> unit
+  (** In ascending key order. *)
+
+  val fold : (key -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+  (** In ascending key order. *)
+
+  val min_binding : 'a t -> (key * 'a) option
+  val max_binding : 'a t -> (key * 'a) option
+
+  val iter_range : ?lo:key -> ?hi:key -> (key -> 'a -> unit) -> 'a t -> unit
+  (** [iter_range ~lo ~hi f t] visits bindings with [lo <= k <= hi] in
+      ascending order; omitted bounds are unbounded. *)
+
+  val to_list : 'a t -> (key * 'a) list
+  (** Ascending association list. *)
+
+  val of_list : (key * 'a) list -> 'a t
+
+  val invariants_ok : 'a t -> bool
+  (** Structural check used by the test suite: key ordering, node
+      occupancy, and uniform leaf depth. *)
+end

@@ -1,0 +1,29 @@
+(* Table-driven CRC-32 with the reflected IEEE polynomial 0xEDB88320. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc byte =
+  let t = Lazy.force table in
+  let idx = Int32.to_int (Int32.logand (Int32.logxor crc (Int32.of_int byte)) 0xffl) in
+  Int32.logxor t.(idx) (Int32.shift_right_logical crc 8)
+
+let digest_sub ?(init = 0l) buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Crc32.digest_sub";
+  let crc = ref (Int32.lognot init) in
+  for i = pos to pos + len - 1 do
+    crc := update !crc (Char.code (Bytes.get buf i))
+  done;
+  Int32.lognot !crc
+
+let digest ?init s =
+  digest_sub ?init (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)

@@ -1,0 +1,9 @@
+(** CRC-32 (IEEE 802.3 polynomial), used to frame journal records so a
+    torn tail or bit rot is detected during recovery. *)
+
+val digest : ?init:int32 -> string -> int32
+(** [digest s] is the CRC-32 checksum of [s]. [init] chains digests
+    across buffers (default: fresh digest). *)
+
+val digest_sub : ?init:int32 -> Bytes.t -> pos:int -> len:int -> int32
+(** Checksum of a byte slice. *)

@@ -1,0 +1,106 @@
+open Seed_util
+open Seed_error
+
+type t = { path : string; mutable oc : out_channel option }
+
+let magic = 0x53454544l (* "SEED" *)
+
+let wrap_io f =
+  try Ok (f ()) with
+  | Sys_error m -> fail (Io_error m)
+  | Unix.Unix_error (e, fn, arg) ->
+    fail (Io_error (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e)))
+
+let open_ path =
+  wrap_io (fun () ->
+      let oc =
+        open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+      in
+      { path; oc = Some oc })
+
+let channel j =
+  match j.oc with
+  | Some oc -> Ok oc
+  | None -> fail (Io_error ("journal closed: " ^ j.path))
+
+let append j payload =
+  let* oc = channel j in
+  wrap_io (fun () ->
+      let b = Buffer.create (String.length payload + 12) in
+      Buffer.add_int32_le b magic;
+      Buffer.add_int32_le b (Int32.of_int (String.length payload));
+      Buffer.add_int32_le b (Crc32.digest payload);
+      Buffer.add_string b payload;
+      Buffer.output_buffer oc b;
+      flush oc)
+
+let sync j =
+  let* oc = channel j in
+  wrap_io (fun () ->
+      flush oc;
+      let fd = Unix.descr_of_out_channel oc in
+      Unix.fsync fd)
+
+let close j =
+  match j.oc with
+  | None -> ()
+  | Some oc ->
+    j.oc <- None;
+    close_out_noerr oc
+
+let path j = j.path
+
+type scan_outcome = Done | Torn of string | Bad of string
+
+let scan path =
+  if not (Sys.file_exists path) then Ok ([], Done)
+  else
+    wrap_io (fun () ->
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let size = in_channel_length ic in
+            let records = ref [] in
+            let rec loop pos =
+              if pos = size then Done
+              else if size - pos < 12 then Torn "truncated frame header"
+              else begin
+                let hdr = really_input_string ic 12 in
+                let m = String.get_int32_le hdr 0 in
+                if m <> magic then Bad "bad magic"
+                else
+                  let len = Int32.to_int (String.get_int32_le hdr 4) in
+                  let crc = String.get_int32_le hdr 8 in
+                  if len < 0 then Bad "negative length"
+                  else if size - pos - 12 < len then Torn "truncated payload"
+                  else
+                    let payload = really_input_string ic len in
+                    if Crc32.digest payload <> crc then Bad "crc mismatch"
+                    else begin
+                      records := payload :: !records;
+                      loop (pos + 12 + len)
+                    end
+              end
+            in
+            let outcome = loop 0 in
+            (List.rev !records, outcome)))
+
+let read_all path =
+  let* records, outcome = scan path in
+  match outcome with
+  | Done | Torn _ | Bad _ ->
+    (* A damaged tail only loses the records after the damage; recovery
+       keeps the intact prefix, mirroring WAL semantics. *)
+    Ok records
+
+let read_all_strict path =
+  let* records, outcome = scan path in
+  match outcome with
+  | Done -> Ok records
+  | Torn m | Bad m -> fail (Corrupt ("journal " ^ path ^ ": " ^ m))
+
+let truncate path =
+  wrap_io (fun () ->
+      let oc = open_out_gen [ Open_trunc; Open_creat; Open_binary ] 0o644 path in
+      close_out oc)

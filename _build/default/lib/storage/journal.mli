@@ -1,0 +1,39 @@
+(** Append-only journal with CRC-framed records.
+
+    Record frame layout (little-endian):
+    [magic u32 | payload length u32 | crc32(payload) u32 | payload].
+
+    Recovery reads frames until end of file; a torn or corrupt tail
+    (partial frame, bad magic, CRC mismatch) stops the scan at the last
+    intact record — the standard write-ahead-log contract. *)
+
+type t
+(** An open journal, positioned for appending. *)
+
+val magic : int32
+
+val open_ : string -> (t, Seed_util.Seed_error.t) result
+(** Opens (creating if necessary) the journal at [path] for appending. *)
+
+val append : t -> string -> (unit, Seed_util.Seed_error.t) result
+(** Appends one record and flushes it to the OS. *)
+
+val sync : t -> (unit, Seed_util.Seed_error.t) result
+(** fsync the journal file. *)
+
+val close : t -> unit
+
+val path : t -> string
+
+val read_all : string -> (string list, Seed_util.Seed_error.t) result
+(** Reads the longest intact prefix of records of the journal at [path],
+    in append order. A missing file yields [[]]. Damage (torn tail, bad
+    magic, CRC mismatch) stops the scan; the records before it are
+    returned — the write-ahead-log recovery contract. *)
+
+val read_all_strict : string -> (string list, Seed_util.Seed_error.t) result
+(** Like {!read_all} but any malformed byte — including a torn tail —
+    is an error. Used by tests. *)
+
+val truncate : string -> (unit, Seed_util.Seed_error.t) result
+(** Empties the journal at [path] (after a snapshot compaction). *)

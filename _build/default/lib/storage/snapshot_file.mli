@@ -1,0 +1,13 @@
+(** Atomic whole-file snapshots.
+
+    A snapshot is written to a temporary file in the same directory,
+    fsync'd, then renamed over the target — so a crash mid-write never
+    leaves a half-written snapshot behind. The payload is framed with
+    the journal magic and a CRC so {!read} can detect corruption. *)
+
+val write : string -> string -> (unit, Seed_util.Seed_error.t) result
+(** [write path payload] atomically replaces [path]. *)
+
+val read : string -> (string option, Seed_util.Seed_error.t) result
+(** [read path] is [None] when no snapshot exists, [Some payload] when
+    an intact one does, and [Corrupt] otherwise. *)

@@ -1,0 +1,68 @@
+open Seed_util
+open Seed_error
+
+type t = {
+  dir : string;
+  mutable journal : Journal.t option;
+  mutable records : int;
+}
+
+let snapshot_path dir = Filename.concat dir "snapshot.bin"
+let journal_path dir = Filename.concat dir "journal.log"
+
+let ensure_dir dir =
+  try
+    if Sys.file_exists dir then
+      if Sys.is_directory dir then Ok ()
+      else fail (Io_error (dir ^ " exists and is not a directory"))
+    else begin
+      Unix.mkdir dir 0o755;
+      Ok ()
+    end
+  with
+  | Sys_error m -> fail (Io_error m)
+  | Unix.Unix_error (e, fn, arg) ->
+    fail (Io_error (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e)))
+
+let open_dir dir =
+  let* () = ensure_dir dir in
+  let* snapshot = Snapshot_file.read (snapshot_path dir) in
+  let* records = Journal.read_all (journal_path dir) in
+  let* journal = Journal.open_ (journal_path dir) in
+  Ok
+    ( { dir; journal = Some journal; records = List.length records },
+      snapshot,
+      records )
+
+let journal_of t =
+  match t.journal with
+  | Some j -> Ok j
+  | None -> fail (Io_error ("store closed: " ^ t.dir))
+
+let append t payload =
+  let* j = journal_of t in
+  let* () = Journal.append j payload in
+  t.records <- t.records + 1;
+  Ok ()
+
+let compact t ~snapshot =
+  let* j = journal_of t in
+  Journal.close j;
+  t.journal <- None;
+  let* () = Snapshot_file.write (snapshot_path t.dir) snapshot in
+  let* () = Journal.truncate (journal_path t.dir) in
+  let* j = Journal.open_ (journal_path t.dir) in
+  t.journal <- Some j;
+  t.records <- 0;
+  Ok ()
+
+let journal_size t = t.records
+
+let close t =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+    t.journal <- None;
+    Journal.close j
+
+let dir t = t.dir

@@ -1,0 +1,32 @@
+(** Snapshot + journal composition: the persistence engine.
+
+    A store lives in a directory holding [snapshot.bin] and
+    [journal.log]. The client supplies a pure fold over its own state:
+    opening a store loads the snapshot (if any) and replays the journal
+    records appended since; {!append} adds a record; {!compact} writes a
+    fresh snapshot and truncates the journal. All payloads are opaque
+    strings — {!Seed_core.Persist} owns the encoding. *)
+
+type t
+
+val open_dir :
+  string -> (t * string option * string list, Seed_util.Seed_error.t) result
+(** [open_dir dir] creates [dir] if needed and returns
+    [(store, snapshot_payload, journal_records)] — everything needed to
+    rebuild the client state. *)
+
+val append : t -> string -> (unit, Seed_util.Seed_error.t) result
+(** Durably appends a journal record. *)
+
+val compact : t -> snapshot:string -> (unit, Seed_util.Seed_error.t) result
+(** Atomically replaces the snapshot with [snapshot] and truncates the
+    journal. After a crash between the two steps, replaying the old
+    journal against the new snapshot must be harmless — SEED journal
+    records are idempotent re-assignments, which guarantees this. *)
+
+val journal_size : t -> int
+(** Records appended since the last compaction (this process's view). *)
+
+val close : t -> unit
+
+val dir : t -> string

@@ -1,0 +1,1 @@
+lib/util/ident.ml: Fmt Hashtbl Int Map Set

@@ -1,0 +1,1 @@
+lib/util/ident.mli: Format Hashtbl Map Set

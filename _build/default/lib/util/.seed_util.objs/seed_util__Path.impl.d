@@ -1,0 +1,1 @@
+lib/util/path.ml: Fmt Int List Map Option Printf Seed_error String

@@ -1,0 +1,1 @@
+lib/util/path.mli: Format Map Seed_error

@@ -1,0 +1,1 @@
+lib/util/seed_error.mli: Format

@@ -1,0 +1,1 @@
+lib/util/version_id.ml: Fmt Int List Map Option Seed_error String

@@ -1,0 +1,1 @@
+lib/util/version_id.mli: Format Map Seed_error

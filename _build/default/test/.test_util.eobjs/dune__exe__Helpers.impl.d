@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Assoc_def Cardinality Class_def List QCheck2 QCheck_alcotest Schema Seed_core Seed_error Seed_schema Seed_util Spades_tool Value_type

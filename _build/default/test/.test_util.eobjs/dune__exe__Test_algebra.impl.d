@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Helpers List Seed_core Seed_util

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Helpers List Result Seed_baseline Seed_core Seed_schema Seed_util Value

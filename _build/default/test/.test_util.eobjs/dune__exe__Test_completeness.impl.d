@@ -1,0 +1,1 @@
+test/test_completeness.ml: Alcotest Fmt Helpers List Option Result Seed_core Seed_schema String Value

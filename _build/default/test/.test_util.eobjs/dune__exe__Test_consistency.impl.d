@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Assoc_def Cardinality Class_def Helpers List Result Schema Seed_core Seed_error Seed_schema Seed_util Value Value_type

@@ -1,0 +1,1 @@
+test/test_data_text.ml: Alcotest Cardinality Class_def Helpers List Option Printf QCheck2 Schema Seed_core Seed_error Seed_schema Seed_util String Value Value_type

@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Helpers Seed_core Seed_schema String

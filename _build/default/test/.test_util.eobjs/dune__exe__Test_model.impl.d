@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Buffer Helpers Ident List Option Printf QCheck2 Seed_core Seed_error Seed_schema Seed_util String Value Version_id

@@ -1,0 +1,1 @@
+test/test_objects.ml: Alcotest Helpers List Seed_core Seed_error Seed_schema Seed_util Value

@@ -1,0 +1,1 @@
+test/test_patterns.ml: Alcotest Assoc_def Cardinality Class_def Helpers Ident List Option Schema Seed_core Seed_schema Seed_util Value Value_type

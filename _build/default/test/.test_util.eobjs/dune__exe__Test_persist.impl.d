@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Class_def Filename Helpers Ident List Option Printf Result Schema Seed_core Seed_error Seed_schema Seed_util Spades_tool Unix Value Version_id

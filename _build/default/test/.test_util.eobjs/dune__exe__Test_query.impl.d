@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Helpers List Option Seed_core Seed_schema String Value

@@ -1,0 +1,1 @@
+test/test_rel_attrs.ml: Alcotest Assoc_def Class_def Helpers List Schema Seed_core Seed_error Seed_schema Seed_util Spades_tool Value Value_type

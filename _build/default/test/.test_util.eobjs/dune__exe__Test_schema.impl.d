@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Assoc_def Cardinality Class_def Fmt Helpers List Schema Schema_diff Seed_schema Seed_util String Value Value_type

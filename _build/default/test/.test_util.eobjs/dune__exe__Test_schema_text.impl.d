@@ -1,0 +1,1 @@
+test/test_schema_text.ml: Alcotest Assoc_def Cardinality Class_def Helpers List Option Printf QCheck2 Schema Schema_text Seed_core Seed_schema Seed_util Value_type

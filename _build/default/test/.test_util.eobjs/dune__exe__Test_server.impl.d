@@ -1,0 +1,1 @@
+test/test_server.ml: Alcotest Fmt Helpers List Option Seed_core Seed_error Seed_schema Seed_server Seed_util String Version_id

@@ -1,0 +1,1 @@
+test/test_spades.ml: Alcotest Helpers List Option Seed_core Seed_error Seed_schema Seed_util Spades_tool Value Version_id

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Btree Bytes Char Codec Crc32 Filename Helpers Int Int64 Journal List Map Printf QCheck2 Seed_storage Seed_util Snapshot_file Store String Sys Unix

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Helpers Ident List Option Path QCheck2 Seed_error Seed_util String Version_id

@@ -1,0 +1,1 @@
+test/test_versions.ml: Alcotest Cardinality Class_def Helpers Ident List Result Schema Seed_core Seed_error Seed_schema Seed_util Spades_tool Value Version_id

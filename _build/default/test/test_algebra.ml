@@ -1,0 +1,193 @@
+(* The ER algebra: sources, operators, and the "undefined items produce
+   no phantom rows" property. *)
+
+open Helpers
+module DB = Seed_core.Database
+module A = Seed_core.Er_algebra
+
+(* a small plant-control world on the Fig. 3 schema *)
+let setup () =
+  let db = fresh_db () in
+  let mk name cls = ok (DB.create_object db ~cls ~name ()) in
+  let alarms = mk "Alarms" "OutputData" in
+  let events = mk "Events" "InputData" in
+  let config = mk "Config" "InputData" in
+  let sensor = mk "Sensor" "Action" in
+  let handler = mk "Handler" "Action" in
+  let logger = mk "Logger" "Action" in
+  let _misc = mk "Misc" "Thing" in
+  let rel a e k = ignore (ok (DB.create_relationship db ~assoc:a ~endpoints:[ e; k ] ())) in
+  rel "Write" alarms sensor;
+  rel "Read" events handler;
+  rel "Read" config handler;
+  rel "Read" config logger;
+  rel "Contained" logger handler;
+  db
+
+let v db = DB.view db
+
+let test_objects_source () =
+  let db = setup () in
+  let v = v db in
+  Alcotest.(check int) "data incl. specializations" 3
+    (A.cardinality (A.objects v ~cls:"Data"));
+  Alcotest.(check int) "inputs" 2 (A.cardinality (A.objects v ~cls:"InputData"));
+  Alcotest.(check int) "things = everything" 7
+    (A.cardinality (A.objects v ~cls:"Thing"));
+  Alcotest.(check int) "unknown class empty" 0
+    (A.cardinality (A.objects v ~cls:"Nope"))
+
+let test_relationship_source () =
+  let db = setup () in
+  let v = v db in
+  Alcotest.(check int) "reads" 3 (A.cardinality (A.relationship v ~assoc:"Read"));
+  Alcotest.(check int) "accesses include specializations" 4
+    (A.cardinality (A.relationship v ~assoc:"Access"));
+  Alcotest.(check int) "contained" 1
+    (A.cardinality (A.relationship v ~assoc:"Contained"));
+  Alcotest.(check int) "arity" 2 (A.arity (A.relationship v ~assoc:"Read"))
+
+let test_select_and_project () =
+  let db = setup () in
+  let v = v db in
+  let reads = A.relationship v ~assoc:"Read" in
+  let by_handler =
+    A.select_obj reads ~col:1 (fun it ->
+        Seed_core.View.full_name v it = Some "Handler")
+  in
+  Alcotest.(check int) "handler reads two" 2 (A.cardinality by_handler);
+  let sources = A.project by_handler ~cols:[ 0 ] in
+  Alcotest.(check (list (list string))) "projected" [ [ "Config" ]; [ "Events" ] ]
+    (List.sort compare (A.names v sources))
+
+let test_project_duplicates_collapse () =
+  let db = setup () in
+  let v = v db in
+  let reads = A.relationship v ~assoc:"Read" in
+  let readers = A.project reads ~cols:[ 1 ] in
+  (* handler appears twice among rows but once after projection *)
+  Alcotest.(check int) "distinct readers" 2 (A.cardinality readers)
+
+let test_join () =
+  let db = setup () in
+  let v = v db in
+  (* what does the container of each contained action read?
+     Contained(contained, container) join col1=container with
+     Read(from, by) on col1=by *)
+  let contained = A.relationship v ~assoc:"Contained" in
+  let reads = A.relationship v ~assoc:"Read" in
+  let joined = A.join contained 1 reads 1 in
+  (* rows: (logger, handler, data-read-by-handler) *)
+  Alcotest.(check int) "arity" 3 (A.arity joined);
+  Alcotest.(check (list (list string))) "rows"
+    [ [ "Logger"; "Handler"; "Config" ]; [ "Logger"; "Handler"; "Events" ] ]
+    (List.sort compare (A.names v joined))
+
+let test_product () =
+  let db = setup () in
+  let v = v db in
+  let inputs = A.objects v ~cls:"InputData" in
+  let actions = A.objects v ~cls:"Action" in
+  Alcotest.(check int) "product" 6 (A.cardinality (A.product inputs actions))
+
+let test_set_operations () =
+  let db = setup () in
+  let v = v db in
+  let readers = A.project (A.relationship v ~assoc:"Read") ~cols:[ 1 ] in
+  let writers = A.project (A.relationship v ~assoc:"Write") ~cols:[ 1 ] in
+  let both = ok (A.union readers writers) in
+  Alcotest.(check int) "union" 3 (A.cardinality both);
+  let neither = ok (A.diff (A.objects v ~cls:"Action") both) in
+  Alcotest.(check int) "idle actions" 0 (A.cardinality neither);
+  let pure_readers = ok (A.diff readers writers) in
+  Alcotest.(check int) "pure readers" 2 (A.cardinality pure_readers);
+  let overlap = ok (A.inter readers writers) in
+  Alcotest.(check int) "overlap" 0 (A.cardinality overlap);
+  check_err "arity mismatch"
+    (function Seed_util.Seed_error.Invalid_operation _ -> true | _ -> false)
+    (A.union readers (A.relationship v ~assoc:"Read"))
+
+let test_no_phantom_rows_for_undefined () =
+  (* an object with no relationships joins into nothing: ER operations
+     are defined on existing relationships only *)
+  let db = setup () in
+  let v = v db in
+  let misc_rows =
+    A.select_obj (A.relationship v ~assoc:"Access") ~col:0 (fun it ->
+        Seed_core.View.full_name v it = Some "Misc")
+  in
+  Alcotest.(check int) "no phantom rows" 0 (A.cardinality misc_rows)
+
+let test_inherited_relationships_in_algebra () =
+  let db = fresh_db () in
+  let common = ok (DB.create_object db ~cls:"Action" ~name:"Common" ()) in
+  let po = ok (DB.create_object db ~cls:"Data" ~name:"PO" ~pattern:true ()) in
+  let _ =
+    ok
+      (DB.create_relationship db ~assoc:"Access" ~endpoints:[ po; common ]
+         ~pattern:true ())
+  in
+  let v1 = ok (DB.create_object db ~cls:"Data" ~name:"V1" ()) in
+  let v2 = ok (DB.create_object db ~cls:"Data" ~name:"V2" ()) in
+  check_ok "v1 joins" (DB.inherit_pattern db ~pattern:po ~inheritor:v1);
+  check_ok "v2 joins" (DB.inherit_pattern db ~pattern:po ~inheritor:v2);
+  let v = DB.view db in
+  let accesses = A.relationship v ~assoc:"Access" in
+  (* both inheritors appear with the pattern substituted; the pattern
+     relationship itself is invisible *)
+  Alcotest.(check (list (list string))) "expanded rows"
+    [ [ "V1"; "Common" ]; [ "V2"; "Common" ] ]
+    (List.sort compare (A.names v accesses))
+
+let test_algebra_respects_versions () =
+  let db = fresh_db () in
+  let d = ok (DB.create_object db ~cls:"InputData" ~name:"D" ()) in
+  let a = ok (DB.create_object db ~cls:"Action" ~name:"A" ()) in
+  let r = ok (DB.create_relationship db ~assoc:"Read" ~endpoints:[ d; a ] ()) in
+  let v1 = ok (DB.create_version db) in
+  ok (DB.delete db r);
+  let _v2 = ok (DB.create_version db) in
+  Alcotest.(check int) "gone now" 0
+    (A.cardinality (A.relationship (DB.view db) ~assoc:"Read"));
+  let old_view = ok (DB.view_at db v1) in
+  Alcotest.(check int) "in 1.0" 1
+    (A.cardinality (A.relationship old_view ~assoc:"Read"))
+
+let test_column_and_bounds () =
+  let db = setup () in
+  let v = v db in
+  let reads = A.relationship v ~assoc:"Read" in
+  Alcotest.(check int) "distinct col 0" 2 (List.length (A.column reads 0));
+  Alcotest.check_raises "column oob" (Invalid_argument "Er_algebra.column")
+    (fun () -> ignore (A.column reads 5));
+  Alcotest.check_raises "project oob"
+    (Invalid_argument "Er_algebra.project: column out of range") (fun () ->
+      ignore (A.project reads ~cols:[ 2 ]));
+  Alcotest.check_raises "of_rows arity"
+    (Invalid_argument "Er_algebra.of_rows: arity mismatch") (fun () ->
+      ignore (A.of_rows ~arity:2 [ [] ]))
+
+let () =
+  Alcotest.run "algebra"
+    [
+      ( "sources",
+        [
+          tc "objects" test_objects_source;
+          tc "relationships" test_relationship_source;
+        ] );
+      ( "operators",
+        [
+          tc "select/project" test_select_and_project;
+          tc "projection collapses" test_project_duplicates_collapse;
+          tc "join" test_join;
+          tc "product" test_product;
+          tc "set operations" test_set_operations;
+          tc "bounds" test_column_and_bounds;
+        ] );
+      ( "semantics",
+        [
+          tc "no phantom rows" test_no_phantom_rows_for_undefined;
+          tc "pattern expansion" test_inherited_relationships_in_algebra;
+          tc "version views" test_algebra_respects_versions;
+        ] );
+    ]

@@ -1,0 +1,222 @@
+(* Durable storage: snapshot/journal roundtrips, sessions, crash
+   recovery, verification on load. *)
+
+open Seed_util
+open Seed_schema
+open Helpers
+module DB = Seed_core.Database
+module Persist = Seed_core.Persist
+module History = Seed_core.History
+
+let tmp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "seed_persist_%d_%d" (Unix.getpid ()) !counter)
+
+let populated () =
+  let db = fresh_db () in
+  let alarms = ok (DB.create_object db ~cls:"Data" ~name:"Alarms" ()) in
+  let handler = ok (DB.create_object db ~cls:"Action" ~name:"AlarmHandler" ()) in
+  let text = ok (DB.create_sub_object db ~parent:alarms ~role:"Text" ()) in
+  let _body =
+    ok (DB.create_sub_object db ~parent:text ~role:"Body" ~value:(Value.String "b") ())
+  in
+  let _rel = ok (DB.create_relationship db ~assoc:"Access" ~endpoints:[ alarms; handler ] ()) in
+  let v1 = ok (DB.create_version db) in
+  ok (DB.reclassify db alarms ~to_:"OutputData");
+  let _v2 = ok (DB.create_version db) in
+  let p = ok (DB.create_object db ~cls:"Data" ~name:"Template" ~pattern:true ()) in
+  let _ = ok (DB.create_sub_object db ~parent:p ~role:"Description" ~value:(Value.String "std") ()) in
+  check_ok "inherit" (DB.inherit_pattern db ~pattern:p ~inheritor:alarms);
+  (db, alarms, v1)
+
+let same_shape db db2 =
+  Alcotest.(check int) "objects" (DB.object_count db) (DB.object_count db2);
+  Alcotest.(check int) "versions" (List.length (DB.versions db))
+    (List.length (DB.versions db2));
+  Alcotest.(check bool) "base" true (DB.current_base db = DB.current_base db2)
+
+let test_encode_decode_roundtrip () =
+  let db, alarms, v1 = populated () in
+  let db2 = ok (Persist.decode_db (Persist.encode_db db)) in
+  same_shape db db2;
+  let alarms2 = Option.get (DB.find_object db2 "Alarms") in
+  Alcotest.(check (option string)) "class survives" (Some "OutputData")
+    (DB.class_of db2 alarms2);
+  (* version views survive *)
+  ok (DB.select_version db2 (Some v1));
+  Alcotest.(check (option string)) "old class" (Some "Data") (DB.class_of db2 alarms2);
+  ok (DB.select_version db2 None);
+  (* pattern inheritance survives *)
+  let p2 = Option.get (DB.find_pattern db2 "Template") in
+  Alcotest.(check bool) "inheritors" true (DB.inheritors db2 p2 <> []);
+  (* identity is preserved *)
+  Alcotest.(check bool) "ids stable" true (Ident.equal alarms alarms2);
+  (* dirty state survives: the inherit was not snapshotted *)
+  Alcotest.(check bool) "still dirty" true (DB.is_dirty db2)
+
+let test_save_load () =
+  let dir = tmp_dir () in
+  let db, _, _ = populated () in
+  check_ok "save" (Persist.save db ~dir);
+  let db2 = ok (Persist.load ~dir ()) in
+  same_shape db db2
+
+let test_load_missing () =
+  check_err "missing dir content"
+    (function Seed_error.Io_error _ -> true | _ -> false)
+    (Persist.load ~dir:(tmp_dir ()) ())
+
+let test_session_flush_and_reopen () =
+  let dir = tmp_dir () in
+  let s = ok (Persist.Session.open_ ~dir ~schema:(fig3_schema ()) ()) in
+  let db = Persist.Session.db s in
+  let a = ok (DB.create_object db ~cls:"Data" ~name:"A" ()) in
+  check_ok "flush1" (Persist.Session.flush s);
+  let _ = ok (DB.create_object db ~cls:"Action" ~name:"B" ()) in
+  check_ok "flush2" (Persist.Session.flush s);
+  check_ok "value" (Result.map (fun _ -> ())
+    (DB.create_sub_object db ~parent:a ~role:"Description" ~value:(Value.String "d") ()));
+  check_ok "flush3" (Persist.Session.flush s);
+  Persist.Session.close s;
+  (* reopen: journal replay rebuilds everything *)
+  let s2 = ok (Persist.Session.open_ ~dir ()) in
+  let db2 = Persist.Session.db s2 in
+  Alcotest.(check int) "objects" 2 (DB.object_count db2);
+  Alcotest.(check bool) "sub-object too" true
+    (DB.resolve db2 "A.Description" <> None);
+  Persist.Session.close s2
+
+let test_session_flush_writes_only_changes () =
+  let dir = tmp_dir () in
+  let s = ok (Persist.Session.open_ ~dir ~schema:(fig3_schema ()) ()) in
+  let db = Persist.Session.db s in
+  for i = 1 to 10 do
+    ignore (ok (DB.create_object db ~cls:"Data" ~name:(Printf.sprintf "O%d" i) ()))
+  done;
+  check_ok "flush" (Persist.Session.flush s);
+  let after_first = Persist.Session.journal_records s in
+  (* one more object -> one more item record (plus one meta record) *)
+  let _ = ok (DB.create_object db ~cls:"Data" ~name:"Extra" ()) in
+  check_ok "flush2" (Persist.Session.flush s);
+  let after_second = Persist.Session.journal_records s in
+  Alcotest.(check int) "incremental" 2 (after_second - after_first);
+  (* no changes -> no records *)
+  check_ok "noop flush" (Persist.Session.flush s);
+  Alcotest.(check int) "nothing written" after_second (Persist.Session.journal_records s);
+  Persist.Session.close s
+
+let test_session_compact () =
+  let dir = tmp_dir () in
+  let s = ok (Persist.Session.open_ ~dir ~schema:(fig3_schema ()) ()) in
+  let db = Persist.Session.db s in
+  for i = 1 to 5 do
+    ignore (ok (DB.create_object db ~cls:"Data" ~name:(Printf.sprintf "O%d" i) ()))
+  done;
+  check_ok "flush" (Persist.Session.flush s);
+  check_ok "compact" (Persist.Session.compact s);
+  Alcotest.(check int) "journal empty" 0 (Persist.Session.journal_records s);
+  Persist.Session.close s;
+  let s2 = ok (Persist.Session.open_ ~dir ()) in
+  Alcotest.(check int) "snapshot has everything" 5
+    (DB.object_count (Persist.Session.db s2));
+  Persist.Session.close s2
+
+let test_session_requires_schema_for_fresh_dir () =
+  check_err "no schema"
+    (function Seed_error.Io_error _ -> true | _ -> false)
+    (Persist.Session.open_ ~dir:(tmp_dir ()) ())
+
+let test_session_survives_torn_journal_tail () =
+  let dir = tmp_dir () in
+  let s = ok (Persist.Session.open_ ~dir ~schema:(fig3_schema ()) ()) in
+  let db = Persist.Session.db s in
+  let _ = ok (DB.create_object db ~cls:"Data" ~name:"A" ()) in
+  check_ok "flush" (Persist.Session.flush s);
+  let _ = ok (DB.create_object db ~cls:"Data" ~name:"B" ()) in
+  check_ok "flush" (Persist.Session.flush s);
+  Persist.Session.close s;
+  (* tear the journal tail: B's records get cut *)
+  let path = Filename.concat dir "journal.log" in
+  let size = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd (size - 5);
+  Unix.close fd;
+  let s2 = ok (Persist.Session.open_ ~dir ()) in
+  let db2 = Persist.Session.db s2 in
+  Alcotest.(check bool) "A recovered" true (DB.find_object db2 "A" <> None);
+  Persist.Session.close s2
+
+let test_versions_survive_roundtrip () =
+  let dir = tmp_dir () in
+  let db, _, v1 = populated () in
+  (* branch before saving *)
+  ok (DB.begin_alternative db ~from_:v1 ~force:true ());
+  let alarms = Option.get (DB.find_object db "Alarms") in
+  ok (DB.reclassify db alarms ~to_:"InputData");
+  let alt = ok (DB.create_version db) in
+  check_ok "save" (Persist.save db ~dir);
+  let db2 = ok (Persist.load ~dir ()) in
+  Alcotest.(check string) "branch label kept" "1.1" (Version_id.to_string alt);
+  ok (DB.select_version db2 (Some alt));
+  let a2 = Option.get (DB.find_object db2 "Alarms") in
+  Alcotest.(check (option string)) "branch content" (Some "InputData")
+    (DB.class_of db2 a2);
+  ok (DB.select_version db2 None);
+  (* new versions continue the numbering after reload *)
+  ok (DB.reclassify db2 a2 ~to_:"Data");
+  let next = ok (DB.create_version db2) in
+  Alcotest.(check string) "numbering continues" "1.1.1" (Version_id.to_string next)
+
+let test_history_survives_roundtrip () =
+  let db, alarms, _ = populated () in
+  let db2 = ok (Persist.decode_db (Persist.encode_db db)) in
+  let h1 = List.length (History.stamps_of db alarms) in
+  let h2 = List.length (History.stamps_of db2 alarms) in
+  Alcotest.(check int) "stamps preserved" h1 h2
+
+let test_decode_rejects_garbage () =
+  check_err "garbage" (function Seed_error.Corrupt _ -> true | _ -> false)
+    (Persist.decode_db "not a database");
+  check_err "empty" (function Seed_error.Corrupt _ -> true | _ -> false)
+    (Persist.decode_db "")
+
+let test_schema_revisions_roundtrip () =
+  let db = fresh_db () in
+  let classes, assocs = Spades_tool.Spec_model.schema_defs () in
+  let classes' = classes @ [ Class_def.v ~super:"Thing" [ "Module" ] ] in
+  check_ok "evolve" (DB.update_schema db (Schema.of_defs_exn classes' assocs));
+  let db2 = ok (Persist.decode_db (Persist.encode_db db)) in
+  Alcotest.(check int) "revision" (Schema.revision (DB.schema db))
+    (Schema.revision (DB.schema db2));
+  Alcotest.(check bool) "module class there" true
+    (Schema.find_class (DB.schema db2) "Module" <> None);
+  (* both revisions retrievable *)
+  Alcotest.(check bool) "old revision kept" true
+    (Seed_core.Db_state.schema_at_revision (DB.raw db2) 1 <> None)
+
+let () =
+  Alcotest.run "persist"
+    [
+      ( "roundtrip",
+        [
+          tc "encode/decode" test_encode_decode_roundtrip;
+          tc "save/load" test_save_load;
+          tc "missing" test_load_missing;
+          tc "versions & branches" test_versions_survive_roundtrip;
+          tc "history stamps" test_history_survives_roundtrip;
+          tc "schema revisions" test_schema_revisions_roundtrip;
+          tc "garbage rejected" test_decode_rejects_garbage;
+        ] );
+      ( "session",
+        [
+          tc "flush and reopen" test_session_flush_and_reopen;
+          tc "incremental flush" test_session_flush_writes_only_changes;
+          tc "compaction" test_session_compact;
+          tc "fresh dir needs schema" test_session_requires_schema_for_fresh_dir;
+          tc "torn tail recovery" test_session_survives_torn_journal_tail;
+        ] );
+    ]

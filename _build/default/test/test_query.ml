@@ -1,0 +1,200 @@
+(* Query combinators (the complex-retrieval extension) and their
+   interaction with generalization, undefined values, and patterns. *)
+
+open Seed_schema
+open Helpers
+module DB = Seed_core.Database
+module Q = Seed_core.Query
+module View = Seed_core.View
+module Item = Seed_core.Item
+
+let setup () =
+  let db = fresh_db () in
+  let mk name cls = ok (DB.create_object db ~cls ~name ()) in
+  let alarms = mk "Alarms" "OutputData" in
+  let events = mk "Events" "InputData" in
+  let config = mk "Config" "Data" in
+  let sensor = mk "Sensor" "Action" in
+  let handler = mk "AlarmHandler" "Action" in
+  let misc = mk "Misc" "Thing" in
+  let w = ok (DB.create_relationship db ~assoc:"Write" ~endpoints:[ alarms; sensor ] ()) in
+  let r = ok (DB.create_relationship db ~assoc:"Read" ~endpoints:[ events; handler ] ()) in
+  let a = ok (DB.create_relationship db ~assoc:"Access" ~endpoints:[ config; handler ] ()) in
+  ignore (w, r, a);
+  (db, alarms, events, config, sensor, handler, misc)
+
+let names v items = List.filter_map (View.full_name v) items
+
+let test_in_class_vs_is_a () =
+  let db, _, _, _, _, _, _ = setup () in
+  let v = DB.view db in
+  Alcotest.(check (list string)) "exact Data" [ "Config" ]
+    (names v (Q.select v (Q.in_class "Data")));
+  Alcotest.(check (list string)) "is_a Data" [ "Alarms"; "Config"; "Events" ]
+    (names v (Q.select v (Q.is_a "Data")));
+  Alcotest.(check int) "is_a Thing = all" 6 (Q.count v (Q.is_a "Thing"))
+
+let test_name_predicates () =
+  let db, _, _, _, _, _, _ = setup () in
+  let v = DB.view db in
+  Alcotest.(check (list string)) "name_is" [ "Alarms" ]
+    (names v (Q.select v (Q.name_is "Alarms")));
+  let starts_with_a s = String.length s > 0 && s.[0] = 'A' in
+  Alcotest.(check (list string)) "prefix" [ "AlarmHandler"; "Alarms" ]
+    (names v (Q.select v (Q.name_matches starts_with_a)))
+
+let test_related () =
+  let db, _, _, _, sensor, handler, _ = setup () in
+  let v = DB.view db in
+  (* who accesses anything, generalization-aware *)
+  Alcotest.(check (list string)) "writers" [ "Alarms"; "Sensor" ]
+    (names v (Q.select v (Q.related ~assoc:"Write")));
+  (* Access covers Read, Write and itself: Alarms, Sensor, Events,
+     AlarmHandler, Config take part; Misc does not *)
+  Alcotest.(check int) "access participants" 5
+    (Q.count v (Q.related ~assoc:"Access"));
+  Alcotest.(check (list string)) "related to sensor (not sensor itself)"
+    [ "Alarms" ]
+    (names v (Q.select v (Q.related_to ~assoc:"Access" sensor)));
+  Alcotest.(check (list string)) "related to handler via Read" [ "Events" ]
+    (names v (Q.select v Q.(related_to ~assoc:"Read" handler &&& is_a "Data")))
+
+let test_combinators () =
+  let db, _, _, _, _, _, _ = setup () in
+  let v = DB.view db in
+  Alcotest.(check (list string)) "and" [ "Events" ]
+    (names v (Q.select v Q.(is_a "Data" &&& related ~assoc:"Read")));
+  Alcotest.(check (list string)) "or includes both" [ "Alarms"; "Events" ]
+    (names v (Q.select v Q.(related ~assoc:"Read" ||| related ~assoc:"Write")
+             |> List.filter (Q.is_a "Data" v)));
+  Alcotest.(check (list string)) "not" [ "Misc" ]
+    (names v (Q.select v Q.(not_ (is_a "Data") &&& not_ (is_a "Action"))))
+
+let test_undefined_matches_nothing () =
+  (* "when the database is searched for data that meet certain selection
+     criteria, an undefined object matches nothing" *)
+  let db = fresh_db () in
+  let d = ok (DB.create_object db ~cls:"Data" ~name:"D" ()) in
+  let desc = ok (DB.create_sub_object db ~parent:d ~role:"Description" ()) in
+  let v = DB.view db in
+  Alcotest.(check int) "undefined value matches nothing" 0
+    (Q.count v (Q.child_value ~role:"Description" (fun _ -> true)));
+  check_ok "define" (DB.set_value db desc (Some (Value.String "x")));
+  Alcotest.(check int) "defined matches" 1
+    (Q.count v (Q.child_value ~role:"Description" (fun _ -> true)))
+
+let test_has_child_and_value () =
+  let db = fresh_db () in
+  let d = ok (DB.create_object db ~cls:"Data" ~name:"D" ()) in
+  let _ = ok (DB.create_sub_object db ~parent:d ~role:"Keywords" ~value:(Value.String "alarm") ()) in
+  let _e = ok (DB.create_object db ~cls:"Data" ~name:"E" ()) in
+  let v = DB.view db in
+  Alcotest.(check (list string)) "has_child" [ "D" ]
+    (names v (Q.select v (Q.has_child ~role:"Keywords")));
+  Alcotest.(check (list string)) "child_value" [ "D" ]
+    (names v
+       (Q.select v
+          (Q.child_value ~role:"Keywords" (fun x -> x = Value.String "alarm"))))
+
+let test_is_incomplete_predicate () =
+  let db = fresh_db () in
+  let _d = ok (DB.create_object db ~cls:"Data" ~name:"D" ()) in
+  let a = ok (DB.create_object db ~cls:"Action" ~name:"A" ()) in
+  let v = DB.view db in
+  (* the Action lacks its Access (min 1) *)
+  Alcotest.(check bool) "action incomplete" true
+    (List.mem "A" (names v (Q.select v Q.is_incomplete)));
+  let d2 = ok (DB.create_object db ~cls:"InputData" ~name:"I" ()) in
+  let _ = ok (DB.create_relationship db ~assoc:"Read" ~endpoints:[ d2; a ] ()) in
+  Alcotest.(check bool) "action complete now" false
+    (List.mem "A" (names v (Q.select v Q.is_incomplete)))
+
+let test_select_rels () =
+  let db, _, _, _, _, _, _ = setup () in
+  let v = DB.view db in
+  Alcotest.(check int) "reads" 1 (List.length (Q.select_rels v ~assoc:"Read"));
+  Alcotest.(check int) "accesses include specializations" 3
+    (List.length (Q.select_rels v ~assoc:"Access"))
+
+let test_neighbors () =
+  let db, alarms, _, _, _sensor, _, _ = setup () in
+  let v = DB.view db in
+  let item id = Option.get (Seed_core.Db_state.find_item (DB.raw db) id) in
+  let ns = Q.neighbors v (item alarms) ~assoc:"Access" ~from_pos:0 ~to_pos:1 in
+  Alcotest.(check (list string)) "alarms accessed by" [ "Sensor" ] (names v ns)
+
+let test_reachable_containment () =
+  let db = fresh_db () in
+  let mk n = ok (DB.create_object db ~cls:"Action" ~name:n ()) in
+  let root = mk "Root" and a = mk "A" and b = mk "B" and c = mk "C" in
+  let edge child parent =
+    ignore (ok (DB.create_relationship db ~assoc:"Contained" ~endpoints:[ child; parent ] ()))
+  in
+  edge a root;
+  edge b root;
+  edge c a;
+  let v = DB.view db in
+  let item id = Option.get (Seed_core.Db_state.find_item (DB.raw db) id) in
+  (* everything transitively contained in Root: follow container->contained *)
+  let inside =
+    Q.reachable v (item root) ~assoc:"Contained" ~from_pos:1 ~to_pos:0
+  in
+  Alcotest.(check (list string)) "subtree" [ "A"; "B"; "C" ]
+    (List.sort String.compare (names v inside));
+  (* and upward: C's ancestors *)
+  let up = Q.reachable v (item c) ~assoc:"Contained" ~from_pos:0 ~to_pos:1 in
+  Alcotest.(check (list string)) "ancestors" [ "A"; "Root" ]
+    (List.sort String.compare (names v up))
+
+let test_queries_see_inherited_relationships () =
+  let db = fresh_db () in
+  let common = ok (DB.create_object db ~cls:"Action" ~name:"Common" ()) in
+  let po = ok (DB.create_object db ~cls:"Data" ~name:"PO" ~pattern:true ()) in
+  let _pr =
+    ok
+      (DB.create_relationship db ~assoc:"Access" ~endpoints:[ po; common ]
+         ~pattern:true ())
+  in
+  let variant = ok (DB.create_object db ~cls:"Data" ~name:"V" ()) in
+  check_ok "inherit" (DB.inherit_pattern db ~pattern:po ~inheritor:variant);
+  let v = DB.view db in
+  Alcotest.(check (list string)) "inherited rel visible to queries" [ "V" ]
+    (names v (Q.select v (Q.related_to ~assoc:"Access" common)))
+
+let test_queries_respect_versions () =
+  let db = fresh_db () in
+  let d = ok (DB.create_object db ~cls:"Thing" ~name:"D" ()) in
+  let v1 = ok (DB.create_version db) in
+  ok (DB.reclassify db d ~to_:"Data");
+  let _v2 = ok (DB.create_version db) in
+  let old_view = ok (DB.view_at db v1) in
+  let now_view = DB.view db in
+  Alcotest.(check int) "was a thing" 1 (Q.count old_view (Q.in_class "Thing"));
+  Alcotest.(check int) "not yet data" 0 (Q.count old_view (Q.in_class "Data"));
+  Alcotest.(check int) "is data now" 1 (Q.count now_view (Q.in_class "Data"))
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "predicates",
+        [
+          tc "in_class vs is_a" test_in_class_vs_is_a;
+          tc "names" test_name_predicates;
+          tc "related" test_related;
+          tc "combinators" test_combinators;
+          tc "undefined matches nothing" test_undefined_matches_nothing;
+          tc "children and values" test_has_child_and_value;
+          tc "is_incomplete" test_is_incomplete_predicate;
+        ] );
+      ( "navigation",
+        [
+          tc "select_rels" test_select_rels;
+          tc "neighbors" test_neighbors;
+          tc "reachable" test_reachable_containment;
+        ] );
+      ( "integration",
+        [
+          tc "inherited relationships" test_queries_see_inherited_relationships;
+          tc "version views" test_queries_respect_versions;
+        ] );
+    ]

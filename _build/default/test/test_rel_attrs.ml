@@ -1,0 +1,212 @@
+(* Relationship attributes (Fig. 3: NumberOfWrites 1..1 and the
+   (abort, repeat) error handling mode on Write). *)
+
+open Seed_util
+open Seed_schema
+open Helpers
+module DB = Seed_core.Database
+module C = Seed_core.Completeness
+
+let setup () =
+  let db = fresh_db () in
+  let d = ok (DB.create_object db ~cls:"OutputData" ~name:"Alarms" ()) in
+  let a = ok (DB.create_object db ~cls:"Action" ~name:"Sensor" ()) in
+  let w = ok (DB.create_relationship db ~assoc:"Write" ~endpoints:[ d; a ] ()) in
+  (db, d, a, w)
+
+let test_set_and_get () =
+  let db, _, _, w = setup () in
+  Alcotest.(check (option Alcotest.reject)) "undefined" None
+    (DB.rel_attr db w "NumberOfWrites");
+  check_ok "set" (DB.set_rel_attr db w "NumberOfWrites" (Some (Value.Int 2)));
+  Alcotest.(check bool) "read back" true
+    (DB.rel_attr db w "NumberOfWrites" = Some (Value.Int 2));
+  check_ok "overwrite" (DB.set_rel_attr db w "NumberOfWrites" (Some (Value.Int 3)));
+  Alcotest.(check bool) "overwritten" true
+    (DB.rel_attr db w "NumberOfWrites" = Some (Value.Int 3));
+  check_ok "undefine" (DB.set_rel_attr db w "NumberOfWrites" None);
+  Alcotest.(check (option Alcotest.reject)) "undefined again" None
+    (DB.rel_attr db w "NumberOfWrites")
+
+let test_type_checked () =
+  let db, _, _, w = setup () in
+  check_err "string into int" is_type
+    (DB.set_rel_attr db w "NumberOfWrites" (Some (Value.String "two")));
+  check_err "bad enum constant" is_type
+    (DB.set_rel_attr db w "OnError" (Some (Value.Enum "explode")));
+  check_ok "good enum" (DB.set_rel_attr db w "OnError" (Some (Value.Enum "repeat")))
+
+let test_undeclared_refused () =
+  let db, _, _, w = setup () in
+  check_err "unknown attribute"
+    (function Seed_error.Schema_violation _ -> true | _ -> false)
+    (DB.set_rel_attr db w "Nonsense" (Some (Value.Int 1)))
+
+let test_objects_have_no_rel_attrs () =
+  let db, d, _, _ = setup () in
+  check_err "object refused"
+    (function Seed_error.Unknown_item _ -> true | _ -> false)
+    (DB.set_rel_attr db d "NumberOfWrites" (Some (Value.Int 1)))
+
+let test_required_attr_is_completeness_information () =
+  let db, _, _, w = setup () in
+  (* the Write exists without its required attribute: accepted, but
+     reported *)
+  let missing report =
+    List.exists
+      (function
+        | C.Missing_attribute { attr = "NumberOfWrites"; _ } -> true
+        | _ -> false)
+      report
+  in
+  Alcotest.(check bool) "reported" true (missing (DB.completeness_report db));
+  check_ok "define" (DB.set_rel_attr db w "NumberOfWrites" (Some (Value.Int 1)));
+  Alcotest.(check bool) "satisfied" false (missing (DB.completeness_report db));
+  (* the optional OnError is never demanded *)
+  Alcotest.(check bool) "optional silent" false
+    (List.exists
+       (function C.Missing_attribute { attr = "OnError"; _ } -> true | _ -> false)
+       (DB.completeness_report db))
+
+let test_generalizing_with_attr_refused () =
+  let db, _, _, w = setup () in
+  check_ok "define" (DB.set_rel_attr db w "NumberOfWrites" (Some (Value.Int 1)));
+  (* Access has no NumberOfWrites: the defined attribute pins the
+     classification *)
+  check_err "pinned"
+    (function Seed_error.Schema_violation _ -> true | _ -> false)
+    (DB.reclassify db w ~to_:"Access");
+  check_ok "undefine" (DB.set_rel_attr db w "NumberOfWrites" None);
+  check_ok "now it generalizes" (DB.reclassify db w ~to_:"Access");
+  (* and the attribute is no longer settable *)
+  check_err "gone with the classification"
+    (function Seed_error.Schema_violation _ -> true | _ -> false)
+    (DB.set_rel_attr db w "NumberOfWrites" (Some (Value.Int 1)))
+
+let test_attrs_versioned () =
+  let db, _, _, w = setup () in
+  check_ok "v1 value" (DB.set_rel_attr db w "NumberOfWrites" (Some (Value.Int 1)));
+  let v1 = ok (DB.create_version db) in
+  check_ok "v2 value" (DB.set_rel_attr db w "NumberOfWrites" (Some (Value.Int 5)));
+  let _v2 = ok (DB.create_version db) in
+  Alcotest.(check bool) "current" true
+    (DB.rel_attr db w "NumberOfWrites" = Some (Value.Int 5));
+  ok (DB.select_version db (Some v1));
+  Alcotest.(check bool) "old view" true
+    (DB.rel_attr db w "NumberOfWrites" = Some (Value.Int 1));
+  ok (DB.select_version db None)
+
+let test_attrs_persisted () =
+  let db, _, _, w = setup () in
+  check_ok "set" (DB.set_rel_attr db w "NumberOfWrites" (Some (Value.Int 7)));
+  check_ok "enum" (DB.set_rel_attr db w "OnError" (Some (Value.Enum "abort")));
+  let db2 = ok (Seed_core.Persist.decode_db (Seed_core.Persist.encode_db db)) in
+  Alcotest.(check bool) "int survives" true
+    (DB.rel_attr db2 w "NumberOfWrites" = Some (Value.Int 7));
+  Alcotest.(check bool) "enum survives" true
+    (DB.rel_attr db2 w "OnError" = Some (Value.Enum "abort"))
+
+let test_attr_rollback_on_veto () =
+  let schema =
+    Schema.of_defs_exn
+      [ Class_def.v [ "D" ]; Class_def.v [ "A" ] ]
+      [
+        Assoc_def.v
+          ~attrs:[ Assoc_def.attr "Count" Value_type.Int ]
+          ~procedures:[ "guard" ] "Link"
+          [ Assoc_def.role "from" "D"; Assoc_def.role "by" "A" ];
+      ]
+  in
+  let db = DB.create schema in
+  let veto = ref false in
+  DB.register_procedure db "guard" (fun _ _ ->
+      if !veto then
+        Error (Seed_error.Vetoed { procedure = "guard"; reason = "no" })
+      else Ok ());
+  let d = ok (DB.create_object db ~cls:"D" ~name:"d" ()) in
+  let a = ok (DB.create_object db ~cls:"A" ~name:"a" ()) in
+  let l = ok (DB.create_relationship db ~assoc:"Link" ~endpoints:[ d; a ] ()) in
+  check_ok "allowed" (DB.set_rel_attr db l "Count" (Some (Value.Int 1)));
+  veto := true;
+  check_err "vetoed" is_vetoed (DB.set_rel_attr db l "Count" (Some (Value.Int 2)));
+  Alcotest.(check bool) "rolled back" true
+    (DB.rel_attr db l "Count" = Some (Value.Int 1))
+
+let test_inherited_attr_declarations () =
+  (* attributes declared on a generalized association are available to
+     its specializations *)
+  let schema =
+    Schema.of_defs_exn
+      [ Class_def.v [ "D" ]; Class_def.v [ "A" ] ]
+      [
+        Assoc_def.v
+          ~attrs:[ Assoc_def.attr "Weight" Value_type.Float ]
+          "Link"
+          [ Assoc_def.role "from" "D"; Assoc_def.role "by" "A" ];
+        Assoc_def.v ~super:"Link" "Strong"
+          [ Assoc_def.role "from" "D"; Assoc_def.role "by" "A" ];
+      ]
+  in
+  let db = DB.create schema in
+  let d = ok (DB.create_object db ~cls:"D" ~name:"d" ()) in
+  let a = ok (DB.create_object db ~cls:"A" ~name:"a" ()) in
+  let s = ok (DB.create_relationship db ~assoc:"Strong" ~endpoints:[ d; a ] ()) in
+  check_ok "inherited declaration"
+    (DB.set_rel_attr db s "Weight" (Some (Value.Float 0.5)));
+  (* generalizing keeps it: Weight is declared on the super *)
+  check_ok "generalize with attr" (DB.reclassify db s ~to_:"Link");
+  Alcotest.(check bool) "still there" true
+    (DB.rel_attr db s "Weight" = Some (Value.Float 0.5))
+
+let test_attr_clash_in_schema () =
+  let r =
+    Schema.of_defs
+      [ Class_def.v [ "D" ]; Class_def.v [ "A" ] ]
+      [
+        Assoc_def.v
+          ~attrs:[ Assoc_def.attr "W" Value_type.Int ]
+          "Link"
+          [ Assoc_def.role "from" "D"; Assoc_def.role "by" "A" ];
+        Assoc_def.v ~super:"Link"
+          ~attrs:[ Assoc_def.attr "W" Value_type.Float ]
+          "Strong"
+          [ Assoc_def.role "from" "D"; Assoc_def.role "by" "A" ];
+      ]
+  in
+  check_err "clash"
+    (function Seed_error.Schema_violation _ -> true | _ -> false)
+    r
+
+let test_spades_sets_number_of_writes () =
+  let module S = Spades_tool.Spades in
+  let t = S.create () in
+  let _ = ok (S.note_thing t "Alarms" ()) in
+  let _ = ok (S.note_thing t "Sensor" ()) in
+  let w = ok (S.add_flow t ~data:"Alarms" ~action:"Sensor" S.Writing) in
+  let db = S.db t in
+  Alcotest.(check bool) "defaulted" true
+    (DB.rel_attr db w "NumberOfWrites" = Some (Value.Int 1));
+  Alcotest.(check bool) "implementable" true (S.is_implementable t)
+
+let () =
+  Alcotest.run "rel_attrs"
+    [
+      ( "basics",
+        [
+          tc "set and get" test_set_and_get;
+          tc "types" test_type_checked;
+          tc "undeclared" test_undeclared_refused;
+          tc "objects refused" test_objects_have_no_rel_attrs;
+        ] );
+      ( "semantics",
+        [
+          tc "required = completeness info" test_required_attr_is_completeness_information;
+          tc "attrs pin classification" test_generalizing_with_attr_refused;
+          tc "versioned" test_attrs_versioned;
+          tc "persisted" test_attrs_persisted;
+          tc "veto rollback" test_attr_rollback_on_veto;
+          tc "inherited declarations" test_inherited_attr_declarations;
+          tc "declaration clash" test_attr_clash_in_schema;
+          tc "spades default" test_spades_sets_number_of_writes;
+        ] );
+    ]

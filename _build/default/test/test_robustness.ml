@@ -1,0 +1,374 @@
+(* Edge cases and failure injection across module boundaries. *)
+
+open Seed_util
+open Seed_schema
+open Helpers
+module DB = Seed_core.Database
+module Persist = Seed_core.Persist
+module View = Seed_core.View
+module Store = Seed_storage.Store
+module Server = Seed_server.Server
+module Protocol = Seed_server.Protocol
+
+let tmp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "seed_robust_%d_%d" (Unix.getpid ()) !counter)
+
+(* --- crash consistency ----------------------------------------------- *)
+
+let test_crash_between_compact_steps () =
+  (* Store.compact = write snapshot, then truncate journal. A crash in
+     between leaves a NEW snapshot plus the OLD journal; because journal
+     records are idempotent re-assignments, replaying them over the new
+     snapshot must reproduce the same database. *)
+  let dir = tmp_dir () in
+  let s = ok (Persist.Session.open_ ~dir ~schema:(fig3_schema ()) ()) in
+  let db = Persist.Session.db s in
+  let a = ok (DB.create_object db ~cls:"Data" ~name:"A" ()) in
+  check_ok "flush1" (Persist.Session.flush s);
+  check_ok "reclass" (DB.reclassify db a ~to_:"InputData");
+  check_ok "flush2" (Persist.Session.flush s);
+  (* simulate the crash: write the snapshot but keep the journal *)
+  let snapshot = Persist.encode_db db in
+  check_ok "snapshot written"
+    (Seed_storage.Snapshot_file.write (Filename.concat dir "snapshot.bin") snapshot);
+  Persist.Session.close s;
+  let s2 = ok (Persist.Session.open_ ~dir ()) in
+  let db2 = Persist.Session.db s2 in
+  Alcotest.(check (option string)) "replay is harmless" (Some "InputData")
+    (DB.class_of db2 (Option.get (DB.find_object db2 "A")));
+  Alcotest.(check int) "one object" 1 (DB.object_count db2);
+  Persist.Session.close s2
+
+let test_stale_journal_records_last_wins () =
+  (* many updates to the same item produce many journal records; the
+     last one must win on replay *)
+  let dir = tmp_dir () in
+  let s = ok (Persist.Session.open_ ~dir ~schema:(fig3_schema ()) ()) in
+  let db = Persist.Session.db s in
+  let a = ok (DB.create_object db ~cls:"Data" ~name:"A" ()) in
+  let d = ok (DB.create_sub_object db ~parent:a ~role:"Description" ()) in
+  for i = 1 to 10 do
+    check_ok "set" (DB.set_value db d (Some (Value.String (string_of_int i))));
+    check_ok "flush" (Persist.Session.flush s)
+  done;
+  Persist.Session.close s;
+  let s2 = ok (Persist.Session.open_ ~dir ()) in
+  let db2 = Persist.Session.db s2 in
+  Alcotest.(check bool) "last wins" true
+    (DB.get_value db2 d = Some (Value.String "10"));
+  Persist.Session.close s2
+
+let test_load_verification_catches_tampering () =
+  let dir = tmp_dir () in
+  let db = fresh_db () in
+  (* a relationship whose endpoint class we will corrupt *)
+  let d = ok (DB.create_object db ~cls:"InputData" ~name:"D" ()) in
+  let a = ok (DB.create_object db ~cls:"Action" ~name:"A" ()) in
+  let _ = ok (DB.create_relationship db ~assoc:"Read" ~endpoints:[ d; a ] ()) in
+  (* break the invariant behind the API's back, then save *)
+  let item = Option.get (Seed_core.Db_state.find_item (DB.raw db) d) in
+  (match item.Seed_core.Item.current with
+  | Some (Seed_core.Item.Obj o) ->
+    item.Seed_core.Item.current <-
+      Some (Seed_core.Item.Obj { o with Seed_core.Item.cls = "Action" })
+  | _ -> ());
+  check_ok "save" (Persist.save db ~dir);
+  check_err "verification refuses" is_membership (Persist.load ~dir ());
+  (* but a forced load works for forensics *)
+  check_ok "unverified load"
+    (Result.map (fun _ -> ()) (Persist.load ~verify:false ~dir ()))
+
+(* --- deep version trees ---------------------------------------------- *)
+
+let test_deep_branch_tree () =
+  let db = fresh_db () in
+  let a = ok (DB.create_object db ~cls:"Thing" ~name:"A" ()) in
+  let v1 = ok (DB.create_version db) in
+  check_ok "trunk grows" (DB.rename_object db a "Trunk");
+  let _v2 = ok (DB.create_version db) in
+  (* a chain of 9 nested branches hanging off the historical 1.0 *)
+  let v = ref v1 in
+  for i = 1 to 9 do
+    ok (DB.begin_alternative db ~from_:!v ());
+    check_ok "touch" (DB.rename_object db a (Printf.sprintf "A%d" i));
+    v := ok (DB.create_version db)
+  done;
+  Alcotest.(check string) "deep label" "1.1.1.1.1.1.1.1.1.1"
+    (Version_id.to_string !v);
+  (* every level resolves its own name *)
+  ok (DB.select_version db (Some !v));
+  Alcotest.(check bool) "leaf view" true (DB.find_object db "A9" = Some a);
+  ok (DB.select_version db (Some v1));
+  Alcotest.(check bool) "root view" true (DB.find_object db "A" = Some a);
+  ok (DB.select_version db None);
+  (* the tree survives persistence *)
+  let db2 = ok (Persist.decode_db (Persist.encode_db db)) in
+  Alcotest.(check int) "versions survive" 11 (List.length (DB.versions db2))
+
+let test_many_siblings () =
+  let db = fresh_db () in
+  let a = ok (DB.create_object db ~cls:"Thing" ~name:"A" ()) in
+  let base = ok (DB.create_version db) in
+  check_ok "trunk grows" (DB.rename_object db a "Trunk");
+  let _v2 = ok (DB.create_version db) in
+  (* 1.0 is now historical: deriving from it opens sibling branches *)
+  for i = 1 to 9 do
+    ok (DB.begin_alternative db ~from_:base ~force:true ());
+    check_ok "touch" (DB.rename_object db a (Printf.sprintf "A%d" i));
+    let v = ok (DB.create_version db) in
+    Alcotest.(check string) "sibling label" (Printf.sprintf "1.%d" i)
+      (Version_id.to_string v)
+  done;
+  (* continuing from the latest trunk version extends the trunk *)
+  ok (DB.begin_alternative db ~from_:(Version_id.trunk 2) ~force:true ());
+  check_ok "touch" (DB.rename_object db a "T3");
+  let v3 = ok (DB.create_version db) in
+  Alcotest.(check string) "trunk continues" "3.0" (Version_id.to_string v3)
+
+(* --- pattern name resolution ------------------------------------------ *)
+
+let test_resolve_into_patterns () =
+  let db = fresh_db () in
+  let po = ok (DB.create_object db ~cls:"Data" ~name:"Template" ~pattern:true ()) in
+  let _ =
+    ok
+      (DB.create_sub_object db ~parent:po ~role:"Description"
+         ~value:(Value.String "std") ())
+  in
+  (* the pattern's own composed name resolves (tools need to edit it) *)
+  Alcotest.(check bool) "pattern sub resolvable" true
+    (DB.resolve db "Template.Description" <> None);
+  (* but plain object retrieval does not see it *)
+  Alcotest.(check (option Alcotest.reject)) "find_object blind" None
+    (DB.find_object db "Template")
+
+let test_pattern_rename_propagates_to_inherited_names () =
+  let db = fresh_db () in
+  let po = ok (DB.create_object db ~cls:"Data" ~name:"Template" ~pattern:true ()) in
+  let sub = ok (DB.create_sub_object db ~parent:po ~role:"Description" ~value:(Value.String "s") ()) in
+  let inh = ok (DB.create_object db ~cls:"Data" ~name:"Real" ()) in
+  check_ok "inherit" (DB.inherit_pattern db ~pattern:po ~inheritor:inh);
+  let v = DB.view db in
+  let item = Option.get (Seed_core.Db_state.find_item (DB.raw db) inh) in
+  let kid = Option.get (View.child_v v (View.vitem_real item) ~role:"Description" ()) in
+  Alcotest.(check (option string)) "inherited name" (Some "Real.Description")
+    (View.vitem_name v kid);
+  (* renaming the inheritor renames the view *)
+  check_ok "rename" (DB.rename_object db inh "Realer");
+  Alcotest.(check (option string)) "follows rename" (Some "Realer.Description")
+    (View.vitem_name v kid);
+  ignore sub
+
+(* --- server batches ---------------------------------------------------- *)
+
+let test_batch_creates_and_uses_fresh_objects () =
+  let s = Server.create (fig3_schema ()) in
+  check_ok "empty checkout ok" (Server.checkout s ~client:"alice" ~names:[]);
+  check_ok "whole cluster in one batch"
+    (Server.checkin s ~client:"alice"
+       [
+         Protocol.Create_object { cls = "InputData"; name = "D"; pattern = false };
+         Protocol.Create_object { cls = "Action"; name = "A"; pattern = false };
+         Protocol.Create_rel
+           { assoc = "Read"; endpoints = [ "D"; "A" ]; pattern = false };
+         Protocol.Create_sub
+           { owner = "D"; role = "Description"; index = None;
+             value = Some (Value.String "fresh") };
+       ]);
+  let db = Server.database s in
+  Alcotest.(check int) "two objects" 2 (DB.object_count db);
+  Alcotest.(check bool) "sub exists" true (DB.resolve db "D.Description" <> None)
+
+let test_batch_rename_then_reference () =
+  let s = Server.create (fig3_schema ()) in
+  let db = Server.database s in
+  let _ = ok (DB.create_object db ~cls:"InputData" ~name:"Old" ()) in
+  check_ok "checkout" (Server.checkout s ~client:"alice" ~names:[ "Old" ]);
+  check_ok "rename then use new name"
+    (Server.checkin s ~client:"alice"
+       [
+         Protocol.Rename { name = "Old"; new_name = "New" };
+         Protocol.Create_sub
+           { owner = "New"; role = "Description"; index = None;
+             value = Some (Value.String "renamed") };
+       ]);
+  Alcotest.(check bool) "applied" true (DB.resolve db "New.Description" <> None)
+
+let test_server_rollback_preserves_procedures () =
+  let schema =
+    Schema.of_defs_exn
+      [ Class_def.v ~procedures:[ "p" ] [ "Doc" ] ]
+      []
+  in
+  let s = Server.create schema in
+  let hits = ref 0 in
+  Seed_core.Database.register_procedure (Server.database s) "p" (fun _ _ ->
+      incr hits;
+      Ok ());
+  check_ok "checkout none" (Server.checkout s ~client:"a" ~names:[]);
+  (* second op fails (duplicate), rolling the database back *)
+  check_err "fails" is_duplicate
+    (Server.checkin s ~client:"a"
+       [
+         Protocol.Create_object { cls = "Doc"; name = "X"; pattern = false };
+         Protocol.Create_object { cls = "Doc"; name = "X"; pattern = false };
+       ]);
+  (* procedures survived the snapshot/restore *)
+  check_ok "retry"
+    (Server.checkin s ~client:"a"
+       [ Protocol.Create_object { cls = "Doc"; name = "X"; pattern = false } ]);
+  Alcotest.(check bool) "procedure still registered" true (!hits >= 2)
+
+(* --- attached-procedure reentrancy -------------------------------------- *)
+
+let reentrant_schema () =
+  Schema.of_defs_exn
+    [
+      Class_def.v ~procedures:[ "derive" ] [ "Doc" ];
+      Class_def.v ~card:Cardinality.opt ~content:Value_type.Int
+        [ "Doc"; "Pages" ];
+      Class_def.v ~card:Cardinality.opt ~content:Value_type.String
+        [ "Doc"; "SizeClass" ];
+    ]
+    []
+
+let test_procedure_performs_derived_update () =
+  (* the paper's "complex integrity constraints": a procedure keeps a
+     derived attribute in sync with a stored one *)
+  let db = DB.create (reentrant_schema ()) in
+  DB.register_procedure db "derive" (fun st e ->
+      let ddb = Seed_core.Database.of_raw st in
+      match e with
+      | Seed_core.Event.Value_updated { id; _ } -> (
+        match DB.get_value ddb id with
+        | Some (Value.Int n) -> (
+          (* only react to Pages updates *)
+          match DB.full_name ddb id with
+          | Some name when Filename.check_suffix name ".Pages" |> not -> Ok ()
+          | _ ->
+            let doc =
+              match Seed_core.Db_state.find_item st id with
+              | Some { Seed_core.Item.body = Seed_core.Item.Dependent { parent; _ }; _ } ->
+                parent
+              | _ -> id
+            in
+            let label = if n > 100 then "long" else "short" in
+            let set target =
+              DB.set_value ddb target (Some (Value.String label))
+            in
+            (match DB.resolve ddb (Option.get (DB.full_name ddb doc) ^ ".SizeClass") with
+            | Some sc -> set sc
+            | None ->
+              Result.map (fun _ -> ())
+                (DB.create_sub_object ddb ~parent:doc ~role:"SizeClass"
+                   ~value:(Value.String label) ())))
+        | _ -> Ok ())
+      | _ -> Ok ());
+  let doc = ok (DB.create_object db ~cls:"Doc" ~name:"Spec" ()) in
+  let pages = ok (DB.create_sub_object db ~parent:doc ~role:"Pages" ()) in
+  check_ok "set pages" (DB.set_value db pages (Some (Value.Int 250)));
+  Alcotest.(check bool) "derived" true
+    (match DB.resolve db "Spec.SizeClass" with
+    | Some sc -> DB.get_value db sc = Some (Value.String "long")
+    | None -> false);
+  check_ok "shrink" (DB.set_value db pages (Some (Value.Int 10)));
+  Alcotest.(check bool) "re-derived" true
+    (match DB.resolve db "Spec.SizeClass" with
+    | Some sc -> DB.get_value db sc = Some (Value.String "short")
+    | None -> false)
+
+let test_procedure_recursion_guard () =
+  (* a procedure that re-triggers itself forever is cut off by the
+     nesting guard and the whole update rolls back *)
+  let db = DB.create (reentrant_schema ()) in
+  let n = ref 0 in
+  DB.register_procedure db "derive" (fun st _ ->
+      incr n;
+      let ddb = Seed_core.Database.of_raw st in
+      Result.map
+        (fun _ -> ())
+        (DB.create_object ddb ~cls:"Doc" ~name:(Printf.sprintf "spawn%d" !n) ()))
+  ;
+  check_err "cut off"
+    (function Seed_error.Invalid_operation _ -> true | _ -> false)
+    (DB.create_object db ~cls:"Doc" ~name:"Doc0" ());
+  Alcotest.(check bool) "bounded" true (!n <= 32)
+
+(* --- miscellaneous ------------------------------------------------------ *)
+
+let test_uninherit_then_delete_pattern_subtree () =
+  let db = fresh_db () in
+  let po = ok (DB.create_object db ~cls:"Data" ~name:"P" ~pattern:true ()) in
+  let _ = ok (DB.create_sub_object db ~parent:po ~role:"Description" ~value:(Value.String "x") ()) in
+  let o = ok (DB.create_object db ~cls:"Data" ~name:"O" ()) in
+  check_ok "inherit" (DB.inherit_pattern db ~pattern:po ~inheritor:o);
+  check_ok "uninherit" (DB.uninherit_pattern db ~pattern:po ~inheritor:o);
+  check_ok "delete pattern" (DB.delete db po);
+  (* the former inheritor is unaffected and consistent *)
+  Alcotest.(check bool) "object intact" true (DB.exists db o);
+  check_ok "sweep"
+    (Seed_core.Consistency.check_database (View.current (DB.raw db)))
+
+let test_delete_inheritor_keeps_pattern () =
+  let db = fresh_db () in
+  let po = ok (DB.create_object db ~cls:"Data" ~name:"P" ~pattern:true ()) in
+  let o = ok (DB.create_object db ~cls:"Data" ~name:"O" ()) in
+  check_ok "inherit" (DB.inherit_pattern db ~pattern:po ~inheritor:o);
+  check_ok "delete inheritor" (DB.delete db o);
+  Alcotest.(check (list Alcotest.reject)) "no inheritors left" []
+    (DB.inheritors db po);
+  (* pattern is now deletable *)
+  check_ok "delete pattern" (DB.delete db po)
+
+let test_reuse_name_after_delete_in_new_version () =
+  let db = fresh_db () in
+  let a = ok (DB.create_object db ~cls:"Data" ~name:"X" ()) in
+  let v1 = ok (DB.create_version db) in
+  ok (DB.delete db a);
+  let b = ok (DB.create_object db ~cls:"Action" ~name:"X" ()) in
+  let _v2 = ok (DB.create_version db) in
+  (* both versions resolve "X" to the item that was live then *)
+  ok (DB.select_version db (Some v1));
+  Alcotest.(check bool) "v1 X is data" true (DB.find_object db "X" = Some a);
+  ok (DB.select_version db None);
+  Alcotest.(check bool) "current X is action" true (DB.find_object db "X" = Some b)
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "crash consistency",
+        [
+          tc "compact interrupted" test_crash_between_compact_steps;
+          tc "last record wins" test_stale_journal_records_last_wins;
+          tc "verification on load" test_load_verification_catches_tampering;
+        ] );
+      ( "version trees",
+        [
+          tc "deep branches" test_deep_branch_tree;
+          tc "many siblings" test_many_siblings;
+          tc "name reuse across versions" test_reuse_name_after_delete_in_new_version;
+        ] );
+      ( "patterns",
+        [
+          tc "resolution into patterns" test_resolve_into_patterns;
+          tc "renames propagate" test_pattern_rename_propagates_to_inherited_names;
+          tc "uninherit then delete" test_uninherit_then_delete_pattern_subtree;
+          tc "delete inheritor" test_delete_inheritor_keeps_pattern;
+        ] );
+      ( "procedure reentrancy",
+        [
+          tc "derived updates" test_procedure_performs_derived_update;
+          tc "recursion guard" test_procedure_recursion_guard;
+        ] );
+      ( "server batches",
+        [
+          tc "fresh objects in one batch" test_batch_creates_and_uses_fresh_objects;
+          tc "rename then reference" test_batch_rename_then_reference;
+          tc "rollback keeps procedures" test_server_rollback_preserves_procedures;
+        ] );
+    ]

@@ -1,0 +1,214 @@
+(* The multi-user sketch: central server, write locks, single-transaction
+   check-in (paper, §Discussion / open problems). *)
+
+open Seed_util
+open Helpers
+module Server = Seed_server.Server
+module Client = Seed_server.Client
+module Protocol = Seed_server.Protocol
+module DB = Seed_core.Database
+
+let schema () = fig3_schema ()
+
+let with_seeded_server () =
+  let s = Server.create (schema ()) in
+  let db = Server.database s in
+  let _ = ok (DB.create_object db ~cls:"Data" ~name:"Alarms" ()) in
+  let _ = ok (DB.create_object db ~cls:"Action" ~name:"Handler" ()) in
+  s
+
+let test_checkout_locks () =
+  let s = with_seeded_server () in
+  check_ok "alice" (Server.checkout s ~client:"alice" ~names:[ "Alarms" ]);
+  Alcotest.(check (list string)) "alice holds" [ "Alarms" ]
+    (Server.locked_by s ~client:"alice");
+  check_err "bob blocked"
+    (function Seed_error.Locked _ -> true | _ -> false)
+    (Server.checkout s ~client:"bob" ~names:[ "Alarms" ]);
+  (* disjoint checkout fine *)
+  check_ok "bob other" (Server.checkout s ~client:"bob" ~names:[ "Handler" ]);
+  (* all-or-nothing: overlapping set acquires nothing *)
+  check_err "partial conflict"
+    (function Seed_error.Locked _ -> true | _ -> false)
+    (Server.checkout s ~client:"bob" ~names:[ "Handler"; "Alarms" ]);
+  Server.release s ~client:"alice";
+  check_ok "bob after release" (Server.checkout s ~client:"bob" ~names:[ "Alarms" ])
+
+let test_checkout_requires_existing () =
+  let s = with_seeded_server () in
+  check_err "ghost"
+    (function Seed_error.Unknown_object _ -> true | _ -> false)
+    (Server.checkout s ~client:"alice" ~names:[ "Ghost" ])
+
+let test_checkin_requires_locks () =
+  let s = with_seeded_server () in
+  check_err "unlocked write"
+    (function Seed_error.Invalid_operation _ -> true | _ -> false)
+    (Server.checkin s ~client:"alice"
+       [ Protocol.Reclassify_obj { name = "Alarms"; to_ = "InputData" } ])
+
+let test_checkin_applies_and_releases () =
+  let s = with_seeded_server () in
+  check_ok "checkout" (Server.checkout s ~client:"alice" ~names:[ "Alarms"; "Handler" ]);
+  check_ok "checkin"
+    (Server.checkin s ~client:"alice"
+       [
+         Protocol.Reclassify_obj { name = "Alarms"; to_ = "InputData" };
+         Protocol.Create_rel
+           { assoc = "Read"; endpoints = [ "Alarms"; "Handler" ]; pattern = false };
+         Protocol.Create_sub
+           {
+             owner = "Alarms";
+             role = "Description";
+             index = None;
+             value = Some (Seed_schema.Value.String "checked in");
+           };
+       ]);
+  let db = Server.database s in
+  let alarms = Option.get (DB.find_object db "Alarms") in
+  Alcotest.(check (option string)) "applied" (Some "InputData") (DB.class_of db alarms);
+  Alcotest.(check int) "rel there" 1 (List.length (DB.relationships db alarms));
+  Alcotest.(check (list string)) "locks released" []
+    (Server.locked_by s ~client:"alice");
+  Alcotest.(check int) "counted" 1 (Server.checkin_count s)
+
+let test_checkin_is_atomic () =
+  let s = with_seeded_server () in
+  check_ok "checkout" (Server.checkout s ~client:"alice" ~names:[ "Alarms"; "Handler" ]);
+  (* second op fails (Read needs InputData); first must be rolled back *)
+  check_err "fails"
+    (function Seed_error.Membership_violation _ -> true | _ -> false)
+    (Server.checkin s ~client:"alice"
+       [
+         Protocol.Rename { name = "Alarms"; new_name = "Alerts" };
+         Protocol.Create_rel
+           { assoc = "Read"; endpoints = [ "Alerts"; "Handler" ]; pattern = false };
+       ]);
+  let db = Server.database s in
+  Alcotest.(check bool) "rename rolled back" true (DB.find_object db "Alarms" <> None);
+  Alcotest.(check (option Alcotest.reject)) "no Alerts" None (DB.find_object db "Alerts");
+  (* locks kept so the client can amend and retry *)
+  Alcotest.(check bool) "locks kept" true (Server.locked_by s ~client:"alice" <> []);
+  check_ok "retry"
+    (Server.checkin s ~client:"alice"
+       [
+         Protocol.Reclassify_obj { name = "Alarms"; to_ = "InputData" };
+         Protocol.Rename { name = "Alarms"; new_name = "Alerts" };
+         Protocol.Create_rel
+           { assoc = "Read"; endpoints = [ "Alerts"; "Handler" ]; pattern = false };
+       ]);
+  Alcotest.(check bool) "applied after retry" true (DB.find_object db "Alerts" <> None)
+
+let test_two_clients_disjoint_edits () =
+  let s = with_seeded_server () in
+  let db = Server.database s in
+  let _ = ok (DB.create_object db ~cls:"Data" ~name:"Config" ()) in
+  check_ok "alice" (Server.checkout s ~client:"alice" ~names:[ "Alarms" ]);
+  check_ok "bob" (Server.checkout s ~client:"bob" ~names:[ "Config" ]);
+  check_ok "alice in"
+    (Server.checkin s ~client:"alice"
+       [ Protocol.Reclassify_obj { name = "Alarms"; to_ = "OutputData" } ]);
+  check_ok "bob in"
+    (Server.checkin s ~client:"bob"
+       [ Protocol.Reclassify_obj { name = "Config"; to_ = "InputData" } ]);
+  Alcotest.(check (option string)) "alice's edit" (Some "OutputData")
+    (DB.class_of db (Option.get (DB.find_object db "Alarms")));
+  Alcotest.(check (option string)) "bob's edit" (Some "InputData")
+    (DB.class_of db (Option.get (DB.find_object db "Config")))
+
+let test_client_api () =
+  let s = with_seeded_server () in
+  let alice = Client.connect s ~name:"alice" in
+  check_ok "checkout" (Client.checkout alice [ "Alarms" ]);
+  Client.stage alice (Protocol.Reclassify_obj { name = "Alarms"; to_ = "Data" });
+  Client.stage alice
+    (Protocol.Create_sub
+       { owner = "Alarms"; role = "Keywords"; index = None;
+         value = Some (Seed_schema.Value.String "alarm") });
+  Alcotest.(check int) "staged" 2 (List.length (Client.staged alice));
+  check_ok "commit" (Client.commit alice);
+  Alcotest.(check int) "queue cleared" 0 (List.length (Client.staged alice));
+  Alcotest.(check bool) "visible" true (Client.retrieve alice "Alarms" <> None)
+
+let test_client_abort () =
+  let s = with_seeded_server () in
+  let alice = Client.connect s ~name:"alice" in
+  check_ok "checkout" (Client.checkout alice [ "Alarms" ]);
+  Client.stage alice (Protocol.Delete { path = "Alarms" });
+  Client.abort alice;
+  Alcotest.(check int) "queue dropped" 0 (List.length (Client.staged alice));
+  Alcotest.(check (list string)) "locks released" []
+    (Server.locked_by s ~client:"alice");
+  let db = Server.database s in
+  Alcotest.(check bool) "nothing applied" true (DB.find_object db "Alarms" <> None)
+
+let test_versions_server_controlled () =
+  let s = with_seeded_server () in
+  let v1 = ok (Server.create_version s) in
+  Alcotest.(check string) "1.0" "1.0" (Version_id.to_string v1);
+  check_ok "checkout" (Server.checkout s ~client:"alice" ~names:[ "Alarms" ]);
+  check_ok "edit"
+    (Server.checkin s ~client:"alice"
+       [ Protocol.Reclassify_obj { name = "Alarms"; to_ = "OutputData" } ]);
+  let v2 = ok (Server.create_version s) in
+  Alcotest.(check string) "2.0" "2.0" (Version_id.to_string v2);
+  (* the old version is still retrievable through the server's database *)
+  let db = Server.database s in
+  ok (DB.select_version db (Some v1));
+  Alcotest.(check (option string)) "old state" (Some "Data")
+    (DB.class_of db (Option.get (DB.find_object db "Alarms")));
+  ok (DB.select_version db None)
+
+let test_pattern_ops_through_protocol () =
+  let s = Server.create (schema ()) in
+  let db = Server.database s in
+  let _ = ok (DB.create_object db ~cls:"Data" ~name:"Template" ~pattern:true ()) in
+  let _ = ok (DB.create_object db ~cls:"Data" ~name:"Instance" ()) in
+  check_ok "checkout" (Server.checkout s ~client:"alice" ~names:[ "Template"; "Instance" ]);
+  check_ok "inherit via protocol"
+    (Server.checkin s ~client:"alice"
+       [ Protocol.Inherit { pattern = "Template"; inheritor = "Instance" } ]);
+  let p = Option.get (DB.find_pattern db "Template") in
+  Alcotest.(check int) "inherited" 1 (List.length (DB.inheritors db p))
+
+let test_protocol_printing () =
+  List.iter
+    (fun op ->
+      Alcotest.(check bool) "printable" true
+        (String.length (Fmt.str "%a" Protocol.pp op) > 0))
+    [
+      Protocol.Create_object { cls = "Data"; name = "X"; pattern = true };
+      Protocol.Create_sub { owner = "X"; role = "r"; index = Some 1; value = None };
+      Protocol.Create_rel { assoc = "A"; endpoints = [ "X"; "Y" ]; pattern = false };
+      Protocol.Set_value { path = "X.r"; value = None };
+      Protocol.Rename { name = "X"; new_name = "Y" };
+      Protocol.Reclassify_obj { name = "X"; to_ = "Data" };
+      Protocol.Reclassify_rel { assoc = "A"; endpoints = [ "X"; "Y" ]; to_ = "B" };
+      Protocol.Delete { path = "X" };
+      Protocol.Inherit { pattern = "P"; inheritor = "X" };
+    ]
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "locks",
+        [
+          tc "checkout" test_checkout_locks;
+          tc "existence" test_checkout_requires_existing;
+          tc "checkin needs locks" test_checkin_requires_locks;
+        ] );
+      ( "transactions",
+        [
+          tc "apply and release" test_checkin_applies_and_releases;
+          tc "atomic rollback" test_checkin_is_atomic;
+          tc "disjoint clients" test_two_clients_disjoint_edits;
+        ] );
+      ( "clients",
+        [ tc "stage and commit" test_client_api; tc "abort" test_client_abort ] );
+      ( "server features",
+        [
+          tc "global versions" test_versions_server_controlled;
+          tc "patterns via protocol" test_pattern_ops_through_protocol;
+          tc "protocol printing" test_protocol_printing;
+        ] );
+    ]

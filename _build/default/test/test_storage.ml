@@ -1,0 +1,386 @@
+open Seed_storage
+open Helpers
+
+let tmp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "seed_test_%d_%d" (Unix.getpid ()) !counter)
+    in
+    if Sys.file_exists dir then () else Unix.mkdir dir 0o755;
+    dir
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_crc_known_vectors () =
+  (* standard IEEE CRC-32 check value *)
+  Alcotest.(check int32) "123456789" 0xCBF43926l (Crc32.digest "123456789");
+  Alcotest.(check int32) "empty" 0l (Crc32.digest "");
+  Alcotest.(check int32) "a" 0xE8B7BE43l (Crc32.digest "a")
+
+let test_crc_sub () =
+  let b = Bytes.of_string "xx123456789yy" in
+  Alcotest.(check int32) "slice" 0xCBF43926l (Crc32.digest_sub b ~pos:2 ~len:9);
+  Alcotest.check_raises "oob" (Invalid_argument "Crc32.digest_sub") (fun () ->
+      ignore (Crc32.digest_sub b ~pos:10 ~len:10))
+
+let prop_crc_detects_flip =
+  qcheck_case "crc differs after byte flip"
+    QCheck2.Gen.(string_size (int_range 1 64))
+    (fun s ->
+      let b = Bytes.of_string s in
+      let i = String.length s / 2 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5a));
+      Crc32.digest s <> Crc32.digest (Bytes.to_string b))
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_codec_primitives () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.u8 w 255;
+  Codec.Writer.varint w (-123456);
+  Codec.Writer.varint w max_int;
+  Codec.Writer.varint w min_int;
+  Codec.Writer.i64 w 0x0123456789ABCDEFL;
+  Codec.Writer.float w 3.14159;
+  Codec.Writer.bool w true;
+  Codec.Writer.string w "hello";
+  Codec.Writer.option w Codec.Writer.string None;
+  Codec.Writer.option w Codec.Writer.string (Some "x");
+  Codec.Writer.list w Codec.Writer.varint [ 1; 2; 3 ];
+  let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+  Alcotest.(check int) "u8" 255 (ok (Codec.Reader.u8 r));
+  Alcotest.(check int) "varint neg" (-123456) (ok (Codec.Reader.varint r));
+  Alcotest.(check int) "varint max" max_int (ok (Codec.Reader.varint r));
+  Alcotest.(check int) "varint min" min_int (ok (Codec.Reader.varint r));
+  Alcotest.(check int64) "i64" 0x0123456789ABCDEFL (ok (Codec.Reader.i64 r));
+  Alcotest.(check (float 0.0)) "float" 3.14159 (ok (Codec.Reader.float r));
+  Alcotest.(check bool) "bool" true (ok (Codec.Reader.bool r));
+  Alcotest.(check string) "string" "hello" (ok (Codec.Reader.string r));
+  Alcotest.(check (option string)) "none" None (ok (Codec.Reader.option r Codec.Reader.string));
+  Alcotest.(check (option string)) "some" (Some "x")
+    (ok (Codec.Reader.option r Codec.Reader.string));
+  Alcotest.(check (list int)) "list" [ 1; 2; 3 ]
+    (ok (Codec.Reader.list r Codec.Reader.varint));
+  check_ok "end" (Codec.Reader.expect_end r)
+
+let test_codec_truncation () =
+  let w = Codec.Writer.create () in
+  Codec.Writer.string w "hello world";
+  let payload = Codec.Writer.contents w in
+  let truncated = String.sub payload 0 (String.length payload - 3) in
+  let r = Codec.Reader.of_string truncated in
+  check_err "truncated"
+    (function Seed_util.Seed_error.Corrupt _ -> true | _ -> false)
+    (Codec.Reader.string r)
+
+let test_codec_trailing () =
+  let r = Codec.Reader.of_string "xx" in
+  check_err "trailing"
+    (function Seed_util.Seed_error.Corrupt _ -> true | _ -> false)
+    (Codec.Reader.expect_end r)
+
+let test_codec_bad_tags () =
+  let r = Codec.Reader.of_string "\x07" in
+  check_err "bad option tag" (fun _ -> true)
+    (Codec.Reader.option r Codec.Reader.u8);
+  let r = Codec.Reader.of_string "\x07" in
+  check_err "bad bool" (fun _ -> true) (Codec.Reader.bool r)
+
+let prop_codec_varint =
+  qcheck_case "varint roundtrip" QCheck2.Gen.int (fun n ->
+      let w = Codec.Writer.create () in
+      Codec.Writer.varint w n;
+      let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+      ok (Codec.Reader.varint r) = n && Codec.Reader.at_end r)
+
+let prop_codec_string =
+  qcheck_case "string roundtrip" QCheck2.Gen.string (fun s ->
+      let w = Codec.Writer.create () in
+      Codec.Writer.string w s;
+      let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+      String.equal (ok (Codec.Reader.string r)) s)
+
+let prop_codec_float =
+  qcheck_case "float roundtrip" QCheck2.Gen.float (fun f ->
+      let w = Codec.Writer.create () in
+      Codec.Writer.float w f;
+      let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+      let g = ok (Codec.Reader.float r) in
+      Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float g))
+
+(* ------------------------------------------------------------------ *)
+(* B-tree                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module BT = Btree.Make (Int)
+module IM = Map.Make (Int)
+
+let test_btree_basic () =
+  let t = BT.create () in
+  Alcotest.(check bool) "empty" true (BT.is_empty t);
+  BT.insert t 1 "a";
+  BT.insert t 2 "b";
+  BT.insert t 1 "a2";
+  Alcotest.(check int) "length counts replace once" 2 (BT.length t);
+  Alcotest.(check (option string)) "find" (Some "a2") (BT.find t 1);
+  Alcotest.(check bool) "mem" true (BT.mem t 2);
+  Alcotest.(check bool) "remove" true (BT.remove t 1);
+  Alcotest.(check bool) "remove gone" false (BT.remove t 1);
+  Alcotest.(check int) "length" 1 (BT.length t)
+
+let test_btree_ordered_iteration () =
+  let t = BT.create () in
+  let keys = [ 5; 3; 9; 1; 7; 2; 8; 4; 6; 0 ] in
+  List.iter (fun k -> BT.insert t k (string_of_int k)) keys;
+  let collected = List.map fst (BT.to_list t) in
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] collected;
+  Alcotest.(check (option (pair int string))) "min" (Some (0, "0")) (BT.min_binding t);
+  Alcotest.(check (option (pair int string))) "max" (Some (9, "9")) (BT.max_binding t)
+
+let test_btree_large_sequential () =
+  let t = BT.create () in
+  for i = 1 to 5000 do
+    BT.insert t i i
+  done;
+  Alcotest.(check int) "length" 5000 (BT.length t);
+  Alcotest.(check bool) "invariants" true (BT.invariants_ok t);
+  for i = 1 to 5000 do
+    if BT.find t i <> Some i then Alcotest.failf "missing %d" i
+  done;
+  (* delete odd keys *)
+  for i = 1 to 5000 do
+    if i mod 2 = 1 then ignore (BT.remove t i)
+  done;
+  Alcotest.(check int) "half left" 2500 (BT.length t);
+  Alcotest.(check bool) "invariants after delete" true (BT.invariants_ok t);
+  Alcotest.(check (option int)) "odd gone" None (BT.find t 4999);
+  Alcotest.(check (option int)) "even kept" (Some 4998) (BT.find t 4998)
+
+let test_btree_range () =
+  let t = BT.create () in
+  for i = 0 to 99 do
+    BT.insert t i (i * 10)
+  done;
+  let seen = ref [] in
+  BT.iter_range ~lo:10 ~hi:15 (fun k _ -> seen := k :: !seen) t;
+  Alcotest.(check (list int)) "range" [ 10; 11; 12; 13; 14; 15 ] (List.rev !seen);
+  let seen = ref [] in
+  BT.iter_range ~hi:2 (fun k _ -> seen := k :: !seen) t;
+  Alcotest.(check (list int)) "open lo" [ 0; 1; 2 ] (List.rev !seen);
+  let seen = ref [] in
+  BT.iter_range ~lo:97 (fun k _ -> seen := k :: !seen) t;
+  Alcotest.(check (list int)) "open hi" [ 97; 98; 99 ] (List.rev !seen)
+
+let btree_ops_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 400)
+      (oneof
+         [
+           map (fun k -> `Insert k) (int_range 0 100);
+           map (fun k -> `Remove k) (int_range 0 100);
+         ]))
+
+let prop_btree_vs_map =
+  qcheck_case ~count:300 "btree agrees with Map" btree_ops_gen (fun ops ->
+      let t = BT.create () in
+      let m = ref IM.empty in
+      List.iter
+        (function
+          | `Insert k ->
+            BT.insert t k k;
+            m := IM.add k k !m
+          | `Remove k ->
+            ignore (BT.remove t k);
+            m := IM.remove k !m)
+        ops;
+      BT.invariants_ok t
+      && BT.length t = IM.cardinal !m
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> k1 = k2 && v1 = v2)
+           (BT.to_list t) (IM.bindings !m))
+
+let prop_btree_fold =
+  qcheck_case "fold visits ascending"
+    QCheck2.Gen.(list_size (int_range 0 200) (int_range 0 1000))
+    (fun keys ->
+      let t = BT.create () in
+      List.iter (fun k -> BT.insert t k ()) keys;
+      let collected = List.rev (BT.fold (fun k () acc -> k :: acc) t []) in
+      collected = List.sort_uniq Int.compare keys)
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_journal_roundtrip () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "j.log" in
+  let j = ok (Journal.open_ path) in
+  check_ok "a" (Journal.append j "alpha");
+  check_ok "b" (Journal.append j "beta");
+  check_ok "sync" (Journal.sync j);
+  Journal.close j;
+  Alcotest.(check (list string)) "read" [ "alpha"; "beta" ] (ok (Journal.read_all path));
+  (* appending after reopen preserves earlier records *)
+  let j = ok (Journal.open_ path) in
+  check_ok "c" (Journal.append j "gamma");
+  Journal.close j;
+  Alcotest.(check (list string)) "read 3" [ "alpha"; "beta"; "gamma" ]
+    (ok (Journal.read_all path))
+
+let test_journal_missing_file () =
+  let dir = tmp_dir () in
+  Alcotest.(check (list string)) "missing" []
+    (ok (Journal.read_all (Filename.concat dir "absent.log")))
+
+let test_journal_torn_tail () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "j.log" in
+  let j = ok (Journal.open_ path) in
+  check_ok "a" (Journal.append j "alpha");
+  check_ok "b" (Journal.append j "beta");
+  Journal.close j;
+  (* cut the file mid-record *)
+  let size = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd (size - 3);
+  Unix.close fd;
+  Alcotest.(check (list string)) "intact prefix" [ "alpha" ] (ok (Journal.read_all path));
+  check_err "strict fails"
+    (function Seed_util.Seed_error.Corrupt _ -> true | _ -> false)
+    (Journal.read_all_strict path)
+
+let test_journal_corrupt_payload () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "j.log" in
+  let j = ok (Journal.open_ path) in
+  check_ok "a" (Journal.append j "alpha");
+  check_ok "b" (Journal.append j "beta");
+  Journal.close j;
+  (* flip a byte inside the second record's payload *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  let first_record = 12 + 5 in
+  ignore (Unix.lseek fd (first_record + 12 + 1) Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "X") 0 1);
+  Unix.close fd;
+  Alcotest.(check (list string)) "crc cut" [ "alpha" ] (ok (Journal.read_all path))
+
+let test_journal_truncate () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "j.log" in
+  let j = ok (Journal.open_ path) in
+  check_ok "a" (Journal.append j "alpha");
+  Journal.close j;
+  check_ok "truncate" (Journal.truncate path);
+  Alcotest.(check (list string)) "empty" [] (ok (Journal.read_all path))
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_roundtrip () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "s.bin" in
+  Alcotest.(check (option string)) "missing" None (ok (Snapshot_file.read path));
+  check_ok "write" (Snapshot_file.write path "payload");
+  Alcotest.(check (option string)) "read" (Some "payload") (ok (Snapshot_file.read path));
+  check_ok "overwrite" (Snapshot_file.write path "payload2");
+  Alcotest.(check (option string)) "read2" (Some "payload2") (ok (Snapshot_file.read path))
+
+let test_snapshot_corrupt () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "s.bin" in
+  check_ok "write" (Snapshot_file.write path "payload");
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd 14 Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "!") 0 1);
+  Unix.close fd;
+  check_err "corrupt"
+    (function Seed_util.Seed_error.Corrupt _ -> true | _ -> false)
+    (Snapshot_file.read path)
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_lifecycle () =
+  let dir = tmp_dir () in
+  let store, snap, records = ok (Store.open_dir dir) in
+  Alcotest.(check (option string)) "fresh snapshot" None snap;
+  Alcotest.(check (list string)) "fresh journal" [] records;
+  check_ok "r1" (Store.append store "r1");
+  check_ok "r2" (Store.append store "r2");
+  Alcotest.(check int) "journal size" 2 (Store.journal_size store);
+  Store.close store;
+  let store, snap, records = ok (Store.open_dir dir) in
+  Alcotest.(check (option string)) "still no snapshot" None snap;
+  Alcotest.(check (list string)) "recovered" [ "r1"; "r2" ] records;
+  check_ok "compact" (Store.compact store ~snapshot:"SNAP");
+  Alcotest.(check int) "journal emptied" 0 (Store.journal_size store);
+  check_ok "r3" (Store.append store "r3");
+  Store.close store;
+  let store, snap, records = ok (Store.open_dir dir) in
+  Alcotest.(check (option string)) "snapshot" (Some "SNAP") snap;
+  Alcotest.(check (list string)) "tail" [ "r3" ] records;
+  Store.close store
+
+let test_store_append_after_close_fails () =
+  let dir = tmp_dir () in
+  let store, _, _ = ok (Store.open_dir dir) in
+  Store.close store;
+  check_err "closed"
+    (function Seed_util.Seed_error.Io_error _ -> true | _ -> false)
+    (Store.append store "x")
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "crc32",
+        [
+          tc "known vectors" test_crc_known_vectors;
+          tc "slices" test_crc_sub;
+          prop_crc_detects_flip;
+        ] );
+      ( "codec",
+        [
+          tc "primitives" test_codec_primitives;
+          tc "truncation" test_codec_truncation;
+          tc "trailing bytes" test_codec_trailing;
+          tc "bad tags" test_codec_bad_tags;
+          prop_codec_varint;
+          prop_codec_string;
+          prop_codec_float;
+        ] );
+      ( "btree",
+        [
+          tc "basic" test_btree_basic;
+          tc "ordered iteration" test_btree_ordered_iteration;
+          tc "large sequential" test_btree_large_sequential;
+          tc "range scans" test_btree_range;
+          prop_btree_vs_map;
+          prop_btree_fold;
+        ] );
+      ( "journal",
+        [
+          tc "roundtrip" test_journal_roundtrip;
+          tc "missing file" test_journal_missing_file;
+          tc "torn tail recovery" test_journal_torn_tail;
+          tc "corrupt payload" test_journal_corrupt_payload;
+          tc "truncate" test_journal_truncate;
+        ] );
+      ( "snapshot",
+        [ tc "roundtrip" test_snapshot_roundtrip; tc "corrupt" test_snapshot_corrupt ] );
+      ( "store",
+        [
+          tc "lifecycle" test_store_lifecycle;
+          tc "closed store" test_store_append_after_close_fails;
+        ] );
+    ]

@@ -1,0 +1,238 @@
+open Seed_util
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Path                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let path_roundtrip s () =
+  let p = Path.of_string_exn s in
+  Alcotest.(check string) "roundtrip" s (Path.to_string p)
+
+let test_path_parse_simple () =
+  let p = Path.of_string_exn "Alarms" in
+  Alcotest.(check int) "depth" 1 (Path.depth p);
+  Alcotest.(check bool) "root" true (Path.is_root p);
+  Alcotest.(check string) "basename" "Alarms" (Path.basename p)
+
+let test_path_parse_nested () =
+  let p = Path.of_string_exn "Alarms.Text.Body.Keywords[1]" in
+  Alcotest.(check int) "depth" 4 (Path.depth p);
+  Alcotest.(check string) "basename" "Keywords" (Path.basename p);
+  let last = Path.last p in
+  Alcotest.(check (option int)) "index" (Some 1) last.Path.index
+
+let test_path_parent () =
+  let p = Path.of_string_exn "A.B.C" in
+  let parent = Option.get (Path.parent p) in
+  Alcotest.(check string) "parent" "A.B" (Path.to_string parent);
+  Alcotest.(check (option reject)) "root has no parent" None
+    (Path.parent (Path.root "A"))
+
+let test_path_child () =
+  let p = Path.child ~index:3 (Path.root "A") "Kw" in
+  Alcotest.(check string) "child" "A.Kw[3]" (Path.to_string p)
+
+let test_path_bad () =
+  let bad s =
+    check_err s (function Seed_error.Invalid_operation _ -> true | _ -> false)
+      (Path.of_string s)
+  in
+  bad "";
+  bad "A..B";
+  bad "A.";
+  bad ".A";
+  bad "A[";
+  bad "A[x]";
+  bad "A[-1]";
+  bad "A[1";
+  bad "A]b"
+
+let test_path_class_path () =
+  let p = Path.of_string_exn "Alarms.Text[2].Body" in
+  Alcotest.(check string) "class path" "Alarms.Text.Body"
+    (Path.class_path_string p)
+
+let test_path_prefix () =
+  let p = Path.of_string_exn "A.B" and q = Path.of_string_exn "A.B.C" in
+  Alcotest.(check bool) "prefix" true (Path.is_prefix p q);
+  Alcotest.(check bool) "not prefix" false (Path.is_prefix q p);
+  Alcotest.(check bool) "self" true (Path.is_prefix p p)
+
+let test_path_compare () =
+  let a = Path.of_string_exn "A.B" and b = Path.of_string_exn "A.C" in
+  Alcotest.(check bool) "lt" true (Path.compare a b < 0);
+  Alcotest.(check bool) "eq" true (Path.compare a a = 0);
+  let i1 = Path.of_string_exn "A.K[1]" and i2 = Path.of_string_exn "A.K[2]" in
+  Alcotest.(check bool) "index order" true (Path.compare i1 i2 < 0)
+
+let path_gen =
+  let open QCheck2.Gen in
+  let component =
+    let* name = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+    let* index = opt (int_range 0 99) in
+    return { Path.name; index }
+  in
+  list_size (int_range 1 5) component
+
+let prop_path_roundtrip =
+  qcheck_case "path to_string/of_string roundtrip" path_gen (fun p ->
+      Path.equal p (Path.of_string_exn (Path.to_string p)))
+
+(* ------------------------------------------------------------------ *)
+(* Version_id                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_vid_trunk () =
+  let v = Version_id.trunk 3 in
+  Alcotest.(check string) "print" "3.0" (Version_id.to_string v);
+  Alcotest.(check bool) "trunk" true (Version_id.is_trunk v);
+  Alcotest.(check int) "major" 3 (Version_id.major v)
+
+let test_vid_child () =
+  let v = Version_id.trunk 1 in
+  let b1 = Version_id.child v 1 in
+  Alcotest.(check string) "branch" "1.1" (Version_id.to_string b1);
+  Alcotest.(check bool) "branch not trunk" false (Version_id.is_trunk b1);
+  let b11 = Version_id.child b1 1 in
+  Alcotest.(check string) "nested branch" "1.1.1" (Version_id.to_string b11)
+
+let test_vid_parse () =
+  let v = Version_id.of_string_exn "2.0" in
+  Alcotest.(check bool) "eq" true (Version_id.equal v (Version_id.trunk 2));
+  check_err "empty" (fun _ -> true) (Version_id.of_string "");
+  check_err "alpha" (fun _ -> true) (Version_id.of_string "1.a");
+  check_err "negative" (fun _ -> true) (Version_id.of_string "1.-2")
+
+let test_vid_order () =
+  let v a = Version_id.of_string_exn a in
+  Alcotest.(check bool) "1.0 < 2.0" true (Version_id.compare (v "1.0") (v "2.0") < 0);
+  Alcotest.(check bool) "1.0 < 1.1" true (Version_id.compare (v "1.0") (v "1.1") < 0);
+  Alcotest.(check bool) "1.1 < 1.1.1" true (Version_id.compare (v "1.1") (v "1.1.1") < 0)
+
+let test_vid_invalid_args () =
+  Alcotest.check_raises "trunk 0" (Invalid_argument "Version_id.trunk: major must be >= 1")
+    (fun () -> ignore (Version_id.trunk 0));
+  Alcotest.check_raises "child 0" (Invalid_argument "Version_id.child: index must be >= 1")
+    (fun () -> ignore (Version_id.child (Version_id.trunk 1) 0))
+
+let vid_gen =
+  QCheck2.Gen.(list_size (int_range 1 4) (int_range 0 20))
+
+let prop_vid_roundtrip =
+  qcheck_case "version id roundtrip" vid_gen (fun ints ->
+      match Version_id.of_ints ints with
+      | Ok v ->
+        Version_id.equal v (Version_id.of_string_exn (Version_id.to_string v))
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Ident                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ident_gen () =
+  let g = Ident.Gen.create () in
+  let a = Ident.Gen.next g and b = Ident.Gen.next g in
+  Alcotest.(check bool) "distinct" false (Ident.equal a b);
+  Alcotest.(check string) "printed" "#1" (Ident.to_string a);
+  Alcotest.(check int) "current" 2 (Ident.Gen.current g)
+
+let test_ident_mark_used () =
+  let g = Ident.Gen.create () in
+  Ident.Gen.mark_used g (Ident.of_int 10);
+  let next = Ident.Gen.next g in
+  Alcotest.(check int) "skips used" 11 (Ident.to_int next);
+  Ident.Gen.mark_used g (Ident.of_int 5);
+  Alcotest.(check int) "never goes back" 12 (Ident.to_int (Ident.Gen.next g))
+
+(* ------------------------------------------------------------------ *)
+(* Seed_error combinators                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_error_combinators () =
+  let open Seed_error in
+  Alcotest.(check bool) "all_unit ok" true (all_unit [ Ok (); Ok () ] = Ok ());
+  let e = Unknown_object "x" in
+  Alcotest.(check bool) "all_unit err" true
+    (all_unit [ Ok (); Error e ] = Error e);
+  let r = map_result (fun x -> if x > 0 then Ok (x * 2) else Error e) [ 1; 2 ] in
+  Alcotest.(check bool) "map_result" true (r = Ok [ 2; 4 ]);
+  let r = map_result (fun x -> if x > 0 then Ok x else Error e) [ 1; -1; 2 ] in
+  Alcotest.(check bool) "map_result stops" true (r = Error e)
+
+let test_error_printing () =
+  let open Seed_error in
+  let non_empty e = String.length (to_string e) > 0 in
+  List.iter
+    (fun e -> Alcotest.(check bool) "printable" true (non_empty e))
+    [
+      Unknown_class "C";
+      Unknown_association "A";
+      Unknown_role ("A", "r");
+      Unknown_object "o";
+      Unknown_item "#1";
+      Unknown_version "1.0";
+      Unknown_procedure "p";
+      Duplicate_name "n";
+      Duplicate_class "c";
+      Duplicate_association "a";
+      Duplicate_version "1.0";
+      Invalid_cardinality "x";
+      Cardinality_violation
+        { element = "e"; subject = "s"; bound = "max 1"; count = 2 };
+      Type_mismatch { expected = "STRING"; got = "INT" };
+      Membership_violation { expected = "Data"; got = "Thing"; context = "c" };
+      Cycle_detected "Contained";
+      Not_in_generalization { item_class = "Data"; target = "X" };
+      Vetoed { procedure = "p"; reason = "r" };
+      Pattern_violation "m";
+      Version_frozen "1.0";
+      Unsaved_changes "1.0";
+      Locked { item = "i"; holder = "h" };
+      Invalid_operation "m";
+      Schema_violation "m";
+      Io_error "m";
+      Corrupt "m";
+    ]
+
+let test_ok_exn () =
+  Alcotest.(check int) "ok" 1 (Seed_error.ok_exn (Ok 1));
+  Alcotest.check_raises "raises"
+    (Seed_error.Error (Seed_error.Unknown_object "x"))
+    (fun () -> ignore (Seed_error.ok_exn (Error (Seed_error.Unknown_object "x"))))
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "path",
+        [
+          tc "parse simple" test_path_parse_simple;
+          tc "parse nested" test_path_parse_nested;
+          tc "roundtrip composed" (path_roundtrip "Alarms.Text.Body.Keywords[1]");
+          tc "roundtrip plain" (path_roundtrip "A.B.C");
+          tc "parent" test_path_parent;
+          tc "child" test_path_child;
+          tc "malformed inputs" test_path_bad;
+          tc "class path strips indices" test_path_class_path;
+          tc "prefix" test_path_prefix;
+          tc "compare" test_path_compare;
+          prop_path_roundtrip;
+        ] );
+      ( "version-id",
+        [
+          tc "trunk" test_vid_trunk;
+          tc "child labels" test_vid_child;
+          tc "parse" test_vid_parse;
+          tc "lexicographic order" test_vid_order;
+          tc "invalid arguments" test_vid_invalid_args;
+          prop_vid_roundtrip;
+        ] );
+      ( "ident",
+        [ tc "generator" test_ident_gen; tc "mark_used" test_ident_mark_used ] );
+      ( "error",
+        [
+          tc "combinators" test_error_combinators;
+          tc "printing" test_error_printing;
+          tc "ok_exn" test_ok_exn;
+        ] );
+    ]
