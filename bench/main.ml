@@ -393,6 +393,88 @@ let storage () =
   Seed_storage.Journal.close journal
 
 (* ------------------------------------------------------------------ *)
+(* P2: crash recovery - journal replay vs compacted open,               *)
+(*     and the price of each durability policy                          *)
+(* ------------------------------------------------------------------ *)
+
+let recovery () =
+  heading "P2" "recovery time and durability policy cost";
+  let module Store = Seed_storage.Store in
+  let fresh_dir =
+    let c = ref 0 in
+    fun () ->
+      incr c;
+      let d =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "seed_bench_rec_%d_%d" (Unix.getpid ()) !c)
+      in
+      if Sys.file_exists d then
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat d f))
+          (Sys.readdir d);
+      d
+  in
+  let payload = String.make 512 'r' in
+  (* open time as a function of journal length, against the same data
+     folded into a snapshot by compaction *)
+  let rows =
+    List.map
+      (fun n ->
+        let dir = fresh_dir () in
+        let store, _, _, _ = ok (Store.open_dir dir) in
+        for _ = 1 to n do
+          ok (Store.append store payload)
+        done;
+        Store.close store;
+        let (s1, _, replayed, _), replay_t =
+          Report.time_of (fun () -> ok (Store.open_dir dir))
+        in
+        Store.close s1;
+        (* now compact and measure the post-compaction open *)
+        let store, _, _, _ = ok (Store.open_dir dir) in
+        ok (Store.compact store ~snapshot:(String.concat "" [ payload ]));
+        Store.close store;
+        let (s2, _, _, _), snap_t =
+          Report.time_of (fun () -> ok (Store.open_dir dir))
+        in
+        Store.close s2;
+        [
+          string_of_int n;
+          string_of_int (List.length replayed);
+          Report.ms replay_t;
+          Report.ms snap_t;
+          Printf.sprintf "%.1fx" (replay_t /. snap_t);
+        ])
+      [ 100; 1_000; 10_000 ]
+  in
+  Report.table
+    ~title:"Store.open_dir: replaying an uncompacted journal vs a snapshot"
+    ~header:
+      [ "journal records"; "replayed"; "replay open"; "compacted open"; "ratio" ]
+    rows;
+  (* append cost per durability policy *)
+  let mk_store sync =
+    let dir = fresh_dir () in
+    let store, _, _, _ = ok (Store.open_dir ~sync dir) in
+    store
+  in
+  let s_fsync = mk_store `Always_fsync in
+  let s_flush = mk_store `Flush_only in
+  let s_none = mk_store `None in
+  Report.bench ~name:"append 512 B under each sync policy"
+    [
+      Test.make ~name:"`Always_fsync"
+        (Staged.stage (fun () -> ok (Store.append s_fsync payload)));
+      Test.make ~name:"`Flush_only"
+        (Staged.stage (fun () -> ok (Store.append s_flush payload)));
+      Test.make ~name:"`None (buffered)"
+        (Staged.stage (fun () -> ok (Store.append s_none payload)));
+    ];
+  Store.close s_fsync;
+  Store.close s_flush;
+  Store.close s_none
+
+(* ------------------------------------------------------------------ *)
 
 let suites =
   [
@@ -403,6 +485,7 @@ let suites =
     ("spades", spades);
     ("ablation", ablation);
     ("storage", storage);
+    ("recovery", recovery);
   ]
 
 let () =

@@ -24,10 +24,17 @@ let exit_err e =
   Fmt.epr "seed: %s@." (Seed_error.to_string e);
   exit 1
 
+let warn_recovery session =
+  let r = Persist.Session.recovery session in
+  if not (Seed_storage.Store.recovery_clean r) then
+    Fmt.epr "seed: warning: recovery was not clean: %a@."
+      Seed_storage.Store.pp_recovery r
+
 let with_session dir f =
   match Persist.Session.open_ ~dir () with
   | Error e -> exit_err e
   | Ok session ->
+    warn_recovery session;
     let db = Persist.Session.db session in
     let result = f db in
     (match Persist.Session.flush session with
@@ -396,6 +403,34 @@ let report_cmd =
              covering generalizations) on demand.")
     Term.(const run $ dir_arg)
 
+(* --- fsck ------------------------------------------------------------- *)
+
+let fsck_cmd =
+  let run dir repair =
+    match Seed_storage.Store.fsck ~repair dir with
+    | Error e -> exit_err e
+    | Ok report ->
+      Fmt.pr "%a" Seed_storage.Store.pp_fsck_report report;
+      if not report.Seed_storage.Store.fsck_healthy then exit 1
+  in
+  let repair =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:
+            "Fix what can be fixed: truncate a torn journal tail, drop a \
+             stale journal, promote the snapshot fallback, remove leftover \
+             temporary files. An unreadable snapshot with no fallback is \
+             quarantined (its data is lost).")
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Check the health of the store: snapshot and journal integrity, \
+          compaction epochs, torn-tail bytes. Exits non-zero when the store \
+          needs attention.")
+    Term.(const run $ dir_arg $ repair)
+
 (* --- snapshot / versions / history ------------------------------------ *)
 
 let stats_cmd =
@@ -593,6 +628,7 @@ let shell_cmd =
     match Persist.Session.open_ ~dir () with
     | Error e -> exit_err e
     | Ok session ->
+      warn_recovery session;
       let db = Persist.Session.db session in
       let report_result = function
         | Ok () -> ()
@@ -743,6 +779,7 @@ let main =
       export_cmd;
       import_cmd;
       report_cmd;
+      fsck_cmd;
       stats_cmd;
       snapshot_cmd;
       versions_cmd;

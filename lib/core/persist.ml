@@ -455,13 +455,13 @@ let load_parts snapshot records =
     Ok (Some (meta, List.map snd (Ident.Map.bindings !items_map)))
 
 let save db ~dir =
-  let* store, _, _ = Store.open_dir dir in
+  let* store, _, _, _ = Store.open_dir dir in
   let result = Store.compact store ~snapshot:(encode_db db) in
   Store.close store;
   result
 
 let load ?(verify = true) ~dir () =
-  let* store, snapshot, records = Store.open_dir dir in
+  let* store, snapshot, records, _ = Store.open_dir dir in
   Store.close store;
   let* parts = load_parts snapshot records in
   match parts with
@@ -478,6 +478,7 @@ module Session = struct
   type t = {
     database : Database.t;
     store : Store.t;
+    recovery : Store.recovery;
     shadows : shadow Ident.Tbl.t;
     mutable meta_fingerprint : string;
   }
@@ -496,8 +497,8 @@ module Session = struct
     Ident.Tbl.reset t.shadows;
     Db_state.iter_items (Database.raw t.database) (fun it -> remember t it)
 
-  let open_ ~dir ?schema ?(verify = true) () =
-    let* store, snapshot, records = Store.open_dir dir in
+  let open_ ~dir ?schema ?(verify = true) ?io ?sync () =
+    let* store, snapshot, records, recovery = Store.open_dir ?io ?sync dir in
     let* parts = load_parts snapshot records in
     let* database =
       match (parts, schema) with
@@ -511,6 +512,7 @@ module Session = struct
       {
         database;
         store;
+        recovery;
         shadows = Ident.Tbl.create 256;
         meta_fingerprint = fingerprint (Database.raw database);
       }
@@ -525,6 +527,7 @@ module Session = struct
     Ok t
 
   let db t = t.database
+  let recovery t = t.recovery
 
   let changed t (it : Item.t) =
     match Ident.Tbl.find_opt t.shadows it.Item.id with
@@ -563,6 +566,7 @@ module Session = struct
     Ok ()
 
   let journal_records t = Store.journal_size t.store
+  let sync t = Store.sync t.store
 
   let close t = Store.close t.store
 end

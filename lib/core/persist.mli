@@ -2,14 +2,18 @@
 
     A database directory holds an atomic snapshot plus an append-only
     journal ({!Seed_storage.Store}). Journal records are idempotent full
-    re-assignments of items (last record wins), so replaying an old
-    journal over a newer snapshot after a crash between compaction steps
-    is harmless.
+    re-assignments of items (last record wins); on top of that, every
+    record and snapshot carries a compaction epoch, so a stale journal
+    left behind by a crash mid-compaction is detected and skipped
+    rather than replayed (see {!Seed_storage.Store}).
 
     {!Session} is the intended interface: open a directory, mutate the
     database through {!Database}, call {!Session.flush} at transaction
     boundaries (it appends only the items that changed since the last
-    flush) and {!Session.compact} occasionally. *)
+    flush) and {!Session.compact} occasionally. The durability of each
+    flush is set by the session's {!Seed_storage.Journal.sync_policy};
+    what recovery found and repaired on open is in
+    {!Session.recovery}. *)
 
 open Seed_util
 open Seed_schema
@@ -32,12 +36,20 @@ module Session : sig
   type t
 
   val open_ :
-    dir:string -> ?schema:Schema.t -> ?verify:bool -> unit ->
+    dir:string -> ?schema:Schema.t -> ?verify:bool ->
+    ?io:Seed_storage.Io.t -> ?sync:Seed_storage.Store.sync_policy -> unit ->
     (t, Seed_error.t) result
   (** Open (or create, given [schema]) the database at [dir]. Opening an
-      empty directory without a schema fails. *)
+      empty directory without a schema fails. [sync] (default
+      [`Flush_only]) sets the durability of every journal append; [io]
+      substitutes the I/O environment (fault injection in tests). *)
 
   val db : t -> Database.t
+
+  val recovery : t -> Seed_storage.Store.recovery
+  (** What recovery found (and repaired) when the store was opened:
+      records replayed, torn-tail bytes dropped, whether a stale journal
+      was skipped or the snapshot fallback was used. *)
 
   val flush : t -> (unit, Seed_error.t) result
   (** Append journal records for every item whose state or history
@@ -49,6 +61,10 @@ module Session : sig
 
   val journal_records : t -> int
   (** Records in the journal since the last compaction. *)
+
+  val sync : t -> (unit, Seed_error.t) result
+  (** fsync the journal: everything flushed so far becomes durable
+      regardless of the session's sync policy. *)
 
   val close : t -> unit
 end

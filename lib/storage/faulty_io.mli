@@ -1,0 +1,53 @@
+(** Deterministic fault injection over {!Io}.
+
+    A [Faulty_io.t] wraps a base I/O environment (usually {!Io.real})
+    and numbers every mutating operation — open, write, fsync, rename,
+    unlink, truncate, directory fsync — with a global step counter.
+    Faults are scheduled against those numbers, which makes every
+    failure reproducible:
+
+    - {b crash}: before executing step [n] the injector raises {!Crash},
+      simulating the process dying at that syscall. With [~torn:true] a
+      crash landing on a write first emits a prefix of the bytes, so the
+      on-disk state shows a torn frame. After a crash every further
+      operation except [close] raises {!Crash} again — a dead process
+      issues no more I/O (closing is permitted so [Fun.protect]
+      finalizers in the code under test do not mask the crash).
+    - {b failure}: the k-th operation of a given kind raises a
+      [Unix.Unix_error] (EIO for fsync/rename, ENOSPC for writes — the
+      ENOSPC write also emits a short prefix first, as a full disk
+      would). The process lives on and sees the error as an [Error _]
+      result, exercising the error paths of the storage layer.
+
+    Counting a faultless run first ({!steps}) tells a sweep how many
+    crash points the lifecycle has. *)
+
+exception Crash of { step : int; op : string }
+(** Raised in place of performing the scheduled operation. Never caught
+    by the storage layer: it propagates to the test harness like a
+    process abort would. *)
+
+type t
+
+val create :
+  ?base:Io.t ->
+  ?crash_at:int ->
+  ?torn:bool ->
+  ?fail_fsync:int ->
+  ?fail_rename:int ->
+  ?enospc_write:int ->
+  unit ->
+  t
+(** [create ()] counts operations without injecting anything.
+    [crash_at:n] crashes at global step [n] (0-based); [torn] makes a
+    crash on a write leave half the bytes behind. [fail_fsync:k] /
+    [fail_rename:k] / [enospc_write:k] fail the k-th operation of that
+    kind (0-based; fsync counts file and directory fsyncs together). *)
+
+val io : t -> Io.t
+(** The injecting environment, to pass to [Store.open_dir] etc. *)
+
+val steps : t -> int
+(** Operations attempted so far (including the one that crashed). *)
+
+val crashed : t -> bool

@@ -1,9 +1,20 @@
 open Seed_util
 open Seed_error
 
-type t = { path : string; mutable oc : out_channel option }
+type sync_policy = [ `Always_fsync | `Flush_only | `None ]
 
-let magic = 0x53454544l (* "SEED" *)
+type t = {
+  jpath : string;
+  jepoch : int;
+  sync_policy : sync_policy;
+  pending : Buffer.t;  (* frames not yet handed to the OS (`None policy) *)
+  mutable file : Io.file option;
+}
+
+(* "SEE2": version 2 of the frame format (epoch-tagged). *)
+let magic = 0x53454532l
+
+let header_bytes = 16
 
 let wrap_io f =
   try Ok (f ()) with
@@ -11,49 +22,86 @@ let wrap_io f =
   | Unix.Unix_error (e, fn, arg) ->
     fail (Io_error (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e)))
 
-let open_ path =
+let open_ ?(io = Io.real) ?(sync = `Flush_only) ?(epoch = 0) path =
   wrap_io (fun () ->
-      let oc =
-        open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
-      in
-      { path; oc = Some oc })
+      let file = io.Io.open_append path in
+      {
+        jpath = path;
+        jepoch = epoch;
+        sync_policy = sync;
+        pending = Buffer.create 256;
+        file = Some file;
+      })
 
-let channel j =
-  match j.oc with
-  | Some oc -> Ok oc
-  | None -> fail (Io_error ("journal closed: " ^ j.path))
+let file_of j =
+  match j.file with
+  | Some f -> Ok f
+  | None -> fail (Io_error ("journal closed: " ^ j.jpath))
+
+let frame epoch payload =
+  let b = Buffer.create (String.length payload + header_bytes) in
+  Buffer.add_int32_le b magic;
+  Buffer.add_int32_le b (Int32.of_int epoch);
+  Buffer.add_int32_le b (Int32.of_int (String.length payload));
+  Buffer.add_int32_le b (Crc32.digest payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let write_pending j (f : Io.file) =
+  if Buffer.length j.pending > 0 then begin
+    f.Io.write (Buffer.contents j.pending);
+    Buffer.clear j.pending
+  end
 
 let append j payload =
-  let* oc = channel j in
+  let* f = file_of j in
   wrap_io (fun () ->
-      let b = Buffer.create (String.length payload + 12) in
-      Buffer.add_int32_le b magic;
-      Buffer.add_int32_le b (Int32.of_int (String.length payload));
-      Buffer.add_int32_le b (Crc32.digest payload);
-      Buffer.add_string b payload;
-      Buffer.output_buffer oc b;
-      flush oc)
+      let bytes = frame j.jepoch payload in
+      match j.sync_policy with
+      | `None -> Buffer.add_string j.pending bytes
+      | `Flush_only ->
+        write_pending j f;
+        f.Io.write bytes
+      | `Always_fsync ->
+        write_pending j f;
+        f.Io.write bytes;
+        f.Io.fsync ())
 
 let sync j =
-  let* oc = channel j in
+  let* f = file_of j in
   wrap_io (fun () ->
-      flush oc;
-      let fd = Unix.descr_of_out_channel oc in
-      Unix.fsync fd)
+      write_pending j f;
+      f.Io.fsync ())
 
 let close j =
-  match j.oc with
+  match j.file with
   | None -> ()
-  | Some oc ->
-    j.oc <- None;
-    close_out_noerr oc
+  | Some f ->
+    j.file <- None;
+    (* best-effort: a failed (or crashed) flush simply loses the
+       unsynced records, which is what the `None policy promises *)
+    (try write_pending j f with _ -> Buffer.clear j.pending);
+    (try f.Io.close () with _ -> ())
 
-let path j = j.path
+let path j = j.jpath
+let epoch j = j.jepoch
 
-type scan_outcome = Done | Torn of string | Bad of string
+(* ------------------------------------------------------------------ *)
+(* Recovery-side reads                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type frame = { f_epoch : int; f_payload : string; f_offset : int }
+type damage = { d_offset : int; d_reason : string }
+
+type scan_result = {
+  frames : frame list;
+  scan_damage : damage option;
+  file_size : int;
+}
 
 let scan path =
-  if not (Sys.file_exists path) then Ok ([], Done)
+  if not (Sys.file_exists path) then
+    Ok { frames = []; scan_damage = None; file_size = 0 }
   else
     wrap_io (fun () ->
         let ic = open_in_bin path in
@@ -63,44 +111,64 @@ let scan path =
             let size = in_channel_length ic in
             let records = ref [] in
             let rec loop pos =
-              if pos = size then Done
-              else if size - pos < 12 then Torn "truncated frame header"
+              if pos = size then None
+              else if size - pos < header_bytes then
+                Some { d_offset = pos; d_reason = "truncated frame header" }
               else begin
-                let hdr = really_input_string ic 12 in
+                let hdr = really_input_string ic header_bytes in
                 let m = String.get_int32_le hdr 0 in
-                if m <> magic then Bad "bad magic"
+                if m <> magic then
+                  Some { d_offset = pos; d_reason = "bad magic" }
                 else
-                  let len = Int32.to_int (String.get_int32_le hdr 4) in
-                  let crc = String.get_int32_le hdr 8 in
-                  if len < 0 then Bad "negative length"
-                  else if size - pos - 12 < len then Torn "truncated payload"
+                  let ep = Int32.to_int (String.get_int32_le hdr 4) in
+                  let len = Int32.to_int (String.get_int32_le hdr 8) in
+                  let crc = String.get_int32_le hdr 12 in
+                  if ep < 0 then
+                    Some { d_offset = pos; d_reason = "negative epoch" }
+                  else if len < 0 then
+                    Some { d_offset = pos; d_reason = "negative length" }
+                  else if size - pos - header_bytes < len then
+                    Some { d_offset = pos; d_reason = "truncated payload" }
                   else
                     let payload = really_input_string ic len in
-                    if Crc32.digest payload <> crc then Bad "crc mismatch"
+                    if Crc32.digest payload <> crc then
+                      Some { d_offset = pos; d_reason = "crc mismatch" }
                     else begin
-                      records := payload :: !records;
-                      loop (pos + 12 + len)
+                      records :=
+                        { f_epoch = ep; f_payload = payload; f_offset = pos }
+                        :: !records;
+                      loop (pos + header_bytes + len)
                     end
               end
             in
-            let outcome = loop 0 in
-            (List.rev !records, outcome)))
+            let scan_damage = loop 0 in
+            { frames = List.rev !records; scan_damage; file_size = size }))
 
 let read_all path =
-  let* records, outcome = scan path in
-  match outcome with
-  | Done | Torn _ | Bad _ ->
-    (* A damaged tail only loses the records after the damage; recovery
-       keeps the intact prefix, mirroring WAL semantics. *)
-    Ok records
+  (* A damaged tail only loses the records after the damage; recovery
+     keeps the intact prefix, mirroring WAL semantics. *)
+  let* s = scan path in
+  Ok (List.map (fun f -> f.f_payload) s.frames)
 
 let read_all_strict path =
-  let* records, outcome = scan path in
-  match outcome with
-  | Done -> Ok records
-  | Torn m | Bad m -> fail (Corrupt ("journal " ^ path ^ ": " ^ m))
+  let* s = scan path in
+  match s.scan_damage with
+  | None -> Ok (List.map (fun f -> f.f_payload) s.frames)
+  | Some d ->
+    fail
+      (Corrupt
+         (Printf.sprintf "journal %s: %s at offset %d" path d.d_reason
+            d.d_offset))
 
-let truncate path =
+let truncate ?(io = Io.real) ?(len = 0) path =
   wrap_io (fun () ->
-      let oc = open_out_gen [ Open_trunc; Open_creat; Open_binary ] 0o644 path in
-      close_out oc)
+      if io.Io.exists path then io.Io.truncate path len
+      else if len <> 0 then
+        raise (Sys_error (path ^ ": cannot truncate a missing journal"));
+      (* sync the cut itself, then the directory entry: some filesystems
+         would otherwise resurrect pre-truncation bytes after a crash *)
+      let f = io.Io.open_append path in
+      Fun.protect
+        ~finally:(fun () -> f.Io.close ())
+        (fun () -> f.Io.fsync ());
+      io.Io.fsync_dir (Filename.dirname path))

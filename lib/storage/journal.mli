@@ -1,7 +1,13 @@
-(** Append-only journal with CRC-framed records.
+(** Append-only journal with CRC-framed, epoch-tagged records.
 
     Record frame layout (little-endian):
-    [magic u32 | payload length u32 | crc32(payload) u32 | payload].
+    [magic u32 | epoch u32 | payload length u32 | crc32(payload) u32 | payload].
+
+    The {e epoch} is the compaction epoch the record belongs to: a store
+    bumps it on every successful compaction and tags the snapshot header
+    with the same number, so a stale journal left behind by a crash
+    mid-compaction is detected by epoch mismatch and skipped rather than
+    replayed (see {!Store}).
 
     Recovery reads frames until end of file; a torn or corrupt tail
     (partial frame, bad magic, CRC mismatch) stops the scan at the last
@@ -12,28 +18,71 @@ type t
 
 val magic : int32
 
-val open_ : string -> (t, Seed_util.Seed_error.t) result
-(** Opens (creating if necessary) the journal at [path] for appending. *)
+type sync_policy = [ `Always_fsync | `Flush_only | `None ]
+(** Durability of {!append}:
+    - [`Always_fsync] — every append is written and fsync'd before
+      returning; an acknowledged record survives any crash.
+    - [`Flush_only] — every append is written to the OS before
+      returning; it survives a process crash but not a power failure
+      before the next {!sync}.
+    - [`None] — appends accumulate in memory until {!sync} or {!close};
+      fastest, loses unsynced records even on a clean process crash. *)
+
+val open_ :
+  ?io:Io.t -> ?sync:sync_policy -> ?epoch:int -> string ->
+  (t, Seed_util.Seed_error.t) result
+(** Opens (creating if necessary) the journal at [path] for appending.
+    Records are tagged with [epoch] (default 0); durability of appends
+    follows [sync] (default [`Flush_only]). *)
 
 val append : t -> string -> (unit, Seed_util.Seed_error.t) result
-(** Appends one record and flushes it to the OS. *)
+(** Appends one record, with the durability of the journal's
+    {!sync_policy}. *)
 
 val sync : t -> (unit, Seed_util.Seed_error.t) result
-(** fsync the journal file. *)
+(** Writes any buffered records and fsyncs the journal file. *)
 
 val close : t -> unit
+(** Best-effort: buffered records are written if possible, then the
+    descriptor is released. Errors are swallowed — call {!sync} first
+    when durability matters. *)
 
 val path : t -> string
+val epoch : t -> int
+
+(** {2 Recovery-side reads} *)
+
+type frame = {
+  f_epoch : int;  (** compaction epoch the record was appended under *)
+  f_payload : string;
+  f_offset : int;  (** byte offset of the frame's header in the file *)
+}
+
+type damage = {
+  d_offset : int;  (** where the intact prefix ends *)
+  d_reason : string;  (** e.g. ["truncated payload"], ["crc mismatch"] *)
+}
+
+type scan_result = {
+  frames : frame list;  (** intact prefix, in append order *)
+  scan_damage : damage option;  (** [None] when the whole file is intact *)
+  file_size : int;
+}
+
+val scan : string -> (scan_result, Seed_util.Seed_error.t) result
+(** Reads the longest intact prefix of frames of the journal at [path].
+    A missing file yields an empty, undamaged result. Only I/O failures
+    are errors — damage is data, reported in the result. *)
 
 val read_all : string -> (string list, Seed_util.Seed_error.t) result
-(** Reads the longest intact prefix of records of the journal at [path],
-    in append order. A missing file yields [[]]. Damage (torn tail, bad
-    magic, CRC mismatch) stops the scan; the records before it are
-    returned — the write-ahead-log recovery contract. *)
+(** Payloads of {!scan}'s intact prefix, epoch-agnostic. *)
 
 val read_all_strict : string -> (string list, Seed_util.Seed_error.t) result
 (** Like {!read_all} but any malformed byte — including a torn tail —
     is an error. Used by tests. *)
 
-val truncate : string -> (unit, Seed_util.Seed_error.t) result
-(** Empties the journal at [path] (after a snapshot compaction). *)
+val truncate :
+  ?io:Io.t -> ?len:int -> string -> (unit, Seed_util.Seed_error.t) result
+(** Cuts the journal at [path] to [len] bytes (default 0, creating the
+    file if missing), then fsyncs the file and its directory so the cut
+    — and with it, compaction — is durable before the caller proceeds. *)

@@ -1,28 +1,44 @@
 open Seed_util
 open Seed_error
 
+let header_bytes = 16
+
 let wrap_io f =
   try Ok (f ()) with
   | Sys_error m -> fail (Io_error m)
   | Unix.Unix_error (e, fn, arg) ->
     fail (Io_error (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e)))
 
-let write path payload =
-  wrap_io (fun () ->
-      let tmp = path ^ ".tmp" in
-      let oc = open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 tmp in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () ->
-          let b = Buffer.create (String.length payload + 12) in
-          Buffer.add_int32_le b Journal.magic;
-          Buffer.add_int32_le b (Int32.of_int (String.length payload));
-          Buffer.add_int32_le b (Crc32.digest payload);
-          Buffer.add_string b payload;
-          Buffer.output_buffer oc b;
-          flush oc;
-          Unix.fsync (Unix.descr_of_out_channel oc));
-      Sys.rename tmp path)
+let write ?(io = Io.real) path ~epoch payload =
+  let tmp = path ^ ".tmp" in
+  let quiet_unlink () =
+    (* only for the error path below — a Crash never reaches here, so
+       this cannot swallow a simulated abort *)
+    try io.Io.unlink tmp with Sys_error _ | Unix.Unix_error _ -> ()
+  in
+  try
+    let f = io.Io.open_trunc tmp in
+    Fun.protect
+      ~finally:(fun () -> f.Io.close ())
+      (fun () ->
+        let b = Buffer.create (String.length payload + header_bytes) in
+        Buffer.add_int32_le b Journal.magic;
+        Buffer.add_int32_le b (Int32.of_int epoch);
+        Buffer.add_int32_le b (Int32.of_int (String.length payload));
+        Buffer.add_int32_le b (Crc32.digest payload);
+        Buffer.add_string b payload;
+        f.Io.write (Buffer.contents b);
+        f.Io.fsync ());
+    io.Io.rename tmp path;
+    io.Io.fsync_dir (Filename.dirname path);
+    Ok ()
+  with
+  | Sys_error m ->
+    quiet_unlink ();
+    fail (Io_error m)
+  | Unix.Unix_error (e, fn, arg) ->
+    quiet_unlink ();
+    fail (Io_error (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e)))
 
 let read path =
   if not (Sys.file_exists path) then Ok None
@@ -34,17 +50,21 @@ let read path =
             ~finally:(fun () -> close_in_noerr ic)
             (fun () -> really_input_string ic (in_channel_length ic)))
     in
-    if String.length contents < 12 then
+    if String.length contents < header_bytes then
       fail (Corrupt ("snapshot " ^ path ^ ": too short"))
     else
       let m = String.get_int32_le contents 0 in
-      let len = Int32.to_int (String.get_int32_le contents 4) in
-      let crc = String.get_int32_le contents 8 in
-      if m <> Journal.magic then fail (Corrupt ("snapshot " ^ path ^ ": bad magic"))
-      else if len <> String.length contents - 12 then
+      let epoch = Int32.to_int (String.get_int32_le contents 4) in
+      let len = Int32.to_int (String.get_int32_le contents 8) in
+      let crc = String.get_int32_le contents 12 in
+      if m <> Journal.magic then
+        fail (Corrupt ("snapshot " ^ path ^ ": bad magic"))
+      else if epoch < 0 then
+        fail (Corrupt ("snapshot " ^ path ^ ": negative epoch"))
+      else if len <> String.length contents - header_bytes then
         fail (Corrupt ("snapshot " ^ path ^ ": bad length"))
       else
-        let payload = String.sub contents 12 len in
+        let payload = String.sub contents header_bytes len in
         if Crc32.digest payload <> crc then
           fail (Corrupt ("snapshot " ^ path ^ ": crc mismatch"))
-        else Ok (Some payload)
+        else Ok (Some (epoch, payload))

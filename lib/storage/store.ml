@@ -1,38 +1,170 @@
 open Seed_util
 open Seed_error
 
+type sync_policy = Journal.sync_policy
+
 type t = {
   dir : string;
+  io : Io.t;
+  sync_policy : sync_policy;
+  mutable epoch : int;
   mutable journal : Journal.t option;
   mutable records : int;
 }
 
 let snapshot_path dir = Filename.concat dir "snapshot.bin"
+let fallback_path dir = Filename.concat dir "snapshot.bin.old"
+let tmp_path dir = Filename.concat dir "snapshot.bin.tmp"
+let quarantine_path dir = Filename.concat dir "snapshot.bin.corrupt"
 let journal_path dir = Filename.concat dir "journal.log"
 
-let ensure_dir dir =
-  try
-    if Sys.file_exists dir then
-      if Sys.is_directory dir then Ok ()
-      else fail (Io_error (dir ^ " exists and is not a directory"))
-    else begin
-      Unix.mkdir dir 0o755;
-      Ok ()
-    end
-  with
+let wrap_io f =
+  try Ok (f ()) with
   | Sys_error m -> fail (Io_error m)
   | Unix.Unix_error (e, fn, arg) ->
     fail (Io_error (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e)))
 
-let open_dir dir =
+let ensure_dir dir =
+  wrap_io (fun () ->
+      if Sys.file_exists dir then begin
+        if not (Sys.is_directory dir) then
+          raise (Sys_error (dir ^ " exists and is not a directory"))
+      end
+      else Unix.mkdir dir 0o755)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type recovery = {
+  records_replayed : int;
+  bytes_dropped : int;
+  torn_tail : string option;
+  stale_journal : bool;
+  used_fallback : bool;
+  epoch : int;
+}
+
+let recovery_clean r =
+  r.bytes_dropped = 0 && (not r.stale_journal) && not r.used_fallback
+
+let pp_recovery ppf r =
+  if recovery_clean r then
+    Fmt.pf ppf "clean (epoch %d, %d records replayed)" r.epoch
+      r.records_replayed
+  else
+    Fmt.pf ppf "epoch %d, %d records replayed, %d bytes dropped%s%s%s" r.epoch
+      r.records_replayed r.bytes_dropped
+      (match r.torn_tail with
+      | Some reason -> Printf.sprintf ", torn tail (%s)" reason
+      | None -> "")
+      (if r.stale_journal then ", stale journal skipped" else "")
+      (if r.used_fallback then ", recovered from snapshot fallback" else "")
+
+(* Loads the authoritative snapshot: [snapshot.bin] when readable, the
+   [snapshot.bin.old] compaction fallback when not. *)
+let load_snapshot dir =
+  let primary = Snapshot_file.read (snapshot_path dir) in
+  match primary with
+  | Ok (Some sp) -> Ok (Some sp, false)
+  | Ok None | Error (Corrupt _) -> (
+    match Snapshot_file.read (fallback_path dir) with
+    | Ok (Some sp) -> Ok (Some sp, true)
+    | fb -> (
+      (* no usable fallback: report the primary's problem, or — when
+         there is no primary at all — a damaged fallback, which would
+         otherwise silently hide data *)
+      match (primary, fb) with
+      | Error e, _ -> Error e
+      | Ok None, Error e -> Error e
+      | _ -> Ok (None, false)))
+  | Error e -> Error e
+
+(* Sorts the scanned journal against the snapshot's epoch: which frames
+   to replay, how many bytes are dead (torn tail and/or stale frames),
+   and whether the file should be cut back on open. *)
+let classify ~snap_epoch ~path (s : Journal.scan_result) =
+  match
+    List.find_opt (fun f -> f.Journal.f_epoch > snap_epoch) s.Journal.frames
+  with
+  | Some f ->
+    fail
+      (Corrupt
+         (Printf.sprintf
+            "journal %s: frame at offset %d has epoch %d ahead of snapshot \
+             epoch %d — the snapshot it depends on is missing (run fsck)"
+            path f.Journal.f_offset f.Journal.f_epoch snap_epoch))
+  | None ->
+    let live, stale =
+      List.partition
+        (fun f -> f.Journal.f_epoch = snap_epoch)
+        s.Journal.frames
+    in
+    let prefix_end =
+      match s.Journal.scan_damage with
+      | Some d -> d.Journal.d_offset
+      | None -> s.Journal.file_size
+    in
+    let torn_bytes = s.Journal.file_size - prefix_end in
+    let stale_bytes =
+      List.fold_left
+        (fun acc f -> acc + 16 + String.length f.Journal.f_payload)
+        0 stale
+    in
+    let truncate_to =
+      if live = [] && (stale <> [] || torn_bytes > 0) then Some 0
+      else if torn_bytes > 0 then Some prefix_end
+      else None
+    in
+    Ok
+      ( live,
+        {
+          records_replayed = List.length live;
+          bytes_dropped = torn_bytes + stale_bytes;
+          torn_tail =
+            Option.map (fun d -> d.Journal.d_reason) s.Journal.scan_damage;
+          stale_journal = stale <> [];
+          used_fallback = false;
+          epoch = snap_epoch;
+        },
+        truncate_to )
+
+let open_dir ?(io = Io.real) ?(sync = `Flush_only) dir =
   let* () = ensure_dir dir in
-  let* snapshot = Snapshot_file.read (snapshot_path dir) in
-  let* records = Journal.read_all (journal_path dir) in
-  let* journal = Journal.open_ (journal_path dir) in
+  let* snap, used_fallback = load_snapshot dir in
+  let* () =
+    (* normalize: promote the fallback so [snapshot.bin] is again the
+       authoritative copy (rename is atomic — a crash here is safe) *)
+    if used_fallback then
+      wrap_io (fun () ->
+          io.Io.rename (fallback_path dir) (snapshot_path dir);
+          io.Io.fsync_dir dir)
+    else Ok ()
+  in
+  let snap_epoch = match snap with Some (e, _) -> e | None -> 0 in
+  let jpath = journal_path dir in
+  let* scanned = Journal.scan jpath in
+  let* live, report, truncate_to = classify ~snap_epoch ~path:jpath scanned in
+  let* () =
+    (* cut damage back so it does not persist into the next session *)
+    match truncate_to with
+    | Some len when scanned.Journal.file_size > len ->
+      Journal.truncate ~io ~len jpath
+    | _ -> Ok ()
+  in
+  let* journal = Journal.open_ ~io ~sync ~epoch:snap_epoch jpath in
   Ok
-    ( { dir; journal = Some journal; records = List.length records },
-      snapshot,
-      records )
+    ( {
+        dir;
+        io;
+        sync_policy = sync;
+        epoch = snap_epoch;
+        journal = Some journal;
+        records = List.length live;
+      },
+      Option.map snd snap,
+      List.map (fun f -> f.Journal.f_payload) live,
+      { report with used_fallback } )
 
 let journal_of t =
   match t.journal with
@@ -45,18 +177,54 @@ let append t payload =
   t.records <- t.records + 1;
   Ok ()
 
+let sync t =
+  let* j = journal_of t in
+  Journal.sync j
+
 let compact t ~snapshot =
   let* j = journal_of t in
   Journal.close j;
   t.journal <- None;
-  let* () = Snapshot_file.write (snapshot_path t.dir) snapshot in
-  let* () = Journal.truncate (journal_path t.dir) in
-  let* j = Journal.open_ (journal_path t.dir) in
-  t.journal <- Some j;
-  t.records <- 0;
-  Ok ()
+  let next = t.epoch + 1 in
+  let io = t.io in
+  let snap = snapshot_path t.dir and old = fallback_path t.dir in
+  let reopen_journal ~epoch =
+    let* j = Journal.open_ ~io ~sync:t.sync_policy ~epoch (journal_path t.dir) in
+    t.journal <- Some j;
+    Ok ()
+  in
+  (* step 1: set the previous snapshot aside as the fallback *)
+  match wrap_io (fun () -> if io.Io.exists snap then io.Io.rename snap old) with
+  | Error e ->
+    let* () = reopen_journal ~epoch:t.epoch in
+    Error e
+  | Ok () -> (
+    (* step 2: write the new snapshot under the next epoch (tmp file,
+       fsync, rename, directory fsync — all inside Snapshot_file) *)
+    match Snapshot_file.write ~io snap ~epoch:next snapshot with
+    | Error e ->
+      (* the new snapshot never landed: put the old one back *)
+      (try
+         if io.Io.exists old && not (io.Io.exists snap) then
+           io.Io.rename old snap
+       with Sys_error _ | Unix.Unix_error _ -> ());
+      let* () = reopen_journal ~epoch:t.epoch in
+      Error e
+    | Ok () ->
+      (* the new snapshot is durable: the store is at [next] from here
+         on, even if the housekeeping below fails — recovery skips the
+         now-stale journal by epoch mismatch *)
+      t.epoch <- next;
+      let housekeeping =
+        let* () = Journal.truncate ~io (journal_path t.dir) in
+        wrap_io (fun () -> if io.Io.exists old then io.Io.unlink old)
+      in
+      let* () = reopen_journal ~epoch:next in
+      t.records <- 0;
+      housekeeping)
 
 let journal_size t = t.records
+let epoch (t : t) = t.epoch
 
 let close t =
   match t.journal with
@@ -66,3 +234,201 @@ let close t =
     Journal.close j
 
 let dir t = t.dir
+
+(* ------------------------------------------------------------------ *)
+(* Offline checking                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type file_status =
+  | Absent
+  | Intact of { epoch : int; bytes : int }
+  | Damaged of string
+
+type fsck_report = {
+  fsck_snapshot : file_status;
+  fsck_fallback : file_status;
+  fsck_tmp_leftover : bool;
+  fsck_journal_frames : int;
+  fsck_journal_epoch : int option;
+  fsck_torn_bytes : int;
+  fsck_torn_reason : string option;
+  fsck_stale_journal : bool;
+  fsck_healthy : bool;
+  fsck_repairs : string list;
+}
+
+let status_of_snapshot path =
+  match Snapshot_file.read path with
+  | Ok None -> Ok Absent
+  | Ok (Some (epoch, payload)) ->
+    Ok (Intact { epoch; bytes = String.length payload })
+  | Error (Corrupt m) -> Ok (Damaged m)
+  | Error e -> Error e
+
+let analyze dir =
+  let* () = ensure_dir dir in
+  let* snapshot = status_of_snapshot (snapshot_path dir) in
+  let* fallback = status_of_snapshot (fallback_path dir) in
+  let tmp = Sys.file_exists (tmp_path dir) in
+  let* scanned = Journal.scan (journal_path dir) in
+  let frames = scanned.Journal.frames in
+  let snap_epoch =
+    match (snapshot, fallback) with
+    | Intact { epoch; _ }, _ -> Some epoch
+    | _, Intact { epoch; _ } -> Some epoch
+    | _ -> None
+  in
+  let reference = Option.value snap_epoch ~default:0 in
+  let live = List.filter (fun f -> f.Journal.f_epoch = reference) frames in
+  let stale = List.exists (fun f -> f.Journal.f_epoch < reference) frames in
+  let ahead = List.exists (fun f -> f.Journal.f_epoch > reference) frames in
+  let prefix_end =
+    match scanned.Journal.scan_damage with
+    | Some d -> d.Journal.d_offset
+    | None -> scanned.Journal.file_size
+  in
+  let torn_bytes = scanned.Journal.file_size - prefix_end in
+  let healthy =
+    (match snapshot with
+    | Intact _ -> true
+    | Absent -> frames = [] || reference = 0
+    | Damaged _ -> false)
+    && (match fallback with Absent -> true | _ -> false)
+    && (not tmp) && torn_bytes = 0 && (not stale) && not ahead
+  in
+  Ok
+    {
+      fsck_snapshot = snapshot;
+      fsck_fallback = fallback;
+      fsck_tmp_leftover = tmp;
+      fsck_journal_frames = List.length live;
+      fsck_journal_epoch =
+        (match frames with f :: _ -> Some f.Journal.f_epoch | [] -> None);
+      fsck_torn_bytes = torn_bytes;
+      fsck_torn_reason =
+        Option.map
+          (fun d -> d.Journal.d_reason)
+          scanned.Journal.scan_damage;
+      fsck_stale_journal = stale;
+      fsck_healthy = healthy;
+      fsck_repairs = [];
+    }
+
+(* Rewrites the journal to contain exactly [frames], under [epoch]. Used
+   by repair to drop a stale prefix while keeping the live tail. *)
+let rewrite_journal ~io path ~epoch frames =
+  let* () = Journal.truncate ~io path in
+  let* j = Journal.open_ ~io ~sync:`Flush_only ~epoch path in
+  let* () =
+    iter_result (fun f -> Journal.append j f.Journal.f_payload) frames
+  in
+  let* () = Journal.sync j in
+  Journal.close j;
+  Ok ()
+
+let repair_actions ~io dir report =
+  let actions = ref [] in
+  let act fmt = Printf.ksprintf (fun m -> actions := m :: !actions) fmt in
+  let* () =
+    if report.fsck_tmp_leftover then
+      wrap_io (fun () ->
+          io.Io.unlink (tmp_path dir);
+          act "removed leftover snapshot.bin.tmp")
+    else Ok ()
+  in
+  (* resolve the snapshot first; journal repairs depend on its epoch *)
+  let* () =
+    match (report.fsck_snapshot, report.fsck_fallback) with
+    | (Absent | Damaged _), Intact _ ->
+      wrap_io (fun () ->
+          (match report.fsck_snapshot with
+          | Damaged _ ->
+            io.Io.rename (snapshot_path dir) (quarantine_path dir);
+            act "quarantined unreadable snapshot.bin as snapshot.bin.corrupt"
+          | _ -> ());
+          io.Io.rename (fallback_path dir) (snapshot_path dir);
+          io.Io.fsync_dir dir;
+          act "promoted snapshot.bin.old to snapshot.bin")
+    | Damaged _, _ ->
+      wrap_io (fun () ->
+          io.Io.rename (snapshot_path dir) (quarantine_path dir);
+          io.Io.fsync_dir dir;
+          act
+            "quarantined unreadable snapshot.bin as snapshot.bin.corrupt (no \
+             usable fallback — its data is lost)")
+    | _ -> Ok ()
+  in
+  let* () =
+    (* whatever is still at snapshot.bin.old is redundant or damaged *)
+    if Sys.file_exists (fallback_path dir) then
+      wrap_io (fun () ->
+          io.Io.unlink (fallback_path dir);
+          act "removed leftover snapshot.bin.old")
+    else Ok ()
+  in
+  (* re-read the (possibly repaired) snapshot, then fix the journal *)
+  let* snapshot = status_of_snapshot (snapshot_path dir) in
+  let reference =
+    match snapshot with Intact { epoch; _ } -> epoch | _ -> 0
+  in
+  let jpath = journal_path dir in
+  let* scanned = Journal.scan jpath in
+  let frames = scanned.Journal.frames in
+  let live = List.filter (fun f -> f.Journal.f_epoch = reference) frames in
+  let prefix_end =
+    match scanned.Journal.scan_damage with
+    | Some d -> d.Journal.d_offset
+    | None -> scanned.Journal.file_size
+  in
+  let torn_bytes = scanned.Journal.file_size - prefix_end in
+  let* () =
+    if List.length live <> List.length frames then begin
+      (* stale frames (or, after quarantine, frames with no snapshot to
+         stand on) — keep only what the current snapshot can base *)
+      let* () = rewrite_journal ~io jpath ~epoch:reference live in
+      act "dropped %d journal record(s) from other epochs"
+        (List.length frames - List.length live);
+      Ok ()
+    end
+    else if torn_bytes > 0 then begin
+      let* () = Journal.truncate ~io ~len:prefix_end jpath in
+      act "truncated %d torn byte(s) off the journal tail" torn_bytes;
+      Ok ()
+    end
+    else Ok ()
+  in
+  Ok (List.rev !actions)
+
+let fsck ?(io = Io.real) ?(repair = false) dir =
+  let* report = analyze dir in
+  if (not repair) || report.fsck_healthy then Ok report
+  else
+    let* actions = repair_actions ~io dir report in
+    let* after = analyze dir in
+    Ok { after with fsck_repairs = actions }
+
+let pp_file_status ppf = function
+  | Absent -> Fmt.pf ppf "absent"
+  | Intact { epoch; bytes } -> Fmt.pf ppf "intact (epoch %d, %d bytes)" epoch bytes
+  | Damaged m -> Fmt.pf ppf "DAMAGED: %s" m
+
+let pp_fsck_report ppf r =
+  Fmt.pf ppf "snapshot.bin:      %a@." pp_file_status r.fsck_snapshot;
+  (match r.fsck_fallback with
+  | Absent -> ()
+  | s -> Fmt.pf ppf "snapshot.bin.old:  %a (leftover fallback)@." pp_file_status s);
+  if r.fsck_tmp_leftover then
+    Fmt.pf ppf "snapshot.bin.tmp:  present (leftover of an interrupted write)@.";
+  Fmt.pf ppf "journal.log:       %d live record(s)%s@." r.fsck_journal_frames
+    (match r.fsck_journal_epoch with
+    | Some e -> Printf.sprintf ", epoch %d" e
+    | None -> ", empty");
+  if r.fsck_stale_journal then
+    Fmt.pf ppf "stale journal:     records predating the snapshot's epoch \
+                (skipped on open)@.";
+  if r.fsck_torn_bytes > 0 then
+    Fmt.pf ppf "torn tail:         %d byte(s) — %s@." r.fsck_torn_bytes
+      (Option.value r.fsck_torn_reason ~default:"damaged");
+  List.iter (fun a -> Fmt.pf ppf "repaired:          %s@." a) r.fsck_repairs;
+  Fmt.pf ppf "status:            %s@."
+    (if r.fsck_healthy then "healthy" else "NEEDS ATTENTION")

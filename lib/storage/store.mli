@@ -1,32 +1,112 @@
 (** Snapshot + journal composition: the persistence engine.
 
     A store lives in a directory holding [snapshot.bin] and
-    [journal.log]. The client supplies a pure fold over its own state:
-    opening a store loads the snapshot (if any) and replays the journal
-    records appended since; {!append} adds a record; {!compact} writes a
-    fresh snapshot and truncates the journal. All payloads are opaque
-    strings — {!Seed_core.Persist} owns the encoding. *)
+    [journal.log] (plus, transiently, [snapshot.bin.tmp] while a new
+    snapshot is being written and [snapshot.bin.old] while the previous
+    one is still the fallback). The client supplies a pure fold over its
+    own state: opening a store loads the snapshot (if any) and replays
+    the journal records appended since; {!append} adds a record;
+    {!compact} writes a fresh snapshot and truncates the journal. All
+    payloads are opaque strings — {!Seed_core.Persist} owns the
+    encoding.
+
+    {b Crash consistency.} Every compaction bumps a monotonically
+    increasing {e epoch}, stamped on the snapshot header and on every
+    journal frame. On open, a journal whose epoch predates the
+    snapshot's is a leftover of a crash mid-compaction: its records are
+    already folded into the snapshot, so it is skipped (and truncated)
+    instead of replayed — correctness no longer rests on replay being
+    idempotent. Compaction keeps the previous snapshot as
+    [snapshot.bin.old] until the new snapshot and the truncated journal
+    are both durable (including directory fsyncs), so a crash at any
+    point leaves at least one intact snapshot/journal pair. A torn
+    journal tail is truncated on open so damage does not persist. The
+    {!recovery} report says what open found and did. *)
 
 type t
 
+type sync_policy = Journal.sync_policy
+(** Durability of {!append}; see {!Journal.sync_policy}. *)
+
+type recovery = {
+  records_replayed : int;  (** journal records handed back to the client *)
+  bytes_dropped : int;
+      (** journal bytes discarded: a torn tail and/or a stale journal *)
+  torn_tail : string option;
+      (** why the journal's tail was cut, when it was *)
+  stale_journal : bool;
+      (** a whole journal predating the snapshot's epoch was skipped *)
+  used_fallback : bool;
+      (** the state came from [snapshot.bin.old] because [snapshot.bin]
+          was missing or unreadable *)
+  epoch : int;  (** the store's compaction epoch after open *)
+}
+
+val recovery_clean : recovery -> bool
+(** No bytes dropped, no stale journal, no fallback used. *)
+
+val pp_recovery : Format.formatter -> recovery -> unit
+
 val open_dir :
-  string -> (t * string option * string list, Seed_util.Seed_error.t) result
+  ?io:Io.t -> ?sync:sync_policy -> string ->
+  (t * string option * string list * recovery, Seed_util.Seed_error.t)
+  result
 (** [open_dir dir] creates [dir] if needed and returns
-    [(store, snapshot_payload, journal_records)] — everything needed to
-    rebuild the client state. *)
+    [(store, snapshot_payload, journal_records, recovery)] — everything
+    needed to rebuild the client state, plus what recovery had to do to
+    get there. [sync] (default [`Flush_only]) governs {!append}. *)
 
 val append : t -> string -> (unit, Seed_util.Seed_error.t) result
-(** Durably appends a journal record. *)
+(** Appends a journal record with the store's {!sync_policy}. *)
+
+val sync : t -> (unit, Seed_util.Seed_error.t) result
+(** Makes every appended record durable (journal fsync). *)
 
 val compact : t -> snapshot:string -> (unit, Seed_util.Seed_error.t) result
-(** Atomically replaces the snapshot with [snapshot] and truncates the
-    journal. After a crash between the two steps, replaying the old
-    journal against the new snapshot must be harmless — SEED journal
-    records are idempotent re-assignments, which guarantees this. *)
+(** Atomically replaces the snapshot with [snapshot] (under the next
+    epoch) and truncates the journal. On failure the store is left on
+    its pre-compaction state and stays usable; a crash anywhere inside
+    is recovered by {!open_dir} via the epoch check and the
+    [snapshot.bin.old] fallback. *)
 
 val journal_size : t -> int
 (** Records appended since the last compaction (this process's view). *)
 
+val epoch : t -> int
+(** The store's current compaction epoch. *)
+
 val close : t -> unit
 
 val dir : t -> string
+
+(** {2 Offline checking} *)
+
+type file_status =
+  | Absent
+  | Intact of { epoch : int; bytes : int }
+  | Damaged of string
+
+type fsck_report = {
+  fsck_snapshot : file_status;
+  fsck_fallback : file_status;  (** [snapshot.bin.old] *)
+  fsck_tmp_leftover : bool;  (** [snapshot.bin.tmp] exists *)
+  fsck_journal_frames : int;  (** intact frames of the current epoch *)
+  fsck_journal_epoch : int option;  (** epoch of the journal's frames *)
+  fsck_torn_bytes : int;  (** bytes after the last intact frame *)
+  fsck_torn_reason : string option;
+  fsck_stale_journal : bool;  (** journal epoch predates the snapshot *)
+  fsck_healthy : bool;
+  fsck_repairs : string list;  (** actions taken (with [~repair:true]) *)
+}
+
+val fsck :
+  ?io:Io.t -> ?repair:bool -> string ->
+  (fsck_report, Seed_util.Seed_error.t) result
+(** Reports the health of the store at [dir] without opening it for
+    appending. With [repair]: truncates a torn tail or stale journal,
+    removes a leftover temporary file, promotes [snapshot.bin.old] when
+    [snapshot.bin] is missing or unreadable, quarantines an unreadable
+    snapshot with no usable fallback (as [snapshot.bin.corrupt]), and
+    drops a redundant fallback — after which {!open_dir} succeeds. *)
+
+val pp_fsck_report : Format.formatter -> fsck_report -> unit

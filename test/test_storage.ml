@@ -267,8 +267,8 @@ let test_journal_corrupt_payload () =
   Journal.close j;
   (* flip a byte inside the second record's payload *)
   let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
-  let first_record = 12 + 5 in
-  ignore (Unix.lseek fd (first_record + 12 + 1) Unix.SEEK_SET);
+  let first_record = 16 + 5 in
+  ignore (Unix.lseek fd (first_record + 16 + 1) Unix.SEEK_SET);
   ignore (Unix.write fd (Bytes.of_string "X") 0 1);
   Unix.close fd;
   Alcotest.(check (list string)) "crc cut" [ "alpha" ] (ok (Journal.read_all path))
@@ -286,21 +286,24 @@ let test_journal_truncate () =
 (* Snapshots                                                            *)
 (* ------------------------------------------------------------------ *)
 
+let snap_pair = Alcotest.(option (pair int string))
+
 let test_snapshot_roundtrip () =
   let dir = tmp_dir () in
   let path = Filename.concat dir "s.bin" in
-  Alcotest.(check (option string)) "missing" None (ok (Snapshot_file.read path));
-  check_ok "write" (Snapshot_file.write path "payload");
-  Alcotest.(check (option string)) "read" (Some "payload") (ok (Snapshot_file.read path));
-  check_ok "overwrite" (Snapshot_file.write path "payload2");
-  Alcotest.(check (option string)) "read2" (Some "payload2") (ok (Snapshot_file.read path))
+  Alcotest.check snap_pair "missing" None (ok (Snapshot_file.read path));
+  check_ok "write" (Snapshot_file.write path ~epoch:1 "payload");
+  Alcotest.check snap_pair "read" (Some (1, "payload")) (ok (Snapshot_file.read path));
+  check_ok "overwrite" (Snapshot_file.write path ~epoch:2 "payload2");
+  Alcotest.check snap_pair "read2" (Some (2, "payload2")) (ok (Snapshot_file.read path));
+  Alcotest.(check bool) "no tmp left" false (Sys.file_exists (path ^ ".tmp"))
 
 let test_snapshot_corrupt () =
   let dir = tmp_dir () in
   let path = Filename.concat dir "s.bin" in
-  check_ok "write" (Snapshot_file.write path "payload");
+  check_ok "write" (Snapshot_file.write path ~epoch:1 "payload");
   let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
-  ignore (Unix.lseek fd 14 Unix.SEEK_SET);
+  ignore (Unix.lseek fd 18 Unix.SEEK_SET);
   ignore (Unix.write fd (Bytes.of_string "!") 0 1);
   Unix.close fd;
   check_err "corrupt"
@@ -313,32 +316,329 @@ let test_snapshot_corrupt () =
 
 let test_store_lifecycle () =
   let dir = tmp_dir () in
-  let store, snap, records = ok (Store.open_dir dir) in
+  let store, snap, records, report = ok (Store.open_dir dir) in
   Alcotest.(check (option string)) "fresh snapshot" None snap;
   Alcotest.(check (list string)) "fresh journal" [] records;
+  Alcotest.(check bool) "clean recovery" true (Store.recovery_clean report);
+  Alcotest.(check int) "fresh epoch" 0 (Store.epoch store);
   check_ok "r1" (Store.append store "r1");
   check_ok "r2" (Store.append store "r2");
   Alcotest.(check int) "journal size" 2 (Store.journal_size store);
   Store.close store;
-  let store, snap, records = ok (Store.open_dir dir) in
+  let store, snap, records, report = ok (Store.open_dir dir) in
   Alcotest.(check (option string)) "still no snapshot" None snap;
   Alcotest.(check (list string)) "recovered" [ "r1"; "r2" ] records;
+  Alcotest.(check int) "replayed count" 2 report.Store.records_replayed;
   check_ok "compact" (Store.compact store ~snapshot:"SNAP");
   Alcotest.(check int) "journal emptied" 0 (Store.journal_size store);
+  Alcotest.(check int) "epoch bumped" 1 (Store.epoch store);
   check_ok "r3" (Store.append store "r3");
   Store.close store;
-  let store, snap, records = ok (Store.open_dir dir) in
+  let store, snap, records, report = ok (Store.open_dir dir) in
   Alcotest.(check (option string)) "snapshot" (Some "SNAP") snap;
   Alcotest.(check (list string)) "tail" [ "r3" ] records;
+  Alcotest.(check bool) "clean after compact" true (Store.recovery_clean report);
+  Alcotest.(check bool) "no fallback left" false
+    (Sys.file_exists (Filename.concat dir "snapshot.bin.old"));
   Store.close store
 
 let test_store_append_after_close_fails () =
   let dir = tmp_dir () in
-  let store, _, _ = ok (Store.open_dir dir) in
+  let store, _, _, _ = ok (Store.open_dir dir) in
   Store.close store;
   check_err "closed"
     (function Seed_util.Seed_error.Io_error _ -> true | _ -> false)
     (Store.append store "x")
+
+let test_store_sync_policies () =
+  (* all three durability levels accept and recover the same records
+     when the process shuts down cleanly *)
+  List.iter
+    (fun sync ->
+      let dir = tmp_dir () in
+      let store, _, _, _ = ok (Store.open_dir ~sync dir) in
+      check_ok "a" (Store.append store "a");
+      check_ok "b" (Store.append store "b");
+      check_ok "sync" (Store.sync store);
+      check_ok "c" (Store.append store "c");
+      Store.close store;
+      let store, _, records, _ = ok (Store.open_dir dir) in
+      Alcotest.(check (list string)) "all recovered" [ "a"; "b"; "c" ] records;
+      Store.close store)
+    [ `Always_fsync; `Flush_only; `None ]
+
+let test_store_unsynced_none_policy_lost_on_abandon () =
+  (* with `None, records not yet synced never reach the OS: reopening
+     the directory behind the session's back does not see them *)
+  let dir = tmp_dir () in
+  let store, _, _, _ = ok (Store.open_dir ~sync:`None dir) in
+  check_ok "a" (Store.append store "a");
+  check_ok "sync" (Store.sync store);
+  check_ok "b" (Store.append store "b");
+  let _, _, records, _ = ok (Store.open_dir dir) in
+  Alcotest.(check (list string)) "only synced" [ "a" ] records;
+  Store.close store
+
+(* ------------------------------------------------------------------ *)
+(* Epochs                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_journal_epoch_tagging () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "j.log" in
+  let j = ok (Journal.open_ ~epoch:7 path) in
+  check_ok "a" (Journal.append j "alpha");
+  Journal.close j;
+  let s = ok (Journal.scan path) in
+  Alcotest.(check (list int)) "epochs" [ 7 ]
+    (List.map (fun f -> f.Journal.f_epoch) s.Journal.frames);
+  Alcotest.(check bool) "no damage" true (s.Journal.scan_damage = None)
+
+let test_stale_journal_skipped () =
+  (* a journal left behind by a crash between snapshot rename and
+     journal truncation predates the snapshot's epoch: its records are
+     already folded into the snapshot and must NOT be replayed *)
+  let dir = tmp_dir () in
+  let store, _, _, _ = ok (Store.open_dir dir) in
+  check_ok "r1" (Store.append store "r1");
+  check_ok "r2" (Store.append store "r2");
+  Store.close store;
+  (* simulate the interrupted compact: the new snapshot (epoch 1) is
+     durable but the epoch-0 journal was never truncated *)
+  check_ok "snapshot"
+    (Snapshot_file.write (Filename.concat dir "snapshot.bin") ~epoch:1
+       "SNAP-r1-r2");
+  let store, snap, records, report = ok (Store.open_dir dir) in
+  Alcotest.(check (option string)) "snapshot" (Some "SNAP-r1-r2") snap;
+  Alcotest.(check (list string)) "stale records skipped" [] records;
+  Alcotest.(check bool) "flagged" true report.Store.stale_journal;
+  Alcotest.(check bool) "bytes counted" true (report.Store.bytes_dropped > 0);
+  Alcotest.(check int) "epoch adopted" 1 (Store.epoch store);
+  (* the skip is persistent: the stale journal was truncated on open *)
+  check_ok "r3" (Store.append store "r3");
+  Store.close store;
+  let _, _, records, report = ok (Store.open_dir dir) in
+  Alcotest.(check (list string)) "new epoch records" [ "r3" ] records;
+  Alcotest.(check bool) "second open clean" true (Store.recovery_clean report)
+
+let test_journal_ahead_of_snapshot_refused () =
+  (* records whose epoch exceeds the snapshot's depend on a snapshot
+     that does not exist — replaying them would corrupt silently *)
+  let dir = tmp_dir () in
+  let jpath = Filename.concat dir "journal.log" in
+  let j = ok (Journal.open_ ~epoch:3 jpath) in
+  check_ok "r" (Journal.append j "orphan");
+  Journal.close j;
+  check_err "refused"
+    (function Seed_util.Seed_error.Corrupt _ -> true | _ -> false)
+    (Store.open_dir dir)
+
+let test_torn_tail_truncated_on_open () =
+  let dir = tmp_dir () in
+  let store, _, _, _ = ok (Store.open_dir dir) in
+  check_ok "r1" (Store.append store "r1");
+  check_ok "r2" (Store.append store "r2");
+  Store.close store;
+  let jpath = Filename.concat dir "journal.log" in
+  let intact = (16 + 2) * 2 in
+  let size = (Unix.stat jpath).Unix.st_size in
+  Alcotest.(check int) "frame math" intact size;
+  (* cut the second frame in half *)
+  Unix.truncate jpath (size - 9);
+  let store, _, records, report = ok (Store.open_dir dir) in
+  Alcotest.(check (list string)) "prefix" [ "r1" ] records;
+  Alcotest.(check int) "dropped" 9 report.Store.bytes_dropped;
+  Alcotest.(check bool) "torn reported" true (report.Store.torn_tail <> None);
+  Store.close store;
+  (* the damage is gone from disk, not just ignored *)
+  Alcotest.(check int) "file cut back" (16 + 2)
+    (Unix.stat jpath).Unix.st_size;
+  let _, _, records, report = ok (Store.open_dir dir) in
+  Alcotest.(check (list string)) "stable" [ "r1" ] records;
+  Alcotest.(check bool) "clean now" true (Store.recovery_clean report)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_fsync_failure_on_append () =
+  let dir = tmp_dir () in
+  let f = Faulty_io.create ~fail_fsync:0 () in
+  let store, _, _, _ =
+    ok (Store.open_dir ~io:(Faulty_io.io f) ~sync:`Always_fsync dir)
+  in
+  check_err "append surfaces the fsync failure"
+    (function Seed_util.Seed_error.Io_error _ -> true | _ -> false)
+    (Store.append store "r1");
+  (* the store survives: the next append (fsync healthy again) works *)
+  check_ok "next append" (Store.append store "r2");
+  Store.close store;
+  let _, _, _, _ = ok (Store.open_dir dir) in
+  ()
+
+let test_rename_failure_during_snapshot_write () =
+  let dir = tmp_dir () in
+  let f = Faulty_io.create ~fail_rename:0 () in
+  let store, _, _, _ = ok (Store.open_dir ~io:(Faulty_io.io f) dir) in
+  check_ok "r1" (Store.append store "r1");
+  check_err "compact fails"
+    (function Seed_util.Seed_error.Io_error _ -> true | _ -> false)
+    (Store.compact store ~snapshot:"SNAP");
+  (* no half-written snapshot or stray tmp file is left behind *)
+  Alcotest.(check bool) "no tmp" false
+    (Sys.file_exists (Filename.concat dir "snapshot.bin.tmp"));
+  Alcotest.(check bool) "no snapshot" false
+    (Sys.file_exists (Filename.concat dir "snapshot.bin"));
+  (* the store stays usable on its pre-compaction state *)
+  check_ok "r2" (Store.append store "r2");
+  Store.close store;
+  let _, snap, records, report = ok (Store.open_dir dir) in
+  Alcotest.(check (option string)) "still journal-only" None snap;
+  Alcotest.(check (list string)) "nothing lost" [ "r1"; "r2" ] records;
+  Alcotest.(check bool) "clean" true (Store.recovery_clean report)
+
+let test_enospc_mid_journal_frame () =
+  let dir = tmp_dir () in
+  let f = Faulty_io.create ~enospc_write:1 () in
+  let store, _, _, _ = ok (Store.open_dir ~io:(Faulty_io.io f) dir) in
+  check_ok "r1" (Store.append store "r1");
+  check_err "disk full"
+    (function Seed_util.Seed_error.Io_error m -> String.length m > 0 | _ -> false)
+    (Store.append store "r2-too-big-for-the-disk");
+  Store.close store;
+  (* the half-written frame is dropped and cut off on reopen *)
+  let store, _, records, report = ok (Store.open_dir dir) in
+  Alcotest.(check (list string)) "intact prefix" [ "r1" ] records;
+  Alcotest.(check bool) "torn" true (report.Store.torn_tail <> None);
+  Alcotest.(check bool) "bytes dropped" true (report.Store.bytes_dropped > 0);
+  check_ok "can append again" (Store.append store "r3");
+  Store.close store;
+  let _, _, records, report = ok (Store.open_dir dir) in
+  Alcotest.(check (list string)) "healed" [ "r1"; "r3" ] records;
+  Alcotest.(check bool) "clean" true (Store.recovery_clean report)
+
+let test_crash_during_snapshot_tmp_write () =
+  (* a torn crash inside the tmp-file write must leave the previous
+     snapshot + journal pair untouched *)
+  let dir = tmp_dir () in
+  let store, _, _, _ = ok (Store.open_dir dir) in
+  check_ok "r1" (Store.append store "r1");
+  check_ok "compact" (Store.compact store ~snapshot:"SNAP1");
+  check_ok "r2" (Store.append store "r2");
+  Store.close store;
+  (* count ops up to the tmp write: reopen (1 op), compact's open_trunc
+     (1 op), then the write — crash at global step 2, mid-write *)
+  let f = Faulty_io.create ~crash_at:2 ~torn:true () in
+  let store, _, _, _ = ok (Store.open_dir ~io:(Faulty_io.io f) dir) in
+  (try
+     ignore (Store.compact store ~snapshot:"SNAP2");
+     Alcotest.fail "expected a crash"
+   with Faulty_io.Crash _ -> ());
+  Alcotest.(check bool) "crashed" true (Faulty_io.crashed f);
+  let _, snap, records, _ = ok (Store.open_dir dir) in
+  Alcotest.(check (option string)) "old snapshot intact" (Some "SNAP1") snap;
+  Alcotest.(check (list string)) "journal intact" [ "r2" ] records
+
+(* ------------------------------------------------------------------ *)
+(* fsck                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let is_intact = function Store.Intact _ -> true | _ -> false
+let is_damaged = function Store.Damaged _ -> true | _ -> false
+
+let populated_dir () =
+  let dir = tmp_dir () in
+  let store, _, _, _ = ok (Store.open_dir dir) in
+  check_ok "r1" (Store.append store "r1");
+  check_ok "compact" (Store.compact store ~snapshot:"SNAP");
+  check_ok "r2" (Store.append store "r2");
+  Store.close store;
+  dir
+
+let test_fsck_healthy () =
+  let dir = populated_dir () in
+  let r = ok (Store.fsck dir) in
+  Alcotest.(check bool) "healthy" true r.Store.fsck_healthy;
+  Alcotest.(check bool) "snapshot intact" true (is_intact r.Store.fsck_snapshot);
+  Alcotest.(check int) "frames" 1 r.Store.fsck_journal_frames;
+  Alcotest.(check (option int)) "epoch" (Some 1) r.Store.fsck_journal_epoch;
+  Alcotest.(check int) "no torn bytes" 0 r.Store.fsck_torn_bytes
+
+let test_fsck_torn_tail () =
+  let dir = populated_dir () in
+  let jpath = Filename.concat dir "journal.log" in
+  let size = (Unix.stat jpath).Unix.st_size in
+  Unix.truncate jpath (size - 5);
+  let r = ok (Store.fsck dir) in
+  Alcotest.(check bool) "unhealthy" false r.Store.fsck_healthy;
+  Alcotest.(check int) "torn bytes" (16 + 2 - 5) r.Store.fsck_torn_bytes;
+  let r = ok (Store.fsck ~repair:true dir) in
+  Alcotest.(check bool) "repaired" true r.Store.fsck_healthy;
+  Alcotest.(check bool) "actions reported" true (r.Store.fsck_repairs <> []);
+  let _, snap, records, report = ok (Store.open_dir dir) in
+  Alcotest.(check (option string)) "snapshot kept" (Some "SNAP") snap;
+  Alcotest.(check (list string)) "tail dropped" [] records;
+  Alcotest.(check bool) "clean open" true (Store.recovery_clean report)
+
+let test_fsck_corrupt_snapshot_with_fallback () =
+  let dir = populated_dir () in
+  (* another compact leaves epoch 2; then corrupt the snapshot but
+     plant a valid fallback, as a crash between compact renames would *)
+  let snap = Filename.concat dir "snapshot.bin" in
+  check_ok "fallback"
+    (Snapshot_file.write (Filename.concat dir "snapshot.bin.old") ~epoch:1
+       "SNAP");
+  let fd = Unix.openfile snap [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd 17 Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "?") 0 1);
+  Unix.close fd;
+  let r = ok (Store.fsck dir) in
+  Alcotest.(check bool) "unhealthy" false r.Store.fsck_healthy;
+  Alcotest.(check bool) "snapshot damaged" true (is_damaged r.Store.fsck_snapshot);
+  Alcotest.(check bool) "fallback intact" true (is_intact r.Store.fsck_fallback);
+  let r = ok (Store.fsck ~repair:true dir) in
+  Alcotest.(check bool) "repaired" true r.Store.fsck_healthy;
+  let _, snap_payload, records, _ = ok (Store.open_dir dir) in
+  Alcotest.(check (option string)) "fallback data" (Some "SNAP") snap_payload;
+  Alcotest.(check (list string)) "journal matches fallback epoch" [ "r2" ] records
+
+let test_fsck_corrupt_snapshot_no_fallback () =
+  let dir = populated_dir () in
+  let snap = Filename.concat dir "snapshot.bin" in
+  let fd = Unix.openfile snap [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd 17 Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "?") 0 1);
+  Unix.close fd;
+  (* open refuses: the data cannot be trusted *)
+  check_err "open refuses"
+    (function Seed_util.Seed_error.Corrupt _ -> true | _ -> false)
+    (Store.open_dir dir);
+  let r = ok (Store.fsck dir) in
+  Alcotest.(check bool) "unhealthy" false r.Store.fsck_healthy;
+  (* repair quarantines the snapshot; the store reopens empty *)
+  let r = ok (Store.fsck ~repair:true dir) in
+  Alcotest.(check bool) "healthy after repair" true r.Store.fsck_healthy;
+  Alcotest.(check bool) "quarantine kept" true
+    (Sys.file_exists (Filename.concat dir "snapshot.bin.corrupt"));
+  let _, snap_payload, records, _ = ok (Store.open_dir dir) in
+  Alcotest.(check (option string)) "empty" None snap_payload;
+  Alcotest.(check (list string)) "no records" [] records
+
+let test_fsck_leftover_tmp_and_fallback () =
+  let dir = populated_dir () in
+  Out_channel.with_open_bin (Filename.concat dir "snapshot.bin.tmp")
+    (fun oc -> Out_channel.output_string oc "garbage");
+  check_ok "stale fallback"
+    (Snapshot_file.write (Filename.concat dir "snapshot.bin.old") ~epoch:0 "OLD");
+  let r = ok (Store.fsck dir) in
+  Alcotest.(check bool) "unhealthy" false r.Store.fsck_healthy;
+  Alcotest.(check bool) "tmp seen" true r.Store.fsck_tmp_leftover;
+  let r = ok (Store.fsck ~repair:true dir) in
+  Alcotest.(check bool) "healthy" true r.Store.fsck_healthy;
+  Alcotest.(check bool) "tmp gone" false
+    (Sys.file_exists (Filename.concat dir "snapshot.bin.tmp"));
+  Alcotest.(check bool) "fallback gone" false
+    (Sys.file_exists (Filename.concat dir "snapshot.bin.old"))
 
 let () =
   Alcotest.run "storage"
@@ -382,5 +682,29 @@ let () =
         [
           tc "lifecycle" test_store_lifecycle;
           tc "closed store" test_store_append_after_close_fails;
+          tc "sync policies" test_store_sync_policies;
+          tc "unsynced loss under `None" test_store_unsynced_none_policy_lost_on_abandon;
+        ] );
+      ( "epochs",
+        [
+          tc "frames tagged" test_journal_epoch_tagging;
+          tc "stale journal skipped" test_stale_journal_skipped;
+          tc "journal ahead refused" test_journal_ahead_of_snapshot_refused;
+          tc "torn tail truncated on open" test_torn_tail_truncated_on_open;
+        ] );
+      ( "fault injection",
+        [
+          tc "fsync failure on append" test_fsync_failure_on_append;
+          tc "rename failure in snapshot write" test_rename_failure_during_snapshot_write;
+          tc "enospc mid-frame" test_enospc_mid_journal_frame;
+          tc "crash during tmp write" test_crash_during_snapshot_tmp_write;
+        ] );
+      ( "fsck",
+        [
+          tc "healthy" test_fsck_healthy;
+          tc "torn tail" test_fsck_torn_tail;
+          tc "corrupt snapshot with fallback" test_fsck_corrupt_snapshot_with_fallback;
+          tc "corrupt snapshot without fallback" test_fsck_corrupt_snapshot_no_fallback;
+          tc "leftover tmp and fallback" test_fsck_leftover_tmp_and_fallback;
         ] );
     ]
