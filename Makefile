@@ -1,0 +1,25 @@
+# Developer entry points. `make check` is the gate every change should
+# pass before review: build, full test suite (including the randomized
+# planner/scan equivalence properties), and formatting when the
+# formatter is available.
+
+.PHONY: check build test fmt bench-query
+
+check: build test fmt
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping @fmt"; \
+	fi
+
+# regenerate the committed query-planner baseline
+bench-query:
+	dune exec bench/main.exe -- query

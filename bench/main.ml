@@ -475,6 +475,88 @@ let recovery () =
   Store.close s_none
 
 (* ------------------------------------------------------------------ *)
+(* Q1: the query planner - extent/index-backed select vs a full scan    *)
+(* ------------------------------------------------------------------ *)
+
+let query () =
+  heading "Q1" "query planner: extent/index-backed select vs full scan";
+  let module Q = Seed_core.Query in
+  let module View = Seed_core.View in
+  let module Db_state = Seed_core.Db_state in
+  let module Item = Seed_core.Item in
+  (* the pre-planner select: walk the whole item table, test every live
+     normal independent, sort by name — what [Q.select] compiles to when
+     a predicate is opaque *)
+  let naive_select v p =
+    Db_state.fold_items (View.db v) ~init:[] ~f:(fun acc it ->
+        if
+          it.Item.body = Item.Independent
+          && View.live_normal v it
+          && Q.test p v it
+        then it :: acc
+        else acc)
+    |> List.sort (fun (a : Item.t) b -> Ident.compare a.Item.id b.Item.id)
+  in
+  let bench_op ~iters f =
+    ignore (f ());
+    let _, t =
+      Report.time_of (fun () ->
+          for _ = 1 to iters do
+            ignore (f ())
+          done)
+    in
+    t /. float_of_int iters
+  in
+  let rows = ref [] in
+  let json = ref [] in
+  List.iter
+    (fun n ->
+      let db = Workloads.query_populate n in
+      let v = DB.view db in
+      let iters = if n >= 100_000 then 10 else if n >= 10_000 then 50 else 200 in
+      let ops =
+        [
+          ("select_by_class", Q.in_class "C4");
+          ("is_a_deep", Q.is_a "C6");
+          ("name_lookup", Q.name_is (Workloads.query_name (n / 2)));
+        ]
+      in
+      List.iter
+        (fun (key, p) ->
+          let indexed = bench_op ~iters (fun () -> Q.select v p) in
+          let scan = bench_op ~iters (fun () -> naive_select v p) in
+          let hits = List.length (Q.select v p) in
+          rows :=
+            [
+              string_of_int n;
+              key;
+              string_of_int hits;
+              Report.ms indexed;
+              Report.ms scan;
+              Printf.sprintf "%.1fx" (scan /. indexed);
+            ]
+            :: !rows;
+          json :=
+            Printf.sprintf
+              "    {\"items\": %d, \"query\": %S, \"hits\": %d, \
+               \"indexed_us\": %.2f, \"scan_us\": %.2f, \"speedup\": %.1f}"
+              n key hits (indexed *. 1e6) (scan *. 1e6) (scan /. indexed)
+            :: !json)
+        ops)
+    [ 1_000; 10_000; 100_000 ];
+  Report.table
+    ~title:"planner-backed select vs naive item-table scan (per query)"
+    ~header:[ "items"; "query"; "hits"; "indexed"; "scan"; "speedup" ]
+    (List.rev !rows);
+  let oc = open_out "BENCH_query.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"query\",\n  \"command\": \"dune exec bench/main.exe -- \
+     query\",\n  \"results\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.rev !json));
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_query.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let suites =
   [
@@ -482,6 +564,7 @@ let suites =
     ("fig3", fig3);
     ("fig4", fig4);
     ("fig5", fig5);
+    ("query", query);
     ("spades", spades);
     ("ablation", ablation);
     ("storage", storage);

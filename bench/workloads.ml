@@ -263,3 +263,35 @@ let spades_session_on_raw n =
     R.add_keyword t (data_name i) "bench"
   done;
   t
+
+(* --- Q1: the query-planner workload ---------------------------------- *)
+
+(* A generalization chain C0 <- C1 <- ... <- C7 with 24 leaf classes
+   under C0. Objects are spread so that each chain class holds ~n/125 of
+   the database — queries over the chain are selective, which is where
+   an extent index pays off; the leaves hold the bulk. *)
+let query_schema =
+  let cname i = Printf.sprintf "C%d" i in
+  let chain =
+    List.init 8 (fun i ->
+        if i = 0 then Class_def.v [ cname 0 ]
+        else Class_def.v ~super:(cname (i - 1)) [ cname i ])
+  in
+  let leaves =
+    List.init 24 (fun i ->
+        Class_def.v ~super:(cname 0) [ Printf.sprintf "D%02d" i ])
+  in
+  Schema.of_defs_exn (chain @ leaves) []
+
+let query_name i = Printf.sprintf "Q%06d" i
+
+let query_populate n =
+  let db = DB.create query_schema in
+  for i = 0 to n - 1 do
+    let cls =
+      if i mod 125 < 8 then Printf.sprintf "C%d" (i mod 125)
+      else Printf.sprintf "D%02d" (i mod 24)
+    in
+    ignore (ok (DB.create_object db ~cls ~name:(query_name i) ()))
+  done;
+  db

@@ -45,8 +45,10 @@ let index_current_name db (it : Item.t) =
 let restore db saved =
   let it = saved.s_item in
   deindex_current_name db it;
+  Db_state.unindex_extent db it;
   it.Item.current <- saved.s_state;
   it.Item.dirty <- saved.s_dirty;
+  Db_state.index_extent db it;
   index_current_name db it
 
 (* ------------------------------------------------------------------ *)
@@ -281,7 +283,9 @@ let create_relationship_named db ~assoc ~bindings ?(pattern = false) () =
 
 let update_item_state db (item : Item.t) new_state =
   deindex_current_name db item;
+  Db_state.unindex_extent db item;
   item.Item.current <- Some new_state;
+  Db_state.index_extent db item;
   index_current_name db item;
   Db_state.mark_dirty db item
 
@@ -455,7 +459,7 @@ let is_dirty db =
       match Db_state.find_item db id with
       | Some it -> it.Item.dirty
       | None -> false)
-    db.Db_state.dirty_queue
+    (Db_state.dirty_ids db)
 
 let create_version db =
   let* () =
@@ -659,10 +663,13 @@ type stats = {
 let stats db =
   let v = view db in
   let st_sub_objects =
-    Db_state.fold_items db ~init:0 ~f:(fun acc it ->
-        match it.Item.body with
-        | Item.Dependent _ when View.live v it -> acc + 1
-        | _ -> acc)
+    match View.version v with
+    | None -> Db_state.live_dependent_count db
+    | Some _ ->
+      Db_state.fold_items db ~init:0 ~f:(fun acc it ->
+          match it.Item.body with
+          | Item.Dependent _ when View.live v it -> acc + 1
+          | _ -> acc)
   in
   {
     st_objects = List.length (View.all_objects v);
@@ -678,7 +685,7 @@ let stats db =
              match Db_state.find_item db id with
              | Some it -> it.Item.dirty
              | None -> false)
-           db.Db_state.dirty_queue);
+           (Db_state.dirty_ids db));
     st_schema_revision = Schema.revision db.Db_state.schema;
   }
 

@@ -12,13 +12,18 @@ and t = {
   items : Item.t Ident.Tbl.t;
   gen : Ident.Gen.t;
   name_index : Ident.t Name_index.t;
-  children : Ident.t list ref Ident.Tbl.t;
-  rels_of : Ident.t list ref Ident.Tbl.t;
-  inheritors : Ident.t list ref Ident.Tbl.t;
+  children : Ident.Set.t ref Ident.Tbl.t;
+  rels_of : Ident.Set.t ref Ident.Tbl.t;
+  inheritors : Ident.Set.t ref Ident.Tbl.t;
+  obj_extent : (string, Ident.Hset.t) Hashtbl.t;
+  pattern_extent : (string, Ident.Hset.t) Hashtbl.t;
+  rel_extent : (string, Ident.Hset.t) Hashtbl.t;
+  rel_pattern_extent : (string, Ident.Hset.t) Hashtbl.t;
+  dependent_extent : Ident.Hset.t;
   versions : Versioning.t;
   mutable current_base : Version_id.t option;
   mutable retrieval_version : Version_id.t option;
-  mutable dirty_queue : Ident.t list;
+  dirty_set : Ident.Hset.t;
   procedures : (string, proc) Hashtbl.t;
   mutable proc_depth : int;
   mutable transition_rules :
@@ -36,10 +41,15 @@ let create schema =
     children = Ident.Tbl.create 64;
     rels_of = Ident.Tbl.create 64;
     inheritors = Ident.Tbl.create 16;
+    obj_extent = Hashtbl.create 16;
+    pattern_extent = Hashtbl.create 16;
+    rel_extent = Hashtbl.create 16;
+    rel_pattern_extent = Hashtbl.create 16;
+    dependent_extent = Ident.Hset.create 64;
     versions = Versioning.create ();
     current_base = None;
     retrieval_version = None;
-    dirty_queue = [];
+    dirty_set = Ident.Hset.create 64;
     procedures = Hashtbl.create 8;
     proc_depth = 0;
     transition_rules = [];
@@ -56,22 +66,118 @@ let fresh_id t = Ident.Gen.next t.gen
 
 let multi_add tbl key v =
   match Ident.Tbl.find_opt tbl key with
-  | Some cell -> cell := v :: !cell
-  | None -> Ident.Tbl.replace tbl key (ref [ v ])
+  | Some cell -> cell := Ident.Set.add v !cell
+  | None -> Ident.Tbl.replace tbl key (ref (Ident.Set.singleton v))
 
 let multi_remove tbl key v =
   match Ident.Tbl.find_opt tbl key with
-  | Some cell -> cell := List.filter (fun x -> not (Ident.equal x v)) !cell
+  | Some cell -> cell := Ident.Set.remove v !cell
   | None -> ()
 
 let multi_get tbl key =
-  match Ident.Tbl.find_opt tbl key with Some cell -> List.rev !cell | None -> []
+  match Ident.Tbl.find_opt tbl key with
+  | Some cell -> Ident.Set.elements !cell
+  | None -> []
 
 let index_name t name id = Name_index.insert t.name_index name id
 let unindex_name t name = ignore (Name_index.remove t.name_index name)
 
+(* ------------------------------------------------------------------ *)
+(* Class / association extents                                          *)
+(*                                                                      *)
+(* Invariant: after every mutation of an item's current state the item  *)
+(* belongs to exactly the extent matching that state — [obj_extent cls] *)
+(* holds the live normal independent objects classified [cls],          *)
+(* [pattern_extent cls] the live pattern objects, [rel_extent assoc]    *)
+(* and [rel_pattern_extent assoc] the live (pattern) relationships, and *)
+(* [dependent_extent] the live sub-objects. Deleted items and items     *)
+(* with no current state are in no extent. Re-classification moves the  *)
+(* item between class extents, deletion drops it, and a pattern flip    *)
+(* (never produced today, but handled uniformly) would move it between  *)
+(* the normal and pattern tables.                                       *)
+(* ------------------------------------------------------------------ *)
+
+let extent_get tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some set -> set
+  | None ->
+    let set = Ident.Hset.create 16 in
+    Hashtbl.add tbl key set;
+    set
+
+let extent_ids tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some set -> Ident.Hset.elements set
+  | None -> []
+
+let all_extent_ids tbl =
+  Hashtbl.fold (fun _ set acc -> Ident.Hset.fold List.cons set acc) tbl []
+
+(* Add the item's current state to its extent. Called with the state the
+   item is about to expose; a no-op for deleted or stateless items. *)
+let index_extent t (item : Item.t) =
+  match item.current with
+  | None -> ()
+  | Some s when Item.state_deleted s -> ()
+  | Some (Item.Obj o) -> (
+    match item.body with
+    | Item.Independent ->
+      let tbl = if o.Item.pattern then t.pattern_extent else t.obj_extent in
+      Ident.Hset.add (extent_get tbl o.Item.cls) item.id
+    | Item.Dependent _ -> Ident.Hset.add t.dependent_extent item.id
+    | Item.Relationship -> ())
+  | Some (Item.Rel r) -> (
+    match item.body with
+    | Item.Relationship ->
+      let tbl =
+        if r.Item.rel_pattern then t.rel_pattern_extent else t.rel_extent
+      in
+      Ident.Hset.add (extent_get tbl r.Item.assoc) item.id
+    | Item.Independent | Item.Dependent _ -> ())
+
+(* Remove the item's current-state extent membership. Must be called
+   BEFORE the current state is overwritten. *)
+let unindex_extent t (item : Item.t) =
+  match item.current with
+  | None -> ()
+  | Some (Item.Obj o) -> (
+    match item.body with
+    | Item.Independent ->
+      let tbl = if o.Item.pattern then t.pattern_extent else t.obj_extent in
+      (match Hashtbl.find_opt tbl o.Item.cls with
+      | Some set -> Ident.Hset.remove set item.id
+      | None -> ())
+    | Item.Dependent _ -> Ident.Hset.remove t.dependent_extent item.id
+    | Item.Relationship -> ())
+  | Some (Item.Rel r) -> (
+    match item.body with
+    | Item.Relationship ->
+      let tbl =
+        if r.Item.rel_pattern then t.rel_pattern_extent else t.rel_extent
+      in
+      (match Hashtbl.find_opt tbl r.Item.assoc with
+      | Some set -> Ident.Hset.remove set item.id
+      | None -> ())
+    | Item.Independent | Item.Dependent _ -> ())
+
+let obj_extent_ids t cls = extent_ids t.obj_extent cls
+let pattern_extent_ids t cls = extent_ids t.pattern_extent cls
+let rel_extent_ids t assoc = extent_ids t.rel_extent assoc
+let rel_pattern_extent_ids t assoc = extent_ids t.rel_pattern_extent assoc
+let all_obj_extent_ids t = all_extent_ids t.obj_extent
+let all_pattern_extent_ids t = all_extent_ids t.pattern_extent
+let all_rel_extent_ids t = all_extent_ids t.rel_extent
+let all_rel_pattern_extent_ids t = all_extent_ids t.rel_pattern_extent
+let dependent_extent_ids t = Ident.Hset.elements t.dependent_extent
+let live_dependent_count t = Ident.Hset.cardinal t.dependent_extent
+
+let all_live_ids t =
+  all_obj_extent_ids t @ all_pattern_extent_ids t @ all_rel_extent_ids t
+  @ all_rel_pattern_extent_ids t @ dependent_extent_ids t
+
 let add_item t (item : Item.t) =
   Ident.Tbl.replace t.items item.id item;
+  index_extent t item;
   (match item.body with
   | Item.Dependent { parent; _ } -> multi_add t.children parent item.id
   | Item.Independent -> (
@@ -87,8 +193,8 @@ let add_item t (item : Item.t) =
 let add_loaded_item t (item : Item.t) =
   (* Like [add_item] but suitable for items loaded from storage: an item
      may exist only in history (current = None), in which case the
-     relationship index must still cover its historical endpoints. Name
-     and inheritor indexes are rebuilt wholesale afterwards. *)
+     relationship index must still cover its historical endpoints. Name,
+     inheritor, and extent indexes are rebuilt wholesale afterwards. *)
   Ident.Tbl.replace t.items item.id item;
   (match item.body with
   | Item.Dependent { parent; _ } -> multi_add t.children parent item.id
@@ -105,6 +211,7 @@ let add_loaded_item t (item : Item.t) =
     | Some (Item.Obj _) | None -> ()))
 
 let remove_item t (item : Item.t) =
+  unindex_extent t item;
   Ident.Tbl.remove t.items item.id;
   (match item.body with
   | Item.Dependent { parent; _ } -> multi_remove t.children parent item.id
@@ -117,32 +224,34 @@ let remove_item t (item : Item.t) =
     | Some { endpoints; _ } ->
       List.iter (fun e -> multi_remove t.rels_of e item.id) endpoints
     | None -> ()));
-  t.dirty_queue <- List.filter (fun i -> not (Ident.equal i item.id)) t.dirty_queue
+  Ident.Hset.remove t.dirty_set item.id
 
 let mark_dirty t (item : Item.t) =
   if not item.dirty then begin
     item.dirty <- true;
-    t.dirty_queue <- item.id :: t.dirty_queue
+    Ident.Hset.add t.dirty_set item.id
   end
 
 let take_dirty t =
-  let ids = t.dirty_queue in
-  t.dirty_queue <- [];
+  let ids = Ident.Hset.elements t.dirty_set in
+  Ident.Hset.clear t.dirty_set;
   List.filter_map
     (fun id ->
       match find_item t id with
       | Some it when it.Item.dirty -> Some it
       | Some _ | None -> None)
-    (List.rev ids)
+    ids
 
 let clear_dirty t =
-  List.iter
+  Ident.Hset.iter
     (fun id ->
       match find_item t id with
       | Some it -> it.Item.dirty <- false
       | None -> ())
-    t.dirty_queue;
-  t.dirty_queue <- []
+    t.dirty_set;
+  Ident.Hset.clear t.dirty_set
+
+let dirty_ids t = Ident.Hset.elements t.dirty_set
 
 let children_ids t id = multi_get t.children id
 let rels_ids t id = multi_get t.rels_of id
@@ -163,7 +272,13 @@ let rebuild_state_indexes t =
   let names = Name_index.to_list t.name_index in
   List.iter (fun (n, _) -> unindex_name t n) names;
   Ident.Tbl.reset t.inheritors;
+  Hashtbl.reset t.obj_extent;
+  Hashtbl.reset t.pattern_extent;
+  Hashtbl.reset t.rel_extent;
+  Hashtbl.reset t.rel_pattern_extent;
+  Ident.Hset.clear t.dependent_extent;
   iter_items t (fun it ->
+      index_extent t it;
       match (it.Item.body, it.Item.current) with
       | Item.Independent, Some (Item.Obj o) when not o.Item.deleted ->
         (match o.Item.name with

@@ -1,9 +1,15 @@
-(** Mutable database state: item tables, indexes, version tree, and the
-    attached-procedure registry.
+(** Mutable database state: item tables, indexes, class/association
+    extents, the version tree, and the attached-procedure registry.
 
     This module is the engine room — it performs no semantic checking.
     {!Database} is the checked operational interface; {!Consistency} and
-    {!Completeness} read through these accessors. *)
+    {!Completeness} read through these accessors.
+
+    Beyond the identity-level indexes, the state maintains {e extents}:
+    per-class and per-association sets of the items whose current state
+    is live in that class or association. They are maintained
+    incrementally on create, delete, re-classify, and rollback, and give
+    the {!Query} planner its candidate sets without a full item scan. *)
 
 open Seed_util
 open Seed_schema
@@ -23,15 +29,27 @@ and t = {
   gen : Ident.Gen.t;
   name_index : Ident.t Name_index.t;
       (** name → id for independent objects live in the current state *)
-  children : Ident.t list ref Ident.Tbl.t;  (** parent id → sub-object ids *)
-  rels_of : Ident.t list ref Ident.Tbl.t;  (** object id → relationship ids *)
-  inheritors : Ident.t list ref Ident.Tbl.t;  (** pattern id → inheritor ids *)
+  children : Ident.Set.t ref Ident.Tbl.t;  (** parent id → sub-object ids *)
+  rels_of : Ident.Set.t ref Ident.Tbl.t;  (** object id → relationship ids *)
+  inheritors : Ident.Set.t ref Ident.Tbl.t;  (** pattern id → inheritor ids *)
+  obj_extent : (string, Ident.Hset.t) Hashtbl.t;
+      (** class → live normal independent objects currently in it *)
+  pattern_extent : (string, Ident.Hset.t) Hashtbl.t;
+      (** class → live pattern objects currently in it *)
+  rel_extent : (string, Ident.Hset.t) Hashtbl.t;
+      (** association → live normal relationships currently in it *)
+  rel_pattern_extent : (string, Ident.Hset.t) Hashtbl.t;
+      (** association → live pattern relationships currently in it *)
+  dependent_extent : Ident.Hset.t;  (** all live dependent sub-objects *)
   versions : Versioning.t;
   mutable current_base : Version_id.t option;
       (** the saved version the current state derives from *)
   mutable retrieval_version : Version_id.t option;
       (** the version retrieval operations read from; [None] = current *)
-  mutable dirty_queue : Ident.t list;
+  dirty_set : Ident.Hset.t;
+      (** candidate delta set: ids marked since the last snapshot; the
+          per-item [dirty] flag is authoritative (rollback may leave
+          stale entries, filtered on {!take_dirty}) *)
   procedures : (string, proc) Hashtbl.t;
   mutable proc_depth : int;
       (** attached-procedure nesting depth (recursion guard) *)
@@ -50,27 +68,67 @@ val find_item_res : t -> Ident.t -> (Item.t, Seed_error.t) result
 val fresh_id : t -> Ident.t
 
 val add_item : t -> Item.t -> unit
-(** Insert into the item table and all identity-level indexes, and the
-    name index when applicable. *)
+(** Insert into the item table and all identity-level indexes, the
+    extent of its current state, and the name index when applicable. *)
 
 val add_loaded_item : t -> Item.t -> unit
 (** Insert an item loaded from storage: identity indexes are updated
-    (covering items that exist only in history); name and inheritor
-    indexes must be rebuilt with {!rebuild_state_indexes} afterwards. *)
+    (covering items that exist only in history); name, inheritor, and
+    extent indexes must be rebuilt with {!rebuild_state_indexes}
+    afterwards. *)
 
 val remove_item : t -> Item.t -> unit
 (** Physically remove a just-created item (update rollback only — user
     deletion is always logical). *)
 
+(** {1 Extents}
+
+    Extent membership follows the {e current} state only — version
+    views cannot use them and fall back to scans. All accessors return
+    ids in unspecified order. *)
+
+val index_extent : t -> Item.t -> unit
+(** Enter the item's current state into its extent. {!Database} calls
+    this after every current-state overwrite (update and rollback);
+    deleted or stateless items are not entered. *)
+
+val unindex_extent : t -> Item.t -> unit
+(** Drop the item's current-state extent membership. Must be called
+    {e before} the current state is overwritten. *)
+
+val obj_extent_ids : t -> string -> Ident.t list
+(** Live normal independent objects classified exactly in this class. *)
+
+val pattern_extent_ids : t -> string -> Ident.t list
+val rel_extent_ids : t -> string -> Ident.t list
+val rel_pattern_extent_ids : t -> string -> Ident.t list
+
+val all_obj_extent_ids : t -> Ident.t list
+(** Union of {!obj_extent_ids} over all classes — the live normal
+    independent objects of the current state. *)
+
+val all_pattern_extent_ids : t -> Ident.t list
+val all_rel_extent_ids : t -> Ident.t list
+val all_rel_pattern_extent_ids : t -> Ident.t list
+
+val dependent_extent_ids : t -> Ident.t list
+val live_dependent_count : t -> int
+
+val all_live_ids : t -> Ident.t list
+(** Every item live in the current state (all five extent groups). *)
+
 val mark_dirty : t -> Item.t -> unit
 (** Add to the delta set for the next version snapshot. *)
 
 val take_dirty : t -> Item.t list
-(** Items changed since the last snapshot; clears the queue but not the
+(** Items changed since the last snapshot; clears the set but not the
     per-item flags (stamping does that). *)
 
 val clear_dirty : t -> unit
-(** Reset all dirty flags and the queue (after a branch switch). *)
+(** Reset all dirty flags and the set (after a branch switch). *)
+
+val dirty_ids : t -> Ident.t list
+(** The candidate delta set (callers filter on the per-item flag). *)
 
 val children_ids : t -> Ident.t -> Ident.t list
 val rels_ids : t -> Ident.t -> Ident.t list
@@ -86,8 +144,8 @@ val find_id_by_name : t -> string -> Ident.t option
 (** Current-state lookup through the name index. *)
 
 val rebuild_state_indexes : t -> unit
-(** Recompute the name and inheritor indexes from current item states
-    (after a branch switch or a load). *)
+(** Recompute the name, inheritor, and extent indexes from current item
+    states (after a branch switch or a load). *)
 
 val register_procedure : t -> string -> proc -> unit
 

@@ -1,69 +1,152 @@
 open Seed_util
 open Seed_schema
 
-type pred = View.t -> Item.t -> bool
+(* Predicates are reified so [select] can plan: the structured
+   constructors below are recognised by [candidates] and answered from
+   the class extents and the name index; anything else is wrapped in
+   [Opaque] and forces a scan of the view. *)
+type pred =
+  | In_class of string
+  | Is_a of string
+  | Name_is of string
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+  | Opaque of (View.t -> Item.t -> bool)
 
-let in_class cls v it =
-  match View.obj_state v it with
-  | Some o -> String.equal o.Item.cls cls
-  | None -> false
+let in_class cls = In_class cls
+let is_a cls = Is_a cls
+let name_is n = Name_is n
+let of_fun f = Opaque f
 
-let is_a cls v it =
-  match View.obj_state v it with
-  | Some o -> Schema.class_is_a (View.schema v) ~sub:o.Item.cls ~super:cls
-  | None -> false
+let name_matches f =
+  Opaque
+    (fun v it ->
+      match View.full_name v it with Some m -> f m | None -> false)
 
-let name_is n v it =
-  match View.full_name v it with Some m -> String.equal m n | None -> false
+let has_value f =
+  Opaque
+    (fun v it ->
+      match View.obj_state v it with
+      | Some { Item.value = Some value; _ } -> f value
+      | Some { Item.value = None; _ } | None -> false)
 
-let name_matches f v it =
-  match View.full_name v it with Some m -> f m | None -> false
+let has_child ~role =
+  Opaque (fun v it -> View.child_v v (View.vitem_real it) ~role () <> None)
 
-let has_value f v it =
-  match View.obj_state v it with
-  | Some { Item.value = Some value; _ } -> f value
-  | Some { Item.value = None; _ } | None -> false
-
-let has_child ~role v it =
-  View.child_v v (View.vitem_real it) ~role () <> None
-
-let child_value ~role f v it =
-  View.children_v v (View.vitem_real it)
-  |> List.exists (fun (vi : View.vitem) ->
-         match vi.View.item.Item.body with
-         | Item.Dependent d when String.equal d.role role -> (
-           match View.obj_state v vi.View.item with
-           | Some { Item.value = Some value; _ } -> f value
-           | Some _ | None -> false)
-         | Item.Dependent _ | Item.Independent | Item.Relationship -> false)
+let child_value ~role f =
+  Opaque
+    (fun v it ->
+      View.children_v v (View.vitem_real it)
+      |> List.exists (fun (vi : View.vitem) ->
+             match vi.View.item.Item.body with
+             | Item.Dependent d when String.equal d.role role -> (
+               match View.obj_state v vi.View.item with
+               | Some { Item.value = Some value; _ } -> f value
+               | Some _ | None -> false)
+             | Item.Dependent _ | Item.Independent | Item.Relationship ->
+               false))
 
 let rel_is_a v ~assoc (rel : Item.t) =
   match View.rel_state v rel with
   | Some rs -> Schema.assoc_is_a (View.schema v) ~sub:rs.Item.assoc ~super:assoc
   | None -> false
 
-let related ~assoc v it =
-  View.rels_v v it
-  |> List.exists (fun (vr : View.vrel) -> rel_is_a v ~assoc vr.View.rel)
+let related ~assoc =
+  Opaque
+    (fun v it ->
+      View.rels_v v it
+      |> List.exists (fun (vr : View.vrel) -> rel_is_a v ~assoc vr.View.rel))
 
-let related_to ~assoc other v it =
-  View.rels_v v it
-  |> List.exists (fun (vr : View.vrel) ->
-         rel_is_a v ~assoc vr.View.rel
-         &&
-         let occurrences =
-           List.length (List.filter (Ident.equal other) vr.View.endpoints)
-         in
-         (* the object's own binding does not make it "related to
-            itself"; a genuine self-loop binds it twice *)
-         if Ident.equal other it.Item.id then occurrences >= 2
-         else occurrences >= 1)
+let related_to ~assoc other =
+  Opaque
+    (fun v it ->
+      View.rels_v v it
+      |> List.exists (fun (vr : View.vrel) ->
+             rel_is_a v ~assoc vr.View.rel
+             &&
+             let occurrences =
+               List.length (List.filter (Ident.equal other) vr.View.endpoints)
+             in
+             (* the object's own binding does not make it "related to
+                itself"; a genuine self-loop binds it twice *)
+             if Ident.equal other it.Item.id then occurrences >= 2
+             else occurrences >= 1))
 
-let is_incomplete v it = Completeness.check_object v it <> []
+let is_incomplete =
+  Opaque (fun v it -> Completeness.check_object v it <> [])
 
-let ( &&& ) p q v it = p v it && q v it
-let ( ||| ) p q v it = p v it || q v it
-let not_ p v it = not (p v it)
+let rec test p v it =
+  match p with
+  | In_class cls -> (
+    match View.obj_state v it with
+    | Some o -> String.equal o.Item.cls cls
+    | None -> false)
+  | Is_a cls -> (
+    match View.obj_state v it with
+    | Some o -> Schema.class_is_a (View.schema v) ~sub:o.Item.cls ~super:cls
+    | None -> false)
+  | Name_is n -> (
+    match View.full_name v it with Some m -> String.equal m n | None -> false)
+  | And (p, q) -> test p v it && test q v it
+  | Or (p, q) -> test p v it || test q v it
+  | Not p -> not (test p v it)
+  | Opaque f -> f v it
+
+let ( &&& ) p q = And (p, q)
+let ( ||| ) p q = Or (p, q)
+let not_ p = Not p
+
+(* ------------------------------------------------------------------ *)
+(* Planner                                                              *)
+(*                                                                      *)
+(* [candidates] computes a superset — within the live normal            *)
+(* independent objects of the current state — of the items a predicate  *)
+(* can match; [None] means unbounded. The caller re-tests the full      *)
+(* predicate on every candidate, so a constructor only needs to be      *)
+(* sound (never omit a match), not exact:                               *)
+(*   - [In_class c] matches exactly the extent of [c];                  *)
+(*   - [Is_a c] matches the union of the extents of [c] and its         *)
+(*     descendants, because [class_is_a ~sub ~super:c] holds iff [sub]  *)
+(*     is in [class_descendants_or_self c];                             *)
+(*   - [Name_is n] can only match the object the name index binds to    *)
+(*     [n] — every live named independent is indexed and names are      *)
+(*     unique (the index may yield a pattern; the domain filter drops   *)
+(*     it);                                                             *)
+(*   - [And] intersects (either side alone is already a superset),      *)
+(*     [Or] unions (sound only when both sides are bounded);            *)
+(*   - [Not] and [Opaque] are unbounded.                                *)
+(* Version views cannot use the extents; [select] falls back to the     *)
+(* scan whenever the view is not current.                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec candidates db schema p =
+  match p with
+  | In_class cls -> Some (Ident.Set.of_list (Db_state.obj_extent_ids db cls))
+  | Is_a cls ->
+    Some
+      (List.fold_left
+         (fun acc c ->
+           List.fold_left
+             (fun acc id -> Ident.Set.add id acc)
+             acc
+             (Db_state.obj_extent_ids db c))
+         Ident.Set.empty
+         (Schema.class_descendants_or_self schema cls))
+  | Name_is n -> (
+    match Db_state.find_id_by_name db n with
+    | Some id -> Some (Ident.Set.singleton id)
+    | None -> Some Ident.Set.empty)
+  | And (p, q) -> (
+    match (candidates db schema p, candidates db schema q) with
+    | Some a, Some b -> Some (Ident.Set.inter a b)
+    | (Some _ as s), None | None, (Some _ as s) -> s
+    | None, None -> None)
+  | Or (p, q) -> (
+    match (candidates db schema p, candidates db schema q) with
+    | Some a, Some b -> Some (Ident.Set.union a b)
+    | Some _, None | None, Some _ | None, None -> None)
+  | Not _ | Opaque _ -> None
 
 let by_name v (a : Item.t) (b : Item.t) =
   match (View.full_name v a, View.full_name v b) with
@@ -72,13 +155,48 @@ let by_name v (a : Item.t) (b : Item.t) =
   | None, Some _ -> 1
   | None, None -> Ident.compare a.Item.id b.Item.id
 
-let select v p =
-  View.all_objects v |> List.filter (p v) |> List.sort (by_name v)
+let scan_objects v p = View.all_objects v |> List.filter (test p v)
 
-let count v p = List.length (select v p)
+let select v p =
+  let hits =
+    match View.version v with
+    | Some _ -> scan_objects v p
+    | None -> (
+      let db = View.db v in
+      match candidates db (View.schema v) p with
+      | None -> scan_objects v p
+      | Some ids ->
+        Ident.Set.elements ids
+        |> List.filter_map (Db_state.find_item db)
+        |> List.filter (fun it -> View.live_normal v it && test p v it))
+  in
+  List.sort (by_name v) hits
+
+let count v p =
+  match View.version v with
+  | Some _ -> List.length (scan_objects v p)
+  | None -> (
+    let db = View.db v in
+    match candidates db (View.schema v) p with
+    | None -> List.length (scan_objects v p)
+    | Some ids ->
+      Ident.Set.fold
+        (fun id acc ->
+          match Db_state.find_item db id with
+          | Some it when View.live_normal v it && test p v it -> acc + 1
+          | Some _ | None -> acc)
+        ids 0)
 
 let select_rels v ~assoc =
-  View.all_rels v |> List.filter (rel_is_a v ~assoc)
+  match View.version v with
+  | Some _ -> View.all_rels v |> List.filter (rel_is_a v ~assoc)
+  | None ->
+    (* each relationship sits in exactly one association extent, so the
+       union over the association's subtree has no duplicates *)
+    Schema.assoc_descendants_or_self (View.schema v) assoc
+    |> List.concat_map (Db_state.rel_extent_ids (View.db v))
+    |> List.sort Ident.compare
+    |> List.filter_map (Db_state.find_item (View.db v))
 
 let neighbors v (it : Item.t) ~assoc ~from_pos ~to_pos =
   let db = View.db v in

@@ -5,13 +5,28 @@
     supported (paper, §Data manipulation). This module supplies the
     missing complex retrieval as composable predicates and navigation
     over a {!View} — so queries are version-aware and see inherited
-    pattern information, like every other retrieval operation. *)
+    pattern information, like every other retrieval operation.
+
+    Predicates are reified: {!select} and {!count} inspect their shape
+    and, on a current view, answer index-recognisable predicates
+    ({!in_class}, {!is_a}, {!name_is}, and conjunctions/disjunctions of
+    them) from the class extents and the name index instead of
+    enumerating every object. Opaque predicates ({!of_fun} and the
+    navigation-based ones below), negations, and version views fall back
+    to the full scan — same results, different cost. *)
 
 open Seed_util
 open Seed_schema
 
-type pred = View.t -> Item.t -> bool
-(** A predicate over live items of a view. *)
+type pred
+(** A predicate over live items of a view, as an inspectable term. *)
+
+val of_fun : (View.t -> Item.t -> bool) -> pred
+(** Wrap an arbitrary function as a predicate. Opaque to the planner:
+    selections over it always scan. *)
+
+val test : pred -> View.t -> Item.t -> bool
+(** Evaluate a predicate on one item. *)
 
 (** {1 Object predicates} *)
 

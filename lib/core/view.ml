@@ -66,17 +66,20 @@ let find_object t name =
       | Some it when live t it -> Some it
       | Some _ | None -> None)
     | None -> None)
-  | At _ ->
-    (* old versions have no name index; scan independent objects *)
-    let found = ref None in
-    Db_state.iter_items t.db_ (fun it ->
-        if !found = None && it.Item.body = Item.Independent then
-          match obj_state t it with
-          | Some { name = Some n; deleted = false; _ } when String.equal n name
-            ->
-            found := Some it
-          | Some _ | None -> ());
-    !found
+  | At _ -> (
+    (* old versions have no name index; scan independent objects, stopping
+       at the first hit (names are unique among live objects) *)
+    let exception Found of Item.t in
+    try
+      Db_state.iter_items t.db_ (fun it ->
+          if it.Item.body = Item.Independent then
+            match obj_state t it with
+            | Some { name = Some n; deleted = false; _ }
+              when String.equal n name ->
+              raise_notrace (Found it)
+            | Some _ | None -> ());
+      None
+    with Found it -> Some it)
 
 let children t id =
   Db_state.children_ids t.db_ id
@@ -298,20 +301,39 @@ let rels_v t (obj : Item.t) =
   in
   real @ inherited
 
+(* In [Current] mode the class/association extents are exactly the sets
+   these functions compute, so enumeration is O(live) instead of O(all
+   items ever). The extents are deliberately trusted without a [live]
+   re-check: if extent maintenance ever drifted, the equivalence tests
+   would expose it rather than the drift being silently papered over.
+   Version views ([At _]) cannot use the extents and keep the scan. *)
+
+let sorted_items_of_ids t ids =
+  List.sort Ident.compare ids |> items_of_ids t
+
 let all_objects t =
-  Db_state.fold_items t.db_ ~init:[] ~f:(fun acc it ->
-      if it.Item.body = Item.Independent && live_normal t it then it :: acc
-      else acc)
-  |> List.sort (fun (a : Item.t) b -> Ident.compare a.id b.id)
+  match t.mode with
+  | Current -> Db_state.all_obj_extent_ids t.db_ |> sorted_items_of_ids t
+  | At _ ->
+    Db_state.fold_items t.db_ ~init:[] ~f:(fun acc it ->
+        if it.Item.body = Item.Independent && live_normal t it then it :: acc
+        else acc)
+    |> List.sort (fun (a : Item.t) b -> Ident.compare a.id b.id)
 
 let all_patterns t =
-  Db_state.fold_items t.db_ ~init:[] ~f:(fun acc it ->
-      if it.Item.body = Item.Independent && live_pattern t it then it :: acc
-      else acc)
-  |> List.sort (fun (a : Item.t) b -> Ident.compare a.id b.id)
+  match t.mode with
+  | Current -> Db_state.all_pattern_extent_ids t.db_ |> sorted_items_of_ids t
+  | At _ ->
+    Db_state.fold_items t.db_ ~init:[] ~f:(fun acc it ->
+        if it.Item.body = Item.Independent && live_pattern t it then it :: acc
+        else acc)
+    |> List.sort (fun (a : Item.t) b -> Ident.compare a.id b.id)
 
 let all_rels t =
-  Db_state.fold_items t.db_ ~init:[] ~f:(fun acc it ->
-      if it.Item.body = Item.Relationship && live_normal t it then it :: acc
-      else acc)
-  |> List.sort (fun (a : Item.t) b -> Ident.compare a.id b.id)
+  match t.mode with
+  | Current -> Db_state.all_rel_extent_ids t.db_ |> sorted_items_of_ids t
+  | At _ ->
+    Db_state.fold_items t.db_ ~init:[] ~f:(fun acc it ->
+        if it.Item.body = Item.Relationship && live_normal t it then it :: acc
+        else acc)
+    |> List.sort (fun (a : Item.t) b -> Ident.compare a.id b.id)

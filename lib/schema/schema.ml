@@ -2,16 +2,102 @@ open Seed_util
 open Seed_error
 
 module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+(* Memoized transitive closure of one generalization hierarchy: every
+   [is_a] and descendant-extent query is a map lookup instead of a walk.
+   Closures live behind a [Lazy.t] rebuilt by every schema-producing
+   function, so a new schema revision always starts from a fresh cache. *)
+type gen_closure = {
+  up_list : string list;  (** proper ancestors, nearest first *)
+  up_set : SSet.t;  (** ancestors including self *)
+  down_list : string list;  (** proper descendants (transitive) *)
+}
+
+type closures = {
+  class_closures : gen_closure SMap.t;
+  assoc_closures : gen_closure SMap.t;
+}
 
 type t = {
   class_map : Class_def.t SMap.t;
   assoc_map : Assoc_def.t SMap.t;
   rev : int;
+  closures : closures Lazy.t;
 }
 
+(* Generic generalization walks, shared between classes and associations.
+   These are the uncached reference walks; the closure cache is computed
+   with them and callers go through the cache. *)
+
+let rec supers_of find super_of n acc =
+  match find n with
+  | None -> List.rev acc
+  | Some def -> (
+    match super_of def with
+    | None -> List.rev acc
+    | Some sup ->
+      if List.exists (String.equal sup) acc || String.equal sup n then
+        List.rev acc (* cycle: validation reports it; avoid looping *)
+      else supers_of find super_of sup (sup :: acc))
+
+let compute_closures_of map super_of =
+  let find n = SMap.find_opt n map in
+  (* direct-specialization adjacency, one pass over the map *)
+  let children =
+    SMap.fold
+      (fun name def acc ->
+        match super_of def with
+        | Some sup ->
+          SMap.update sup
+            (function None -> Some [ name ] | Some l -> Some (name :: l))
+            acc
+        | None -> acc)
+      map SMap.empty
+  in
+  let down_memo = Hashtbl.create 64 in
+  let rec down visiting name =
+    match Hashtbl.find_opt down_memo name with
+    | Some d -> d
+    | None ->
+      if SSet.mem name visiting then [] (* cycle guard, as in supers_of *)
+      else
+        let visiting = SSet.add name visiting in
+        let kids =
+          match SMap.find_opt name children with
+          | Some l -> List.rev l
+          | None -> []
+        in
+        let d = List.concat_map (fun k -> k :: down visiting k) kids in
+        Hashtbl.add down_memo name d;
+        d
+  in
+  SMap.mapi
+    (fun name _def ->
+      let up_list = supers_of find super_of name [] in
+      let up_set =
+        List.fold_left (fun s x -> SSet.add x s) (SSet.singleton name) up_list
+      in
+      { up_list; up_set; down_list = down SSet.empty name })
+    map
+
+let compute_closures class_map assoc_map =
+  {
+    class_closures =
+      compute_closures_of class_map (fun (c : Class_def.t) -> c.super);
+    assoc_closures =
+      compute_closures_of assoc_map (fun (a : Assoc_def.t) -> a.super);
+  }
+
+let make ~class_map ~assoc_map ~rev =
+  { class_map; assoc_map; rev; closures = lazy (compute_closures class_map assoc_map) }
+
+let class_closure s n = SMap.find_opt n (Lazy.force s.closures).class_closures
+let assoc_closure s n = SMap.find_opt n (Lazy.force s.closures).assoc_closures
+
 let revision s = s.rev
-let empty = { class_map = SMap.empty; assoc_map = SMap.empty; rev = 0 }
-let with_revision s rev = { s with rev }
+let empty = make ~class_map:SMap.empty ~assoc_map:SMap.empty ~rev:0
+let with_revision s rev = make ~class_map:s.class_map ~assoc_map:s.assoc_map ~rev
 
 let valid_component c =
   (not (String.equal c ""))
@@ -26,13 +112,20 @@ let add_class s (c : Class_def.t) =
     match Class_def.parent_name c with
     | Some p when not (SMap.mem p s.class_map) -> fail (Unknown_class p)
     | Some _ | None ->
-      Ok { s with class_map = SMap.add name c s.class_map }
+      Ok
+        (make
+           ~class_map:(SMap.add name c s.class_map)
+           ~assoc_map:s.assoc_map ~rev:s.rev)
 
 let add_assoc s (a : Assoc_def.t) =
   if not (valid_component a.name) then
     fail (Schema_violation ("bad association name: " ^ a.name))
   else if SMap.mem a.name s.assoc_map then fail (Duplicate_association a.name)
-  else Ok { s with assoc_map = SMap.add a.name a s.assoc_map }
+  else
+    Ok
+      (make ~class_map:s.class_map
+         ~assoc_map:(SMap.add a.name a s.assoc_map)
+         ~rev:s.rev)
 
 let find_class s n = SMap.find_opt n s.class_map
 
@@ -66,30 +159,23 @@ let own_children s n =
     s.class_map []
   |> List.rev
 
-(* Generic generalization walks, shared between classes and associations. *)
-
-let rec supers_of find super_of n acc =
-  match find n with
-  | None -> List.rev acc
-  | Some def -> (
-    match super_of def with
-    | None -> List.rev acc
-    | Some sup ->
-      if List.exists (String.equal sup) acc || String.equal sup n then
-        List.rev acc (* cycle: validation reports it; avoid looping *)
-      else supers_of find super_of sup (sup :: acc))
-
 let class_supers s n =
-  supers_of (find_class s) (fun (c : Class_def.t) -> c.super) n []
+  match class_closure s n with Some c -> c.up_list | None -> []
 
 let assoc_supers s n =
-  supers_of (find_assoc s) (fun (a : Assoc_def.t) -> a.super) n []
+  match assoc_closure s n with Some c -> c.up_list | None -> []
 
+(* A name outside the schema (possible on instances surviving a schema
+   evolution) generalizes nothing but itself, as with the plain walk. *)
 let class_is_a s ~sub ~super =
-  String.equal sub super || List.exists (String.equal super) (class_supers s sub)
+  match class_closure s sub with
+  | Some c -> SSet.mem super c.up_set
+  | None -> String.equal sub super
 
 let assoc_is_a s ~sub ~super =
-  String.equal sub super || List.exists (String.equal super) (assoc_supers s sub)
+  match assoc_closure s sub with
+  | Some c -> SSet.mem super c.up_set
+  | None -> String.equal sub super
 
 let class_specializations s n =
   SMap.fold
@@ -119,8 +205,20 @@ let descendants direct n =
   in
   go [] [ n ]
 
-let class_descendants s n = descendants (class_specializations s) n
-let assoc_descendants s n = descendants (assoc_specializations s) n
+(* Unknown names fall back to the scan: a class outside the schema can
+   still be named as [super] by definitions added out of order. *)
+let class_descendants s n =
+  match class_closure s n with
+  | Some c -> c.down_list
+  | None -> descendants (class_specializations s) n
+
+let assoc_descendants s n =
+  match assoc_closure s n with
+  | Some c -> c.down_list
+  | None -> descendants (assoc_specializations s) n
+
+let class_descendants_or_self s n = n :: class_descendants s n
+let assoc_descendants_or_self s n = n :: assoc_descendants s n
 
 let class_hierarchy_root s n =
   match List.rev (class_supers s n) with [] -> n | root :: _ -> root
@@ -351,7 +449,7 @@ let of_defs class_defs assoc_defs =
       (Ok s) assoc_defs
   in
   let* () = validate s in
-  Ok { s with rev = 1 }
+  Ok (with_revision s 1)
 
 let of_defs_exn class_defs assoc_defs = ok_exn (of_defs class_defs assoc_defs)
 

@@ -7,7 +7,12 @@
 
     Generalization queries exist in two parallel families — one over
     classes, one over associations — because the paper extends
-    generalization from object classes to associations (§Vague data). *)
+    generalization from object classes to associations (§Vague data).
+    Both families are answered from a memoized transitive-closure cache
+    computed lazily per schema value: [class_is_a]/[assoc_is_a] are a
+    single hash/set lookup, not a hierarchy walk, and every
+    schema-producing function installs a fresh cache so a new schema
+    revision can never see stale closures. *)
 
 type t
 
@@ -73,6 +78,11 @@ val class_specializations : t -> string -> string list
 val class_descendants : t -> string -> string list
 (** Proper descendants (transitive). *)
 
+val class_descendants_or_self : t -> string -> string list
+(** The class and its proper descendants — exactly the classes [c] with
+    [class_is_a ~sub:c ~super:n]; the extent of an [is_a] query is the
+    union of these classes' extents. *)
+
 val class_hierarchy_root : t -> string -> string
 (** Topmost ancestor ([t] itself if it has no super). *)
 
@@ -84,6 +94,7 @@ val assoc_supers : t -> string -> string list
 val assoc_is_a : t -> sub:string -> super:string -> bool
 val assoc_specializations : t -> string -> string list
 val assoc_descendants : t -> string -> string list
+val assoc_descendants_or_self : t -> string -> string list
 val assoc_hierarchy_root : t -> string -> string
 val same_assoc_hierarchy : t -> string -> string -> bool
 

@@ -66,7 +66,7 @@ let test_combinators () =
     (names v (Q.select v Q.(is_a "Data" &&& related ~assoc:"Read")));
   Alcotest.(check (list string)) "or includes both" [ "Alarms"; "Events" ]
     (names v (Q.select v Q.(related ~assoc:"Read" ||| related ~assoc:"Write")
-             |> List.filter (Q.is_a "Data" v)));
+             |> List.filter (Q.test (Q.is_a "Data") v)));
   Alcotest.(check (list string)) "not" [ "Misc" ]
     (names v (Q.select v Q.(not_ (is_a "Data") &&& not_ (is_a "Action"))))
 
