@@ -3,7 +3,7 @@
 # planner/scan equivalence properties), and formatting when the
 # formatter is available.
 
-.PHONY: check build test fmt bench-query
+.PHONY: check build test fmt bench bench-query bench-version
 
 check: build test fmt
 
@@ -23,3 +23,10 @@ fmt:
 # regenerate the committed query-planner baseline
 bench-query:
 	dune exec bench/main.exe -- query
+
+# regenerate the committed version-read baseline
+bench-version:
+	dune exec bench/main.exe -- version
+
+# regenerate every committed benchmark baseline
+bench: bench-query bench-version

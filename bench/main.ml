@@ -557,6 +557,97 @@ let query () =
   Fmt.pr "@.wrote BENCH_query.json@."
 
 (* ------------------------------------------------------------------ *)
+(* V1: materialized version views - cached reads vs resolution scans    *)
+(* ------------------------------------------------------------------ *)
+
+let version () =
+  heading "V1"
+    "version reads: materialized extents (cold/warm) vs resolution scan";
+  let module Q = Seed_core.Query in
+  let module View = Seed_core.View in
+  let bench_op ~iters f =
+    ignore (f ());
+    let _, t =
+      Report.time_of (fun () ->
+          for _ = 1 to iters do
+            ignore (f ())
+          done)
+    in
+    t /. float_of_int iters
+  in
+  let rows = ref [] in
+  let json = ref [] in
+  List.iter
+    (fun (items, versions) ->
+      let db, vids = Workloads.versioned_query_db ~items ~versions in
+      (* the newest version: items untouched since round 1 resolve
+         through the whole ancestor chain — the worst case for the scan
+         path and the case the materialized extent flattens *)
+      let vid = List.nth vids (List.length vids - 1) in
+      let v = View.at (DB.raw db) vid in
+      let iters = if items >= 10_000 then 20 else 100 in
+      let ops =
+        [
+          ("select_by_class", fun () -> ignore (Q.select v (Q.in_class "C4")));
+          ("is_a_deep", fun () -> ignore (Q.select v (Q.is_a "C6")));
+          ( "name_lookup",
+            fun () ->
+              ignore (Q.select v (Q.name_is (Workloads.query_name (items / 2))))
+          );
+          ( "find_object",
+            fun () ->
+              ignore (View.find_object v (Workloads.query_name (items / 2))) );
+        ]
+      in
+      List.iter
+        (fun (key, f) ->
+          (* scan: materialization disabled, the retained fallback path *)
+          DB.set_version_cache_capacity db 0;
+          let scan = bench_op ~iters f in
+          (* cold: first read pays the reconstruction sweep *)
+          DB.set_version_cache_capacity db 8;
+          DB.clear_version_cache db;
+          let _, cold = Report.time_of f in
+          (* warm: every later read is served from the extent *)
+          let warm = bench_op ~iters:(iters * 10) f in
+          let hits = List.length (Q.select v (Q.in_class "C4")) in
+          ignore hits;
+          rows :=
+            [
+              string_of_int items;
+              string_of_int versions;
+              key;
+              Report.ms scan;
+              Report.ms cold;
+              Printf.sprintf "%.3f ms" (warm *. 1000.);
+              Printf.sprintf "%.1fx" (scan /. warm);
+            ]
+            :: !rows;
+          json :=
+            Printf.sprintf
+              "    {\"items\": %d, \"versions\": %d, \"query\": %S, \
+               \"scan_us\": %.2f, \"cold_us\": %.2f, \"warm_us\": %.2f, \
+               \"speedup\": %.1f}"
+              items versions key (scan *. 1e6) (cold *. 1e6) (warm *. 1e6)
+              (scan /. warm)
+            :: !json)
+        ops)
+    [ (2_000, 8); (10_000, 16); (10_000, 64) ];
+  Report.table
+    ~title:
+      "reads at the deepest version: resolution scan vs materialized extent"
+    ~header:
+      [ "items"; "versions"; "query"; "scan"; "cold (build)"; "warm"; "speedup" ]
+    (List.rev !rows);
+  let oc = open_out "BENCH_version.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"version\",\n  \"command\": \"dune exec bench/main.exe \
+     -- version\",\n  \"results\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.rev !json));
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_version.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let suites =
   [
@@ -565,6 +656,7 @@ let suites =
     ("fig4", fig4);
     ("fig5", fig5);
     ("query", query);
+    ("version", version);
     ("spades", spades);
     ("ablation", ablation);
     ("storage", storage);

@@ -295,3 +295,34 @@ let query_populate n =
     ignore (ok (DB.create_object db ~cls ~name:(query_name i) ()))
   done;
   db
+
+(* --- V1: the version-read workload ----------------------------------- *)
+
+(* The query-planner database grown through [versions] snapshots: each
+   round re-classifies ~5% of the objects among the leaf classes and
+   takes a snapshot, so stamps spread over the whole version chain and
+   resolving the view of the newest version walks deep ancestor chains
+   for the ~95% of items untouched since early rounds. Returns the
+   version labels in creation order. *)
+let versioned_query_db ~items ~versions =
+  let db = DB.create query_schema in
+  for i = 0 to items - 1 do
+    let cls =
+      if i mod 125 < 8 then Printf.sprintf "C%d" (i mod 125)
+      else Printf.sprintf "D%02d" (i mod 24)
+    in
+    ignore (ok (DB.create_object db ~cls ~name:(query_name i) ()))
+  done;
+  let vids = ref [ ok (DB.create_version db) ] in
+  let churn = max 1 (items / 20) in
+  for round = 1 to versions - 1 do
+    for k = 1 to churn do
+      let idx = k * 7919 mod items in
+      match DB.find_object db (query_name idx) with
+      | Some id ->
+        ignore (DB.reclassify db id ~to_:(Printf.sprintf "D%02d" ((idx + round) mod 24)))
+      | None -> ()
+    done;
+    vids := ok (DB.create_version db) :: !vids
+  done;
+  (db, List.rev !vids)

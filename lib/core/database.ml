@@ -505,8 +505,15 @@ let begin_alternative db ~from_ ?(force = false) () =
     else Ok ()
   in
   Db_state.clear_dirty db;
+  (* a materialized view of [from_] already holds every resolved state;
+     otherwise resolve each item through the ancestor chain *)
+  let resolve =
+    match Db_state.version_extent db from_ with
+    | Some ve -> fun it -> Db_state.ve_state ve it.Item.id
+    | None -> fun it -> Versioning.state_at db.Db_state.versions it from_
+  in
   Db_state.iter_items db (fun it ->
-      it.Item.current <- Versioning.state_at db.Db_state.versions it from_;
+      it.Item.current <- resolve it;
       it.Item.dirty <- false);
   Db_state.rebuild_state_indexes db;
   db.Db_state.current_base <- Some from_;
@@ -529,9 +536,14 @@ let delete_version db vid =
   in
   let* () = Versioning.delete db.Db_state.versions vid in
   Db_state.iter_items db (fun it -> Item.drop_stamp it vid);
+  Db_state.invalidate_version_cache db vid;
   Ok ()
 
 let versions db = Versioning.all db.Db_state.versions
+
+let set_version_cache_capacity db n = Db_state.set_version_cache_capacity db n
+let version_cache_stats db = Db_state.version_cache_stats db
+let clear_version_cache db = Db_state.clear_version_cache db
 
 let add_transition_rule db name rule =
   db.Db_state.transition_rules <- db.Db_state.transition_rules @ [ (name, rule) ]

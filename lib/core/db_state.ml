@@ -6,6 +6,28 @@ module Name_index = Seed_storage.Btree.Make (String)
 
 type proc = t -> Event.t -> (unit, Seed_error.t) result
 
+(* A materialized view of one saved version: the live ids per class and
+   association, the name index, and every resolved state of that
+   version, computed by a single reconstruction sweep over the item
+   table. Once built, any read against the version is a table lookup
+   instead of an ancestor-chain resolution per item. *)
+and version_extent = {
+  ve_obj : (string, Ident.t list) Hashtbl.t;
+  ve_pattern : (string, Ident.t list) Hashtbl.t;
+  ve_rel : (string, Ident.t list) Hashtbl.t;
+  ve_rel_pattern : (string, Ident.t list) Hashtbl.t;
+  mutable ve_dependents : Ident.t list;
+  ve_names : (string, Ident.t) Hashtbl.t;
+  ve_states : Item.state Ident.Tbl.t;
+  mutable ve_tick : int;  (* last access, for LRU eviction *)
+}
+
+and version_cache_stats = {
+  vc_hits : int;
+  vc_misses : int;
+  vc_evictions : int;
+}
+
 and t = {
   mutable schema : Schema.t;
   mutable schemas : (int * Schema.t) list;
@@ -21,6 +43,12 @@ and t = {
   rel_pattern_extent : (string, Ident.Hset.t) Hashtbl.t;
   dependent_extent : Ident.Hset.t;
   versions : Versioning.t;
+  version_cache : (Version_id.t, version_extent) Hashtbl.t;
+  mutable version_cache_capacity : int;
+  mutable version_cache_tick : int;
+  mutable vc_hit_count : int;
+  mutable vc_miss_count : int;
+  mutable vc_eviction_count : int;
   mutable current_base : Version_id.t option;
   mutable retrieval_version : Version_id.t option;
   dirty_set : Ident.Hset.t;
@@ -47,6 +75,12 @@ let create schema =
     rel_pattern_extent = Hashtbl.create 16;
     dependent_extent = Ident.Hset.create 64;
     versions = Versioning.create ();
+    version_cache = Hashtbl.create 8;
+    version_cache_capacity = 8;
+    version_cache_tick = 0;
+    vc_hit_count = 0;
+    vc_miss_count = 0;
+    vc_eviction_count = 0;
     current_base = None;
     retrieval_version = None;
     dirty_set = Ident.Hset.create 64;
@@ -203,7 +237,7 @@ let add_loaded_item t (item : Item.t) =
     let state =
       match item.current with
       | Some s -> Some s
-      | None -> ( match item.history with (_, s) :: _ -> Some s | [] -> None)
+      | None -> Item.any_history_state item
     in
     (match state with
     | Some (Item.Rel { endpoints; _ }) ->
@@ -266,6 +300,129 @@ let iter_items t f = Ident.Tbl.iter (fun _ it -> f it) t.items
 
 let fold_items t ~init ~f =
   Ident.Tbl.fold (fun _ it acc -> f acc it) t.items init
+
+(* ------------------------------------------------------------------ *)
+(* Materialized version views                                           *)
+(*                                                                      *)
+(* A version's view is a pure function of the item histories and the    *)
+(* version tree, both of which change only at well-known points: a new  *)
+(* snapshot stamps a {e fresh} label (never a cached one — labels are   *)
+(* never reused), version deletion is leaf-only and drops exactly that  *)
+(* label's stamps, and a load rebuilds the whole state. A cached extent *)
+(* therefore stays valid until its own version is deleted; the cache is *)
+(* invalidated per label on delete and starts empty after load/restore. *)
+(* Capacity is configurable ({!set_version_cache_capacity}); 0 disables *)
+(* materialization and readers fall back to the resolution scan.        *)
+(* ------------------------------------------------------------------ *)
+
+let ve_push tbl key id =
+  Hashtbl.replace tbl key
+    (id :: (match Hashtbl.find_opt tbl key with Some l -> l | None -> []))
+
+let build_version_extent t vid =
+  let ve =
+    {
+      ve_obj = Hashtbl.create 16;
+      ve_pattern = Hashtbl.create 4;
+      ve_rel = Hashtbl.create 16;
+      ve_rel_pattern = Hashtbl.create 4;
+      ve_dependents = [];
+      ve_names = Hashtbl.create 64;
+      ve_states = Ident.Tbl.create 256;
+      ve_tick = 0;
+    }
+  in
+  iter_items t (fun it ->
+      match Versioning.state_at t.versions it vid with
+      | None -> ()
+      | Some s ->
+        Ident.Tbl.replace ve.ve_states it.Item.id s;
+        if not (Item.state_deleted s) then begin
+          match (it.Item.body, s) with
+          | Item.Independent, Item.Obj o ->
+            let tbl = if o.Item.pattern then ve.ve_pattern else ve.ve_obj in
+            ve_push tbl o.Item.cls it.Item.id;
+            (match o.Item.name with
+            | Some n -> Hashtbl.replace ve.ve_names n it.Item.id
+            | None -> ())
+          | Item.Dependent _, Item.Obj _ ->
+            ve.ve_dependents <- it.Item.id :: ve.ve_dependents
+          | Item.Relationship, Item.Rel r ->
+            let tbl =
+              if r.Item.rel_pattern then ve.ve_rel_pattern else ve.ve_rel
+            in
+            ve_push tbl r.Item.assoc it.Item.id
+          | _ -> ()
+        end);
+  ve
+
+let evict_version_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun vid ve acc ->
+        match acc with
+        | Some (_, best) when best <= ve.ve_tick -> acc
+        | _ -> Some (vid, ve.ve_tick))
+      t.version_cache None
+  in
+  match victim with
+  | Some (vid, _) ->
+    Hashtbl.remove t.version_cache vid;
+    t.vc_eviction_count <- t.vc_eviction_count + 1
+  | None -> ()
+
+let version_extent t vid =
+  if t.version_cache_capacity <= 0 || not (Versioning.mem t.versions vid) then
+    None
+  else begin
+    t.version_cache_tick <- t.version_cache_tick + 1;
+    match Hashtbl.find_opt t.version_cache vid with
+    | Some ve ->
+      ve.ve_tick <- t.version_cache_tick;
+      t.vc_hit_count <- t.vc_hit_count + 1;
+      Some ve
+    | None ->
+      t.vc_miss_count <- t.vc_miss_count + 1;
+      let ve = build_version_extent t vid in
+      ve.ve_tick <- t.version_cache_tick;
+      Hashtbl.replace t.version_cache vid ve;
+      while Hashtbl.length t.version_cache > t.version_cache_capacity do
+        evict_version_lru t
+      done;
+      Some ve
+  end
+
+let cached_version_extent t vid = Hashtbl.find_opt t.version_cache vid
+
+let invalidate_version_cache t vid = Hashtbl.remove t.version_cache vid
+let clear_version_cache t = Hashtbl.reset t.version_cache
+
+let set_version_cache_capacity t n =
+  t.version_cache_capacity <- max 0 n;
+  while Hashtbl.length t.version_cache > t.version_cache_capacity do
+    evict_version_lru t
+  done
+
+let version_cache_capacity t = t.version_cache_capacity
+
+let version_cache_stats t =
+  { vc_hits = t.vc_hit_count; vc_misses = t.vc_miss_count; vc_evictions = t.vc_eviction_count }
+
+let ve_ids tbl key =
+  match Hashtbl.find_opt tbl key with Some l -> l | None -> []
+
+let ve_all_ids tbl = Hashtbl.fold (fun _ l acc -> List.rev_append l acc) tbl []
+
+let ve_obj_ids ve cls = ve_ids ve.ve_obj cls
+let ve_pattern_ids ve cls = ve_ids ve.ve_pattern cls
+let ve_rel_ids ve assoc = ve_ids ve.ve_rel assoc
+let ve_rel_pattern_ids ve assoc = ve_ids ve.ve_rel_pattern assoc
+let ve_all_obj_ids ve = ve_all_ids ve.ve_obj
+let ve_all_pattern_ids ve = ve_all_ids ve.ve_pattern
+let ve_all_rel_ids ve = ve_all_ids ve.ve_rel
+let ve_dependent_ids ve = ve.ve_dependents
+let ve_find_name ve name = Hashtbl.find_opt ve.ve_names name
+let ve_state ve id = Ident.Tbl.find_opt ve.ve_states id
 
 let rebuild_state_indexes t =
   (* name index *)

@@ -20,6 +20,29 @@ type proc = t -> Event.t -> (unit, Seed_error.t) result
 (** An attached procedure: called after the mutation it observes; an
     [Error] vetoes and rolls back the update. *)
 
+and version_extent = {
+  ve_obj : (string, Ident.t list) Hashtbl.t;
+      (** class → live normal independent objects in that version *)
+  ve_pattern : (string, Ident.t list) Hashtbl.t;
+  ve_rel : (string, Ident.t list) Hashtbl.t;
+  ve_rel_pattern : (string, Ident.t list) Hashtbl.t;
+  mutable ve_dependents : Ident.t list;
+  ve_names : (string, Ident.t) Hashtbl.t;
+      (** name → live independent object (patterns included, as in the
+          current-state name index) *)
+  ve_states : Item.state Ident.Tbl.t;
+      (** every resolved state of the version, deleted stamps included;
+          an id absent here does not exist in that version *)
+  mutable ve_tick : int;
+}
+(** A materialized view of one saved version — see {!version_extent}. *)
+
+and version_cache_stats = {
+  vc_hits : int;
+  vc_misses : int;  (** misses = extent builds (reconstruction sweeps) *)
+  vc_evictions : int;
+}
+
 and t = {
   mutable schema : Schema.t;
   mutable schemas : (int * Schema.t) list;
@@ -42,6 +65,13 @@ and t = {
       (** association → live pattern relationships currently in it *)
   dependent_extent : Ident.Hset.t;  (** all live dependent sub-objects *)
   versions : Versioning.t;
+  version_cache : (Version_id.t, version_extent) Hashtbl.t;
+      (** LRU-bounded materialized version views; see {!version_extent} *)
+  mutable version_cache_capacity : int;
+  mutable version_cache_tick : int;
+  mutable vc_hit_count : int;
+  mutable vc_miss_count : int;
+  mutable vc_eviction_count : int;
   mutable current_base : Version_id.t option;
       (** the saved version the current state derives from *)
   mutable retrieval_version : Version_id.t option;
@@ -145,7 +175,59 @@ val find_id_by_name : t -> string -> Ident.t option
 
 val rebuild_state_indexes : t -> unit
 (** Recompute the name, inheritor, and extent indexes from current item
-    states (after a branch switch or a load). *)
+    states (after a branch switch or a load). The version cache is
+    untouched: it depends only on item histories and the version tree,
+    neither of which a branch switch changes. *)
+
+(** {1 Materialized version views}
+
+    Reads against a saved version resolve every item through its
+    ancestor chain; a {!version_extent} materializes the whole view
+    once — per-class/association live-id lists, the name index, and all
+    resolved states — so subsequent reads are lookups. Extents live in
+    a bounded LRU cache keyed by version label. Validity: snapshot
+    labels are never reused, version deletion is leaf-only, so a cached
+    extent can only be invalidated by deleting its own version
+    ({!invalidate_version_cache}) or replacing the whole state (load —
+    the fresh state starts with an empty cache). *)
+
+val version_extent : t -> Version_id.t -> version_extent option
+(** The materialized view of a version, built on first access (one
+    sweep over the item table) and served from the cache after.
+    [None] when the capacity is 0 (materialization disabled) or the
+    version is unknown — callers fall back to the resolution scan. *)
+
+val cached_version_extent : t -> Version_id.t -> version_extent option
+(** Cache probe without building, for tests and diagnostics. *)
+
+val invalidate_version_cache : t -> Version_id.t -> unit
+(** Drop one version's extent (called when the version is deleted). *)
+
+val clear_version_cache : t -> unit
+
+val set_version_cache_capacity : t -> int -> unit
+(** Bound the number of materialized versions kept (default 8); excess
+    entries are evicted least-recently-used. 0 disables the cache. *)
+
+val version_cache_capacity : t -> int
+val version_cache_stats : t -> version_cache_stats
+
+val ve_obj_ids : version_extent -> string -> Ident.t list
+(** Live normal independent objects classified exactly in this class,
+    in that version. *)
+
+val ve_pattern_ids : version_extent -> string -> Ident.t list
+val ve_rel_ids : version_extent -> string -> Ident.t list
+val ve_rel_pattern_ids : version_extent -> string -> Ident.t list
+val ve_all_obj_ids : version_extent -> Ident.t list
+val ve_all_pattern_ids : version_extent -> Ident.t list
+val ve_all_rel_ids : version_extent -> Ident.t list
+val ve_dependent_ids : version_extent -> Ident.t list
+val ve_find_name : version_extent -> string -> Ident.t option
+
+val ve_state : version_extent -> Ident.t -> Item.state option
+(** The item's resolved state in that version ([None] = does not
+    exist there). *)
 
 val register_procedure : t -> string -> proc -> unit
 

@@ -13,7 +13,7 @@ let stamps_of db id =
         match Versioning.find st.Db_state.versions vid with
         | Some node -> Some { version = vid; state; seq = node.Versioning.seq }
         | None -> None)
-      item.Item.history
+      (Item.history_bindings item)
     |> List.sort (fun a b -> Int.compare a.seq b.seq)
 
 let versions_of db id ?from_ () =
@@ -39,9 +39,7 @@ let find_item_by_name_anywhere db name =
             | Item.Obj { Item.name = Some n; _ } -> String.equal n name
             | Item.Obj _ | Item.Rel _ -> false
           in
-          let in_history =
-            List.exists (fun (_, s) -> matches s) it.Item.history
-          in
+          let in_history = Item.history_exists matches it in
           let in_current =
             match it.Item.current with Some s -> matches s | None -> false
           in
@@ -64,10 +62,19 @@ let changed_between db v1 v2 =
   let* _ = Versioning.find_res st.Db_state.versions v1 in
   let* _ = Versioning.find_res st.Db_state.versions v2 in
   let changed =
-    Db_state.fold_items st ~init:[] ~f:(fun acc item ->
-        let s1 = Versioning.state_at st.Db_state.versions item v1 in
-        let s2 = Versioning.state_at st.Db_state.versions item v2 in
-        if s1 <> s2 then item.Item.id :: acc else acc)
+    (* with both views materialized, the diff is two table lookups per
+       item instead of two ancestor-chain resolutions *)
+    match (Db_state.version_extent st v1, Db_state.version_extent st v2) with
+    | Some e1, Some e2 ->
+      Db_state.fold_items st ~init:[] ~f:(fun acc item ->
+          if Db_state.ve_state e1 item.Item.id <> Db_state.ve_state e2 item.Item.id
+          then item.Item.id :: acc
+          else acc)
+    | _ ->
+      Db_state.fold_items st ~init:[] ~f:(fun acc item ->
+          let s1 = Versioning.state_at st.Db_state.versions item v1 in
+          let s2 = Versioning.state_at st.Db_state.versions item v2 in
+          if s1 <> s2 then item.Item.id :: acc else acc)
   in
   Ok (List.sort Ident.compare changed)
 

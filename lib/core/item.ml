@@ -30,13 +30,13 @@ type t = {
   body : body;
   mutable current : state option;
   mutable dirty : bool;
-  mutable history : (Version_id.t * state) list;
+  mutable history : state Version_id.Map.t;
 }
 
 (* dirty starts false so that Db_state.mark_dirty both sets the flag and
    enqueues the item in the delta set *)
 let make id body state =
-  { id; body; current = Some state; dirty = false; history = [] }
+  { id; body; current = Some state; dirty = false; history = Version_id.Map.empty }
 
 let state_deleted = function
   | Obj o -> o.deleted
@@ -65,19 +65,25 @@ let obj_state t =
 let rel_state t =
   match t.current with Some (Rel r) -> Some r | Some (Obj _) | None -> None
 
-let stamp_at t vid =
-  List.find_map
-    (fun (v, s) -> if Version_id.equal v vid then Some s else None)
-    t.history
+let stamp_at t vid = Version_id.Map.find_opt vid t.history
 
 let stamp t vid =
   (match t.current with
-  | Some s -> t.history <- (vid, s) :: t.history
+  | Some s -> t.history <- Version_id.Map.add vid s t.history
   | None -> ());
   t.dirty <- false
 
-let drop_stamp t vid =
-  t.history <- List.filter (fun (v, _) -> not (Version_id.equal v vid)) t.history
+let drop_stamp t vid = t.history <- Version_id.Map.remove vid t.history
+
+let history_is_empty t = Version_id.Map.is_empty t.history
+let history_size t = Version_id.Map.cardinal t.history
+let history_bindings t = Version_id.Map.bindings t.history
+
+let history_of_bindings l =
+  List.fold_left (fun m (v, s) -> Version_id.Map.add v s m) Version_id.Map.empty l
+
+let history_exists f t = Version_id.Map.exists (fun _ s -> f s) t.history
+let any_history_state t = Option.map snd (Version_id.Map.choose_opt t.history)
 
 let kind_name t =
   match t.body with

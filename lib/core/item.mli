@@ -50,8 +50,10 @@ type t = {
           current alternative (it was created on another branch) *)
   mutable dirty : bool;
       (** changed since the last version stamp — the delta set *)
-  mutable history : (Version_id.t * state) list;
-      (** newest stamp first; append-only except for version deletion *)
+  mutable history : state Version_id.Map.t;
+      (** version stamps keyed by version label, so resolving one stamp
+          is a map lookup instead of an assoc-list walk; grow-only
+          except for version deletion *)
 }
 
 val make : Ident.t -> body -> state -> t
@@ -84,6 +86,25 @@ val stamp : t -> Version_id.t -> unit
 
 val drop_stamp : t -> Version_id.t -> unit
 (** Remove the stamp for a deleted version. *)
+
+val history_is_empty : t -> bool
+
+val history_size : t -> int
+(** Number of version stamps the item carries. *)
+
+val history_bindings : t -> (Version_id.t * state) list
+(** All stamps, ordered by version label (canonical order for
+    serialization; creation order requires the version tree's [seq]). *)
+
+val history_of_bindings : (Version_id.t * state) list -> state Version_id.Map.t
+(** Rebuild a history map from serialized bindings (any order). *)
+
+val history_exists : (state -> bool) -> t -> bool
+(** Some stamp satisfies the predicate. *)
+
+val any_history_state : t -> state option
+(** An arbitrary stamped state — for indexes over state components that
+    never change across stamps (e.g. relationship endpoints). *)
 
 val kind_name : t -> string
 (** ["object"], ["sub-object"] or ["relationship"] for messages. *)

@@ -123,7 +123,9 @@ let w_item w (it : Item.t) =
   w_body w it.Item.body;
   W.option w w_state it.Item.current;
   W.bool w it.Item.dirty;
-  W.list w (fun w (vid, s) -> w_version_id w vid; w_state w s) it.Item.history
+  W.list w
+    (fun w (vid, s) -> w_version_id w vid; w_state w s)
+    (Item.history_bindings it)
 
 let w_raw_node w (r : Versioning.raw) =
   w_version_id w r.Versioning.r_vid;
@@ -292,7 +294,7 @@ let r_item r =
         let* s = r_state r in
         Ok (vid, s))
   in
-  Ok { Item.id; body; current; dirty; history }
+  Ok { Item.id; body; current; dirty; history = Item.history_of_bindings history }
 
 let r_raw_node r =
   let* r_vid = r_version_id r in
@@ -489,7 +491,7 @@ module Session = struct
     W.contents w
 
   let shadow_of (it : Item.t) =
-    { sh_state = it.Item.current; sh_history_len = List.length it.Item.history }
+    { sh_state = it.Item.current; sh_history_len = Item.history_size it }
 
   let remember t (it : Item.t) = Ident.Tbl.replace t.shadows it.Item.id (shadow_of it)
 
@@ -534,7 +536,7 @@ module Session = struct
     | None -> true
     | Some sh ->
       (not (sh.sh_state == it.Item.current))
-      || sh.sh_history_len <> List.length it.Item.history
+      || sh.sh_history_len <> Item.history_size it
 
   let flush t =
     let st = Database.raw t.database in

@@ -116,34 +116,62 @@ let not_ p = Not p
 (*   - [And] intersects (either side alone is already a superset),      *)
 (*     [Or] unions (sound only when both sides are bounded);            *)
 (*   - [Not] and [Opaque] are unbounded.                                *)
-(* Version views cannot use the extents; [select] falls back to the     *)
-(* scan whenever the view is not current.                               *)
+(* The planner is indifferent to where the id sets come from: an        *)
+(* [extent_source] supplies per-class live ids and the name index —     *)
+(* from the current-state extents for the current view, or from the     *)
+(* materialized version extent for a version view. When neither is      *)
+(* available (materialization disabled), [select] falls back to the     *)
+(* scan.                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let rec candidates db schema p =
+type extent_source = {
+  src_class_ids : string -> Ident.t list;
+      (** live normal independents classified exactly in the class *)
+  src_name : string -> Ident.t option;
+}
+
+let source_of_view v =
+  let db = View.db v in
+  match View.version v with
+  | None ->
+    Some
+      {
+        src_class_ids = Db_state.obj_extent_ids db;
+        src_name = Db_state.find_id_by_name db;
+      }
+  | Some vid -> (
+    match Db_state.version_extent db vid with
+    | Some ve ->
+      Some
+        {
+          src_class_ids = Db_state.ve_obj_ids ve;
+          src_name = Db_state.ve_find_name ve;
+        }
+    | None -> None)
+
+let rec candidates src schema p =
   match p with
-  | In_class cls -> Some (Ident.Set.of_list (Db_state.obj_extent_ids db cls))
+  | In_class cls -> Some (Ident.Set.of_list (src.src_class_ids cls))
   | Is_a cls ->
     Some
       (List.fold_left
          (fun acc c ->
            List.fold_left
              (fun acc id -> Ident.Set.add id acc)
-             acc
-             (Db_state.obj_extent_ids db c))
+             acc (src.src_class_ids c))
          Ident.Set.empty
          (Schema.class_descendants_or_self schema cls))
   | Name_is n -> (
-    match Db_state.find_id_by_name db n with
+    match src.src_name n with
     | Some id -> Some (Ident.Set.singleton id)
     | None -> Some Ident.Set.empty)
   | And (p, q) -> (
-    match (candidates db schema p, candidates db schema q) with
+    match (candidates src schema p, candidates src schema q) with
     | Some a, Some b -> Some (Ident.Set.inter a b)
     | (Some _ as s), None | None, (Some _ as s) -> s
     | None, None -> None)
   | Or (p, q) -> (
-    match (candidates db schema p, candidates db schema q) with
+    match (candidates src schema p, candidates src schema q) with
     | Some a, Some b -> Some (Ident.Set.union a b)
     | Some _, None | None, Some _ | None, None -> None)
   | Not _ | Opaque _ -> None
@@ -159,25 +187,24 @@ let scan_objects v p = View.all_objects v |> List.filter (test p v)
 
 let select v p =
   let hits =
-    match View.version v with
-    | Some _ -> scan_objects v p
-    | None -> (
-      let db = View.db v in
-      match candidates db (View.schema v) p with
+    match source_of_view v with
+    | None -> scan_objects v p
+    | Some src -> (
+      match candidates src (View.schema v) p with
       | None -> scan_objects v p
       | Some ids ->
         Ident.Set.elements ids
-        |> List.filter_map (Db_state.find_item db)
+        |> List.filter_map (Db_state.find_item (View.db v))
         |> List.filter (fun it -> View.live_normal v it && test p v it))
   in
   List.sort (by_name v) hits
 
 let count v p =
-  match View.version v with
-  | Some _ -> List.length (scan_objects v p)
-  | None -> (
+  match source_of_view v with
+  | None -> List.length (scan_objects v p)
+  | Some src -> (
     let db = View.db v in
-    match candidates db (View.schema v) p with
+    match candidates src (View.schema v) p with
     | None -> List.length (scan_objects v p)
     | Some ids ->
       Ident.Set.fold
@@ -188,15 +215,20 @@ let count v p =
         ids 0)
 
 let select_rels v ~assoc =
-  match View.version v with
-  | Some _ -> View.all_rels v |> List.filter (rel_is_a v ~assoc)
-  | None ->
-    (* each relationship sits in exactly one association extent, so the
-       union over the association's subtree has no duplicates *)
+  (* each relationship sits in exactly one association extent, so the
+     union over the association's subtree has no duplicates *)
+  let of_ids rel_ids =
     Schema.assoc_descendants_or_self (View.schema v) assoc
-    |> List.concat_map (Db_state.rel_extent_ids (View.db v))
+    |> List.concat_map rel_ids
     |> List.sort Ident.compare
     |> List.filter_map (Db_state.find_item (View.db v))
+  in
+  match View.version v with
+  | None -> of_ids (Db_state.rel_extent_ids (View.db v))
+  | Some vid -> (
+    match Db_state.version_extent (View.db v) vid with
+    | Some ve -> of_ids (Db_state.ve_rel_ids ve)
+    | None -> View.all_rels v |> List.filter (rel_is_a v ~assoc))
 
 let neighbors v (it : Item.t) ~assoc ~from_pos ~to_pos =
   let db = View.db v in

@@ -8,12 +8,14 @@
     pattern information, like every other retrieval operation.
 
     Predicates are reified: {!select} and {!count} inspect their shape
-    and, on a current view, answer index-recognisable predicates
-    ({!in_class}, {!is_a}, {!name_is}, and conjunctions/disjunctions of
-    them) from the class extents and the name index instead of
-    enumerating every object. Opaque predicates ({!of_fun} and the
-    navigation-based ones below), negations, and version views fall back
-    to the full scan — same results, different cost. *)
+    and answer index-recognisable predicates ({!in_class}, {!is_a},
+    {!name_is}, and conjunctions/disjunctions of them) from per-class
+    id sets and a name index instead of enumerating every object — the
+    current-state extents on a current view, the materialized version
+    extent ({!Db_state.version_extent}) on a version view. Opaque
+    predicates ({!of_fun} and the navigation-based ones below),
+    negations, and version views with materialization disabled fall
+    back to the full scan — same results, different cost. *)
 
 open Seed_util
 open Seed_schema

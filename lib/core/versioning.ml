@@ -4,7 +4,7 @@ open Seed_error
 type node = {
   vid : Version_id.t;
   parent : Version_id.t option;
-  mutable children : Version_id.t list;
+  mutable children_rev : Version_id.t list;
   seq : int;
   schema_rev : int;
   mutable next_branch : int;
@@ -14,9 +14,16 @@ type t = {
   mutable nodes : node Version_id.Map.t;
   mutable next_seq : int;
   mutable trunk : int;
+  path_memo : (Version_id.t, Version_id.t list) Hashtbl.t;
 }
 
-let create () = { nodes = Version_id.Map.empty; next_seq = 1; trunk = 0 }
+let create () =
+  {
+    nodes = Version_id.Map.empty;
+    next_seq = 1;
+    trunk = 0;
+    path_memo = Hashtbl.create 16;
+  }
 
 let is_empty t = Version_id.Map.is_empty t.nodes
 let mem t vid = Version_id.Map.mem vid t.nodes
@@ -29,9 +36,19 @@ let find_res t vid =
 
 let trunk_count t = t.trunk
 
+let children n = List.rev n.children_rev
+let has_children n = n.children_rev <> []
+
 let add_node t ~vid ~parent ~schema_rev =
   let node =
-    { vid; parent; children = []; seq = t.next_seq; schema_rev; next_branch = 1 }
+    {
+      vid;
+      parent;
+      children_rev = [];
+      seq = t.next_seq;
+      schema_rev;
+      next_branch = 1;
+    }
   in
   t.next_seq <- t.next_seq + 1;
   t.nodes <- Version_id.Map.add vid node t.nodes;
@@ -39,7 +56,7 @@ let add_node t ~vid ~parent ~schema_rev =
   | None -> ()
   | Some p -> (
     match find t p with
-    | Some pn -> pn.children <- pn.children @ [ vid ]
+    | Some pn -> pn.children_rev <- vid :: pn.children_rev
     | None -> assert false));
   vid
 
@@ -67,31 +84,46 @@ let derive t ~base ~schema_rev =
       else Ok (add_node t ~vid ~parent:(Some b) ~schema_rev)
     end
 
+(* Ancestor chains are memoized per version: parents are immutable, a
+   fresh node cannot appear in an existing chain, and only leaves can be
+   deleted (nobody's ancestor), so a memoized path stays valid until the
+   version itself is deleted or the whole tree is restored. *)
 let ancestors t vid =
-  let rec go acc v =
-    match find t v with
-    | None -> List.rev acc
-    | Some n -> (
-      match n.parent with
-      | None -> List.rev (v :: acc)
-      | Some p -> go (v :: acc) p)
-  in
-  go [] vid
+  match Hashtbl.find_opt t.path_memo vid with
+  | Some p -> p
+  | None ->
+    let rec go acc v =
+      match find t v with
+      | None -> List.rev acc
+      | Some n -> (
+        match n.parent with
+        | None -> List.rev (v :: acc)
+        | Some p -> go (v :: acc) p)
+    in
+    let p = go [] vid in
+    if p <> [] then Hashtbl.replace t.path_memo vid p;
+    p
 
 let state_at t item vid =
-  let rec go v =
-    match Item.stamp_at item v with
-    | Some s -> Some s
-    | None -> (
-      match find t v with
-      | None -> None
-      | Some n -> ( match n.parent with None -> None | Some p -> go p))
-  in
-  go vid
+  if Item.history_is_empty item then None
+  else
+    match find t vid with
+    | None ->
+      (* not in the tree: only an exact stamp could answer *)
+      Item.stamp_at item vid
+    | Some _ ->
+      let rec first = function
+        | [] -> None
+        | v :: rest -> (
+          match Item.stamp_at item v with
+          | Some s -> Some s
+          | None -> first rest)
+      in
+      first (ancestors t vid)
 
 let delete t vid =
   let* n = find_res t vid in
-  if n.children <> [] then
+  if has_children n then
     fail
       (Invalid_operation
          (Printf.sprintf "version %s has derived versions and cannot be deleted"
@@ -102,10 +134,11 @@ let delete t vid =
     | Some p -> (
       match find t p with
       | Some pn ->
-        pn.children <-
-          List.filter (fun c -> not (Version_id.equal c vid)) pn.children
+        pn.children_rev <-
+          List.filter (fun c -> not (Version_id.equal c vid)) pn.children_rev
       | None -> ()));
     t.nodes <- Version_id.Map.remove vid t.nodes;
+    Hashtbl.remove t.path_memo vid;
     (* the latest trunk version may be deleted; the trunk counter keeps
        counting upward so labels are never reused *)
     Ok ()
@@ -146,13 +179,14 @@ let restore t ~trunk ~nodes =
   t.nodes <- Version_id.Map.empty;
   t.trunk <- trunk;
   t.next_seq <- 1;
+  Hashtbl.reset t.path_memo;
   List.iter
     (fun r ->
       let node =
         {
           vid = r.r_vid;
           parent = r.r_parent;
-          children = [];
+          children_rev = [];
           seq = r.r_seq;
           schema_rev = r.r_schema_rev;
           next_branch = r.r_next_branch;
@@ -167,6 +201,6 @@ let restore t ~trunk ~nodes =
       | None -> ()
       | Some p -> (
         match find t p with
-        | Some pn -> pn.children <- pn.children @ [ node.vid ]
+        | Some pn -> pn.children_rev <- node.vid :: pn.children_rev
         | None -> ()))
     (all t)

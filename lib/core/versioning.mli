@@ -13,7 +13,9 @@ open Seed_util
 type node = {
   vid : Version_id.t;
   parent : Version_id.t option;  (** [None] for first-trunk versions *)
-  mutable children : Version_id.t list;
+  mutable children_rev : Version_id.t list;
+      (** derived versions, newest first (prepend keeps [add_node] O(1));
+          read through {!children} for creation order *)
   seq : int;  (** global creation order *)
   schema_rev : int;  (** schema revision in force when the snapshot was taken *)
   mutable next_branch : int;  (** next branch index to hand out *)
@@ -34,6 +36,11 @@ val find_res : t -> Version_id.t -> (node, Seed_error.t) result
 val trunk_count : t -> int
 (** Number of trunk versions created so far. *)
 
+val children : node -> Version_id.t list
+(** Directly derived versions, in creation order. *)
+
+val has_children : node -> bool
+
 val derive :
   t ->
   base:Version_id.t option ->
@@ -47,11 +54,15 @@ val derive :
 val ancestors : t -> Version_id.t -> Version_id.t list
 (** [v] first, then its parent chain up to a trunk root. Includes the
     implicit trunk predecessors: the parent of trunk version [m.0] is
-    [(m-1).0]. *)
+    [(m-1).0]. Memoized per version — parents are immutable and only
+    leaves can be deleted, so a chain is invalidated exactly when its
+    own version is deleted (or the tree is {!restore}d). *)
 
 val state_at : t -> Item.t -> Version_id.t -> Item.state option
 (** Resolve an item's state in the view of a version: the stamp at the
-    nearest ancestor. [None] when the item does not exist there. *)
+    nearest ancestor. [None] when the item does not exist there. The
+    memoized ancestor chain plus the item's stamp map make this
+    O(depth × log stamps) without rebuilding the chain per call. *)
 
 val delete : t -> Version_id.t -> (unit, Seed_error.t) result
 (** Remove a leaf version. Versions with descendants cannot be deleted

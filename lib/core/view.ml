@@ -29,7 +29,12 @@ let schema t =
 let state t (item : Item.t) =
   match t.mode with
   | Current -> item.current
-  | At v -> Versioning.state_at t.db_.Db_state.versions item v
+  | At v -> (
+    (* a materialized view answers from its state table; otherwise walk
+       the ancestor chain *)
+    match Db_state.cached_version_extent t.db_ v with
+    | Some ve -> Db_state.ve_state ve item.Item.id
+    | None -> Versioning.state_at t.db_.Db_state.versions item v)
 
 let live t item =
   match state t item with Some s -> not (Item.state_deleted s) | None -> false
@@ -66,20 +71,27 @@ let find_object t name =
       | Some it when live t it -> Some it
       | Some _ | None -> None)
     | None -> None)
-  | At _ -> (
-    (* old versions have no name index; scan independent objects, stopping
-       at the first hit (names are unique among live objects) *)
-    let exception Found of Item.t in
-    try
-      Db_state.iter_items t.db_ (fun it ->
-          if it.Item.body = Item.Independent then
-            match obj_state t it with
-            | Some { name = Some n; deleted = false; _ }
-              when String.equal n name ->
-              raise_notrace (Found it)
-            | Some _ | None -> ());
-      None
-    with Found it -> Some it)
+  | At v -> (
+    match Db_state.version_extent t.db_ v with
+    | Some ve -> (
+      (* the materialized view carries a per-version name index *)
+      match Db_state.ve_find_name ve name with
+      | Some id -> Db_state.find_item t.db_ id
+      | None -> None)
+    | None -> (
+      (* materialization disabled: scan independent objects, stopping
+         at the first hit (names are unique among live objects) *)
+      let exception Found of Item.t in
+      try
+        Db_state.iter_items t.db_ (fun it ->
+            if it.Item.body = Item.Independent then
+              match obj_state t it with
+              | Some { name = Some n; deleted = false; _ }
+                when String.equal n name ->
+                raise_notrace (Found it)
+              | Some _ | None -> ());
+        None
+      with Found it -> Some it))
 
 let children t id =
   Db_state.children_ids t.db_ id
@@ -303,10 +315,12 @@ let rels_v t (obj : Item.t) =
 
 (* In [Current] mode the class/association extents are exactly the sets
    these functions compute, so enumeration is O(live) instead of O(all
-   items ever). The extents are deliberately trusted without a [live]
-   re-check: if extent maintenance ever drifted, the equivalence tests
-   would expose it rather than the drift being silently papered over.
-   Version views ([At _]) cannot use the extents and keep the scan. *)
+   items ever). Version views ([At _]) enumerate through the
+   materialized version extent, falling back to the resolution scan when
+   materialization is disabled. Either way the id sets are deliberately
+   trusted without a [live] re-check: if extent maintenance ever
+   drifted, the equivalence tests would expose it rather than the drift
+   being silently papered over. *)
 
 let sorted_items_of_ids t ids =
   List.sort Ident.compare ids |> items_of_ids t
@@ -314,26 +328,35 @@ let sorted_items_of_ids t ids =
 let all_objects t =
   match t.mode with
   | Current -> Db_state.all_obj_extent_ids t.db_ |> sorted_items_of_ids t
-  | At _ ->
-    Db_state.fold_items t.db_ ~init:[] ~f:(fun acc it ->
-        if it.Item.body = Item.Independent && live_normal t it then it :: acc
-        else acc)
-    |> List.sort (fun (a : Item.t) b -> Ident.compare a.id b.id)
+  | At v -> (
+    match Db_state.version_extent t.db_ v with
+    | Some ve -> Db_state.ve_all_obj_ids ve |> sorted_items_of_ids t
+    | None ->
+      Db_state.fold_items t.db_ ~init:[] ~f:(fun acc it ->
+          if it.Item.body = Item.Independent && live_normal t it then it :: acc
+          else acc)
+      |> List.sort (fun (a : Item.t) b -> Ident.compare a.id b.id))
 
 let all_patterns t =
   match t.mode with
   | Current -> Db_state.all_pattern_extent_ids t.db_ |> sorted_items_of_ids t
-  | At _ ->
-    Db_state.fold_items t.db_ ~init:[] ~f:(fun acc it ->
-        if it.Item.body = Item.Independent && live_pattern t it then it :: acc
-        else acc)
-    |> List.sort (fun (a : Item.t) b -> Ident.compare a.id b.id)
+  | At v -> (
+    match Db_state.version_extent t.db_ v with
+    | Some ve -> Db_state.ve_all_pattern_ids ve |> sorted_items_of_ids t
+    | None ->
+      Db_state.fold_items t.db_ ~init:[] ~f:(fun acc it ->
+          if it.Item.body = Item.Independent && live_pattern t it then it :: acc
+          else acc)
+      |> List.sort (fun (a : Item.t) b -> Ident.compare a.id b.id))
 
 let all_rels t =
   match t.mode with
   | Current -> Db_state.all_rel_extent_ids t.db_ |> sorted_items_of_ids t
-  | At _ ->
-    Db_state.fold_items t.db_ ~init:[] ~f:(fun acc it ->
-        if it.Item.body = Item.Relationship && live_normal t it then it :: acc
-        else acc)
-    |> List.sort (fun (a : Item.t) b -> Ident.compare a.id b.id)
+  | At v -> (
+    match Db_state.version_extent t.db_ v with
+    | Some ve -> Db_state.ve_all_rel_ids ve |> sorted_items_of_ids t
+    | None ->
+      Db_state.fold_items t.db_ ~init:[] ~f:(fun acc it ->
+          if it.Item.body = Item.Relationship && live_normal t it then it :: acc
+          else acc)
+      |> List.sort (fun (a : Item.t) b -> Ident.compare a.id b.id))

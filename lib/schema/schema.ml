@@ -6,8 +6,10 @@ module SSet = Set.Make (String)
 
 (* Memoized transitive closure of one generalization hierarchy: every
    [is_a] and descendant-extent query is a map lookup instead of a walk.
-   Closures live behind a [Lazy.t] rebuilt by every schema-producing
-   function, so a new schema revision always starts from a fresh cache. *)
+   Closures live behind a [Lazy.t] rebuilt by every function that
+   changes the class or association maps, so a schema whose hierarchies
+   changed always starts from a fresh cache; [with_revision] only
+   restamps and keeps the cell. *)
 type gen_closure = {
   up_list : string list;  (** proper ancestors, nearest first *)
   up_set : SSet.t;  (** ancestors including self *)
@@ -97,7 +99,9 @@ let assoc_closure s n = SMap.find_opt n (Lazy.force s.closures).assoc_closures
 
 let revision s = s.rev
 let empty = make ~class_map:SMap.empty ~assoc_map:SMap.empty ~rev:0
-let with_revision s rev = make ~class_map:s.class_map ~assoc_map:s.assoc_map ~rev
+(* Restamping shares the (possibly already forced) closure cell: the
+   hierarchies are untouched, so the closures are byte-identical. *)
+let with_revision s rev = { s with rev }
 
 let valid_component c =
   (not (String.equal c ""))

@@ -44,7 +44,10 @@ val of_defs :
 val of_defs_exn : Class_def.t list -> Assoc_def.t list -> t
 
 val with_revision : t -> int -> t
-(** Stamp an explicit revision (used when deriving schema versions). *)
+(** Stamp an explicit revision (used when deriving schema versions).
+    The class and association hierarchies are unchanged, so the
+    memoized generalization closures are shared with [s] rather than
+    recomputed. *)
 
 (** {1 Lookup} *)
 
