@@ -1,9 +1,9 @@
 # Developer entry points. `make check` is the gate every change should
 # pass before review: build, full test suite (including the randomized
-# planner/scan equivalence properties), and formatting when the
-# formatter is available.
+# planner/scan equivalence properties and a fixed-seed smoke soak), and
+# formatting when the formatter is available.
 
-.PHONY: check build test fmt bench bench-query bench-version
+.PHONY: check build test fmt soak bench bench-query bench-version bench-txn
 
 check: build test fmt
 
@@ -20,6 +20,14 @@ fmt:
 	  echo "ocamlformat not installed; skipping @fmt"; \
 	fi
 
+# chaos soak: randomized op batches under crash-injected I/O, recover,
+# verify. A fixed-seed 25-iteration smoke run is part of `make test`;
+# this target is the larger configurable sweep.
+SOAK_ITERS ?= 200
+SOAK_SEED ?= 42
+soak:
+	dune exec test/soak.exe -- --iters $(SOAK_ITERS) --seed $(SOAK_SEED)
+
 # regenerate the committed query-planner baseline
 bench-query:
 	dune exec bench/main.exe -- query
@@ -28,5 +36,9 @@ bench-query:
 bench-version:
 	dune exec bench/main.exe -- version
 
+# regenerate the committed transaction/recovery baseline
+bench-txn:
+	dune exec bench/main.exe -- txn
+
 # regenerate every committed benchmark baseline
-bench: bench-query bench-version
+bench: bench-query bench-version bench-txn

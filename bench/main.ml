@@ -648,6 +648,186 @@ let version () =
   Fmt.pr "@.wrote BENCH_version.json@."
 
 (* ------------------------------------------------------------------ *)
+(* T1: transaction frames - group commit, undo-log rollback,            *)
+(*     and recovery past a dangling group                               *)
+(* ------------------------------------------------------------------ *)
+
+let txn () =
+  heading "T1"
+    "transaction frames: group commit, undo-log rollback, dangling-group \
+     recovery";
+  let module Store = Seed_storage.Store in
+  let fresh_dir =
+    let c = ref 0 in
+    fun () ->
+      incr c;
+      let d =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "seed_bench_txn_%d_%d" (Unix.getpid ()) !c)
+      in
+      if Sys.file_exists d then
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat d f))
+          (Sys.readdir d);
+      d
+  in
+  let payload = String.make 512 't' in
+  let json = ref [] in
+  (* group commit: K records as K bare frames (K fsyncs) vs one
+     transaction group (one write, one fsync) under `Always_fsync` *)
+  let rows =
+    List.map
+      (fun k ->
+        let dir = fresh_dir () in
+        let store, _, _, _ = ok (Store.open_dir ~sync:`Always_fsync dir) in
+        let batch = List.init k (fun _ -> payload) in
+        let iters = if k >= 64 then 10 else 50 in
+        let _, bare_t =
+          Report.time_of (fun () ->
+              for _ = 1 to iters do
+                List.iter (fun p -> ok (Store.append store p)) batch
+              done)
+        in
+        let _, group_t =
+          Report.time_of (fun () ->
+              for _ = 1 to iters do
+                ok (Store.append_group store batch)
+              done)
+        in
+        Store.close store;
+        let bare = bare_t /. float_of_int iters in
+        let group = group_t /. float_of_int iters in
+        json :=
+          Printf.sprintf
+            "    {\"case\": \"group_commit\", \"batch\": %d, \"bare_us\": \
+             %.2f, \"group_us\": %.2f, \"speedup\": %.1f}"
+            k (bare *. 1e6) (group *. 1e6) (bare /. group)
+          :: !json;
+        [
+          string_of_int k;
+          Report.ms bare;
+          Report.ms group;
+          Printf.sprintf "%.1fx" (bare /. group);
+        ])
+      [ 1; 8; 64 ]
+  in
+  Report.table
+    ~title:"committing K records under `Always_fsync: bare frames vs one group"
+    ~header:[ "K records"; "K bare appends"; "one group"; "speedup" ]
+    rows;
+  (* rollback: a failed transaction of B ops undone from the undo log
+     (O(B)) vs the pre-transaction alternative — restoring the database
+     from a snapshot (O(db), what Server.checkin used to do) *)
+  let rollback_ops = 20 in
+  let rows =
+    List.map
+      (fun n ->
+        let db = Workloads.seed_populate n in
+        let tag = ref 0 in
+        let run_txn () =
+          incr tag;
+          match
+            DB.with_transaction db (fun () ->
+                for i = 0 to rollback_ops - 1 do
+                  ignore
+                    (ok
+                       (DB.create_object db ~cls:"Action"
+                          ~name:(Printf.sprintf "Roll%d_%d" !tag i) ()))
+                done;
+                Seed_error.fail (Seed_error.Invalid_operation "bench rollback"))
+          with
+          | Error _ -> ()
+          | Ok () -> assert false
+        in
+        run_txn ();
+        let iters = if n >= 2000 then 50 else 200 in
+        let _, undo_t =
+          Report.time_of (fun () ->
+              for _ = 1 to iters do
+                run_txn ()
+              done)
+        in
+        let undo = undo_t /. float_of_int iters in
+        let _, restore =
+          Report.time_of (fun () ->
+              let p = Persist.encode_db db in
+              ignore (ok (Persist.decode_db p)))
+        in
+        json :=
+          Printf.sprintf
+            "    {\"case\": \"rollback\", \"objects\": %d, \"txn_ops\": %d, \
+             \"undo_us\": %.2f, \"snapshot_restore_us\": %.2f, \"speedup\": \
+             %.1f}"
+            (2 * n) rollback_ops (undo *. 1e6) (restore *. 1e6) (restore /. undo)
+          :: !json;
+        [
+          string_of_int (2 * n);
+          string_of_int rollback_ops;
+          Report.ms undo;
+          Report.ms restore;
+          Printf.sprintf "%.1fx" (restore /. undo);
+        ])
+      [ 100; 1_000; 5_000 ]
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "rolling back a failed %d-op transaction: undo log vs snapshot \
+          restore"
+         rollback_ops)
+    ~header:
+      [ "db objects"; "txn ops"; "undo rollback"; "snapshot restore"; "ratio" ]
+    rows;
+  (* recovery past a dangling group: a crash mid-flush leaves an
+     unterminated group at the journal's tail; open must drop it whole *)
+  let commit_frame_bytes = 16 + 13 in
+  let rows =
+    List.map
+      (fun n ->
+        let dir = fresh_dir () in
+        let store, _, _, _ = ok (Store.open_dir dir) in
+        for _ = 1 to n do
+          ok (Store.append store payload)
+        done;
+        ok (Store.append_group store (List.init 16 (fun _ -> payload)));
+        Store.close store;
+        (* cut the commit marker off, as a crash mid-flush would *)
+        let jpath = Filename.concat dir "journal.log" in
+        let fd = Unix.openfile jpath [ Unix.O_RDWR ] 0o644 in
+        let size = (Unix.fstat fd).Unix.st_size in
+        Unix.ftruncate fd (size - commit_frame_bytes);
+        Unix.close fd;
+        let (s, _, replayed, rc), t =
+          Report.time_of (fun () -> ok (Store.open_dir dir))
+        in
+        Store.close s;
+        json :=
+          Printf.sprintf
+            "    {\"case\": \"dangling_recovery\", \"committed\": %d, \
+             \"replayed\": %d, \"txn_dropped\": %d, \"open_us\": %.2f}"
+            n (List.length replayed) rc.Store.txn_dropped (t *. 1e6)
+          :: !json;
+        [
+          string_of_int n;
+          string_of_int (List.length replayed);
+          string_of_int rc.Store.txn_dropped;
+          Report.ms t;
+        ])
+      [ 100; 1_000; 10_000 ]
+  in
+  Report.table
+    ~title:"open with an unterminated 16-record group at the journal tail"
+    ~header:[ "committed records"; "replayed"; "txn dropped"; "open time" ]
+    rows;
+  let oc = open_out "BENCH_txn.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"txn\",\n  \"command\": \"dune exec bench/main.exe -- \
+     txn\",\n  \"results\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.rev !json));
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_txn.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let suites =
   [
@@ -657,6 +837,7 @@ let suites =
     ("fig5", fig5);
     ("query", query);
     ("version", version);
+    ("txn", txn);
     ("spades", spades);
     ("ablation", ablation);
     ("storage", storage);

@@ -418,17 +418,18 @@ let fsck_cmd =
       value & flag
       & info [ "repair" ]
           ~doc:
-            "Fix what can be fixed: truncate a torn journal tail, drop a \
-             stale journal, promote the snapshot fallback, remove leftover \
-             temporary files. An unreadable snapshot with no fallback is \
-             quarantined (its data is lost).")
+            "Fix what can be fixed: truncate a torn journal tail or a \
+             dangling (uncommitted) transaction group, drop a stale journal, \
+             promote the snapshot fallback, remove leftover temporary files. \
+             An unreadable snapshot with no fallback is quarantined (its \
+             data is lost).")
   in
   Cmd.v
     (Cmd.info "fsck"
        ~doc:
          "Check the health of the store: snapshot and journal integrity, \
-          compaction epochs, torn-tail bytes. Exits non-zero when the store \
-          needs attention.")
+          compaction epochs, torn-tail bytes, dangling transaction groups. \
+          Exits non-zero when the store needs attention.")
     Term.(const run $ dir_arg $ repair)
 
 (* --- snapshot / versions / history ------------------------------------ *)

@@ -52,6 +52,64 @@ let restore db saved =
   index_current_name db it
 
 (* ------------------------------------------------------------------ *)
+(* Transactions                                                         *)
+(*                                                                      *)
+(* A transaction records the inverse of every mutation as it is applied *)
+(* (an undo log), chronologically; rollback replays the log newest      *)
+(* entry first. Entries are logged at mutation time — before the        *)
+(* operation's own consistency checks and attached procedures run — so  *)
+(* nested mutations made by procedures are interleaved correctly. Every *)
+(* inverse is an absolute restore, so replaying an entry whose          *)
+(* operation already undid itself (a failed op inside the batch) is     *)
+(* harmless.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let in_transaction db = Db_state.txn_active db
+
+let begin_transaction db =
+  if Db_state.txn_active db then
+    fail (Invalid_operation "a transaction is already active")
+  else begin
+    db.Db_state.txn_undo <- Some [];
+    Ok ()
+  end
+
+let commit_transaction db =
+  match db.Db_state.txn_undo with
+  | None -> fail (Invalid_operation "no active transaction")
+  | Some _ ->
+    db.Db_state.txn_undo <- None;
+    Ok ()
+
+let rollback_transaction db =
+  match db.Db_state.txn_undo with
+  | None -> fail (Invalid_operation "no active transaction")
+  | Some undos ->
+    (* stop recording first: the inverses must not log inverses *)
+    db.Db_state.txn_undo <- None;
+    List.iter (fun f -> f ()) undos;
+    Ok ()
+
+let with_transaction db f =
+  let* () = begin_transaction db in
+  match f () with
+  | Ok v ->
+    db.Db_state.txn_undo <- None;
+    Ok v
+  | Error e ->
+    ignore (rollback_transaction db);
+    Error e
+  | exception exn ->
+    ignore (rollback_transaction db);
+    raise exn
+
+let forbid_in_transaction db what =
+  if Db_state.txn_active db then
+    fail
+      (Invalid_operation (what ^ " is not allowed inside a transaction"))
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
 (* Attached procedures                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -142,6 +200,12 @@ let commit ?(recheck_contexts = true) db (it : Item.t) event ~undo =
 (* Creation                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* Enter a freshly created item, recording its removal as the inverse. *)
+let add_new_item db item =
+  Db_state.add_item db item;
+  Db_state.mark_dirty db item;
+  Db_state.log_undo db (fun () -> Db_state.remove_item db item)
+
 let create_object db ~cls ~name ?(pattern = false) () =
   let v = View.current db in
   let* () = Consistency.check_new_object v ~cls ~name in
@@ -158,8 +222,7 @@ let create_object db ~cls ~name ?(pattern = false) () =
       }
   in
   let item = Item.make id Item.Independent state in
-  Db_state.add_item db item;
-  Db_state.mark_dirty db item;
+  add_new_item db item;
   let* () =
     commit db item (Event.Created id) ~undo:(fun () ->
         Db_state.remove_item db item)
@@ -214,8 +277,7 @@ let create_sub_object db ~parent ~role ?index ?value () =
       }
   in
   let item = Item.make id (Item.Dependent { parent; role; index }) state in
-  Db_state.add_item db item;
-  Db_state.mark_dirty db item;
+  add_new_item db item;
   let* () =
     commit db item (Event.Created id) ~undo:(fun () ->
         Db_state.remove_item db item)
@@ -241,8 +303,7 @@ let create_relationship db ~assoc ~endpoints ?(pattern = false) () =
       }
   in
   let item = Item.make id Item.Relationship state in
-  Db_state.add_item db item;
-  Db_state.mark_dirty db item;
+  add_new_item db item;
   let* () =
     commit db item (Event.Created id) ~undo:(fun () ->
         Db_state.remove_item db item)
@@ -282,6 +343,10 @@ let create_relationship_named db ~assoc ~bindings ?(pattern = false) () =
 (* ------------------------------------------------------------------ *)
 
 let update_item_state db (item : Item.t) new_state =
+  if Db_state.txn_active db then begin
+    let before = save item in
+    Db_state.log_undo db (fun () -> restore db before)
+  end;
   deindex_current_name db item;
   Db_state.unindex_extent db item;
   item.Item.current <- Some new_state;
@@ -415,6 +480,8 @@ let inherit_pattern db ~pattern ~inheritor =
     update_item_state db inh
       (Item.Obj { o with Item.inherits = o.Item.inherits @ [ pattern ] });
     Db_state.index_inheritor db ~pattern ~inheritor;
+    Db_state.log_undo db (fun () ->
+        Db_state.unindex_inheritor db ~pattern ~inheritor);
     let undo () =
       Db_state.unindex_inheritor db ~pattern ~inheritor;
       restore db before
@@ -444,6 +511,8 @@ let uninherit_pattern db ~pattern ~inheritor =
       in
       update_item_state db inh (Item.Obj { o with Item.inherits });
       Db_state.unindex_inheritor db ~pattern ~inheritor;
+      Db_state.log_undo db (fun () ->
+          Db_state.index_inheritor db ~pattern ~inheritor);
       Ok ()
     end
 
@@ -462,6 +531,7 @@ let is_dirty db =
     (Db_state.dirty_ids db)
 
 let create_version db =
+  let* () = forbid_in_transaction db "create_version" in
   let* () =
     iter_result
       (fun (_, rule) -> rule db ~base:db.Db_state.current_base)
@@ -494,6 +564,7 @@ let select_version db vid_opt =
 let selected_version (db : t) = db.Db_state.retrieval_version
 
 let begin_alternative db ~from_ ?(force = false) () =
+  let* () = forbid_in_transaction db "begin_alternative" in
   let* _node = Versioning.find_res db.Db_state.versions from_ in
   let* () =
     if is_dirty db && not force then
@@ -520,6 +591,7 @@ let begin_alternative db ~from_ ?(force = false) () =
   Ok ()
 
 let delete_version db vid =
+  let* () = forbid_in_transaction db "delete_version" in
   let* () =
     match db.Db_state.current_base with
     | Some b when Version_id.equal b vid ->
@@ -553,6 +625,7 @@ let add_transition_rule db name rule =
 (* ------------------------------------------------------------------ *)
 
 let update_schema db new_schema =
+  let* () = forbid_in_transaction db "update_schema" in
   let* () = Schema.validate new_schema in
   let rev = Schema.revision db.Db_state.schema + 1 in
   let stamped = Schema.with_revision new_schema rev in

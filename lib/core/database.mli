@@ -39,6 +39,36 @@ val view : t -> View.t
 val view_current : t -> View.t
 val view_at : t -> Version_id.t -> (View.t, Seed_error.t) result
 
+(** {1 Transactions}
+
+    A transaction makes a sequence of update operations atomic in
+    memory: as each mutation is applied, its inverse is recorded in an
+    undo log; rolling back replays the log newest-first, restoring item
+    states, indexes, and extents exactly — including mutations made by
+    attached procedures along the way. Cost is proportional to the
+    number of mutations, not to the size of the database. Transactions
+    do not nest, and version or schema operations ({!create_version},
+    {!begin_alternative}, {!delete_version}, {!update_schema}) are
+    refused while one is active. *)
+
+val with_transaction :
+  t -> (unit -> ('a, Seed_error.t) result) -> ('a, Seed_error.t) result
+(** [with_transaction db f] runs [f] with undo recording on. [Ok] keeps
+    every change; [Error] (or an exception) rolls all of them back and
+    re-reports. *)
+
+val in_transaction : t -> bool
+
+val begin_transaction : t -> (unit, Seed_error.t) result
+(** Explicit bracket, for drivers that cannot use
+    {!with_transaction}. Fails when a transaction is already active. *)
+
+val commit_transaction : t -> (unit, Seed_error.t) result
+(** Keep the changes, drop the undo log. *)
+
+val rollback_transaction : t -> (unit, Seed_error.t) result
+(** Undo every operation since {!begin_transaction}, newest first. *)
+
 (** {1 Schema evolution} *)
 
 val update_schema : t -> Schema.t -> (unit, Seed_error.t) result

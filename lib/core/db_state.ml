@@ -57,6 +57,7 @@ and t = {
   mutable transition_rules :
     (string * (t -> base:Version_id.t option -> (unit, Seed_error.t) result))
     list;
+  mutable txn_undo : (unit -> unit) list option;
 }
 
 let create schema =
@@ -87,7 +88,15 @@ let create schema =
     procedures = Hashtbl.create 8;
     proc_depth = 0;
     transition_rules = [];
+    txn_undo = None;
   }
+
+let txn_active t = t.txn_undo <> None
+
+let log_undo t f =
+  match t.txn_undo with
+  | None -> ()
+  | Some fs -> t.txn_undo <- Some (f :: fs)
 
 let find_item t id = Ident.Tbl.find_opt t.items id
 

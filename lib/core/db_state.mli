@@ -88,9 +88,22 @@ and t = {
     list;
       (** history-sensitive consistency rules, checked when a version is
           created (paper §Discussion lists these as an open problem) *)
+  mutable txn_undo : (unit -> unit) list option;
+      (** the undo log of the active transaction, newest entry first;
+          [None] = no transaction is recording. Owned by
+          {!Database.with_transaction}. *)
 }
 
 val create : Schema.t -> t
+
+val txn_active : t -> bool
+(** A transaction is recording undo entries. *)
+
+val log_undo : t -> (unit -> unit) -> unit
+(** Record the inverse of a mutation about to be applied. A no-op
+    outside a transaction. Entries are replayed newest-first on
+    rollback, so log {e before} mutating and make the inverse an
+    absolute restore (safe to run more than once). *)
 
 val find_item : t -> Ident.t -> Item.t option
 val find_item_res : t -> Ident.t -> (Item.t, Seed_error.t) result

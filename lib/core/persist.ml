@@ -545,21 +545,18 @@ module Session = struct
           if changed t it then it :: acc else acc)
       |> List.sort (fun (a : Item.t) b -> Ident.compare a.Item.id b.Item.id)
     in
-    let* () =
-      iter_result
-        (fun it ->
-          let* () = Store.append t.store (record_item it) in
-          remember t it;
-          Ok ())
-        dirty_items
-    in
     let fp = fingerprint st in
-    if not (String.equal fp t.meta_fingerprint) then begin
-      let* () = Store.append t.store (record_meta st) in
-      t.meta_fingerprint <- fp;
-      Ok ()
-    end
-    else Ok ()
+    let records =
+      List.map record_item dirty_items
+      @ (if String.equal fp t.meta_fingerprint then [] else [ record_meta st ])
+    in
+    (* one transaction group: a crash mid-flush durably persists either
+       the whole batch (items + meta) or none of it — recovery can no
+       longer see a prefix of a checkin *)
+    let* () = Store.append_group t.store records in
+    List.iter (fun it -> remember t it) dirty_items;
+    t.meta_fingerprint <- fp;
+    Ok ()
 
   let compact t =
     let* () = Store.compact t.store ~snapshot:(encode_db t.database) in

@@ -1,55 +1,84 @@
 open Seed_util.Seed_error
 
-type t = (string, string) Hashtbl.t
+type entry = { holder : string; expires : float option }
 
-let create () : t = Hashtbl.create 32
+type t = { table : (string, entry) Hashtbl.t; now : unit -> float }
 
-let acquire t ~client names =
+let create ?(now = Unix.gettimeofday) () = { table = Hashtbl.create 32; now }
+
+let expired t e =
+  match e.expires with None -> false | Some at -> at <= t.now ()
+
+(* The live holder of a name: an expired lease reads as free everywhere,
+   so a dead client's locks stop blocking the moment they lapse even if
+   nobody called [expire_stale] yet. *)
+let live_entry t name =
+  match Hashtbl.find_opt t.table name with
+  | Some e when not (expired t e) -> Some e
+  | Some _ | None -> None
+
+let acquire t ~client ?ttl names =
   let conflict =
     List.find_opt
       (fun n ->
-        match Hashtbl.find_opt t n with
-        | Some holder -> not (String.equal holder client)
+        match live_entry t n with
+        | Some e -> not (String.equal e.holder client)
         | None -> false)
       names
   in
   match conflict with
   | Some n ->
-    fail (Locked { item = n; holder = Option.get (Hashtbl.find_opt t n) })
+    fail
+      (Locked { item = n; holder = (Option.get (live_entry t n)).holder })
   | None ->
-    List.iter (fun n -> Hashtbl.replace t n client) names;
+    let expires = Option.map (fun s -> t.now () +. s) ttl in
+    List.iter (fun n -> Hashtbl.replace t.table n { holder = client; expires }) names;
     Ok ()
 
 let release_all t ~client =
   let mine =
     Hashtbl.fold
-      (fun n c acc -> if String.equal c client then n :: acc else acc)
-      t []
+      (fun n e acc -> if String.equal e.holder client then n :: acc else acc)
+      t.table []
   in
-  List.iter (Hashtbl.remove t) mine
+  List.iter (Hashtbl.remove t.table) mine
 
-let holder t name = Hashtbl.find_opt t name
+let expire_stale t =
+  let stale =
+    Hashtbl.fold
+      (fun n e acc -> if expired t e then (n, e.holder) :: acc else acc)
+      t.table []
+  in
+  List.iter (fun (n, _) -> Hashtbl.remove t.table n) stale;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) stale
+
+let holder t name = Option.map (fun e -> e.holder) (live_entry t name)
+
+let expires_at t name =
+  match live_entry t name with Some e -> e.expires | None -> None
 
 let held_by t ~client =
   Hashtbl.fold
-    (fun n c acc -> if String.equal c client then n :: acc else acc)
-    t []
+    (fun n e acc ->
+      if String.equal e.holder client && not (expired t e) then n :: acc
+      else acc)
+    t.table []
   |> List.sort String.compare
 
 let covers t ~client names =
   let missing =
     List.find_opt
       (fun n ->
-        match Hashtbl.find_opt t n with
-        | Some holder -> not (String.equal holder client)
+        match live_entry t n with
+        | Some e -> not (String.equal e.holder client)
         | None -> true)
       names
   in
   match missing with
   | None -> Ok ()
   | Some n ->
-    (match Hashtbl.find_opt t n with
-    | Some holder -> fail (Locked { item = n; holder })
+    (match live_entry t n with
+    | Some e -> fail (Locked { item = n; holder = e.holder })
     | None ->
       fail
         (Invalid_operation

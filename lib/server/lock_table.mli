@@ -3,25 +3,47 @@
     "Data that has been copied to a client for update has a write lock
     in the central database" (paper, §Discussion). Acquisition is
     all-or-nothing so two clients cannot deadlock on overlapping
-    checkout sets. *)
+    checkout sets.
+
+    Locks may carry a {e lease}: an optional time-to-live after which
+    the lock lapses and reads as free, so a client that died mid-edit
+    cannot wedge its objects forever. Expired leases stop covering and
+    blocking immediately; {!expire_stale} additionally removes them
+    from the table and reports what lapsed. *)
 
 type t
 
-val create : unit -> t
+val create : ?now:(unit -> float) -> unit -> t
+(** [now] is the clock used for lease arithmetic (default
+    [Unix.gettimeofday]; injectable for tests). *)
 
 val acquire :
-  t -> client:string -> string list -> (unit, Seed_util.Seed_error.t) result
-(** Lock every name for [client]; already holding a lock is fine;
-    a name held by another client fails the whole acquisition with
-    [Locked] (nothing is acquired). *)
+  t ->
+  client:string ->
+  ?ttl:float ->
+  string list ->
+  (unit, Seed_util.Seed_error.t) result
+(** Lock every name for [client]; already holding a lock is fine
+    (re-acquiring refreshes the lease); a name live-held by another
+    client fails the whole acquisition with [Locked] (nothing is
+    acquired). With [ttl] (seconds) the locks are leases that expire
+    [ttl] from now; without it they are held until released. *)
 
 val release_all : t -> client:string -> unit
 
+val expire_stale : t -> (string * string) list
+(** Remove every expired lease and return the [(name, holder)] pairs
+    that lapsed, sorted by name. *)
+
 val holder : t -> string -> string option
+(** The live holder of a name ([None] if free or the lease expired). *)
+
+val expires_at : t -> string -> float option
+(** When the name's live lease expires ([None] if free or unleased). *)
 
 val held_by : t -> client:string -> string list
-(** Names this client currently locks, sorted. *)
+(** Names this client currently (live-)locks, sorted. *)
 
 val covers :
   t -> client:string -> string list -> (unit, Seed_util.Seed_error.t) result
-(** Check that [client] holds locks on all the given names. *)
+(** Check that [client] holds live locks on all the given names. *)

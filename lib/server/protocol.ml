@@ -24,11 +24,15 @@ let root_of path =
 let touches = function
   | Create_object _ -> []
   | Create_sub { owner; _ } -> [ root_of owner ]
-  | Create_rel { endpoints; _ } -> endpoints
+  (* endpoint paths may address sub-objects: the lockable unit is the
+     root object, not the raw path string *)
+  | Create_rel { endpoints; _ } -> List.map root_of endpoints
   | Set_value { path; _ } -> [ root_of path ]
-  | Rename { name; _ } -> [ name ]
+  (* the target name is touched too: renaming onto an existing object's
+     name contends with that object's namespace *)
+  | Rename { name; new_name } -> [ name; new_name ]
   | Reclassify_obj { name; _ } -> [ name ]
-  | Reclassify_rel { endpoints; _ } -> endpoints
+  | Reclassify_rel { endpoints; _ } -> List.map root_of endpoints
   | Delete { path } -> [ root_of path ]
   | Inherit { pattern; inheritor } -> [ pattern; inheritor ]
 

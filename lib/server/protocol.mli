@@ -33,9 +33,12 @@ type op =
   | Inherit of { pattern : string; inheritor : string }
 
 val touches : op -> string list
-(** Names of existing independent objects the operation modifies — the
-    set that must be covered by the client's write locks. Fresh names
-    introduced by [Create_object] are not listed (the server rejects
-    duplicates at apply time). *)
+(** Names of independent objects the operation modifies — the set that
+    must be covered by the client's write locks. Paths addressing
+    sub-objects (dotted) are reduced to their root object. [Rename]
+    lists its target name too: it only needs a lock when it collides
+    with an existing object, which the server decides (fresh names
+    cannot be locked). Fresh names introduced by [Create_object] are
+    not listed (the server rejects duplicates at apply time). *)
 
 val pp : Format.formatter -> op -> unit

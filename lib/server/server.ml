@@ -1,20 +1,19 @@
 open Seed_util
 open Seed_error
 module Database = Seed_core.Database
-module Persist = Seed_core.Persist
 
 type t = {
-  mutable db : Database.t;
+  db : Database.t;
   locks : Lock_table.t;
   mutable checkins : int;
 }
 
-let create schema =
-  { db = Database.create schema; locks = Lock_table.create (); checkins = 0 }
+let create ?now schema =
+  { db = Database.create schema; locks = Lock_table.create ?now (); checkins = 0 }
 
 let database t = t.db
 
-let checkout t ~client ~names =
+let do_checkout t ~client ~ttl ~names =
   let* () =
     iter_result
       (fun n ->
@@ -26,11 +25,18 @@ let checkout t ~client ~names =
           | None -> fail (Unknown_object n)))
       names
   in
-  Lock_table.acquire t.locks ~client names
+  Lock_table.acquire t.locks ~client ?ttl names
+
+let checkout t ~client ~names = do_checkout t ~client ~ttl:None ~names
+
+let checkout_lease t ~client ~ttl ~names =
+  do_checkout t ~client ~ttl:(Some ttl) ~names
 
 let release t ~client = Lock_table.release_all t.locks ~client
 
 let locked_by t ~client = Lock_table.held_by t.locks ~client
+
+let expire_stale t = Lock_table.expire_stale t.locks
 
 let resolve_obj db name =
   match Database.find_object db name with
@@ -107,13 +113,20 @@ let apply_op db (op : Protocol.op) =
 
 let checkin t ~client ops =
   (* names introduced by the batch itself (creations, rename targets)
-     cannot be pre-locked; they are covered by construction *)
+     cannot be pre-locked; they are covered by construction. Names that
+     do not denote an existing object or pattern cannot be locked
+     either (checkout refuses them) — such an op fails inside the
+     transaction with the precise error instead *)
+  let exists n =
+    Database.find_object t.db n <> None
+    || Database.find_pattern t.db n <> None
+  in
   let _, touched =
     List.fold_left
       (fun (introduced, touched) op ->
         let needed =
           List.filter
-            (fun n -> not (List.mem n introduced))
+            (fun n -> (not (List.mem n introduced)) && exists n)
             (Protocol.touches op)
         in
         let introduced =
@@ -127,25 +140,20 @@ let checkin t ~client ops =
   in
   let touched = List.sort_uniq String.compare touched in
   let* () = Lock_table.covers t.locks ~client touched in
-  (* single transaction: snapshot, apply, restore on any failure *)
-  let snapshot = Persist.encode_db t.db in
-  match iter_result (apply_op t.db) ops with
+  (* one in-memory transaction: the undo log restores every applied op
+     on failure, in O(ops applied) — not O(database) — and registered
+     closures (attached procedures, transition rules) are never
+     disturbed because the database instance is never replaced *)
+  match
+    Database.with_transaction t.db (fun () -> iter_result (apply_op t.db) ops)
+  with
   | Ok () ->
     Lock_table.release_all t.locks ~client;
     t.checkins <- t.checkins + 1;
     Ok ()
-  | Error e ->
-    let* restored = Persist.decode_db snapshot in
-    (* closures (attached procedures, transition rules) cannot travel
-       through the codec; carry them over from the failed instance *)
-    let old_raw = Database.raw t.db and new_raw = Database.raw restored in
-    Hashtbl.iter
-      (fun name p -> Seed_core.Db_state.register_procedure new_raw name p)
-      old_raw.Seed_core.Db_state.procedures;
-    new_raw.Seed_core.Db_state.transition_rules <-
-      old_raw.Seed_core.Db_state.transition_rules;
-    t.db <- restored;
-    Error e
+  | Error _ as e ->
+    (* locks are kept: the client may fix the batch and retry *)
+    e
 
 let create_version t = Database.create_version t.db
 

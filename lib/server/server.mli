@@ -13,7 +13,9 @@ open Seed_schema
 
 type t
 
-val create : Schema.t -> t
+val create : ?now:(unit -> float) -> Schema.t -> t
+(** [now] is the lock table's lease clock (default [Unix.gettimeofday];
+    injectable for tests). *)
 
 val database : t -> Seed_core.Database.t
 (** The central database — retrieval operations go straight here. *)
@@ -21,18 +23,37 @@ val database : t -> Seed_core.Database.t
 val checkout :
   t -> client:string -> names:string list -> (unit, Seed_error.t) result
 (** Write-lock the named independent objects for the client. All the
-    objects must exist in the current version. *)
+    objects must exist in the current version. The locks are held until
+    released (no lease). *)
+
+val checkout_lease :
+  t ->
+  client:string ->
+  ttl:float ->
+  names:string list ->
+  (unit, Seed_error.t) result
+(** Like {!checkout}, but the locks are leases expiring [ttl] seconds
+    from now: once expired they stop blocking other clients and stop
+    covering this client's check-ins (see {!Lock_table}). *)
 
 val release : t -> client:string -> unit
 (** Abandon a checkout without applying anything. *)
 
 val locked_by : t -> client:string -> string list
 
+val expire_stale : t -> (string * string) list
+(** Reap expired leases from the lock table; returns the
+    [(name, holder)] pairs that lapsed, sorted by name. A dead client's
+    expired locks never block acquisition even before this is called. *)
+
 val checkin :
   t -> client:string -> Protocol.op list -> (unit, Seed_error.t) result
-(** Apply the client's operations in one transaction. Every touched
-    object must be covered by the client's locks; a failing operation
-    rolls the whole batch back and keeps the locks (the client may fix
+(** Apply the client's operations in one transaction
+    ({!Seed_core.Database.with_transaction}): either every operation
+    succeeds, or the undo log rolls the whole batch back in memory —
+    attached procedures and transition rules are untouched either way.
+    Every touched existing object must be covered by the client's
+    locks; a failing operation keeps the locks (the client may fix
     and retry). On success the client's locks are released. *)
 
 val create_version : t -> (Version_id.t, Seed_error.t) result

@@ -9,10 +9,17 @@ type t = {
   sync_policy : sync_policy;
   pending : Buffer.t;  (* frames not yet handed to the OS (`None policy) *)
   mutable file : Io.file option;
+  mutable next_txn : int;
 }
 
 (* "SEE2": version 2 of the frame format (epoch-tagged). *)
 let magic = 0x53454532l
+
+(* "SEEC": control frames — transaction begin/commit markers. Same
+   envelope as data frames, so the CRC/torn-tail machinery covers them
+   for free; a distinct magic keeps old readers from mistaking a marker
+   for a record. *)
+let control_magic = 0x53454543l
 
 let header_bytes = 16
 
@@ -31,6 +38,7 @@ let open_ ?(io = Io.real) ?(sync = `Flush_only) ?(epoch = 0) path =
         sync_policy = sync;
         pending = Buffer.create 256;
         file = Some file;
+        next_txn = 1;
       })
 
 let file_of j =
@@ -38,14 +46,36 @@ let file_of j =
   | Some f -> Ok f
   | None -> fail (Io_error ("journal closed: " ^ j.jpath))
 
-let frame epoch payload =
+let frame_with ~magic:m epoch payload =
   let b = Buffer.create (String.length payload + header_bytes) in
-  Buffer.add_int32_le b magic;
+  Buffer.add_int32_le b m;
   Buffer.add_int32_le b (Int32.of_int epoch);
   Buffer.add_int32_le b (Int32.of_int (String.length payload));
   Buffer.add_int32_le b (Crc32.digest payload);
   Buffer.add_string b payload;
   Buffer.contents b
+
+let frame epoch payload = frame_with ~magic epoch payload
+
+(* Control payloads: [kind u8 | txn u32] for begin,
+   [kind u8 | txn u32 | count u32 | group crc u32] for commit. The
+   group CRC covers the concatenated data payloads, so a commit marker
+   vouches for the exact records it closes, not just their count. *)
+let begin_payload txn =
+  let b = Buffer.create 5 in
+  Buffer.add_uint8 b 0;
+  Buffer.add_int32_le b (Int32.of_int txn);
+  Buffer.contents b
+
+let commit_payload ~txn ~count ~group_crc =
+  let b = Buffer.create 13 in
+  Buffer.add_uint8 b 1;
+  Buffer.add_int32_le b (Int32.of_int txn);
+  Buffer.add_int32_le b (Int32.of_int count);
+  Buffer.add_int32_le b group_crc;
+  Buffer.contents b
+
+let group_crc payloads = Crc32.digest (String.concat "" payloads)
 
 let write_pending j (f : Io.file) =
   if Buffer.length j.pending > 0 then begin
@@ -66,6 +96,35 @@ let append j payload =
         write_pending j f;
         f.Io.write bytes;
         f.Io.fsync ())
+
+let append_group j payloads =
+  match payloads with
+  | [] -> Ok ()
+  | _ ->
+    let* f = file_of j in
+    wrap_io (fun () ->
+        let txn = j.next_txn in
+        j.next_txn <- txn + 1;
+        let b = Buffer.create 512 in
+        Buffer.add_string b
+          (frame_with ~magic:control_magic j.jepoch (begin_payload txn));
+        List.iter (fun p -> Buffer.add_string b (frame j.jepoch p)) payloads;
+        Buffer.add_string b
+          (frame_with ~magic:control_magic j.jepoch
+             (commit_payload ~txn ~count:(List.length payloads)
+                ~group_crc:(group_crc payloads)));
+        (* the whole group goes down in one write: a crash leaves either
+           no commit marker (group discarded on recovery) or all of it *)
+        let bytes = Buffer.contents b in
+        match j.sync_policy with
+        | `None -> Buffer.add_string j.pending bytes
+        | `Flush_only ->
+          write_pending j f;
+          f.Io.write bytes
+        | `Always_fsync ->
+          write_pending j f;
+          f.Io.write bytes;
+          f.Io.fsync ())
 
 let sync j =
   let* f = file_of j in
@@ -90,8 +149,33 @@ let epoch j = j.jepoch
 (* Recovery-side reads                                                  *)
 (* ------------------------------------------------------------------ *)
 
-type frame = { f_epoch : int; f_payload : string; f_offset : int }
+type kind =
+  | Data
+  | Begin of { txn : int }
+  | Commit of { txn : int; count : int; crc : int32 }
+
+type frame = {
+  f_epoch : int;
+  f_payload : string;
+  f_offset : int;
+  f_kind : kind;
+}
+
 type damage = { d_offset : int; d_reason : string }
+
+let decode_control payload =
+  let len = String.length payload in
+  if len = 5 && String.get_uint8 payload 0 = 0 then
+    Some (Begin { txn = Int32.to_int (String.get_int32_le payload 1) })
+  else if len = 13 && String.get_uint8 payload 0 = 1 then
+    Some
+      (Commit
+         {
+           txn = Int32.to_int (String.get_int32_le payload 1);
+           count = Int32.to_int (String.get_int32_le payload 5);
+           crc = String.get_int32_le payload 9;
+         })
+  else None
 
 type scan_result = {
   frames : frame list;
@@ -117,7 +201,7 @@ let scan path =
               else begin
                 let hdr = really_input_string ic header_bytes in
                 let m = String.get_int32_le hdr 0 in
-                if m <> magic then
+                if m <> magic && m <> control_magic then
                   Some { d_offset = pos; d_reason = "bad magic" }
                 else
                   let ep = Int32.to_int (String.get_int32_le hdr 4) in
@@ -133,27 +217,114 @@ let scan path =
                     let payload = really_input_string ic len in
                     if Crc32.digest payload <> crc then
                       Some { d_offset = pos; d_reason = "crc mismatch" }
-                    else begin
+                    else if m = magic then begin
                       records :=
-                        { f_epoch = ep; f_payload = payload; f_offset = pos }
+                        {
+                          f_epoch = ep;
+                          f_payload = payload;
+                          f_offset = pos;
+                          f_kind = Data;
+                        }
                         :: !records;
                       loop (pos + header_bytes + len)
+                    end
+                    else begin
+                      match decode_control payload with
+                      | None ->
+                        Some { d_offset = pos; d_reason = "bad control record" }
+                      | Some k ->
+                        records :=
+                          {
+                            f_epoch = ep;
+                            f_payload = payload;
+                            f_offset = pos;
+                            f_kind = k;
+                          }
+                          :: !records;
+                        loop (pos + header_bytes + len)
                     end
               end
             in
             let scan_damage = loop 0 in
             { frames = List.rev !records; scan_damage; file_size = size }))
 
+(* ------------------------------------------------------------------ *)
+(* Transaction-group resolution                                         *)
+(* ------------------------------------------------------------------ *)
+
+type groups = {
+  g_committed : frame list;
+  g_dropped_records : int;
+  g_tail_records : int;
+  g_tail_begin : int option;
+}
+
+let resolve_groups frames =
+  (* Walks the intact frames in append order. A bare data frame (old
+     journals, single-record appends) is committed on its own. A [Begin]
+     opens a group; the group's records count only when a matching
+     [Commit] (same txn, right count, right group CRC) closes it —
+     anything else drops the whole group, never a prefix of it. *)
+  let committed = ref [] and dropped = ref 0 in
+  let tail_records = ref 0 and tail_begin = ref None in
+  let add_committed fs = committed := List.rev_append fs !committed in
+  let rec walk frames =
+    match frames with
+    | [] -> ()
+    | f :: rest -> (
+      match f.f_kind with
+      | Data ->
+        committed := f :: !committed;
+        walk rest
+      | Commit _ ->
+        (* a stray commit with no open group: ignore the marker *)
+        walk rest
+      | Begin { txn } -> in_group ~txn ~begin_off:f.f_offset [] rest)
+  and in_group ~txn ~begin_off acc frames =
+    match frames with
+    | [] ->
+      (* journal ends inside the group: uncommitted tail, truncatable *)
+      dropped := !dropped + List.length acc;
+      tail_records := List.length acc;
+      tail_begin := Some begin_off
+    | f :: rest -> (
+      match f.f_kind with
+      | Data -> in_group ~txn ~begin_off (f :: acc) rest
+      | Begin { txn = txn' } ->
+        (* nested begin: the open group never committed *)
+        dropped := !dropped + List.length acc;
+        in_group ~txn:txn' ~begin_off:f.f_offset [] rest
+      | Commit { txn = ctxn; count; crc } ->
+        let recs = List.rev acc in
+        let ok =
+          ctxn = txn
+          && count = List.length recs
+          && crc = group_crc (List.map (fun r -> r.f_payload) recs)
+        in
+        if ok then add_committed recs
+        else dropped := !dropped + List.length recs;
+        walk rest)
+  in
+  walk frames;
+  {
+    g_committed = List.rev !committed;
+    g_dropped_records = !dropped;
+    g_tail_records = !tail_records;
+    g_tail_begin = !tail_begin;
+  }
+
 let read_all path =
   (* A damaged tail only loses the records after the damage; recovery
-     keeps the intact prefix, mirroring WAL semantics. *)
+     keeps the intact prefix, mirroring WAL semantics. Records of a
+     group whose commit marker never made it are invisible. *)
   let* s = scan path in
-  Ok (List.map (fun f -> f.f_payload) s.frames)
+  Ok (List.map (fun f -> f.f_payload) (resolve_groups s.frames).g_committed)
 
 let read_all_strict path =
   let* s = scan path in
   match s.scan_damage with
-  | None -> Ok (List.map (fun f -> f.f_payload) s.frames)
+  | None ->
+    Ok (List.map (fun f -> f.f_payload) (resolve_groups s.frames).g_committed)
   | Some d ->
     fail
       (Corrupt

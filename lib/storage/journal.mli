@@ -11,12 +11,25 @@
 
     Recovery reads frames until end of file; a torn or corrupt tail
     (partial frame, bad magic, CRC mismatch) stops the scan at the last
-    intact record — the standard write-ahead-log contract. *)
+    intact record — the standard write-ahead-log contract.
+
+    {e Transaction groups.} {!append_group} brackets a batch of records
+    between a begin marker and a commit marker (control frames under a
+    distinct magic, same CRC'd envelope). The commit marker carries the
+    record count and a CRC over the concatenated payloads, so recovery
+    ({!resolve_groups}) replays a group only when all of it — including
+    the commit — made it to disk; a crash mid-group durably persists
+    {e none} of it. Bare data frames (old journals, single appends)
+    remain individually committed, so pre-group journals replay
+    unchanged. *)
 
 type t
 (** An open journal, positioned for appending. *)
 
 val magic : int32
+
+val control_magic : int32
+(** Frame magic of transaction begin/commit markers. *)
 
 type sync_policy = [ `Always_fsync | `Flush_only | `None ]
 (** Durability of {!append}:
@@ -37,7 +50,13 @@ val open_ :
 
 val append : t -> string -> (unit, Seed_util.Seed_error.t) result
 (** Appends one record, with the durability of the journal's
-    {!sync_policy}. *)
+    {!sync_policy}. A bare record is its own committed transaction. *)
+
+val append_group : t -> string list -> (unit, Seed_util.Seed_error.t) result
+(** Appends the records as one atomic transaction group —
+    [begin marker; records…; commit marker] — in a single write (and,
+    under [`Always_fsync], a single fsync), so recovery sees either all
+    of them or none. An empty list is a no-op. *)
 
 val sync : t -> (unit, Seed_util.Seed_error.t) result
 (** Writes any buffered records and fsyncs the journal file. *)
@@ -52,10 +71,18 @@ val epoch : t -> int
 
 (** {2 Recovery-side reads} *)
 
+type kind =
+  | Data  (** an ordinary record *)
+  | Begin of { txn : int }  (** opens a transaction group *)
+  | Commit of { txn : int; count : int; crc : int32 }
+      (** closes a group: [count] records, [crc] over their
+          concatenated payloads *)
+
 type frame = {
   f_epoch : int;  (** compaction epoch the record was appended under *)
   f_payload : string;
   f_offset : int;  (** byte offset of the frame's header in the file *)
+  f_kind : kind;
 }
 
 type damage = {
@@ -74,8 +101,27 @@ val scan : string -> (scan_result, Seed_util.Seed_error.t) result
     A missing file yields an empty, undamaged result. Only I/O failures
     are errors — damage is data, reported in the result. *)
 
+type groups = {
+  g_committed : frame list;
+      (** data frames safe to replay, in append order: bare records plus
+          the records of every properly committed group *)
+  g_dropped_records : int;
+      (** data records discarded because their group never committed (or
+          its commit marker's count/CRC did not match) *)
+  g_tail_records : int;
+      (** of the dropped records, how many sit in an unterminated group
+          at the very end of the frame list *)
+  g_tail_begin : int option;
+      (** offset of that unterminated tail group's begin marker — the
+          natural truncation point *)
+}
+
+val resolve_groups : frame list -> groups
+(** Resolves transaction groups over {!scan}'s intact prefix. *)
+
 val read_all : string -> (string list, Seed_util.Seed_error.t) result
-(** Payloads of {!scan}'s intact prefix, epoch-agnostic. *)
+(** Committed payloads of {!scan}'s intact prefix, epoch-agnostic.
+    Records of uncommitted groups are not returned. *)
 
 val read_all_strict : string -> (string list, Seed_util.Seed_error.t) result
 (** Like {!read_all} but any malformed byte — including a torn tail —

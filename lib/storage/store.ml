@@ -39,6 +39,7 @@ let ensure_dir dir =
 type recovery = {
   records_replayed : int;
   bytes_dropped : int;
+  txn_dropped : int;
   torn_tail : string option;
   stale_journal : bool;
   used_fallback : bool;
@@ -46,18 +47,24 @@ type recovery = {
 }
 
 let recovery_clean r =
-  r.bytes_dropped = 0 && (not r.stale_journal) && not r.used_fallback
+  r.bytes_dropped = 0 && r.txn_dropped = 0
+  && (not r.stale_journal)
+  && not r.used_fallback
 
 let pp_recovery ppf r =
   if recovery_clean r then
     Fmt.pf ppf "clean (epoch %d, %d records replayed)" r.epoch
       r.records_replayed
   else
-    Fmt.pf ppf "epoch %d, %d records replayed, %d bytes dropped%s%s%s" r.epoch
-      r.records_replayed r.bytes_dropped
+    Fmt.pf ppf "epoch %d, %d records replayed, %d bytes dropped%s%s%s%s"
+      r.epoch r.records_replayed r.bytes_dropped
       (match r.torn_tail with
       | Some reason -> Printf.sprintf ", torn tail (%s)" reason
       | None -> "")
+      (if r.txn_dropped > 0 then
+         Printf.sprintf ", %d uncommitted transaction record(s) discarded"
+           r.txn_dropped
+       else "")
       (if r.stale_journal then ", stale journal skipped" else "")
       (if r.used_fallback then ", recovered from snapshot fallback" else "")
 
@@ -100,27 +107,37 @@ let classify ~snap_epoch ~path (s : Journal.scan_result) =
         (fun f -> f.Journal.f_epoch = snap_epoch)
         s.Journal.frames
     in
+    let groups = Journal.resolve_groups live in
+    let committed = groups.Journal.g_committed in
     let prefix_end =
       match s.Journal.scan_damage with
       | Some d -> d.Journal.d_offset
       | None -> s.Journal.file_size
     in
-    let torn_bytes = s.Journal.file_size - prefix_end in
+    (* an unterminated transaction group at the tail is cut back along
+       with any torn bytes: good data ends at its begin marker *)
+    let keep_end =
+      match groups.Journal.g_tail_begin with
+      | Some off -> min off prefix_end
+      | None -> prefix_end
+    in
+    let dead_tail_bytes = s.Journal.file_size - keep_end in
     let stale_bytes =
       List.fold_left
         (fun acc f -> acc + 16 + String.length f.Journal.f_payload)
         0 stale
     in
     let truncate_to =
-      if live = [] && (stale <> [] || torn_bytes > 0) then Some 0
-      else if torn_bytes > 0 then Some prefix_end
+      if committed = [] && (stale <> [] || dead_tail_bytes > 0) then Some 0
+      else if dead_tail_bytes > 0 then Some keep_end
       else None
     in
     Ok
-      ( live,
+      ( committed,
         {
-          records_replayed = List.length live;
-          bytes_dropped = torn_bytes + stale_bytes;
+          records_replayed = List.length committed;
+          bytes_dropped = dead_tail_bytes + stale_bytes;
+          txn_dropped = groups.Journal.g_dropped_records;
           torn_tail =
             Option.map (fun d -> d.Journal.d_reason) s.Journal.scan_damage;
           stale_journal = stale <> [];
@@ -140,6 +157,22 @@ let open_dir ?(io = Io.real) ?(sync = `Flush_only) dir =
           io.Io.rename (fallback_path dir) (snapshot_path dir);
           io.Io.fsync_dir dir)
     else Ok ()
+  in
+  let* () =
+    (* sweep compaction leftovers: an interrupted snapshot write leaves
+       [snapshot.bin.tmp], an interrupted cleanup a now-redundant
+       [snapshot.bin.old] — neither holds anything that is not already
+       in the authoritative snapshot or the journal *)
+    wrap_io (fun () ->
+        let swept = ref false in
+        List.iter
+          (fun p ->
+            if io.Io.exists p then begin
+              io.Io.unlink p;
+              swept := true
+            end)
+          [ tmp_path dir; fallback_path dir ];
+        if !swept then io.Io.fsync_dir dir)
   in
   let snap_epoch = match snap with Some (e, _) -> e | None -> 0 in
   let jpath = journal_path dir in
@@ -175,6 +208,12 @@ let append t payload =
   let* j = journal_of t in
   let* () = Journal.append j payload in
   t.records <- t.records + 1;
+  Ok ()
+
+let append_group t payloads =
+  let* j = journal_of t in
+  let* () = Journal.append_group j payloads in
+  t.records <- t.records + List.length payloads;
   Ok ()
 
 let sync t =
@@ -253,6 +292,8 @@ type fsck_report = {
   fsck_torn_bytes : int;
   fsck_torn_reason : string option;
   fsck_stale_journal : bool;
+  fsck_dangling_txn_records : int;
+  fsck_dangling_txn_tail : bool;
   fsck_healthy : bool;
   fsck_repairs : string list;
 }
@@ -282,6 +323,7 @@ let analyze dir =
   let live = List.filter (fun f -> f.Journal.f_epoch = reference) frames in
   let stale = List.exists (fun f -> f.Journal.f_epoch < reference) frames in
   let ahead = List.exists (fun f -> f.Journal.f_epoch > reference) frames in
+  let groups = Journal.resolve_groups live in
   let prefix_end =
     match scanned.Journal.scan_damage with
     | Some d -> d.Journal.d_offset
@@ -294,14 +336,15 @@ let analyze dir =
     | Absent -> frames = [] || reference = 0
     | Damaged _ -> false)
     && (match fallback with Absent -> true | _ -> false)
-    && (not tmp) && torn_bytes = 0 && (not stale) && not ahead
+    && (not tmp) && torn_bytes = 0 && (not stale) && (not ahead)
+    && groups.Journal.g_dropped_records = 0
   in
   Ok
     {
       fsck_snapshot = snapshot;
       fsck_fallback = fallback;
       fsck_tmp_leftover = tmp;
-      fsck_journal_frames = List.length live;
+      fsck_journal_frames = List.length groups.Journal.g_committed;
       fsck_journal_epoch =
         (match frames with f :: _ -> Some f.Journal.f_epoch | [] -> None);
       fsck_torn_bytes = torn_bytes;
@@ -310,6 +353,8 @@ let analyze dir =
           (fun d -> d.Journal.d_reason)
           scanned.Journal.scan_damage;
       fsck_stale_journal = stale;
+      fsck_dangling_txn_records = groups.Journal.g_dropped_records;
+      fsck_dangling_txn_tail = groups.Journal.g_tail_begin <> None;
       fsck_healthy = healthy;
       fsck_repairs = [];
     }
@@ -375,6 +420,11 @@ let repair_actions ~io dir report =
   let* scanned = Journal.scan jpath in
   let frames = scanned.Journal.frames in
   let live = List.filter (fun f -> f.Journal.f_epoch = reference) frames in
+  let groups = Journal.resolve_groups live in
+  let committed = groups.Journal.g_committed in
+  let mid_dropped =
+    groups.Journal.g_dropped_records - groups.Journal.g_tail_records
+  in
   let prefix_end =
     match scanned.Journal.scan_damage with
     | Some d -> d.Journal.d_offset
@@ -382,20 +432,38 @@ let repair_actions ~io dir report =
   in
   let torn_bytes = scanned.Journal.file_size - prefix_end in
   let* () =
-    if List.length live <> List.length frames then begin
-      (* stale frames (or, after quarantine, frames with no snapshot to
-         stand on) — keep only what the current snapshot can base *)
-      let* () = rewrite_journal ~io jpath ~epoch:reference live in
-      act "dropped %d journal record(s) from other epochs"
-        (List.length frames - List.length live);
+    if List.length live <> List.length frames || mid_dropped > 0 then begin
+      (* stale frames, frames with no snapshot to stand on, or dropped
+         groups buried mid-journal — rewrite with exactly the committed
+         records the current snapshot can base *)
+      let* () = rewrite_journal ~io jpath ~epoch:reference committed in
+      let other_epochs = List.length frames - List.length live in
+      if other_epochs > 0 then
+        act "dropped %d journal frame(s) from other epochs" other_epochs;
+      if groups.Journal.g_dropped_records > 0 then
+        act "dropped %d uncommitted transaction record(s)"
+          groups.Journal.g_dropped_records;
       Ok ()
     end
-    else if torn_bytes > 0 then begin
-      let* () = Journal.truncate ~io ~len:prefix_end jpath in
-      act "truncated %d torn byte(s) off the journal tail" torn_bytes;
-      Ok ()
-    end
-    else Ok ()
+    else
+      match groups.Journal.g_tail_begin with
+      | Some off ->
+        (* the dangling group's begin marker is before any torn bytes,
+           so one cut removes both *)
+        let* () = Journal.truncate ~io ~len:(min off prefix_end) jpath in
+        act
+          "truncated a dangling transaction (%d uncommitted record(s), %d \
+           byte(s))"
+          groups.Journal.g_tail_records
+          (scanned.Journal.file_size - min off prefix_end);
+        Ok ()
+      | None ->
+        if torn_bytes > 0 then begin
+          let* () = Journal.truncate ~io ~len:prefix_end jpath in
+          act "truncated %d torn byte(s) off the journal tail" torn_bytes;
+          Ok ()
+        end
+        else Ok ()
   in
   Ok (List.rev !actions)
 
@@ -429,6 +497,12 @@ let pp_fsck_report ppf r =
   if r.fsck_torn_bytes > 0 then
     Fmt.pf ppf "torn tail:         %d byte(s) — %s@." r.fsck_torn_bytes
       (Option.value r.fsck_torn_reason ~default:"damaged");
+  if r.fsck_dangling_txn_records > 0 then
+    Fmt.pf ppf
+      "dangling txn:      %d uncommitted record(s)%s (discarded on open)@."
+      r.fsck_dangling_txn_records
+      (if r.fsck_dangling_txn_tail then " in an unterminated tail group"
+       else "");
   List.iter (fun a -> Fmt.pf ppf "repaired:          %s@." a) r.fsck_repairs;
   Fmt.pf ppf "status:            %s@."
     (if r.fsck_healthy then "healthy" else "NEEDS ATTENTION")

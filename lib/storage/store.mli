@@ -20,8 +20,10 @@
     [snapshot.bin.old] until the new snapshot and the truncated journal
     are both durable (including directory fsyncs), so a crash at any
     point leaves at least one intact snapshot/journal pair. A torn
-    journal tail is truncated on open so damage does not persist. The
-    {!recovery} report says what open found and did. *)
+    journal tail is truncated on open so damage does not persist, and
+    leftover compaction artifacts ([snapshot.bin.tmp], a redundant
+    [snapshot.bin.old]) are swept. The {!recovery} report says what
+    open found and did. *)
 
 type t
 
@@ -31,7 +33,12 @@ type sync_policy = Journal.sync_policy
 type recovery = {
   records_replayed : int;  (** journal records handed back to the client *)
   bytes_dropped : int;
-      (** journal bytes discarded: a torn tail and/or a stale journal *)
+      (** journal bytes discarded: a torn tail, an uncommitted
+          transaction group, and/or a stale journal *)
+  txn_dropped : int;
+      (** records discarded because their transaction group never
+          committed — the all-or-nothing contract of
+          {!Journal.append_group} *)
   torn_tail : string option;
       (** why the journal's tail was cut, when it was *)
   stale_journal : bool;
@@ -57,7 +64,13 @@ val open_dir :
     get there. [sync] (default [`Flush_only]) governs {!append}. *)
 
 val append : t -> string -> (unit, Seed_util.Seed_error.t) result
-(** Appends a journal record with the store's {!sync_policy}. *)
+(** Appends a journal record with the store's {!sync_policy}. A bare
+    record is its own committed transaction. *)
+
+val append_group : t -> string list -> (unit, Seed_util.Seed_error.t) result
+(** Appends the records as one atomic transaction group: recovery
+    replays either all of them or none, never a prefix. An empty list
+    is a no-op. See {!Journal.append_group}. *)
 
 val sync : t -> (unit, Seed_util.Seed_error.t) result
 (** Makes every appended record durable (journal fsync). *)
@@ -95,6 +108,12 @@ type fsck_report = {
   fsck_torn_bytes : int;  (** bytes after the last intact frame *)
   fsck_torn_reason : string option;
   fsck_stale_journal : bool;  (** journal epoch predates the snapshot *)
+  fsck_dangling_txn_records : int;
+      (** records of transaction groups that never committed — invisible
+          to replay, removed by [--repair] *)
+  fsck_dangling_txn_tail : bool;
+      (** the journal ends inside an unterminated group (the classic
+          crash-mid-flush signature) *)
   fsck_healthy : bool;
   fsck_repairs : string list;  (** actions taken (with [~repair:true]) *)
 }
@@ -103,7 +122,8 @@ val fsck :
   ?io:Io.t -> ?repair:bool -> string ->
   (fsck_report, Seed_util.Seed_error.t) result
 (** Reports the health of the store at [dir] without opening it for
-    appending. With [repair]: truncates a torn tail or stale journal,
+    appending. With [repair]: truncates a torn tail, a stale journal or
+    a dangling (uncommitted) transaction group,
     removes a leftover temporary file, promotes [snapshot.bin.old] when
     [snapshot.bin] is missing or unreadable, quarantines an unreadable
     snapshot with no usable fallback (as [snapshot.bin.corrupt]), and

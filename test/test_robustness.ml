@@ -129,6 +129,99 @@ let test_crash_point_sweep () =
   done;
   Alcotest.(check bool) "epoch-skip path exercised" true (!stale_seen >= 1)
 
+let test_flush_atomicity_crash_sweep () =
+  (* The transaction-frame contract: a multi-item [Session.flush] goes
+     into the journal as one group, so a crash at ANY I/O point leaves
+     either the whole transaction or none of it. Sweep a crash over
+     every gated I/O step of a two-flush workload and classify the
+     recovered database — a partially applied transaction (some of the
+     new items but not all) is the bug this machinery exists to
+     prevent. *)
+  let run io dir acked =
+    let s =
+      ok
+        (Persist.Session.open_ ~dir ~schema:(fig3_schema ()) ~io
+           ~sync:`Always_fsync ())
+    in
+    let db = Persist.Session.db s in
+    let base = ok (DB.create_object db ~cls:"Data" ~name:"Base" ()) in
+    ok (Persist.Session.flush s);
+    acked := `Base;
+    (* the multi-item transaction under test: two objects, a
+       relationship, a valued sub-object and a rename — five dirty
+       items plus metadata, flushed as one journal group *)
+    ok
+      (DB.with_transaction db (fun () ->
+           let open Seed_util.Seed_error in
+           let* d = DB.create_object db ~cls:"InputData" ~name:"D" () in
+           let* a = DB.create_object db ~cls:"Action" ~name:"A" () in
+           let* _ =
+             DB.create_relationship db ~assoc:"Read" ~endpoints:[ d; a ] ()
+           in
+           let* _ =
+             DB.create_sub_object db ~parent:d ~role:"Description"
+               ~value:(Value.String "atomic") ()
+           in
+           DB.rename_object db base "Root"));
+    ok (Persist.Session.flush s);
+    acked := `Full;
+    Persist.Session.close s
+  in
+  let rank = function `Empty -> 0 | `Base -> 1 | `Full -> 2 | `Partial -> -1 in
+  let classify db =
+    let has n = DB.find_object db n <> None in
+    match (has "Base", has "D", has "A", has "Root") with
+    | false, false, false, false -> `Empty
+    | true, false, false, false -> `Base
+    | false, true, true, true ->
+      let d = Option.get (DB.find_object db "D") in
+      let rel_ok = DB.relationships db d <> [] in
+      let sub_ok =
+        match DB.resolve db "D.Description" with
+        | Some id -> DB.get_value db id = Some (Value.String "atomic")
+        | None -> false
+      in
+      if rel_ok && sub_ok then `Full else `Partial
+    | _ -> `Partial
+  in
+  let recovered dir =
+    let s = ok (Persist.Session.open_ ~dir ~schema:(fig3_schema ()) ()) in
+    let db = Persist.Session.db s in
+    let c = classify db in
+    check_ok "recovered state consistent"
+      (Seed_core.Consistency.check_database (View.current (DB.raw db)));
+    Persist.Session.close s;
+    c
+  in
+  (* dry run to count the I/O steps and fix the expected end state *)
+  let probe = Faulty.create () in
+  let final = ref `Empty in
+  run (Faulty.io probe) (tmp_dir ()) final;
+  Alcotest.(check bool) "dry run commits" true (!final = `Full);
+  let total = Faulty.steps probe in
+  Alcotest.(check bool)
+    (Printf.sprintf "sweep covers >= 6 crash points (got %d)" total)
+    true (total >= 6);
+  for n = 0 to total - 1 do
+    let dir = tmp_dir () in
+    let f = Faulty.create ~crash_at:n ~torn:(n mod 2 = 0) () in
+    let acked = ref `Empty in
+    (try
+       run (Faulty.io f) dir acked;
+       Alcotest.fail (Printf.sprintf "crash point %d did not fire" n)
+     with Faulty.Crash _ -> ());
+    let c = recovered dir in
+    if rank c < 0 then
+      Alcotest.failf "crash %d: partially applied transaction visible" n;
+    if rank c < rank !acked then
+      Alcotest.failf "crash %d: acknowledged state lost" n;
+    (* recovery is convergent: the second open is identical *)
+    Alcotest.(check bool)
+      (Printf.sprintf "crash %d: stable" n)
+      true
+      (recovered dir = c)
+  done
+
 let test_stale_journal_records_last_wins () =
   (* many updates to the same item produce many journal records; the
      last one must win on replay *)
@@ -430,6 +523,7 @@ let () =
         [
           tc "compact interrupted" test_crash_between_compact_steps;
           tc "crash-point sweep" test_crash_point_sweep;
+          tc "flush atomicity sweep" test_flush_atomicity_crash_sweep;
           tc "last record wins" test_stale_journal_records_last_wins;
           tc "verification on load" test_load_verification_catches_tampering;
         ] );

@@ -99,6 +99,105 @@ let test_checkin_is_atomic () =
        ]);
   Alcotest.(check bool) "applied after retry" true (DB.find_object db "Alerts" <> None)
 
+let test_checkin_rollback_mixed_batch () =
+  (* every kind of applied mutation is undone when a later op fails:
+     creations vanish, renames revert, values come back *)
+  let s = with_seeded_server () in
+  let db = Server.database s in
+  let alarms = Option.get (DB.find_object db "Alarms") in
+  let desc =
+    ok
+      (DB.create_sub_object db ~parent:alarms ~role:"Description"
+         ~value:(Seed_schema.Value.String "old") ())
+  in
+  check_ok "checkout"
+    (Server.checkout s ~client:"alice" ~names:[ "Alarms"; "Handler" ]);
+  let before_count = DB.object_count db in
+  check_err "batch fails at the end" is_duplicate
+    (Server.checkin s ~client:"alice"
+       [
+         Protocol.Create_object
+           { cls = "InputData"; name = "Fresh"; pattern = false };
+         Protocol.Create_rel
+           { assoc = "Read"; endpoints = [ "Fresh"; "Handler" ]; pattern = false };
+         Protocol.Set_value
+           {
+             path = "Alarms.Description";
+             value = Some (Seed_schema.Value.String "new");
+           };
+         Protocol.Rename { name = "Alarms"; new_name = "Sirens" };
+         Protocol.Create_sub
+           { owner = "Sirens"; role = "Keywords"; index = None;
+             value = Some (Seed_schema.Value.String "k") };
+         (* the failure: "Handler" already exists *)
+         Protocol.Create_object { cls = "Data"; name = "Handler"; pattern = false };
+       ]);
+  Alcotest.(check (option Alcotest.reject)) "created object gone" None
+    (DB.find_object db "Fresh");
+  Alcotest.(check (option Alcotest.reject)) "rename reverted" None
+    (DB.find_object db "Sirens");
+  Alcotest.(check bool) "old name back" true
+    (DB.find_object db "Alarms" = Some alarms);
+  Alcotest.(check bool) "value restored" true
+    (DB.get_value db desc = Some (Seed_schema.Value.String "old"));
+  Alcotest.(check (option Alcotest.reject)) "created sub gone" None
+    (DB.resolve db "Alarms.Keywords");
+  let handler = Option.get (DB.find_object db "Handler") in
+  Alcotest.(check (list Alcotest.reject)) "relationship gone" []
+    (DB.relationships db handler);
+  Alcotest.(check int) "object count unchanged" before_count
+    (DB.object_count db);
+  Alcotest.(check bool) "locks kept" true
+    (Server.locked_by s ~client:"alice" <> []);
+  check_ok "rolled-back state is consistent"
+    (Seed_core.Consistency.check_database
+       (Seed_core.View.current (DB.raw db)));
+  (* the same batch minus the bad op goes through on the kept locks *)
+  check_ok "retry"
+    (Server.checkin s ~client:"alice"
+       [
+         Protocol.Create_object
+           { cls = "InputData"; name = "Fresh"; pattern = false };
+         Protocol.Create_rel
+           { assoc = "Read"; endpoints = [ "Fresh"; "Handler" ]; pattern = false };
+         Protocol.Set_value
+           {
+             path = "Alarms.Description";
+             value = Some (Seed_schema.Value.String "new");
+           };
+         Protocol.Rename { name = "Alarms"; new_name = "Sirens" };
+       ]);
+  Alcotest.(check bool) "applied after retry" true
+    (DB.find_object db "Sirens" = Some alarms)
+
+let test_rename_collision_needs_target_lock () =
+  (* renaming onto an existing object's name contends with that object:
+     the target must be covered by the client's locks; a fresh target
+     name needs none *)
+  let s = with_seeded_server () in
+  check_ok "checkout source only"
+    (Server.checkout s ~client:"alice" ~names:[ "Alarms" ]);
+  check_err "collision without target lock"
+    (function Seed_error.Invalid_operation _ -> true | _ -> false)
+    (Server.checkin s ~client:"alice"
+       [ Protocol.Rename { name = "Alarms"; new_name = "Handler" } ]);
+  check_ok "fresh target needs no lock"
+    (Server.checkin s ~client:"alice"
+       [ Protocol.Rename { name = "Alarms"; new_name = "Klaxons" } ])
+
+let test_touches_roots_and_rename () =
+  let t op = List.sort String.compare (Protocol.touches op) in
+  Alcotest.(check (list string)) "rel endpoints reduce to roots" [ "A"; "B" ]
+    (t (Protocol.Create_rel
+          { assoc = "R"; endpoints = [ "A.Sub"; "B" ]; pattern = false }));
+  Alcotest.(check (list string)) "reclassify_rel too" [ "A"; "B" ]
+    (t (Protocol.Reclassify_rel
+          { assoc = "R"; endpoints = [ "A.Sub.Deep"; "B" ]; to_ = "S" }));
+  Alcotest.(check (list string)) "rename lists both ends" [ "New"; "Old" ]
+    (t (Protocol.Rename { name = "Old"; new_name = "New" }));
+  Alcotest.(check (list string)) "create_object is fresh" []
+    (t (Protocol.Create_object { cls = "C"; name = "X"; pattern = false }))
+
 let test_two_clients_disjoint_edits () =
   let s = with_seeded_server () in
   let db = Server.database s in
@@ -141,6 +240,77 @@ let test_client_abort () =
     (Server.locked_by s ~client:"alice");
   let db = Server.database s in
   Alcotest.(check bool) "nothing applied" true (DB.find_object db "Alarms" <> None)
+
+(* --- lock leases ------------------------------------------------------ *)
+
+module Lock_table = Seed_server.Lock_table
+
+let test_lock_table_lease_refresh () =
+  let clock = ref 0.0 in
+  let lt = Lock_table.create ~now:(fun () -> !clock) () in
+  check_ok "lease" (Lock_table.acquire lt ~client:"a" ~ttl:10.0 [ "X" ]);
+  Alcotest.(check (option (float 1e-6))) "expiry set" (Some 10.0)
+    (Lock_table.expires_at lt "X");
+  clock := 8.0;
+  check_ok "re-acquire refreshes" (Lock_table.acquire lt ~client:"a" ~ttl:10.0 [ "X" ]);
+  Alcotest.(check (option (float 1e-6))) "lease pushed out" (Some 18.0)
+    (Lock_table.expires_at lt "X");
+  clock := 12.0;
+  Alcotest.(check (option string)) "still held" (Some "a")
+    (Lock_table.holder lt "X");
+  clock := 19.0;
+  Alcotest.(check (option string)) "lapsed reads as free" None
+    (Lock_table.holder lt "X");
+  (* an expired name is immediately acquirable, and a permanent
+     re-acquire clears the lease *)
+  check_ok "retake" (Lock_table.acquire lt ~client:"b" [ "X" ]);
+  Alcotest.(check (option (float 1e-6))) "no expiry" None
+    (Lock_table.expires_at lt "X")
+
+let test_lease_expiry_unblocks () =
+  let clock = ref 0.0 in
+  let s = Server.create ~now:(fun () -> !clock) (schema ()) in
+  let db = Server.database s in
+  let _ = ok (DB.create_object db ~cls:"Data" ~name:"Alarms" ()) in
+  check_ok "alice leases"
+    (Server.checkout_lease s ~client:"alice" ~ttl:10.0 ~names:[ "Alarms" ]);
+  check_err "bob blocked while live"
+    (function Seed_error.Locked _ -> true | _ -> false)
+    (Server.checkout s ~client:"bob" ~names:[ "Alarms" ]);
+  clock := 11.0;
+  Alcotest.(check (list string)) "lease lapsed" []
+    (Server.locked_by s ~client:"alice");
+  (* the dead client's check-in no longer covers the object *)
+  check_err "stale checkin refused"
+    (function Seed_error.Invalid_operation _ -> true | _ -> false)
+    (Server.checkin s ~client:"alice"
+       [ Protocol.Reclassify_obj { name = "Alarms"; to_ = "InputData" } ]);
+  check_ok "bob takes over without expire_stale"
+    (Server.checkout s ~client:"bob" ~names:[ "Alarms" ]);
+  check_ok "bob's edit lands"
+    (Server.checkin s ~client:"bob"
+       [ Protocol.Reclassify_obj { name = "Alarms"; to_ = "OutputData" } ])
+
+let test_expire_stale_reaps () =
+  let clock = ref 0.0 in
+  let s = Server.create ~now:(fun () -> !clock) (schema ()) in
+  let db = Server.database s in
+  List.iter
+    (fun n -> ignore (ok (DB.create_object db ~cls:"Data" ~name:n ())))
+    [ "A"; "B"; "C" ];
+  check_ok "leased"
+    (Server.checkout_lease s ~client:"alice" ~ttl:5.0 ~names:[ "A"; "B" ]);
+  check_ok "permanent" (Server.checkout s ~client:"bob" ~names:[ "C" ]);
+  Alcotest.(check (list (pair string string))) "nothing stale yet" []
+    (Server.expire_stale s);
+  clock := 6.0;
+  Alcotest.(check (list (pair string string))) "leases reaped"
+    [ ("A", "alice"); ("B", "alice") ]
+    (Server.expire_stale s);
+  Alcotest.(check (list string)) "permanent lock untouched" [ "C" ]
+    (Server.locked_by s ~client:"bob");
+  Alcotest.(check (list (pair string string))) "reap is idempotent" []
+    (Server.expire_stale s)
 
 let test_versions_server_controlled () =
   let s = with_seeded_server () in
@@ -201,7 +371,16 @@ let () =
         [
           tc "apply and release" test_checkin_applies_and_releases;
           tc "atomic rollback" test_checkin_is_atomic;
+          tc "mixed-batch rollback" test_checkin_rollback_mixed_batch;
+          tc "rename collision locking" test_rename_collision_needs_target_lock;
+          tc "touches" test_touches_roots_and_rename;
           tc "disjoint clients" test_two_clients_disjoint_edits;
+        ] );
+      ( "leases",
+        [
+          tc "lock table ttl" test_lock_table_lease_refresh;
+          tc "expiry unblocks" test_lease_expiry_unblocks;
+          tc "expire_stale" test_expire_stale_reaps;
         ] );
       ( "clients",
         [ tc "stage and commit" test_client_api; tc "abort" test_client_abort ] );

@@ -283,6 +283,144 @@ let test_journal_truncate () =
   Alcotest.(check (list string)) "empty" [] (ok (Journal.read_all path))
 
 (* ------------------------------------------------------------------ *)
+(* Transaction groups                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* header (16) + commit payload [kind u8 | txn u32 | count u32 | crc u32] *)
+let commit_frame_bytes = 16 + 13
+
+let kind_label = function
+  | Journal.Data -> "data"
+  | Journal.Begin _ -> "begin"
+  | Journal.Commit _ -> "commit"
+
+let test_group_roundtrip () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "j.log" in
+  let j = ok (Journal.open_ path) in
+  check_ok "bare" (Journal.append j "solo");
+  check_ok "group" (Journal.append_group j [ "g1"; "g2"; "g3" ]);
+  check_ok "empty group is a no-op" (Journal.append_group j []);
+  check_ok "bare after" (Journal.append j "tail");
+  Journal.close j;
+  Alcotest.(check (list string)) "committed records, in order"
+    [ "solo"; "g1"; "g2"; "g3"; "tail" ]
+    (ok (Journal.read_all path));
+  (* the markers are visible to scan as control frames bracketing the
+     group's data frames *)
+  let s = ok (Journal.scan path) in
+  Alcotest.(check (list string)) "frame kinds"
+    [ "data"; "begin"; "data"; "data"; "data"; "commit"; "data" ]
+    (List.map (fun f -> kind_label f.Journal.f_kind) s.Journal.frames);
+  Alcotest.(check bool) "no damage" true (s.Journal.scan_damage = None)
+
+let test_group_without_commit_invisible () =
+  (* the crash-mid-flush signature: the begin marker and the records
+     landed, the commit marker did not — recovery replays none of the
+     group, and the whole thing is truncatable at the begin marker *)
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "j.log" in
+  let j = ok (Journal.open_ path) in
+  check_ok "bare" (Journal.append j "keep");
+  check_ok "group" (Journal.append_group j [ "lost1"; "lost2" ]);
+  Journal.close j;
+  let size = (Unix.stat path).Unix.st_size in
+  Unix.truncate path (size - commit_frame_bytes);
+  Alcotest.(check (list string)) "group invisible" [ "keep" ]
+    (ok (Journal.read_all path));
+  (* not tail damage: every remaining byte is intact, the commit is
+     simply missing, so even the strict reader agrees *)
+  Alcotest.(check (list string)) "strict agrees" [ "keep" ]
+    (ok (Journal.read_all_strict path));
+  let s = ok (Journal.scan path) in
+  let g = Journal.resolve_groups s.Journal.frames in
+  Alcotest.(check int) "both records dropped" 2 g.Journal.g_dropped_records;
+  Alcotest.(check int) "as an unterminated tail" 2 g.Journal.g_tail_records;
+  Alcotest.(check (option int)) "truncation point = begin marker"
+    (Some (16 + 4)) (* right after the bare "keep" frame *)
+    g.Journal.g_tail_begin
+
+let test_group_torn_commit_marker () =
+  (* the commit marker itself is half-written: CRC framing rejects the
+     marker, which leaves the group unterminated — all of it dropped *)
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "j.log" in
+  let j = ok (Journal.open_ path) in
+  check_ok "bare" (Journal.append j "keep");
+  check_ok "group" (Journal.append_group j [ "lost1"; "lost2" ]);
+  Journal.close j;
+  let size = (Unix.stat path).Unix.st_size in
+  Unix.truncate path (size - 5);
+  Alcotest.(check (list string)) "group invisible" [ "keep" ]
+    (ok (Journal.read_all path));
+  let s = ok (Journal.scan path) in
+  Alcotest.(check bool) "torn marker is damage" true
+    (s.Journal.scan_damage <> None);
+  let g = Journal.resolve_groups s.Journal.frames in
+  Alcotest.(check int) "group dropped" 2 g.Journal.g_dropped_records
+
+let test_nested_begin_drops_open_group () =
+  (* a writer that continued into a journal holding an unterminated
+     group (crash, then append without healing): the stale open group
+     must not leak into replay, and it is not a truncatable tail *)
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "j.log" in
+  let j = ok (Journal.open_ path) in
+  check_ok "group a" (Journal.append_group j [ "a1"; "a2" ]);
+  Journal.close j;
+  let size = (Unix.stat path).Unix.st_size in
+  Unix.truncate path (size - commit_frame_bytes);
+  let j = ok (Journal.open_ path) in
+  check_ok "group b" (Journal.append_group j [ "b1"; "b2" ]);
+  Journal.close j;
+  Alcotest.(check (list string)) "only the committed group" [ "b1"; "b2" ]
+    (ok (Journal.read_all path));
+  let s = ok (Journal.scan path) in
+  let g = Journal.resolve_groups s.Journal.frames in
+  Alcotest.(check int) "stale group dropped" 2 g.Journal.g_dropped_records;
+  Alcotest.(check int) "not a tail" 0 g.Journal.g_tail_records;
+  Alcotest.(check (option int)) "no truncation point" None
+    g.Journal.g_tail_begin
+
+let test_store_group_recovery () =
+  let dir = tmp_dir () in
+  let store, _, _, _ = ok (Store.open_dir dir) in
+  check_ok "base" (Store.append store "base");
+  check_ok "group" (Store.append_group store [ "t1"; "t2"; "t3" ]);
+  Alcotest.(check int) "journal_size counts records" 4
+    (Store.journal_size store);
+  Store.close store;
+  let store, _, records, report = ok (Store.open_dir dir) in
+  Alcotest.(check (list string)) "all recovered" [ "base"; "t1"; "t2"; "t3" ]
+    records;
+  Alcotest.(check int) "nothing dropped" 0 report.Store.txn_dropped;
+  Alcotest.(check bool) "clean" true (Store.recovery_clean report);
+  Store.close store
+
+let test_store_uncommitted_group_dropped () =
+  (* store-level all-or-nothing: an uncommitted group is reported,
+     dropped from replay, and cut from the file so recovery converges *)
+  let dir = tmp_dir () in
+  let store, _, _, _ = ok (Store.open_dir dir) in
+  check_ok "base" (Store.append store "base");
+  check_ok "group" (Store.append_group store [ "t1"; "t2"; "t3" ]);
+  Store.close store;
+  let jpath = Filename.concat dir "journal.log" in
+  let size = (Unix.stat jpath).Unix.st_size in
+  Unix.truncate jpath (size - commit_frame_bytes);
+  let store, _, records, report = ok (Store.open_dir dir) in
+  Alcotest.(check (list string)) "group gone" [ "base" ] records;
+  Alcotest.(check int) "dropped count" 3 report.Store.txn_dropped;
+  Alcotest.(check bool) "bytes counted" true (report.Store.bytes_dropped > 0);
+  Alcotest.(check bool) "not clean" false (Store.recovery_clean report);
+  (* the store is immediately usable and the damage does not persist *)
+  check_ok "after" (Store.append store "after");
+  Store.close store;
+  let _, _, records, report = ok (Store.open_dir dir) in
+  Alcotest.(check (list string)) "healed" [ "base"; "after" ] records;
+  Alcotest.(check bool) "second open clean" true (Store.recovery_clean report)
+
+(* ------------------------------------------------------------------ *)
 (* Snapshots                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -640,6 +778,33 @@ let test_fsck_leftover_tmp_and_fallback () =
   Alcotest.(check bool) "fallback gone" false
     (Sys.file_exists (Filename.concat dir "snapshot.bin.old"))
 
+let test_fsck_dangling_txn () =
+  let dir = tmp_dir () in
+  let store, _, _, _ = ok (Store.open_dir dir) in
+  check_ok "base" (Store.append store "base");
+  check_ok "group" (Store.append_group store [ "t1"; "t2" ]);
+  Store.close store;
+  let jpath = Filename.concat dir "journal.log" in
+  let size = (Unix.stat jpath).Unix.st_size in
+  Unix.truncate jpath (size - commit_frame_bytes);
+  let r = ok (Store.fsck dir) in
+  Alcotest.(check bool) "unhealthy" false r.Store.fsck_healthy;
+  Alcotest.(check int) "dangling records" 2 r.Store.fsck_dangling_txn_records;
+  Alcotest.(check bool) "tail signature" true r.Store.fsck_dangling_txn_tail;
+  Alcotest.(check int) "replayable frames" 1 r.Store.fsck_journal_frames;
+  let r = ok (Store.fsck ~repair:true dir) in
+  Alcotest.(check bool) "repaired" true r.Store.fsck_healthy;
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "repair names the dangling txn" true
+    (List.exists (fun m -> contains m "dangling") r.Store.fsck_repairs);
+  let _, _, records, report = ok (Store.open_dir dir) in
+  Alcotest.(check (list string)) "only committed data" [ "base" ] records;
+  Alcotest.(check bool) "clean open" true (Store.recovery_clean report)
+
 let () =
   Alcotest.run "storage"
     [
@@ -676,6 +841,15 @@ let () =
           tc "corrupt payload" test_journal_corrupt_payload;
           tc "truncate" test_journal_truncate;
         ] );
+      ( "transaction groups",
+        [
+          tc "roundtrip" test_group_roundtrip;
+          tc "uncommitted group invisible" test_group_without_commit_invisible;
+          tc "torn commit marker" test_group_torn_commit_marker;
+          tc "nested begin" test_nested_begin_drops_open_group;
+          tc "store group recovery" test_store_group_recovery;
+          tc "store drops uncommitted group" test_store_uncommitted_group_dropped;
+        ] );
       ( "snapshot",
         [ tc "roundtrip" test_snapshot_roundtrip; tc "corrupt" test_snapshot_corrupt ] );
       ( "store",
@@ -706,5 +880,6 @@ let () =
           tc "corrupt snapshot with fallback" test_fsck_corrupt_snapshot_with_fallback;
           tc "corrupt snapshot without fallback" test_fsck_corrupt_snapshot_no_fallback;
           tc "leftover tmp and fallback" test_fsck_leftover_tmp_and_fallback;
+          tc "dangling transaction" test_fsck_dangling_txn;
         ] );
     ]
