@@ -3,7 +3,8 @@
 # planner/scan equivalence properties and a fixed-seed smoke soak), and
 # formatting when the formatter is available.
 
-.PHONY: check build test fmt soak bench bench-query bench-version bench-txn
+.PHONY: check build test fmt soak soak-ci bench bench-query bench-version \
+	bench-txn bench-chaos
 
 check: build test fmt
 
@@ -28,6 +29,11 @@ SOAK_SEED ?= 42
 soak:
 	dune exec test/soak.exe -- --iters $(SOAK_ITERS) --seed $(SOAK_SEED)
 
+# the CI soak gate: fixed seed, 100 iterations — crash injection plus
+# the read-fault (EINTR/bit-flip/short-read) pass on every iteration
+soak-ci:
+	dune exec test/soak.exe -- --iters 100 --seed 42
+
 # regenerate the committed query-planner baseline
 bench-query:
 	dune exec bench/main.exe -- query
@@ -40,5 +46,10 @@ bench-version:
 bench-txn:
 	dune exec bench/main.exe -- txn
 
+# regenerate the committed chaos baseline (recovery time and data
+# survival under injected corruption and read faults)
+bench-chaos:
+	dune exec bench/main.exe -- chaos
+
 # regenerate every committed benchmark baseline
-bench: bench-query bench-version bench-txn
+bench: bench-query bench-version bench-txn bench-chaos

@@ -828,6 +828,185 @@ let txn () =
   Fmt.pr "@.wrote BENCH_txn.json@."
 
 (* ------------------------------------------------------------------ *)
+(* C1: chaos - recovery under injected corruption and read faults       *)
+(* ------------------------------------------------------------------ *)
+
+let chaos () =
+  heading "C1"
+    "chaos: quarantine recovery, generation fallback, transient-read \
+     absorption";
+  let module Store = Seed_storage.Store in
+  let module Journal = Seed_storage.Journal in
+  let module Faulty = Seed_storage.Faulty_io in
+  let fresh_dir =
+    let c = ref 0 in
+    fun () ->
+      incr c;
+      let d =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "seed_bench_chaos_%d_%d" (Unix.getpid ()) !c)
+      in
+      if Sys.file_exists d then
+        Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+      d
+  in
+  let payload = String.make 256 'c' in
+  let json = ref [] in
+  (* quarantine recovery: N committed records, F frames corrupted at
+     evenly spaced offsets; open must resynchronize past every damaged
+     region and keep the rest. Survival rate = replayed / (N - F). *)
+  let n = 2_000 in
+  let rows =
+    List.map
+      (fun faults ->
+        let dir = fresh_dir () in
+        let store, _, _, _ = ok (Store.open_dir dir) in
+        for _ = 1 to n do
+          ok (Store.append store payload)
+        done;
+        Store.close store;
+        let jpath = Filename.concat dir "journal.log" in
+        let scan = ok (Journal.scan jpath) in
+        let frames = Array.of_list scan.Journal.frames in
+        let stride = Array.length frames / (faults + 1) in
+        let fd = Unix.openfile jpath [ Unix.O_RDWR ] 0o644 in
+        for k = 1 to faults do
+          (* flip a CRC byte: every fault is a detectable mid-file region *)
+          let off = frames.(k * stride).Journal.f_offset + 12 in
+          ignore (Unix.lseek fd off Unix.SEEK_SET);
+          let b = Bytes.create 1 in
+          ignore (Unix.read fd b 0 1);
+          Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x55));
+          ignore (Unix.lseek fd off Unix.SEEK_SET);
+          ignore (Unix.write fd b 0 1)
+        done;
+        Unix.close fd;
+        let (s, _, replayed, rc), t =
+          Report.time_of (fun () -> ok (Store.open_dir dir))
+        in
+        Store.close s;
+        let survived = List.length replayed in
+        let rate = float_of_int survived /. float_of_int (n - faults) in
+        json :=
+          Printf.sprintf
+            "    {\"case\": \"quarantine\", \"records\": %d, \"faults\": %d, \
+             \"survived\": %d, \"survival_rate\": %.4f, \"quarantined\": %d, \
+             \"open_us\": %.2f}"
+            n faults survived rate
+            (List.length rc.Store.quarantined)
+            (t *. 1e6)
+          :: !json;
+        [
+          string_of_int n;
+          string_of_int faults;
+          string_of_int survived;
+          Printf.sprintf "%.2f%%" (100.0 *. rate);
+          string_of_int (List.length rc.Store.quarantined);
+          Report.ms t;
+        ])
+      [ 1; 5; 20 ]
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "open with F corrupt frames quarantined mid-journal (%d records)" n)
+    ~header:
+      [ "records"; "faults"; "survived"; "survival"; "regions"; "open time" ]
+    rows;
+  (* generation fallback: primary snapshot corrupt, open walks the
+     generation chain; salvage = fsck --repair + reopen *)
+  let rows =
+    List.map
+      (fun size ->
+        let snap = String.make size 's' in
+        let dir = fresh_dir () in
+        let store, _, _, _ = ok (Store.open_dir dir) in
+        ok (Store.append store payload);
+        ok (Store.compact store ~snapshot:snap);
+        ok (Store.append store payload);
+        ok (Store.compact store ~snapshot:snap);
+        ok (Store.append store payload);
+        Store.close store;
+        let path = Filename.concat dir "snapshot.bin" in
+        let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+        ignore (Unix.lseek fd (size / 2) Unix.SEEK_SET);
+        ignore (Unix.write fd (Bytes.of_string "!") 0 1);
+        Unix.close fd;
+        let (s, recovered, _, rc), t =
+          Report.time_of (fun () -> ok (Store.open_dir dir))
+        in
+        Store.close s;
+        let gen = Option.value rc.Store.snapshot_generation ~default:0 in
+        json :=
+          Printf.sprintf
+            "    {\"case\": \"generation_fallback\", \"snapshot_bytes\": %d, \
+             \"generation\": %d, \"recovered\": %b, \"open_us\": %.2f}"
+            size gen (recovered <> None) (t *. 1e6)
+          :: !json;
+        [
+          string_of_int size;
+          string_of_int gen;
+          string_of_bool (recovered <> None);
+          Report.ms t;
+        ])
+      [ 4_096; 262_144; 1_048_576 ]
+  in
+  Report.table
+    ~title:"corrupt primary snapshot: open falls back to generation 1"
+    ~header:[ "snapshot bytes"; "generation used"; "recovered"; "open time" ]
+    rows;
+  (* transient read absorption: the retry layer's cost on open, with
+     sleep stubbed out so the numbers are CPU, not timer *)
+  let rows =
+    List.map
+      (fun transients ->
+        let dir = fresh_dir () in
+        let store, _, _, _ = ok (Store.open_dir dir) in
+        ok (Store.append store payload);
+        ok (Store.compact store ~snapshot:(String.make 65_536 's'));
+        for _ = 1 to 100 do
+          ok (Store.append store payload)
+        done;
+        Store.close store;
+        let iters = 50 in
+        let _, t =
+          Report.time_of (fun () ->
+              for _ = 1 to iters do
+                let f = Faulty.create ~transient_reads:transients () in
+                let s, _, _, _ =
+                  ok
+                    (Store.open_dir ~io:(Faulty.io f)
+                       ~sleep:(fun _ -> ())
+                       dir)
+                in
+                Store.close s
+              done)
+        in
+        let per = t /. float_of_int iters in
+        json :=
+          Printf.sprintf
+            "    {\"case\": \"transient_reads\", \"faults\": %d, \"open_us\": \
+             %.2f}"
+            transients (per *. 1e6)
+          :: !json;
+        [ string_of_int transients; Report.ms per ])
+      [ 0; 1; 4 ]
+  in
+  Report.table
+    ~title:
+      "open of a 64 KiB snapshot + 100-record journal under EINTR bursts \
+       (sleep stubbed)"
+    ~header:[ "transient read faults"; "open time" ]
+    rows;
+  let oc = open_out "BENCH_chaos.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"chaos\",\n  \"command\": \"dune exec bench/main.exe -- \
+     chaos\",\n  \"results\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.rev !json));
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_chaos.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let suites =
   [
@@ -842,6 +1021,7 @@ let suites =
     ("ablation", ablation);
     ("storage", storage);
     ("recovery", recovery);
+    ("chaos", chaos);
   ]
 
 let () =

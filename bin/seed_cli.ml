@@ -411,7 +411,12 @@ let fsck_cmd =
     | Error e -> exit_err e
     | Ok report ->
       Fmt.pr "%a" Seed_storage.Store.pp_fsck_report report;
-      if not report.Seed_storage.Store.fsck_healthy then exit 1
+      (* corruption found is reportable even when it was repaired: an
+         operator piping fsck into CI must see a nonzero status *)
+      if
+        (not report.Seed_storage.Store.fsck_healthy)
+        || report.Seed_storage.Store.fsck_repairs <> []
+      then exit 1
   in
   let repair =
     Arg.(
@@ -431,6 +436,57 @@ let fsck_cmd =
           compaction epochs, torn-tail bytes, dangling transaction groups. \
           Exits non-zero when the store needs attention.")
     Term.(const run $ dir_arg $ repair)
+
+(* --- salvage ----------------------------------------------------------- *)
+
+let salvage_cmd =
+  let run dir =
+    let module Store = Seed_storage.Store in
+    (* phase 1: repair everything fsck knows how to fix *)
+    let repaired =
+      match Store.fsck ~repair:true dir with
+      | Error e -> exit_err e
+      | Ok report ->
+        Fmt.pr "%a" Store.pp_fsck_report report;
+        if report.Store.fsck_repairs = [] then Fmt.pr "no repairs needed@.";
+        report.Store.fsck_repairs <> []
+    in
+    (* phase 2: prove the store opens and the data is consistent *)
+    match Persist.Session.open_ ~dir () with
+    | Error e ->
+      Fmt.epr "seed: store does not open after repair: %s@."
+        (Seed_error.to_string e);
+      exit 2
+    | Ok session ->
+      let r = Persist.Session.recovery session in
+      Fmt.pr "recovery: %a@." Store.pp_recovery r;
+      let objects = DB.object_count (Persist.Session.db session) in
+      (* compacting folds the salvaged state into a fresh snapshot and
+         drops quarantined journal damage for good *)
+      (match Persist.Session.compact session with
+      | Ok () -> ()
+      | Error e ->
+        Persist.Session.close session;
+        Fmt.epr "seed: compaction after salvage failed: %s@."
+          (Seed_error.to_string e);
+        exit 2);
+      Persist.Session.close session;
+      Fmt.pr "salvage complete: %d objects live@." objects;
+      (* damage worked around in either phase — repaired by fsck or
+         absorbed on open — is still damage the caller should hear about *)
+      if repaired || not (Store.recovery_clean r) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "salvage"
+       ~doc:
+         "Best-effort recovery of a damaged store: run every fsck repair \
+          (truncate torn tails, excise quarantined journal regions, fall \
+          back through snapshot generations), then reopen the database, \
+          verify its consistency, and compact the survivors into a fresh \
+          snapshot. Exits 0 when the store was already clean, 1 when \
+          damage was found and worked around, 2 when the store cannot be \
+          recovered.")
+    Term.(const run $ dir_arg)
 
 (* --- snapshot / versions / history ------------------------------------ *)
 
@@ -781,6 +837,7 @@ let main =
       import_cmd;
       report_cmd;
       fsck_cmd;
+      salvage_cmd;
       stats_cmd;
       snapshot_cmd;
       versions_cmd;

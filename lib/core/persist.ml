@@ -499,8 +499,11 @@ module Session = struct
     Ident.Tbl.reset t.shadows;
     Db_state.iter_items (Database.raw t.database) (fun it -> remember t it)
 
-  let open_ ~dir ?schema ?(verify = true) ?io ?sync () =
-    let* store, snapshot, records, recovery = Store.open_dir ?io ?sync dir in
+  let open_ ~dir ?schema ?(verify = true) ?io ?sync ?generations ?retry ?sleep
+      () =
+    let* store, snapshot, records, recovery =
+      Store.open_dir ?io ?sync ?generations ?retry ?sleep dir
+    in
     let* parts = load_parts snapshot records in
     let* database =
       match (parts, schema) with

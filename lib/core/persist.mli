@@ -37,12 +37,18 @@ module Session : sig
 
   val open_ :
     dir:string -> ?schema:Schema.t -> ?verify:bool ->
-    ?io:Seed_storage.Io.t -> ?sync:Seed_storage.Store.sync_policy -> unit ->
+    ?io:Seed_storage.Io.t -> ?sync:Seed_storage.Store.sync_policy ->
+    ?generations:int -> ?retry:Retry.policy -> ?sleep:(float -> unit) ->
+    unit ->
     (t, Seed_error.t) result
   (** Open (or create, given [schema]) the database at [dir]. Opening an
       empty directory without a schema fails. [sync] (default
       [`Flush_only]) sets the durability of every journal append; [io]
-      substitutes the I/O environment (fault injection in tests). *)
+      substitutes the I/O environment (fault injection in tests);
+      [generations] (default 2) how many old snapshots compaction keeps
+      for generation-by-generation recovery fallback; [retry]/[sleep]
+      the bounded-backoff policy absorbing transient I/O faults (see
+      {!Seed_storage.Store.open_dir}). *)
 
   val db : t -> Database.t
 

@@ -2,9 +2,16 @@ open Seed_util.Seed_error
 
 type entry = { holder : string; expires : float option }
 
-type t = { table : (string, entry) Hashtbl.t; now : unit -> float }
+type t = {
+  table : (string, entry) Hashtbl.t;
+  (* who is currently blocked inside [acquire_wait], and on what names —
+     the edges of the wait-for graph the deadlock detector walks *)
+  waiting : (string, string list) Hashtbl.t;
+  now : unit -> float;
+}
 
-let create ?(now = Unix.gettimeofday) () = { table = Hashtbl.create 32; now }
+let create ?(now = Unix.gettimeofday) () =
+  { table = Hashtbl.create 32; waiting = Hashtbl.create 8; now }
 
 let expired t e =
   match e.expires with None -> false | Some at -> at <= t.now ()
@@ -17,7 +24,21 @@ let live_entry t name =
   | Some e when not (expired t e) -> Some e
   | Some _ | None -> None
 
+(* Drops every expired lease from the table. Expired leases already read
+   as free through [live_entry], but reaping on each acquisition keeps
+   the table from accumulating dead entries — and guarantees a stale
+   lease never blocks a fresh checkout even on code paths that consult
+   the raw table. *)
+let reap_expired t =
+  let stale =
+    Hashtbl.fold
+      (fun n e acc -> if expired t e then n :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) stale
+
 let acquire t ~client ?ttl names =
+  reap_expired t;
   let conflict =
     List.find_opt
       (fun n ->
@@ -42,6 +63,59 @@ let release_all t ~client =
       t.table []
   in
   List.iter (Hashtbl.remove t.table) mine
+
+(* Follows wait-for edges (waiter -> live holder of a wanted name)
+   depth-first from [start]; a path back to [start] is a deadlock. *)
+let find_cycle t start =
+  let rec dfs visited path c =
+    match Hashtbl.find_opt t.waiting c with
+    | None -> None
+    | Some names ->
+      let holders =
+        List.sort_uniq String.compare
+          (List.filter_map
+             (fun n ->
+               match live_entry t n with
+               | Some e when not (String.equal e.holder c) -> Some e.holder
+               | Some _ | None -> None)
+             names)
+      in
+      List.find_map
+        (fun h ->
+          if String.equal h start then Some (List.rev (h :: path))
+          else if List.mem h visited then None
+          else dfs (h :: visited) (h :: path) h)
+        holders
+  in
+  dfs [ start ] [ start ] start
+
+let acquire_wait t ~client ?ttl ?(policy = Seed_util.Retry.default_policy)
+    ?(sleep = Unix.sleepf) ~timeout names =
+  let deadline = t.now () +. timeout in
+  let finish r =
+    Hashtbl.remove t.waiting client;
+    r
+  in
+  let rec attempt n =
+    match acquire t ~client ?ttl names with
+    | Ok () -> finish (Ok ())
+    | Error (Locked _) as err -> (
+      Hashtbl.replace t.waiting client names;
+      match find_cycle t client with
+      | Some cycle ->
+        (* abort one victim — the requester that closed the cycle — so
+           everyone else can make progress *)
+        release_all t ~client;
+        finish (fail (Deadlock { victim = client; cycle }))
+      | None ->
+        if t.now () >= deadline then finish err
+        else begin
+          sleep (Seed_util.Retry.delay_for policy ~attempt:(min n 16));
+          attempt (n + 1)
+        end)
+    | other -> finish other
+  in
+  attempt 1
 
 let expire_stale t =
   let stale =

@@ -8,8 +8,15 @@
     Locks may carry a {e lease}: an optional time-to-live after which
     the lock lapses and reads as free, so a client that died mid-edit
     cannot wedge its objects forever. Expired leases stop covering and
-    blocking immediately; {!expire_stale} additionally removes them
-    from the table and reports what lapsed. *)
+    blocking immediately, and every acquisition reaps them from the
+    table; {!expire_stale} does the same on demand and reports what
+    lapsed.
+
+    {!acquire_wait} blocks (bounded backoff, injectable sleep/clock)
+    until the locks come free or [timeout] elapses. Waiters form a
+    wait-for graph; when a new waiter closes a cycle, the deadlock is
+    broken by aborting that waiter — its locks are released and it gets
+    [Deadlock] — so the remaining clients make progress. *)
 
 type t
 
@@ -28,6 +35,24 @@ val acquire :
     client fails the whole acquisition with [Locked] (nothing is
     acquired). With [ttl] (seconds) the locks are leases that expire
     [ttl] from now; without it they are held until released. *)
+
+val acquire_wait :
+  t ->
+  client:string ->
+  ?ttl:float ->
+  ?policy:Seed_util.Retry.policy ->
+  ?sleep:(float -> unit) ->
+  timeout:float ->
+  string list ->
+  (unit, Seed_util.Seed_error.t) result
+(** Like {!acquire}, but on conflict the caller waits and retries with
+    the backoff of [policy] (default {!Seed_util.Retry.default_policy})
+    until the locks come free or [timeout] seconds (on the table's
+    clock) elapse — the last [Locked] error is then returned. If waiting
+    would close a wait-for cycle, this requester is chosen as the
+    deadlock victim: its locks are released and [Deadlock] is returned.
+    [sleep] (default [Unix.sleepf]) is injectable so tests can both run
+    in zero wall-clock time and drive other clients between attempts. *)
 
 val release_all : t -> client:string -> unit
 

@@ -32,6 +32,20 @@ let checkout t ~client ~names = do_checkout t ~client ~ttl:None ~names
 let checkout_lease t ~client ~ttl ~names =
   do_checkout t ~client ~ttl:(Some ttl) ~names
 
+let checkout_wait t ~client ?ttl ?policy ?sleep ~timeout ~names () =
+  let* () =
+    iter_result
+      (fun n ->
+        match Database.find_object t.db n with
+        | Some _ -> Ok ()
+        | None -> (
+          match Database.find_pattern t.db n with
+          | Some _ -> Ok ()
+          | None -> fail (Unknown_object n)))
+      names
+  in
+  Lock_table.acquire_wait t.locks ~client ?ttl ?policy ?sleep ~timeout names
+
 let release t ~client = Lock_table.release_all t.locks ~client
 
 let locked_by t ~client = Lock_table.held_by t.locks ~client

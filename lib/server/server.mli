@@ -36,6 +36,23 @@ val checkout_lease :
     from now: once expired they stop blocking other clients and stop
     covering this client's check-ins (see {!Lock_table}). *)
 
+val checkout_wait :
+  t ->
+  client:string ->
+  ?ttl:float ->
+  ?policy:Seed_util.Retry.policy ->
+  ?sleep:(float -> unit) ->
+  timeout:float ->
+  names:string list ->
+  unit ->
+  (unit, Seed_error.t) result
+(** Blocking {!checkout}: on lock conflict the call waits with bounded
+    backoff until the locks come free or [timeout] seconds elapse (the
+    last [Locked] error is then returned). If waiting would close a
+    wait-for cycle with other blocked clients, this client is aborted as
+    the deadlock victim ([Deadlock]; its locks are released). See
+    {!Lock_table.acquire_wait}. *)
+
 val release : t -> client:string -> unit
 (** Abandon a checkout without applying anything. *)
 

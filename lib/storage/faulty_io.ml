@@ -13,15 +13,22 @@ type t = {
   fail_fsync : int option;
   fail_rename : int option;
   enospc_write : int option;
+  transient_reads : int;
+  eio_read : int option;
+  short_read : int option;
+  flip_read : int option;
+  lie_fsync : bool;
   mutable step : int;
   mutable fsyncs : int;
   mutable renames : int;
   mutable writes : int;
+  mutable read_count : int;
   mutable crashed : bool;
 }
 
 let create ?(base = Io.real) ?crash_at ?(torn = false) ?fail_fsync ?fail_rename
-    ?enospc_write () =
+    ?enospc_write ?(transient_reads = 0) ?eio_read ?short_read ?flip_read
+    ?(lie_fsync = false) () =
   {
     base;
     crash_at;
@@ -29,14 +36,21 @@ let create ?(base = Io.real) ?crash_at ?(torn = false) ?fail_fsync ?fail_rename
     fail_fsync;
     fail_rename;
     enospc_write;
+    transient_reads;
+    eio_read;
+    short_read;
+    flip_read;
+    lie_fsync;
     step = 0;
     fsyncs = 0;
     renames = 0;
     writes = 0;
+    read_count = 0;
     crashed = false;
   }
 
 let steps t = t.step
+let reads t = t.read_count
 let crashed t = t.crashed
 
 (* Checks the crash schedule for the operation about to run. [partial]
@@ -70,6 +84,27 @@ let failing t kind = match count_of t kind with k, Some f -> k = f | _ -> false
 
 let half s = String.sub s 0 (String.length s / 2)
 
+(* Reads keep their own counter so read faults never perturb the global
+   crash-step schedule that write-path sweeps are calibrated against. *)
+let faulty_read t path =
+  if t.crashed then raise (Crash { step = t.step; op = "read " ^ path });
+  let k = t.read_count in
+  t.read_count <- k + 1;
+  if k < t.transient_reads then
+    raise (Unix.Unix_error (Unix.EINTR, "read", path));
+  if t.eio_read = Some k then
+    raise (Unix.Unix_error (Unix.EIO, "read", path));
+  let s = t.base.Io.read_file path in
+  let s = if t.short_read = Some k then half s else s in
+  if t.flip_read = Some k && String.length s > 0 then begin
+    (* flip one bit in the middle byte, deterministically *)
+    let b = Bytes.of_string s in
+    let i = Bytes.length b / 2 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+    Bytes.unsafe_to_string b
+  end
+  else s
+
 let wrap_file t path (f : Io.file) : Io.file =
   {
     Io.write =
@@ -86,7 +121,8 @@ let wrap_file t path (f : Io.file) : Io.file =
         gate t ("fsync " ^ path) ();
         if failing t `Fsync then
           raise (Unix.Unix_error (Unix.EIO, "fsync", path));
-        f.Io.fsync ());
+        (* a lying fsync reports success without flushing anything *)
+        if not t.lie_fsync then f.Io.fsync ());
     (* closing after a crash releases the descriptor (as the OS would)
        but, like every raw-fd close, flushes nothing *)
     close = (fun () -> f.Io.close ());
@@ -122,6 +158,7 @@ let io t : Io.t =
         gate t ("fsync_dir " ^ dir) ();
         if failing t `Fsync then
           raise (Unix.Unix_error (Unix.EIO, "fsync", dir));
-        b.Io.fsync_dir dir);
+        if not t.lie_fsync then b.Io.fsync_dir dir);
     exists = b.Io.exists;
+    read_file = (fun path -> faulty_read t path);
   }

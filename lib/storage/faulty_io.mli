@@ -20,7 +20,17 @@
       result, exercising the error paths of the storage layer.
 
     Counting a faultless run first ({!steps}) tells a sweep how many
-    crash points the lifecycle has. *)
+    crash points the lifecycle has.
+
+    {b Read faults} live on a separate counter ({!reads}) so they never
+    shift the global crash-step schedule: [transient_reads:n] makes the
+    first [n] reads raise EINTR (the transient class the retry layer
+    absorbs); [eio_read:k] fails the k-th read with EIO (permanent);
+    [short_read:k] returns only a prefix of the file; [flip_read:k]
+    flips one bit in the middle of the returned bytes. [lie_fsync]
+    makes every fsync report success without flushing — the classic
+    lying-disk fault. After a crash, reads raise {!Crash} like any
+    other operation (a dead process does no I/O). *)
 
 exception Crash of { step : int; op : string }
 (** Raised in place of performing the scheduled operation. Never caught
@@ -36,18 +46,30 @@ val create :
   ?fail_fsync:int ->
   ?fail_rename:int ->
   ?enospc_write:int ->
+  ?transient_reads:int ->
+  ?eio_read:int ->
+  ?short_read:int ->
+  ?flip_read:int ->
+  ?lie_fsync:bool ->
   unit ->
   t
 (** [create ()] counts operations without injecting anything.
     [crash_at:n] crashes at global step [n] (0-based); [torn] makes a
     crash on a write leave half the bytes behind. [fail_fsync:k] /
     [fail_rename:k] / [enospc_write:k] fail the k-th operation of that
-    kind (0-based; fsync counts file and directory fsyncs together). *)
+    kind (0-based; fsync counts file and directory fsyncs together).
+    Read faults ([transient_reads], [eio_read], [short_read],
+    [flip_read]) are scheduled against the separate read counter;
+    [lie_fsync] silently drops every fsync. *)
 
 val io : t -> Io.t
 (** The injecting environment, to pass to [Store.open_dir] etc. *)
 
 val steps : t -> int
-(** Operations attempted so far (including the one that crashed). *)
+(** Operations attempted so far (including the one that crashed).
+    Reads are not included — see {!reads}. *)
+
+val reads : t -> int
+(** Whole-file reads attempted so far (separate from {!steps}). *)
 
 val crashed : t -> bool

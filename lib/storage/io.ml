@@ -12,6 +12,7 @@ type t = {
   truncate : string -> int -> unit;
   fsync_dir : string -> unit;
   exists : string -> bool;
+  read_file : string -> string;
 }
 
 let write_all fd s =
@@ -57,4 +58,6 @@ let real =
     truncate = Unix.truncate;
     fsync_dir;
     exists = Sys.file_exists;
+    read_file =
+      (fun path -> In_channel.with_open_bin path In_channel.input_all);
   }

@@ -1,12 +1,13 @@
 (** Pluggable I/O environment for the storage layer.
 
-    Every mutating filesystem operation the persistence engine performs
-    — opening, writing, flushing, fsyncing, renaming, truncating,
-    unlinking, syncing a directory — goes through a value of type {!t}.
-    {!real} talks to the operating system; {!Faulty_io} wraps it to
-    inject deterministic faults (short writes, failed fsyncs, ENOSPC,
-    simulated crashes) so every crash point of the snapshot + journal
-    pipeline can be exercised by tests.
+    Every filesystem operation the persistence engine performs —
+    opening, writing, flushing, fsyncing, renaming, truncating,
+    unlinking, syncing a directory, and whole-file reads — goes through
+    a value of type {!t}. {!real} talks to the operating system;
+    {!Faulty_io} wraps it to inject deterministic faults (short writes
+    and reads, bit flips, failed fsyncs, ENOSPC, simulated crashes) so
+    every crash point of the snapshot + journal pipeline can be
+    exercised by tests.
 
     Operations raise [Sys_error] or [Unix.Unix_error] on failure, like
     the Stdlib/Unix primitives they wrap; callers are expected to
@@ -32,6 +33,9 @@ type t = {
   fsync_dir : string -> unit;
       (** fsync a directory, making renames/unlinks in it durable *)
   exists : string -> bool;
+  read_file : string -> string;
+      (** whole-file read; the one read-side operation, so read faults
+          (short reads, bit flips, EIO, EINTR) can be injected too *)
 }
 
 val real : t

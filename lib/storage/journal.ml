@@ -12,8 +12,12 @@ type t = {
   mutable next_txn : int;
 }
 
-(* "SEE2": version 2 of the frame format (epoch-tagged). *)
-let magic = 0x53454532l
+(* "SEE3": version 3 of the frame format (epoch-tagged, with the frame
+   CRC covering the epoch and length header fields as well as the
+   payload, so a bit flipped anywhere in the frame except the magic is
+   caught as damage rather than silently changing the frame's epoch or
+   extent). *)
+let magic = 0x53454533l
 
 (* "SEEC": control frames — transaction begin/commit markers. Same
    envelope as data frames, so the CRC/torn-tail machinery covers them
@@ -23,11 +27,7 @@ let control_magic = 0x53454543l
 
 let header_bytes = 16
 
-let wrap_io f =
-  try Ok (f ()) with
-  | Sys_error m -> fail (Io_error m)
-  | Unix.Unix_error (e, fn, arg) ->
-    fail (Io_error (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e)))
+let wrap_io = Seed_error.wrap_io
 
 let open_ ?(io = Io.real) ?(sync = `Flush_only) ?(epoch = 0) path =
   wrap_io (fun () ->
@@ -46,12 +46,22 @@ let file_of j =
   | Some f -> Ok f
   | None -> fail (Io_error ("journal closed: " ^ j.jpath))
 
+(* The frame CRC covers epoch, length, and payload — everything after
+   the magic — so header corruption is detected like payload
+   corruption. *)
+let frame_crc ~epoch payload =
+  let b = Buffer.create (8 + String.length payload) in
+  Buffer.add_int32_le b (Int32.of_int epoch);
+  Buffer.add_int32_le b (Int32.of_int (String.length payload));
+  Buffer.add_string b payload;
+  Crc32.digest (Buffer.contents b)
+
 let frame_with ~magic:m epoch payload =
   let b = Buffer.create (String.length payload + header_bytes) in
   Buffer.add_int32_le b m;
   Buffer.add_int32_le b (Int32.of_int epoch);
   Buffer.add_int32_le b (Int32.of_int (String.length payload));
-  Buffer.add_int32_le b (Crc32.digest payload);
+  Buffer.add_int32_le b (frame_crc ~epoch payload);
   Buffer.add_string b payload;
   Buffer.contents b
 
@@ -161,7 +171,7 @@ type frame = {
   f_kind : kind;
 }
 
-type damage = { d_offset : int; d_reason : string }
+type damage = { d_offset : int; d_end : int; d_reason : string }
 
 let decode_control payload =
   let len = String.length payload in
@@ -179,74 +189,92 @@ let decode_control payload =
 
 type scan_result = {
   frames : frame list;
-  scan_damage : damage option;
+  scan_damage : damage list;
   file_size : int;
 }
 
-let scan path =
-  if not (Sys.file_exists path) then
-    Ok { frames = []; scan_damage = None; file_size = 0 }
+let scan ?(io = Io.real) path =
+  if not (io.Io.exists path) then
+    Ok { frames = []; scan_damage = []; file_size = 0 }
   else
     wrap_io (fun () ->
-        let ic = open_in_bin path in
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () ->
-            let size = in_channel_length ic in
-            let records = ref [] in
-            let rec loop pos =
-              if pos = size then None
-              else if size - pos < header_bytes then
-                Some { d_offset = pos; d_reason = "truncated frame header" }
-              else begin
-                let hdr = really_input_string ic header_bytes in
-                let m = String.get_int32_le hdr 0 in
-                if m <> magic && m <> control_magic then
-                  Some { d_offset = pos; d_reason = "bad magic" }
+        let buf = io.Io.read_file path in
+        let size = String.length buf in
+        (* parse the frame whose header starts at [pos] *)
+        let frame_at pos =
+          if size - pos < header_bytes then `Bad "truncated frame header"
+          else
+            let m = String.get_int32_le buf pos in
+            if m <> magic && m <> control_magic then `Bad "bad magic"
+            else
+              let ep = Int32.to_int (String.get_int32_le buf (pos + 4)) in
+              let len = Int32.to_int (String.get_int32_le buf (pos + 8)) in
+              let crc = String.get_int32_le buf (pos + 12) in
+              if ep < 0 then `Bad "negative epoch"
+              else if len < 0 then `Bad "negative length"
+              else if size - pos - header_bytes < len then
+                `Bad "truncated payload"
+              else
+                let payload = String.sub buf (pos + header_bytes) len in
+                if frame_crc ~epoch:ep payload <> crc then `Bad "crc mismatch"
+                else if m = magic then
+                  `Frame
+                    ( { f_epoch = ep; f_payload = payload; f_offset = pos;
+                        f_kind = Data },
+                      pos + header_bytes + len )
                 else
-                  let ep = Int32.to_int (String.get_int32_le hdr 4) in
-                  let len = Int32.to_int (String.get_int32_le hdr 8) in
-                  let crc = String.get_int32_le hdr 12 in
-                  if ep < 0 then
-                    Some { d_offset = pos; d_reason = "negative epoch" }
-                  else if len < 0 then
-                    Some { d_offset = pos; d_reason = "negative length" }
-                  else if size - pos - header_bytes < len then
-                    Some { d_offset = pos; d_reason = "truncated payload" }
-                  else
-                    let payload = really_input_string ic len in
-                    if Crc32.digest payload <> crc then
-                      Some { d_offset = pos; d_reason = "crc mismatch" }
-                    else if m = magic then begin
-                      records :=
-                        {
-                          f_epoch = ep;
-                          f_payload = payload;
-                          f_offset = pos;
-                          f_kind = Data;
-                        }
-                        :: !records;
-                      loop (pos + header_bytes + len)
-                    end
-                    else begin
-                      match decode_control payload with
-                      | None ->
-                        Some { d_offset = pos; d_reason = "bad control record" }
-                      | Some k ->
-                        records :=
-                          {
-                            f_epoch = ep;
-                            f_payload = payload;
-                            f_offset = pos;
-                            f_kind = k;
-                          }
-                          :: !records;
-                        loop (pos + header_bytes + len)
-                    end
-              end
-            in
-            let scan_damage = loop 0 in
-            { frames = List.rev !records; scan_damage; file_size = size }))
+                  match decode_control payload with
+                  | None -> `Bad "bad control record"
+                  | Some k ->
+                    `Frame
+                      ( { f_epoch = ep; f_payload = payload; f_offset = pos;
+                          f_kind = k },
+                        pos + header_bytes + len )
+        in
+        (* after damage, hunt byte-by-byte for the next offset where a
+           whole frame — magic, sane lengths, matching CRC — parses; the
+           CRC makes a false resync on payload bytes vanishingly unlikely *)
+        let rec resync pos =
+          if size - pos < header_bytes then None
+          else
+            let m = String.get_int32_le buf pos in
+            if
+              (m = magic || m = control_magic)
+              && match frame_at pos with `Frame _ -> true | `Bad _ -> false
+            then Some pos
+            else resync (pos + 1)
+        in
+        let records = ref [] and damages = ref [] in
+        let rec loop pos =
+          if pos < size then
+            match frame_at pos with
+            | `Frame (f, next) ->
+              records := f :: !records;
+              loop next
+            | `Bad d_reason -> (
+              match resync (pos + 1) with
+              | Some next ->
+                damages := { d_offset = pos; d_end = next; d_reason } :: !damages;
+                loop next
+              | None ->
+                damages := { d_offset = pos; d_end = size; d_reason } :: !damages)
+        in
+        loop 0;
+        {
+          frames = List.rev !records;
+          scan_damage = List.rev !damages;
+          file_size = size;
+        })
+
+let tail_damage s =
+  match List.rev s.scan_damage with
+  | d :: _ when d.d_end = s.file_size -> Some d
+  | _ -> None
+
+let quarantined s =
+  match tail_damage s with
+  | None -> s.scan_damage
+  | Some t -> List.filter (fun d -> d.d_offset <> t.d_offset) s.scan_damage
 
 (* ------------------------------------------------------------------ *)
 (* Transaction-group resolution                                         *)
@@ -259,15 +287,27 @@ type groups = {
   g_tail_begin : int option;
 }
 
-let resolve_groups frames =
+let resolve_groups ?(damage = []) frames =
   (* Walks the intact frames in append order. A bare data frame (old
      journals, single-record appends) is committed on its own. A [Begin]
      opens a group; the group's records count only when a matching
      [Commit] (same txn, right count, right group CRC) closes it —
-     anything else drops the whole group, never a prefix of it. *)
+     anything else drops the whole group, never a prefix of it.
+
+     A quarantined [damage] region falling inside an open group is a
+     barrier: the group cannot be trusted across it. The records before
+     the barrier are dropped; the records after it are in limbo until
+     the next marker decides them — a [Commit] means the group ran past
+     the damage (a record was destroyed, so the whole group drops), a
+     [Begin] or the end of the file means the damage most plausibly ate
+     the commit marker, so the limbo records are independent appends
+     that must survive. *)
   let committed = ref [] and dropped = ref 0 in
   let tail_records = ref 0 and tail_begin = ref None in
   let add_committed fs = committed := List.rev_append fs !committed in
+  let barrier ~last_off f =
+    List.exists (fun d -> d.d_offset > last_off && d.d_end <= f.f_offset) damage
+  in
   let rec walk frames =
     match frames with
     | [] -> ()
@@ -279,30 +319,49 @@ let resolve_groups frames =
       | Commit _ ->
         (* a stray commit with no open group: ignore the marker *)
         walk rest
-      | Begin { txn } -> in_group ~txn ~begin_off:f.f_offset [] rest)
-  and in_group ~txn ~begin_off acc frames =
+      | Begin { txn } ->
+        in_group ~txn ~begin_off:f.f_offset ~last_off:f.f_offset [] rest)
+  and in_group ~txn ~begin_off ~last_off acc frames =
     match frames with
     | [] ->
       (* journal ends inside the group: uncommitted tail, truncatable *)
       dropped := !dropped + List.length acc;
       tail_records := List.length acc;
       tail_begin := Some begin_off
+    | f :: rest ->
+      if barrier ~last_off f then begin
+        dropped := !dropped + List.length acc;
+        limbo [] (f :: rest)
+      end
+      else (
+        match f.f_kind with
+        | Data -> in_group ~txn ~begin_off ~last_off:f.f_offset (f :: acc) rest
+        | Begin { txn = txn' } ->
+          (* nested begin: the open group never committed *)
+          dropped := !dropped + List.length acc;
+          in_group ~txn:txn' ~begin_off:f.f_offset ~last_off:f.f_offset [] rest
+        | Commit { txn = ctxn; count; crc } ->
+          let recs = List.rev acc in
+          let ok =
+            ctxn = txn
+            && count = List.length recs
+            && crc = group_crc (List.map (fun r -> r.f_payload) recs)
+          in
+          if ok then add_committed recs
+          else dropped := !dropped + List.length recs;
+          walk rest)
+  and limbo acc frames =
+    match frames with
+    | [] -> add_committed (List.rev acc)
     | f :: rest -> (
       match f.f_kind with
-      | Data -> in_group ~txn ~begin_off (f :: acc) rest
-      | Begin { txn = txn' } ->
-        (* nested begin: the open group never committed *)
+      | Data -> limbo (f :: acc) rest
+      | Begin { txn } ->
+        add_committed (List.rev acc);
+        in_group ~txn ~begin_off:f.f_offset ~last_off:f.f_offset [] rest
+      | Commit _ ->
+        (* the open group ran past the damage: a record is missing *)
         dropped := !dropped + List.length acc;
-        in_group ~txn:txn' ~begin_off:f.f_offset [] rest
-      | Commit { txn = ctxn; count; crc } ->
-        let recs = List.rev acc in
-        let ok =
-          ctxn = txn
-          && count = List.length recs
-          && crc = group_crc (List.map (fun r -> r.f_payload) recs)
-        in
-        if ok then add_committed recs
-        else dropped := !dropped + List.length recs;
         walk rest)
   in
   walk frames;
@@ -318,14 +377,17 @@ let read_all path =
      keeps the intact prefix, mirroring WAL semantics. Records of a
      group whose commit marker never made it are invisible. *)
   let* s = scan path in
-  Ok (List.map (fun f -> f.f_payload) (resolve_groups s.frames).g_committed)
+  Ok
+    (List.map
+       (fun f -> f.f_payload)
+       (resolve_groups ~damage:s.scan_damage s.frames).g_committed)
 
 let read_all_strict path =
   let* s = scan path in
   match s.scan_damage with
-  | None ->
+  | [] ->
     Ok (List.map (fun f -> f.f_payload) (resolve_groups s.frames).g_committed)
-  | Some d ->
+  | d :: _ ->
     fail
       (Corrupt
          (Printf.sprintf "journal %s: %s at offset %d" path d.d_reason

@@ -9,9 +9,12 @@
     mid-compaction is detected by epoch mismatch and skipped rather than
     replayed (see {!Store}).
 
-    Recovery reads frames until end of file; a torn or corrupt tail
-    (partial frame, bad magic, CRC mismatch) stops the scan at the last
-    intact record — the standard write-ahead-log contract.
+    Recovery reads frames until end of file. Damage (partial frame, bad
+    magic, CRC mismatch) does not stop the scan: the reader records the
+    damaged region, hunts forward for the next offset where a whole
+    valid frame parses (magic + CRC resync), and continues — corrupt
+    mid-file frames are {e quarantined}, not fatal. Damage that reaches
+    end of file is the classic torn tail, truncatable as before.
 
     {e Transaction groups.} {!append_group} brackets a batch of records
     between a begin marker and a commit marker (control frames under a
@@ -86,20 +89,34 @@ type frame = {
 }
 
 type damage = {
-  d_offset : int;  (** where the intact prefix ends *)
+  d_offset : int;  (** where the damaged region starts *)
+  d_end : int;
+      (** where scanning resynchronized (equals the file size when no
+          later frame boundary was found — a torn tail) *)
   d_reason : string;  (** e.g. ["truncated payload"], ["crc mismatch"] *)
 }
 
 type scan_result = {
-  frames : frame list;  (** intact prefix, in append order *)
-  scan_damage : damage option;  (** [None] when the whole file is intact *)
+  frames : frame list;  (** intact frames, in append order *)
+  scan_damage : damage list;
+      (** damaged regions, in file order; [[]] when the file is intact *)
   file_size : int;
 }
 
-val scan : string -> (scan_result, Seed_util.Seed_error.t) result
-(** Reads the longest intact prefix of frames of the journal at [path].
-    A missing file yields an empty, undamaged result. Only I/O failures
-    are errors — damage is data, reported in the result. *)
+val scan : ?io:Io.t -> string -> (scan_result, Seed_util.Seed_error.t) result
+(** Reads every intact frame of the journal at [path], skipping over
+    damaged regions by magic/CRC resynchronization. A missing file
+    yields an empty, undamaged result. Only I/O failures are errors —
+    damage is data, reported in the result. *)
+
+val tail_damage : scan_result -> damage option
+(** The damaged region reaching end of file, if any — a torn tail that
+    can be repaired by truncating at its [d_offset]. *)
+
+val quarantined : scan_result -> damage list
+(** Mid-file damaged regions (everything but the {!tail_damage}):
+    skipped during replay and left in place, pending {!Store.fsck}
+    [~repair] rewriting the journal. *)
 
 type groups = {
   g_committed : frame list;
@@ -116,8 +133,14 @@ type groups = {
           natural truncation point *)
 }
 
-val resolve_groups : frame list -> groups
-(** Resolves transaction groups over {!scan}'s intact prefix. *)
+val resolve_groups : ?damage:damage list -> frame list -> groups
+(** Resolves transaction groups over {!scan}'s intact frames. A
+    [damage] region falling inside an open group is a barrier: the
+    group's records before it are dropped, and the frames after it are
+    decided by the next marker — a [Commit] drops them too (the group
+    ran past the damage, so a record is missing), while a [Begin] or the
+    end of the journal replays them as independent appends (the damage
+    ate the commit marker, not a record). *)
 
 val read_all : string -> (string list, Seed_util.Seed_error.t) result
 (** Committed payloads of {!scan}'s intact prefix, epoch-agnostic.

@@ -3,11 +3,7 @@ open Seed_error
 
 let header_bytes = 16
 
-let wrap_io f =
-  try Ok (f ()) with
-  | Sys_error m -> fail (Io_error m)
-  | Unix.Unix_error (e, fn, arg) ->
-    fail (Io_error (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e)))
+let wrap_io = Seed_error.wrap_io
 
 let write ?(io = Io.real) path ~epoch payload =
   let tmp = path ^ ".tmp" in
@@ -33,23 +29,15 @@ let write ?(io = Io.real) path ~epoch payload =
     io.Io.fsync_dir (Filename.dirname path);
     Ok ()
   with
-  | Sys_error m ->
+  | (Sys_error _ | Unix.Unix_error _) as e ->
     quiet_unlink ();
-    fail (Io_error m)
-  | Unix.Unix_error (e, fn, arg) ->
-    quiet_unlink ();
-    fail (Io_error (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e)))
+    (* classify through the shared wrapper (transient vs permanent) *)
+    wrap_io (fun () -> raise e)
 
-let read path =
-  if not (Sys.file_exists path) then Ok None
+let read ?(io = Io.real) path =
+  if not (io.Io.exists path) then Ok None
   else
-    let* contents =
-      wrap_io (fun () ->
-          let ic = open_in_bin path in
-          Fun.protect
-            ~finally:(fun () -> close_in_noerr ic)
-            (fun () -> really_input_string ic (in_channel_length ic)))
-    in
+    let* contents = wrap_io (fun () -> io.Io.read_file path) in
     if String.length contents < header_bytes then
       fail (Corrupt ("snapshot " ^ path ^ ": too short"))
     else

@@ -15,7 +15,7 @@ val write :
 (** [write path ~epoch payload] atomically replaces [path]. *)
 
 val read :
-  string -> ((int * string) option, Seed_util.Seed_error.t) result
+  ?io:Io.t -> string -> ((int * string) option, Seed_util.Seed_error.t) result
 (** [read path] is [None] when no snapshot exists,
     [Some (epoch, payload)] when an intact one does, and [Corrupt]
-    otherwise. *)
+    otherwise. Reads go through [io] so read faults are injectable. *)

@@ -7,9 +7,13 @@ type t = {
   dir : string;
   io : Io.t;
   sync_policy : sync_policy;
+  retry : Retry.policy;
+  sleep : (float -> unit) option;
+  generations : int;
   mutable epoch : int;
   mutable journal : Journal.t option;
   mutable records : int;
+  mutable retried : int;
 }
 
 let snapshot_path dir = Filename.concat dir "snapshot.bin"
@@ -17,12 +21,16 @@ let fallback_path dir = Filename.concat dir "snapshot.bin.old"
 let tmp_path dir = Filename.concat dir "snapshot.bin.tmp"
 let quarantine_path dir = Filename.concat dir "snapshot.bin.corrupt"
 let journal_path dir = Filename.concat dir "journal.log"
+let generation_path dir k = Printf.sprintf "%s.%d" (snapshot_path dir) k
 
-let wrap_io f =
-  try Ok (f ()) with
-  | Sys_error m -> fail (Io_error m)
-  | Unix.Unix_error (e, fn, arg) ->
-    fail (Io_error (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e)))
+let default_generations = 2
+
+(* generation slots are probed, not configured, on the read side: a
+   store reopened with a smaller [generations] must still see (and fsck
+   must still clean) the slots an earlier configuration left behind *)
+let max_generation_probe = 9
+
+let wrap_io = Seed_error.wrap_io
 
 let ensure_dir dir =
   wrap_io (fun () ->
@@ -41,76 +49,134 @@ type recovery = {
   bytes_dropped : int;
   txn_dropped : int;
   torn_tail : string option;
+  quarantined : Journal.damage list;
+  ahead_dropped : int;
   stale_journal : bool;
   used_fallback : bool;
+  snapshot_generation : int option;
+  io_retries : int;
   epoch : int;
 }
 
 let recovery_clean r =
   r.bytes_dropped = 0 && r.txn_dropped = 0
   && (not r.stale_journal)
-  && not r.used_fallback
+  && (not r.used_fallback)
+  && r.quarantined = [] && r.ahead_dropped = 0
+  && r.snapshot_generation = None
 
 let pp_recovery ppf r =
   if recovery_clean r then
-    Fmt.pf ppf "clean (epoch %d, %d records replayed)" r.epoch
+    Fmt.pf ppf "clean (epoch %d, %d records replayed%s)" r.epoch
       r.records_replayed
+      (if r.io_retries > 0 then
+         Printf.sprintf ", %d transient i/o retr%s" r.io_retries
+           (if r.io_retries = 1 then "y" else "ies")
+       else "")
   else
-    Fmt.pf ppf "epoch %d, %d records replayed, %d bytes dropped%s%s%s%s"
+    Fmt.pf ppf "epoch %d, %d records replayed, %d bytes dropped%s%s%s%s%s%s%s"
       r.epoch r.records_replayed r.bytes_dropped
       (match r.torn_tail with
       | Some reason -> Printf.sprintf ", torn tail (%s)" reason
       | None -> "")
+      (match r.quarantined with
+      | [] -> ""
+      | ds ->
+        Printf.sprintf ", %d damaged region(s) quarantined (%d byte(s))"
+          (List.length ds)
+          (List.fold_left
+             (fun acc d -> acc + (d.Journal.d_end - d.Journal.d_offset))
+             0 ds))
       (if r.txn_dropped > 0 then
          Printf.sprintf ", %d uncommitted transaction record(s) discarded"
            r.txn_dropped
        else "")
+      (if r.ahead_dropped > 0 then
+         Printf.sprintf
+           ", %d record(s) ahead of the recovered snapshot discarded"
+           r.ahead_dropped
+       else "")
       (if r.stale_journal then ", stale journal skipped" else "")
-      (if r.used_fallback then ", recovered from snapshot fallback" else "")
+      (match (r.used_fallback, r.snapshot_generation) with
+      | _, Some g ->
+        Printf.sprintf ", recovered from snapshot generation %d" g
+      | true, None -> ", recovered from snapshot fallback"
+      | false, None -> "")
+      (if r.io_retries > 0 then
+         Printf.sprintf ", %d transient i/o retr%s" r.io_retries
+           (if r.io_retries = 1 then "y" else "ies")
+       else "")
 
-(* Loads the authoritative snapshot: [snapshot.bin] when readable, the
-   [snapshot.bin.old] compaction fallback when not. *)
-let load_snapshot dir =
-  let primary = Snapshot_file.read (snapshot_path dir) in
-  match primary with
-  | Ok (Some sp) -> Ok (Some sp, false)
-  | Ok None | Error (Corrupt _) -> (
-    match Snapshot_file.read (fallback_path dir) with
-    | Ok (Some sp) -> Ok (Some sp, true)
-    | fb -> (
-      (* no usable fallback: report the primary's problem, or — when
-         there is no primary at all — a damaged fallback, which would
-         otherwise silently hide data *)
-      match (primary, fb) with
-      | Error e, _ -> Error e
-      | Ok None, Error e -> Error e
-      | _ -> Ok (None, false)))
-  | Error e -> Error e
+type snapshot_source = Src_primary | Src_fallback | Src_generation of int
+
+(* Loads the newest readable snapshot, walking primary -> compaction
+   fallback -> generations 1..N. Transient read errors are retried per
+   [retry]; a Corrupt result is re-read once (the corruption may live in
+   the transport, not the medium) before falling back a generation. *)
+let load_snapshot ~io ~retry ~sleep ~count_retry dir =
+  let read_one path =
+    let corrupt_retried = ref false in
+    Retry.with_retry ~policy:retry ?sleep
+      ~should_retry:(function
+        | Io_transient _ -> true
+        | Corrupt _ when not !corrupt_retried ->
+          corrupt_retried := true;
+          true
+        | _ -> false)
+      ~on_retry:(fun ~attempt:_ _ -> count_retry ())
+      (fun () -> Snapshot_file.read ~io path)
+  in
+  let candidates =
+    (snapshot_path dir, Src_primary)
+    :: (fallback_path dir, Src_fallback)
+    :: List.init max_generation_probe (fun i ->
+           (generation_path dir (i + 1), Src_generation (i + 1)))
+  in
+  let primary_damaged = ref false in
+  let rec walk first_err = function
+    | [] -> (
+      (* nothing readable anywhere: absent store, or surface the first
+         damage rather than silently hiding data *)
+      match first_err with None -> Ok None | Some e -> Error e)
+    | (path, src) :: rest -> (
+      match read_one path with
+      | Ok (Some sp) -> Ok (Some (sp, src))
+      | Ok None -> walk first_err rest
+      | Error e ->
+        if src = Src_primary then primary_damaged := true;
+        walk (if first_err = None then Some e else first_err) rest)
+  in
+  let* found = walk None candidates in
+  match found with
+  | None -> Ok (None, Src_primary, false)
+  | Some (sp, src) -> Ok (Some sp, src, !primary_damaged)
 
 (* Sorts the scanned journal against the snapshot's epoch: which frames
-   to replay, how many bytes are dead (torn tail and/or stale frames),
-   and whether the file should be cut back on open. *)
-let classify ~snap_epoch ~path (s : Journal.scan_result) =
-  match
-    List.find_opt (fun f -> f.Journal.f_epoch > snap_epoch) s.Journal.frames
-  with
-  | Some f ->
+   to replay, how many bytes are dead (torn tail, stale or ahead frames),
+   and whether the file should be cut back on open. [allow_ahead] is set
+   when recovery fell back to an older snapshot: frames of a newer epoch
+   are then unreplayable leftovers to drop (and report), not corruption. *)
+let classify ~snap_epoch ~allow_ahead ~path (s : Journal.scan_result) =
+  let ahead, rest =
+    List.partition (fun f -> f.Journal.f_epoch > snap_epoch) s.Journal.frames
+  in
+  match ahead with
+  | f :: _ when not allow_ahead ->
     fail
       (Corrupt
          (Printf.sprintf
             "journal %s: frame at offset %d has epoch %d ahead of snapshot \
              epoch %d — the snapshot it depends on is missing (run fsck)"
             path f.Journal.f_offset f.Journal.f_epoch snap_epoch))
-  | None ->
+  | _ ->
     let live, stale =
-      List.partition
-        (fun f -> f.Journal.f_epoch = snap_epoch)
-        s.Journal.frames
+      List.partition (fun f -> f.Journal.f_epoch = snap_epoch) rest
     in
-    let groups = Journal.resolve_groups live in
+    let quarantined = Journal.quarantined s in
+    let groups = Journal.resolve_groups ~damage:quarantined live in
     let committed = groups.Journal.g_committed in
     let prefix_end =
-      match s.Journal.scan_damage with
+      match Journal.tail_damage s with
       | Some d -> d.Journal.d_offset
       | None -> s.Journal.file_size
     in
@@ -122,13 +188,21 @@ let classify ~snap_epoch ~path (s : Journal.scan_result) =
       | None -> prefix_end
     in
     let dead_tail_bytes = s.Journal.file_size - keep_end in
-    let stale_bytes =
+    let frame_bytes fs =
       List.fold_left
         (fun acc f -> acc + 16 + String.length f.Journal.f_payload)
-        0 stale
+        0 fs
+    in
+    let stale_bytes = frame_bytes stale in
+    let ahead_data =
+      List.length
+        (List.filter (fun f -> f.Journal.f_kind = Journal.Data) ahead)
     in
     let truncate_to =
-      if committed = [] && (stale <> [] || dead_tail_bytes > 0) then Some 0
+      if
+        committed = [] && quarantined = [] && ahead = []
+        && (stale <> [] || dead_tail_bytes > 0)
+      then Some 0
       else if dead_tail_bytes > 0 then Some keep_end
       else None
     in
@@ -136,54 +210,119 @@ let classify ~snap_epoch ~path (s : Journal.scan_result) =
       ( committed,
         {
           records_replayed = List.length committed;
-          bytes_dropped = dead_tail_bytes + stale_bytes;
+          bytes_dropped = dead_tail_bytes + stale_bytes + frame_bytes ahead;
           txn_dropped = groups.Journal.g_dropped_records;
           torn_tail =
-            Option.map (fun d -> d.Journal.d_reason) s.Journal.scan_damage;
+            Option.map
+              (fun d -> d.Journal.d_reason)
+              (Journal.tail_damage s);
+          quarantined;
+          ahead_dropped = ahead_data;
           stale_journal = stale <> [];
           used_fallback = false;
+          snapshot_generation = None;
+          io_retries = 0;
           epoch = snap_epoch;
         },
         truncate_to )
 
-let open_dir ?(io = Io.real) ?(sync = `Flush_only) dir =
-  let* () = ensure_dir dir in
-  let* snap, used_fallback = load_snapshot dir in
+(* Rewrites the journal to contain exactly [frames], under [epoch]. Used
+   to drop a stale prefix, quarantined regions, or epoch-ahead leftovers
+   while keeping the committed records. *)
+let rewrite_journal ~io path ~epoch frames =
+  let* () = Journal.truncate ~io path in
+  let* j = Journal.open_ ~io ~sync:`Flush_only ~epoch path in
   let* () =
-    (* normalize: promote the fallback so [snapshot.bin] is again the
-       authoritative copy (rename is atomic — a crash here is safe) *)
-    if used_fallback then
+    iter_result (fun f -> Journal.append j f.Journal.f_payload) frames
+  in
+  let* () = Journal.sync j in
+  Journal.close j;
+  Ok ()
+
+let open_dir ?(io = Io.real) ?(sync = `Flush_only)
+    ?(generations = default_generations) ?(retry = Retry.default_policy)
+    ?sleep dir =
+  let retried = ref 0 in
+  let count_retry () = incr retried in
+  let* () = ensure_dir dir in
+  let* snap, source, primary_damaged =
+    load_snapshot ~io ~retry ~sleep ~count_retry dir
+  in
+  let* () =
+    (* set a damaged primary aside before promoting anything over it *)
+    if primary_damaged && snap <> None then
       wrap_io (fun () ->
-          io.Io.rename (fallback_path dir) (snapshot_path dir);
-          io.Io.fsync_dir dir)
+          io.Io.rename (snapshot_path dir) (quarantine_path dir))
     else Ok ()
   in
   let* () =
+    (* normalize: promote the recovered copy so [snapshot.bin] is again
+       the authoritative one (rename is atomic — a crash here is safe) *)
+    match source with
+    | Src_primary -> Ok ()
+    | Src_fallback ->
+      wrap_io (fun () ->
+          io.Io.rename (fallback_path dir) (snapshot_path dir);
+          io.Io.fsync_dir dir)
+    | Src_generation k ->
+      wrap_io (fun () ->
+          io.Io.rename (generation_path dir k) (snapshot_path dir);
+          io.Io.fsync_dir dir)
+  in
+  let* () =
     (* sweep compaction leftovers: an interrupted snapshot write leaves
-       [snapshot.bin.tmp], an interrupted cleanup a now-redundant
-       [snapshot.bin.old] — neither holds anything that is not already
-       in the authoritative snapshot or the journal *)
+       [snapshot.bin.tmp]; an interrupted cleanup leaves
+       [snapshot.bin.old], which becomes generation 1 (it is the
+       previous epoch's snapshot — exactly what the slot holds) *)
     wrap_io (fun () ->
-        let swept = ref false in
-        List.iter
-          (fun p ->
-            if io.Io.exists p then begin
-              io.Io.unlink p;
-              swept := true
-            end)
-          [ tmp_path dir; fallback_path dir ];
-        if !swept then io.Io.fsync_dir dir)
+        let dirty = ref false in
+        if io.Io.exists (tmp_path dir) then begin
+          io.Io.unlink (tmp_path dir);
+          dirty := true
+        end;
+        if io.Io.exists (fallback_path dir) then begin
+          if generations > 0 && not (io.Io.exists (generation_path dir 1))
+          then io.Io.rename (fallback_path dir) (generation_path dir 1)
+          else io.Io.unlink (fallback_path dir);
+          dirty := true
+        end;
+        if !dirty then io.Io.fsync_dir dir)
   in
   let snap_epoch = match snap with Some (e, _) -> e | None -> 0 in
   let jpath = journal_path dir in
-  let* scanned = Journal.scan jpath in
-  let* live, report, truncate_to = classify ~snap_epoch ~path:jpath scanned in
+  let scan_with_retry () =
+    Retry.with_retry ~policy:retry ?sleep
+      ~on_retry:(fun ~attempt:_ _ -> count_retry ())
+      (fun () -> Journal.scan ~io jpath)
+  in
+  let* scanned = scan_with_retry () in
+  let* scanned =
+    (* read-repair double check: damage may live in the read path (a
+       flipped bit on the wire, a short read), not on the medium — only
+       damage that survives a second read is trusted, so a transient
+       fault never truncates or quarantines committed records *)
+    if scanned.Journal.scan_damage = [] then Ok scanned
+    else begin
+      count_retry ();
+      scan_with_retry ()
+    end
+  in
+  let* live, report, truncate_to =
+    classify ~snap_epoch ~allow_ahead:(source <> Src_primary) ~path:jpath
+      scanned
+  in
   let* () =
-    (* cut damage back so it does not persist into the next session *)
-    match truncate_to with
-    | Some len when scanned.Journal.file_size > len ->
-      Journal.truncate ~io ~len jpath
-    | _ -> Ok ()
+    if report.ahead_dropped > 0 then
+      (* epoch-ahead leftovers must not linger: a future compaction
+         would reuse their epoch and mistake them for live records *)
+      rewrite_journal ~io jpath ~epoch:snap_epoch live
+    else
+      (* cut tail damage back so it does not persist into the next
+         session; quarantined mid-file regions stay (fsck rewrites) *)
+      match truncate_to with
+      | Some len when scanned.Journal.file_size > len ->
+        Journal.truncate ~io ~len jpath
+      | _ -> Ok ()
   in
   let* journal = Journal.open_ ~io ~sync ~epoch:snap_epoch jpath in
   Ok
@@ -191,34 +330,70 @@ let open_dir ?(io = Io.real) ?(sync = `Flush_only) dir =
         dir;
         io;
         sync_policy = sync;
+        retry;
+        sleep;
+        generations;
         epoch = snap_epoch;
         journal = Some journal;
         records = List.length live;
+        retried = !retried;
       },
       Option.map snd snap,
       List.map (fun f -> f.Journal.f_payload) live,
-      { report with used_fallback } )
+      {
+        report with
+        used_fallback = source <> Src_primary;
+        snapshot_generation =
+          (match source with Src_generation k -> Some k | _ -> None);
+        io_retries = !retried;
+      } )
 
 let journal_of t =
   match t.journal with
   | Some j -> Ok j
   | None -> fail (Io_error ("store closed: " ^ t.dir))
 
+(* Transient write errors are retried here. Re-appending a frame whose
+   first attempt half-landed is safe: the scanner quarantines the torn
+   bytes and resynchronizes on the retried frame's header. *)
+let with_retry t f =
+  Retry.with_retry ~policy:t.retry ?sleep:t.sleep
+    ~on_retry:(fun ~attempt:_ _ -> t.retried <- t.retried + 1)
+    f
+
 let append t payload =
   let* j = journal_of t in
-  let* () = Journal.append j payload in
+  let* () = with_retry t (fun () -> Journal.append j payload) in
   t.records <- t.records + 1;
   Ok ()
 
 let append_group t payloads =
   let* j = journal_of t in
-  let* () = Journal.append_group j payloads in
+  let* () = with_retry t (fun () -> Journal.append_group j payloads) in
   t.records <- t.records + List.length payloads;
   Ok ()
 
 let sync t =
   let* j = journal_of t in
-  Journal.sync j
+  with_retry t (fun () -> Journal.sync j)
+
+let retries t = t.retried
+
+(* Shifts snapshot generations up one slot (dropping the oldest) to free
+   [snapshot.bin.1] for the snapshot being replaced. Every operation is
+   existence-guarded, so a store without generations pays nothing. *)
+let rotate_generations t =
+  wrap_io (fun () ->
+      let io = t.io in
+      if t.generations > 0 then begin
+        let last = generation_path t.dir t.generations in
+        if io.Io.exists last then io.Io.unlink last;
+        for k = t.generations - 1 downto 1 do
+          let src = generation_path t.dir k in
+          if io.Io.exists src then
+            io.Io.rename src (generation_path t.dir (k + 1))
+        done
+      end)
 
 let compact t ~snapshot =
   let* j = journal_of t in
@@ -232,35 +407,57 @@ let compact t ~snapshot =
     t.journal <- Some j;
     Ok ()
   in
-  (* step 1: set the previous snapshot aside as the fallback *)
-  match wrap_io (fun () -> if io.Io.exists snap then io.Io.rename snap old) with
+  (* step 0: make room in generation slot 1 for the snapshot being
+     replaced (the previous generations shift up, the oldest drops) *)
+  match rotate_generations t with
   | Error e ->
     let* () = reopen_journal ~epoch:t.epoch in
     Error e
   | Ok () -> (
-    (* step 2: write the new snapshot under the next epoch (tmp file,
-       fsync, rename, directory fsync — all inside Snapshot_file) *)
-    match Snapshot_file.write ~io snap ~epoch:next snapshot with
+    (* step 1: set the previous snapshot aside as the fallback *)
+    match
+      wrap_io (fun () -> if io.Io.exists snap then io.Io.rename snap old)
+    with
     | Error e ->
-      (* the new snapshot never landed: put the old one back *)
-      (try
-         if io.Io.exists old && not (io.Io.exists snap) then
-           io.Io.rename old snap
-       with Sys_error _ | Unix.Unix_error _ -> ());
       let* () = reopen_journal ~epoch:t.epoch in
       Error e
-    | Ok () ->
-      (* the new snapshot is durable: the store is at [next] from here
-         on, even if the housekeeping below fails — recovery skips the
-         now-stale journal by epoch mismatch *)
-      t.epoch <- next;
-      let housekeeping =
-        let* () = Journal.truncate ~io (journal_path t.dir) in
-        wrap_io (fun () -> if io.Io.exists old then io.Io.unlink old)
-      in
-      let* () = reopen_journal ~epoch:next in
-      t.records <- 0;
-      housekeeping)
+    | Ok () -> (
+      (* step 2: write the new snapshot under the next epoch (tmp file,
+         fsync, rename, directory fsync — all inside Snapshot_file) *)
+      match
+        with_retry t (fun () ->
+            Snapshot_file.write ~io snap ~epoch:next snapshot)
+      with
+      | Error e ->
+        (* the new snapshot never landed: put the old one back *)
+        (try
+           if io.Io.exists old && not (io.Io.exists snap) then
+             io.Io.rename old snap
+         with Sys_error _ | Unix.Unix_error _ -> ());
+        let* () = reopen_journal ~epoch:t.epoch in
+        Error e
+      | Ok () ->
+        (* the new snapshot is durable: the store is at [next] from here
+           on, even if the housekeeping below fails — recovery skips the
+           now-stale journal by epoch mismatch *)
+        t.epoch <- next;
+        let housekeeping =
+          let* () = Journal.truncate ~io (journal_path t.dir) in
+          wrap_io (fun () ->
+              if io.Io.exists old then
+                if
+                  t.generations > 0
+                  && not (io.Io.exists (generation_path t.dir 1))
+                then begin
+                  (* the replaced snapshot becomes generation 1 *)
+                  io.Io.rename old (generation_path t.dir 1);
+                  io.Io.fsync_dir t.dir
+                end
+                else io.Io.unlink old)
+        in
+        let* () = reopen_journal ~epoch:next in
+        t.records <- 0;
+        housekeeping))
 
 let journal_size t = t.records
 let epoch (t : t) = t.epoch
@@ -286,11 +483,14 @@ type file_status =
 type fsck_report = {
   fsck_snapshot : file_status;
   fsck_fallback : file_status;
+  fsck_generations : (int * file_status) list;
   fsck_tmp_leftover : bool;
   fsck_journal_frames : int;
   fsck_journal_epoch : int option;
   fsck_torn_bytes : int;
   fsck_torn_reason : string option;
+  fsck_quarantined_regions : int;
+  fsck_quarantined_bytes : int;
   fsck_stale_journal : bool;
   fsck_dangling_txn_records : int;
   fsck_dangling_txn_tail : bool;
@@ -298,51 +498,82 @@ type fsck_report = {
   fsck_repairs : string list;
 }
 
-let status_of_snapshot path =
-  match Snapshot_file.read path with
+let status_of_snapshot ?io path =
+  match Snapshot_file.read ?io path with
   | Ok None -> Ok Absent
   | Ok (Some (epoch, payload)) ->
     Ok (Intact { epoch; bytes = String.length payload })
   | Error (Corrupt m) -> Ok (Damaged m)
   | Error e -> Error e
 
-let analyze dir =
+(* The generation slots on disk, present ones only (slots can be sparse
+   after an interrupted rotation). *)
+let generation_statuses ?io dir =
+  let exists =
+    match io with Some i -> i.Io.exists | None -> Sys.file_exists
+  in
+  let rec go k acc =
+    if k > max_generation_probe then Ok (List.rev acc)
+    else
+      let p = generation_path dir k in
+      if not (exists p) then go (k + 1) acc
+      else
+        let* st = status_of_snapshot ?io p in
+        go (k + 1) ((k, st) :: acc)
+  in
+  go 1 []
+
+let analyze ?io dir =
   let* () = ensure_dir dir in
-  let* snapshot = status_of_snapshot (snapshot_path dir) in
-  let* fallback = status_of_snapshot (fallback_path dir) in
+  let* snapshot = status_of_snapshot ?io (snapshot_path dir) in
+  let* fallback = status_of_snapshot ?io (fallback_path dir) in
+  let* gens = generation_statuses ?io dir in
   let tmp = Sys.file_exists (tmp_path dir) in
-  let* scanned = Journal.scan (journal_path dir) in
+  let* scanned = Journal.scan ?io (journal_path dir) in
   let frames = scanned.Journal.frames in
   let snap_epoch =
     match (snapshot, fallback) with
     | Intact { epoch; _ }, _ -> Some epoch
     | _, Intact { epoch; _ } -> Some epoch
-    | _ -> None
+    | _ -> (
+      match
+        List.find_opt (fun (_, st) -> match st with Intact _ -> true | _ -> false) gens
+      with
+      | Some (_, Intact { epoch; _ }) -> Some epoch
+      | _ -> None)
   in
   let reference = Option.value snap_epoch ~default:0 in
   let live = List.filter (fun f -> f.Journal.f_epoch = reference) frames in
   let stale = List.exists (fun f -> f.Journal.f_epoch < reference) frames in
   let ahead = List.exists (fun f -> f.Journal.f_epoch > reference) frames in
-  let groups = Journal.resolve_groups live in
+  let quarantined = Journal.quarantined scanned in
+  let groups = Journal.resolve_groups ~damage:quarantined live in
   let prefix_end =
-    match scanned.Journal.scan_damage with
+    match Journal.tail_damage scanned with
     | Some d -> d.Journal.d_offset
     | None -> scanned.Journal.file_size
   in
   let torn_bytes = scanned.Journal.file_size - prefix_end in
+  let gens_healthy =
+    List.for_all
+      (fun (_, st) -> match st with Intact _ -> true | _ -> false)
+      gens
+  in
   let healthy =
     (match snapshot with
     | Intact _ -> true
     | Absent -> frames = [] || reference = 0
     | Damaged _ -> false)
     && (match fallback with Absent -> true | _ -> false)
-    && (not tmp) && torn_bytes = 0 && (not stale) && (not ahead)
+    && gens_healthy && (not tmp) && torn_bytes = 0 && quarantined = []
+    && (not stale) && (not ahead)
     && groups.Journal.g_dropped_records = 0
   in
   Ok
     {
       fsck_snapshot = snapshot;
       fsck_fallback = fallback;
+      fsck_generations = gens;
       fsck_tmp_leftover = tmp;
       fsck_journal_frames = List.length groups.Journal.g_committed;
       fsck_journal_epoch =
@@ -351,25 +582,18 @@ let analyze dir =
       fsck_torn_reason =
         Option.map
           (fun d -> d.Journal.d_reason)
-          scanned.Journal.scan_damage;
+          (Journal.tail_damage scanned);
+      fsck_quarantined_regions = List.length quarantined;
+      fsck_quarantined_bytes =
+        List.fold_left
+          (fun acc d -> acc + (d.Journal.d_end - d.Journal.d_offset))
+          0 quarantined;
       fsck_stale_journal = stale;
       fsck_dangling_txn_records = groups.Journal.g_dropped_records;
       fsck_dangling_txn_tail = groups.Journal.g_tail_begin <> None;
       fsck_healthy = healthy;
       fsck_repairs = [];
     }
-
-(* Rewrites the journal to contain exactly [frames], under [epoch]. Used
-   by repair to drop a stale prefix while keeping the live tail. *)
-let rewrite_journal ~io path ~epoch frames =
-  let* () = Journal.truncate ~io path in
-  let* j = Journal.open_ ~io ~sync:`Flush_only ~epoch path in
-  let* () =
-    iter_result (fun f -> Journal.append j f.Journal.f_payload) frames
-  in
-  let* () = Journal.sync j in
-  Journal.close j;
-  Ok ()
 
 let repair_actions ~io dir report =
   let actions = ref [] in
@@ -382,6 +606,11 @@ let repair_actions ~io dir report =
     else Ok ()
   in
   (* resolve the snapshot first; journal repairs depend on its epoch *)
+  let newest_intact_generation =
+    List.find_opt
+      (fun (_, st) -> match st with Intact _ -> true | _ -> false)
+      report.fsck_generations
+  in
   let* () =
     match (report.fsck_snapshot, report.fsck_fallback) with
     | (Absent | Damaged _), Intact _ ->
@@ -394,6 +623,19 @@ let repair_actions ~io dir report =
           io.Io.rename (fallback_path dir) (snapshot_path dir);
           io.Io.fsync_dir dir;
           act "promoted snapshot.bin.old to snapshot.bin")
+    | (Absent | Damaged _), (Absent | Damaged _)
+      when newest_intact_generation <> None ->
+      (* no primary or fallback to stand on: fall back a generation *)
+      let k, _ = Option.get newest_intact_generation in
+      wrap_io (fun () ->
+          (match report.fsck_snapshot with
+          | Damaged _ ->
+            io.Io.rename (snapshot_path dir) (quarantine_path dir);
+            act "quarantined unreadable snapshot.bin as snapshot.bin.corrupt"
+          | _ -> ());
+          io.Io.rename (generation_path dir k) (snapshot_path dir);
+          io.Io.fsync_dir dir;
+          act "promoted snapshot generation %d to snapshot.bin" k)
     | Damaged _, _ ->
       wrap_io (fun () ->
           io.Io.rename (snapshot_path dir) (quarantine_path dir);
@@ -411,35 +653,57 @@ let repair_actions ~io dir report =
           act "removed leftover snapshot.bin.old")
     else Ok ()
   in
+  let* () =
+    (* a damaged generation can never be recovered from: drop it *)
+    iter_result
+      (fun (k, st) ->
+        match st with
+        | Damaged _ when Sys.file_exists (generation_path dir k) ->
+          wrap_io (fun () ->
+              io.Io.unlink (generation_path dir k);
+              act "removed damaged snapshot generation %d" k)
+        | _ -> Ok ())
+      report.fsck_generations
+  in
   (* re-read the (possibly repaired) snapshot, then fix the journal *)
-  let* snapshot = status_of_snapshot (snapshot_path dir) in
+  let* snapshot = status_of_snapshot ~io (snapshot_path dir) in
   let reference =
     match snapshot with Intact { epoch; _ } -> epoch | _ -> 0
   in
   let jpath = journal_path dir in
-  let* scanned = Journal.scan jpath in
+  let* scanned = Journal.scan ~io jpath in
   let frames = scanned.Journal.frames in
   let live = List.filter (fun f -> f.Journal.f_epoch = reference) frames in
-  let groups = Journal.resolve_groups live in
+  let quarantined = Journal.quarantined scanned in
+  let groups = Journal.resolve_groups ~damage:quarantined live in
   let committed = groups.Journal.g_committed in
   let mid_dropped =
     groups.Journal.g_dropped_records - groups.Journal.g_tail_records
   in
   let prefix_end =
-    match scanned.Journal.scan_damage with
+    match Journal.tail_damage scanned with
     | Some d -> d.Journal.d_offset
     | None -> scanned.Journal.file_size
   in
   let torn_bytes = scanned.Journal.file_size - prefix_end in
   let* () =
-    if List.length live <> List.length frames || mid_dropped > 0 then begin
-      (* stale frames, frames with no snapshot to stand on, or dropped
-         groups buried mid-journal — rewrite with exactly the committed
+    if
+      List.length live <> List.length frames
+      || mid_dropped > 0 || quarantined <> []
+    then begin
+      (* stale or epoch-ahead frames, dropped groups buried mid-journal,
+         or quarantined damage — rewrite with exactly the committed
          records the current snapshot can base *)
       let* () = rewrite_journal ~io jpath ~epoch:reference committed in
       let other_epochs = List.length frames - List.length live in
       if other_epochs > 0 then
         act "dropped %d journal frame(s) from other epochs" other_epochs;
+      if quarantined <> [] then
+        act "excised %d quarantined damaged region(s) (%d byte(s))"
+          (List.length quarantined)
+          (List.fold_left
+             (fun acc d -> acc + (d.Journal.d_end - d.Journal.d_offset))
+             0 quarantined);
       if groups.Journal.g_dropped_records > 0 then
         act "dropped %d uncommitted transaction record(s)"
           groups.Journal.g_dropped_records;
@@ -468,11 +732,11 @@ let repair_actions ~io dir report =
   Ok (List.rev !actions)
 
 let fsck ?(io = Io.real) ?(repair = false) dir =
-  let* report = analyze dir in
+  let* report = analyze ~io dir in
   if (not repair) || report.fsck_healthy then Ok report
   else
     let* actions = repair_actions ~io dir report in
-    let* after = analyze dir in
+    let* after = analyze ~io dir in
     Ok { after with fsck_repairs = actions }
 
 let pp_file_status ppf = function
@@ -485,6 +749,10 @@ let pp_fsck_report ppf r =
   (match r.fsck_fallback with
   | Absent -> ()
   | s -> Fmt.pf ppf "snapshot.bin.old:  %a (leftover fallback)@." pp_file_status s);
+  List.iter
+    (fun (k, st) ->
+      Fmt.pf ppf "snapshot.bin.%d:    %a (generation)@." k pp_file_status st)
+    r.fsck_generations;
   if r.fsck_tmp_leftover then
     Fmt.pf ppf "snapshot.bin.tmp:  present (leftover of an interrupted write)@.";
   Fmt.pf ppf "journal.log:       %d live record(s)%s@." r.fsck_journal_frames
@@ -494,6 +762,11 @@ let pp_fsck_report ppf r =
   if r.fsck_stale_journal then
     Fmt.pf ppf "stale journal:     records predating the snapshot's epoch \
                 (skipped on open)@.";
+  if r.fsck_quarantined_regions > 0 then
+    Fmt.pf ppf
+      "quarantined:       %d damaged region(s), %d byte(s) (skipped on open, \
+       excised by --repair)@."
+      r.fsck_quarantined_regions r.fsck_quarantined_bytes;
   if r.fsck_torn_bytes > 0 then
     Fmt.pf ppf "torn tail:         %d byte(s) — %s@." r.fsck_torn_bytes
       (Option.value r.fsck_torn_reason ~default:"damaged");

@@ -1,14 +1,15 @@
 (** Snapshot + journal composition: the persistence engine.
 
     A store lives in a directory holding [snapshot.bin] and
-    [journal.log] (plus, transiently, [snapshot.bin.tmp] while a new
-    snapshot is being written and [snapshot.bin.old] while the previous
-    one is still the fallback). The client supplies a pure fold over its
-    own state: opening a store loads the snapshot (if any) and replays
-    the journal records appended since; {!append} adds a record;
-    {!compact} writes a fresh snapshot and truncates the journal. All
-    payloads are opaque strings — {!Seed_core.Persist} owns the
-    encoding.
+    [journal.log], plus [snapshot.bin.1..N] — older snapshot
+    {e generations} kept for fallback — and, transiently,
+    [snapshot.bin.tmp] while a new snapshot is being written and
+    [snapshot.bin.old] while the previous one is still mid-promotion.
+    The client supplies a pure fold over its own state: opening a store
+    loads the snapshot (if any) and replays the journal records appended
+    since; {!append} adds a record; {!compact} writes a fresh snapshot
+    and truncates the journal. All payloads are opaque strings —
+    {!Seed_core.Persist} owns the encoding.
 
     {b Crash consistency.} Every compaction bumps a monotonically
     increasing {e epoch}, stamped on the snapshot header and on every
@@ -18,12 +19,22 @@
     instead of replayed — correctness no longer rests on replay being
     idempotent. Compaction keeps the previous snapshot as
     [snapshot.bin.old] until the new snapshot and the truncated journal
-    are both durable (including directory fsyncs), so a crash at any
-    point leaves at least one intact snapshot/journal pair. A torn
-    journal tail is truncated on open so damage does not persist, and
-    leftover compaction artifacts ([snapshot.bin.tmp], a redundant
-    [snapshot.bin.old]) are swept. The {!recovery} report says what
-    open found and did. *)
+    are both durable (including directory fsyncs), then retires it into
+    generation slot 1 (older generations shift up, the oldest drops), so
+    a crash at any point leaves at least one intact snapshot/journal
+    pair — and media corruption of the newest snapshot still leaves the
+    generations to fall back on.
+
+    {b Self-healing recovery.} Transient I/O errors (EINTR class) are
+    retried with bounded backoff ({!Seed_util.Retry}); journal damage
+    found on open is re-read once before being trusted, so a flipped bit
+    or short read on the wire never costs committed data. Real damage is
+    handled by severity: a torn tail is truncated, a corrupt mid-file
+    region is {e quarantined} — skipped by magic/CRC resynchronization,
+    left in place for [fsck --repair] to excise — and an unreadable
+    snapshot falls back generation by generation (the damaged primary is
+    set aside as [snapshot.bin.corrupt]). The {!recovery} report says
+    what open found and did. *)
 
 type t
 
@@ -34,38 +45,60 @@ type recovery = {
   records_replayed : int;  (** journal records handed back to the client *)
   bytes_dropped : int;
       (** journal bytes discarded: a torn tail, an uncommitted
-          transaction group, and/or a stale journal *)
+          transaction group, a stale journal and/or epoch-ahead
+          leftovers *)
   txn_dropped : int;
       (** records discarded because their transaction group never
           committed — the all-or-nothing contract of
           {!Journal.append_group} *)
   torn_tail : string option;
       (** why the journal's tail was cut, when it was *)
+  quarantined : Journal.damage list;
+      (** corrupt mid-journal regions skipped by resynchronization and
+          left in place (fsck [--repair] excises them) *)
+  ahead_dropped : int;
+      (** records stamped with an epoch newer than the recovered
+          snapshot — appended after a snapshot that was later lost —
+          and therefore unreplayable *)
   stale_journal : bool;
       (** a whole journal predating the snapshot's epoch was skipped *)
   used_fallback : bool;
-      (** the state came from [snapshot.bin.old] because [snapshot.bin]
-          was missing or unreadable *)
+      (** the state did not come from [snapshot.bin] *)
+  snapshot_generation : int option;
+      (** which generation slot recovery fell back to, when it had to go
+          past the [snapshot.bin.old] fallback *)
+  io_retries : int;
+      (** transient I/O errors absorbed by retry during open *)
   epoch : int;  (** the store's compaction epoch after open *)
 }
 
 val recovery_clean : recovery -> bool
-(** No bytes dropped, no stale journal, no fallback used. *)
+(** No bytes dropped or quarantined, no stale journal, no fallback used.
+    Absorbed transient retries do not make a recovery unclean. *)
 
 val pp_recovery : Format.formatter -> recovery -> unit
 
 val open_dir :
-  ?io:Io.t -> ?sync:sync_policy -> string ->
+  ?io:Io.t ->
+  ?sync:sync_policy ->
+  ?generations:int ->
+  ?retry:Seed_util.Retry.policy ->
+  ?sleep:(float -> unit) ->
+  string ->
   (t * string option * string list * recovery, Seed_util.Seed_error.t)
   result
 (** [open_dir dir] creates [dir] if needed and returns
     [(store, snapshot_payload, journal_records, recovery)] — everything
     needed to rebuild the client state, plus what recovery had to do to
-    get there. [sync] (default [`Flush_only]) governs {!append}. *)
+    get there. [sync] (default [`Flush_only]) governs {!append};
+    [generations] (default 2) how many old snapshots {!compact} keeps;
+    [retry]/[sleep] the transient-fault retry policy and its clock. *)
 
 val append : t -> string -> (unit, Seed_util.Seed_error.t) result
 (** Appends a journal record with the store's {!sync_policy}. A bare
-    record is its own committed transaction. *)
+    record is its own committed transaction. Transient I/O errors are
+    retried; a half-written first attempt is quarantined by the scanner
+    and resynchronized over on recovery, so the retry cannot corrupt. *)
 
 val append_group : t -> string list -> (unit, Seed_util.Seed_error.t) result
 (** Appends the records as one atomic transaction group: recovery
@@ -77,16 +110,22 @@ val sync : t -> (unit, Seed_util.Seed_error.t) result
 
 val compact : t -> snapshot:string -> (unit, Seed_util.Seed_error.t) result
 (** Atomically replaces the snapshot with [snapshot] (under the next
-    epoch) and truncates the journal. On failure the store is left on
-    its pre-compaction state and stays usable; a crash anywhere inside
-    is recovered by {!open_dir} via the epoch check and the
-    [snapshot.bin.old] fallback. *)
+    epoch), retires the previous snapshot into generation slot 1
+    (shifting older generations up and dropping the oldest), and
+    truncates the journal. On failure the store is left on its
+    pre-compaction state and stays usable; a crash anywhere inside is
+    recovered by {!open_dir} via the epoch check and the fallback
+    chain. *)
 
 val journal_size : t -> int
 (** Records appended since the last compaction (this process's view). *)
 
 val epoch : t -> int
 (** The store's current compaction epoch. *)
+
+val retries : t -> int
+(** Transient I/O errors absorbed by retry over the store's lifetime
+    (including the ones during open). *)
 
 val close : t -> unit
 
@@ -102,11 +141,17 @@ type file_status =
 type fsck_report = {
   fsck_snapshot : file_status;
   fsck_fallback : file_status;  (** [snapshot.bin.old] *)
+  fsck_generations : (int * file_status) list;
+      (** generation slots present on disk ([snapshot.bin.k]) *)
   fsck_tmp_leftover : bool;  (** [snapshot.bin.tmp] exists *)
   fsck_journal_frames : int;  (** intact frames of the current epoch *)
   fsck_journal_epoch : int option;  (** epoch of the journal's frames *)
-  fsck_torn_bytes : int;  (** bytes after the last intact frame *)
+  fsck_torn_bytes : int;  (** bytes of damage reaching end of file *)
   fsck_torn_reason : string option;
+  fsck_quarantined_regions : int;
+      (** corrupt mid-journal regions (skipped on open, excised by
+          [--repair]) *)
+  fsck_quarantined_bytes : int;
   fsck_stale_journal : bool;  (** journal epoch predates the snapshot *)
   fsck_dangling_txn_records : int;
       (** records of transaction groups that never committed — invisible
@@ -123,10 +168,11 @@ val fsck :
   (fsck_report, Seed_util.Seed_error.t) result
 (** Reports the health of the store at [dir] without opening it for
     appending. With [repair]: truncates a torn tail, a stale journal or
-    a dangling (uncommitted) transaction group,
-    removes a leftover temporary file, promotes [snapshot.bin.old] when
-    [snapshot.bin] is missing or unreadable, quarantines an unreadable
-    snapshot with no usable fallback (as [snapshot.bin.corrupt]), and
-    drops a redundant fallback — after which {!open_dir} succeeds. *)
+    a dangling (uncommitted) transaction group, rewrites the journal to
+    excise quarantined mid-file damage, removes leftover temporaries and
+    damaged generations, promotes [snapshot.bin.old] — or, failing that,
+    the newest intact generation — when [snapshot.bin] is missing or
+    unreadable, and quarantines an unreadable snapshot (as
+    [snapshot.bin.corrupt]) — after which {!open_dir} succeeds. *)
 
 val pp_fsck_report : Format.formatter -> fsck_report -> unit

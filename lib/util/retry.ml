@@ -1,0 +1,41 @@
+type policy = {
+  attempts : int;
+  base_delay : float;
+  max_delay : float;
+  multiplier : float;
+}
+
+let default_policy =
+  { attempts = 5; base_delay = 0.001; max_delay = 0.1; multiplier = 2.0 }
+
+let no_delay = { default_policy with base_delay = 0.0; max_delay = 0.0 }
+
+(* Knuth multiplicative hash of the attempt index: deterministic "jitter"
+   in [0.5, 1.0] without consulting Random (replays must be stable). *)
+let jitter ~attempt =
+  let h = attempt * 2654435761 land 0xFFFF in
+  0.5 +. (float_of_int h /. 65535.0 /. 2.0)
+
+let delay_for p ~attempt =
+  let exp = p.base_delay *. (p.multiplier ** float_of_int (attempt - 1)) in
+  Float.min p.max_delay exp *. jitter ~attempt
+
+let transient_only = function Seed_error.Io_transient _ -> true | _ -> false
+
+let with_retry ?(policy = default_policy) ?(sleep = Unix.sleepf)
+    ?(should_retry = transient_only) ?(on_retry = fun ~attempt:_ _ -> ()) f =
+  let attempts = max 1 policy.attempts in
+  let rec go attempt =
+    match f () with
+    | Ok _ as ok -> ok
+    | Error e when attempt < attempts && should_retry e ->
+      on_retry ~attempt e;
+      let d = delay_for policy ~attempt in
+      if d > 0.0 then sleep d;
+      go (attempt + 1)
+    | Error (Seed_error.Io_transient m) ->
+      (* out of attempts: harden the error so Io_transient never escapes *)
+      Error (Seed_error.Io_error (Printf.sprintf "giving up after %d attempts: %s" attempts m))
+    | Error _ as err -> err
+  in
+  go 1

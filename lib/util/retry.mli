@@ -1,0 +1,41 @@
+(** Bounded retry with exponential backoff and deterministic jitter.
+
+    Transient faults (interrupted syscalls, short reads that succeed on the
+    next attempt, a lock briefly held by a dying client) should be absorbed
+    close to where they happen instead of bubbling up to the user.  [Retry]
+    packages the loop: a policy bounds the number of attempts and shapes the
+    delay curve, the sleep and clock are injectable so tests run in zero
+    wall-clock time, and the jitter is a pure function of the attempt index
+    so replays are reproducible. *)
+
+type policy = {
+  attempts : int;  (** total tries, including the first (>= 1) *)
+  base_delay : float;  (** seconds before the first retry *)
+  max_delay : float;  (** cap on any single delay *)
+  multiplier : float;  (** exponential growth factor between retries *)
+}
+
+val default_policy : policy
+(** 5 attempts, 1ms base, 100ms cap, 2x growth. *)
+
+val no_delay : policy
+(** [default_policy] with zero delays — for tests and in-memory retry. *)
+
+val delay_for : policy -> attempt:int -> float
+(** [delay_for p ~attempt] is the backoff before retry number [attempt]
+    (1-based): [base * multiplier^(attempt-1)] capped at [max_delay], scaled
+    by a deterministic jitter in [0.5, 1.0] derived from [attempt] alone. *)
+
+val with_retry :
+  ?policy:policy ->
+  ?sleep:(float -> unit) ->
+  ?should_retry:(Seed_error.t -> bool) ->
+  ?on_retry:(attempt:int -> Seed_error.t -> unit) ->
+  (unit -> ('a, Seed_error.t) result) ->
+  ('a, Seed_error.t) result
+(** [with_retry f] runs [f], retrying while it returns an error accepted by
+    [should_retry] (default: only {!Seed_error.Io_transient}) and attempts
+    remain.  Between tries it calls [sleep] (default [Unix.sleepf]) with
+    {!delay_for}.  After the final failed attempt a transient error is
+    surfaced as a permanent [Io_error] so callers never see
+    [Io_transient] escape a retry boundary. *)

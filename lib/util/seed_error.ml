@@ -33,7 +33,9 @@ type t =
   | Invalid_operation of string
   | Schema_violation of string
   | Io_error of string
+  | Io_transient of string
   | Corrupt of string
+  | Deadlock of { victim : string; cycle : string list }
 
 let pp ppf = function
   | Unknown_class c -> Fmt.pf ppf "unknown class %S" c
@@ -74,7 +76,12 @@ let pp ppf = function
   | Invalid_operation m -> Fmt.pf ppf "invalid operation: %s" m
   | Schema_violation m -> Fmt.pf ppf "schema violation: %s" m
   | Io_error m -> Fmt.pf ppf "i/o error: %s" m
+  | Io_transient m -> Fmt.pf ppf "transient i/o error: %s" m
   | Corrupt m -> Fmt.pf ppf "corrupt storage: %s" m
+  | Deadlock { victim; cycle } ->
+    Fmt.pf ppf "deadlock detected (cycle: %a); aborted %s"
+      Fmt.(list ~sep:(any " -> ") string)
+      cycle victim
 
 let to_string e = Fmt.str "%a" pp e
 
@@ -86,6 +93,17 @@ let () =
     | _ -> None)
 
 let fail e : ('a, t) result = Stdlib.Error e
+
+let wrap_io f =
+  try Stdlib.Ok (f ()) with
+  | Sys_error m -> fail (Io_error m)
+  | Unix.Unix_error (((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK) as e), fn, arg)
+    ->
+    (* interrupted/would-block syscalls succeed when reissued: transient *)
+    fail
+      (Io_transient (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e)))
+  | Unix.Unix_error (e, fn, arg) ->
+    fail (Io_error (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e)))
 
 let ok_exn = function Stdlib.Ok v -> v | Stdlib.Error e -> raise (Error e)
 

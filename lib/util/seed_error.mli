@@ -38,8 +38,12 @@ type t =
   | Locked of { item : string; holder : string }  (** write lock conflict *)
   | Invalid_operation of string  (** catch-all with explanation *)
   | Schema_violation of string  (** schema-level validation failure *)
-  | Io_error of string  (** storage layer failure *)
+  | Io_error of string  (** permanent storage layer failure *)
+  | Io_transient of string
+      (** transient storage failure (EINTR/EAGAIN class); safe to retry *)
   | Corrupt of string  (** storage integrity check failed *)
+  | Deadlock of { victim : string; cycle : string list }
+      (** lock wait-for cycle detected; [victim]'s locks were released *)
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable rendering of an error. *)
@@ -52,6 +56,12 @@ exception Error of t
 
 val fail : t -> ('a, t) result
 (** [fail e] is [Error e] (the [result] constructor, not the exception). *)
+
+val wrap_io : (unit -> 'a) -> ('a, t) result
+(** [wrap_io f] runs [f], converting [Sys_error] and [Unix.Unix_error]
+    into results: EINTR/EAGAIN/EWOULDBLOCK become {!Io_transient} (safe
+    to retry), everything else {!Io_error}. Other exceptions — notably a
+    fault injector's crash — propagate untouched. *)
 
 val ok_exn : ('a, t) result -> 'a
 (** [ok_exn r] unwraps [r], raising {!Error} on failure. *)

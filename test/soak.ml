@@ -14,10 +14,16 @@
    - the query planner agrees with a naive table scan on the recovered
      state, on the current view and on every version view;
    - [Store.fsck] runs on the crashed directory, and is healthy again
-     after recovery.
+     after recovery;
+   - a read-fault pass reopens the recovered directory under injected
+     wire-level read faults (EINTR bursts, a flipped bit, a short read)
+     and checks the self-healing layer absorbs them: the open succeeds,
+     the state is bit-identical, and nothing is quarantined or
+     truncated.
 
-   The workload, crash point and torn-write choice all derive from
-   [--seed], so a failing iteration is reproducible bit-for-bit. *)
+   The workload, crash point, torn-write choice and read-fault schedule
+   all derive from [--seed], so a failing iteration is reproducible
+   bit-for-bit. *)
 
 open Seed_util
 open Seed_schema
@@ -395,11 +401,43 @@ let iteration ~seed ~iter ~verbose =
   if not after.Store.fsck_healthy then
     failf "iteration %d: store unhealthy after recovery:\n%s" iter
       (Format.asprintf "%a" Store.pp_fsck_report after);
+  (* read-fault pass: the directory is intact, so wire-level read
+     faults must be absorbed by retry and the double-check re-read —
+     same state, clean recovery, nothing quarantined or truncated *)
+  let probe_r = Faulty.create () in
+  let nreads =
+    let s =
+      Seed_error.ok_exn
+        (Persist.Session.open_ ~dir ~schema:(schema ())
+           ~io:(Faulty.io probe_r) ())
+    in
+    Persist.Session.close s;
+    max 1 (Faulty.reads probe_r)
+  in
+  let fault_kind, fr =
+    match Random.State.int rng 3 with
+    | 0 -> ("transient", Faulty.create ~transient_reads:(1 + Random.State.int rng 3) ())
+    | 1 -> ("flip", Faulty.create ~flip_read:(Random.State.int rng nreads) ())
+    | _ -> ("short", Faulty.create ~short_read:(Random.State.int rng nreads) ())
+  in
+  let s =
+    Seed_error.ok_exn
+      (Persist.Session.open_ ~dir ~schema:(schema ()) ~io:(Faulty.io fr)
+         ~sleep:(fun _ -> ()) ())
+  in
+  let r = Persist.Session.recovery s in
+  if not (Store.recovery_clean r) then
+    failf "iteration %d: %s read fault not absorbed: %s" iter fault_kind
+      (Format.asprintf "%a" Store.pp_recovery r);
+  if not (String.equal (fingerprint (Persist.Session.db s)) fp) then
+    failf "iteration %d: state differs under %s read fault" iter fault_kind;
+  Persist.Session.close s;
   if verbose then
     Printf.printf
-      "iter %3d: ops=%d io-steps=%d crash@%d torn=%b dangling=%d -> %s\n%!"
+      "iter %3d: ops=%d io-steps=%d crash@%d torn=%b dangling=%d \
+       read-fault=%s retries=%d -> %s\n%!"
       iter (count_ops steps) total crash_at torn
-      report.Store.fsck_dangling_txn_records
+      report.Store.fsck_dangling_txn_records fault_kind r.Store.io_retries
       (Option.value ~default:"?" where)
 
 let () =

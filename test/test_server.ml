@@ -312,6 +312,134 @@ let test_expire_stale_reaps () =
   Alcotest.(check (list (pair string string))) "reap is idempotent" []
     (Server.expire_stale s)
 
+let test_lease_boundary_exact_expiry () =
+  (* the lease boundary is inclusive: at exactly [expires = now] the
+     lock reads as free, covers nothing, and is acquirable *)
+  let clock = ref 0.0 in
+  let lt = Lock_table.create ~now:(fun () -> !clock) () in
+  check_ok "lease" (Lock_table.acquire lt ~client:"a" ~ttl:5.0 [ "X" ]);
+  clock := 4.999;
+  Alcotest.(check (option string)) "held just before" (Some "a")
+    (Lock_table.holder lt "X");
+  check_ok "still covers" (Lock_table.covers lt ~client:"a" [ "X" ]);
+  clock := 5.0;
+  Alcotest.(check (option string)) "free at the boundary" None
+    (Lock_table.holder lt "X");
+  Alcotest.(check (list string)) "held_by empty" []
+    (Lock_table.held_by lt ~client:"a");
+  check_err "no longer covers"
+    (function Seed_error.Invalid_operation _ -> true | _ -> false)
+    (Lock_table.covers lt ~client:"a" [ "X" ]);
+  (* the holder changes hands exactly at expiry, no grace period *)
+  check_ok "b takes at boundary" (Lock_table.acquire lt ~client:"b" ~ttl:5.0 [ "X" ]);
+  Alcotest.(check (option string)) "new holder" (Some "b")
+    (Lock_table.holder lt "X");
+  Alcotest.(check (option (float 1e-6))) "fresh ttl from now" (Some 10.0)
+    (Lock_table.expires_at lt "X")
+
+let test_acquire_reaps_expired () =
+  (* every acquisition sweeps expired leases out of the table, even for
+     unrelated names: expire_stale afterwards finds nothing left *)
+  let clock = ref 0.0 in
+  let lt = Lock_table.create ~now:(fun () -> !clock) () in
+  check_ok "a leases" (Lock_table.acquire lt ~client:"a" ~ttl:5.0 [ "X"; "Y" ]);
+  clock := 6.0;
+  check_ok "b acquires elsewhere" (Lock_table.acquire lt ~client:"b" [ "Z" ]);
+  Alcotest.(check (list (pair string string))) "already reaped" []
+    (Lock_table.expire_stale lt)
+
+let test_acquire_wait_succeeds_after_release () =
+  let clock = ref 0.0 in
+  let lt = Lock_table.create ~now:(fun () -> !clock) () in
+  check_ok "a holds" (Lock_table.acquire lt ~client:"a" [ "X" ]);
+  let delays = ref [] in
+  let sleep d =
+    delays := d :: !delays;
+    clock := !clock +. d;
+    (* the holder finishes its work after the second backoff *)
+    if List.length !delays = 2 then Lock_table.release_all lt ~client:"a"
+  in
+  check_ok "b waits it out"
+    (Lock_table.acquire_wait lt ~client:"b" ~sleep ~timeout:60.0 [ "X" ]);
+  Alcotest.(check (option string)) "b holds now" (Some "b")
+    (Lock_table.holder lt "X");
+  Alcotest.(check int) "two waits" 2 (List.length !delays);
+  Alcotest.(check bool) "backoff grows" true
+    (match !delays with [ d2; d1 ] -> d2 > d1 | _ -> false)
+
+let test_acquire_wait_times_out () =
+  let clock = ref 0.0 in
+  let lt = Lock_table.create ~now:(fun () -> !clock) () in
+  check_ok "a holds" (Lock_table.acquire lt ~client:"a" [ "X" ]);
+  let sleep d = clock := !clock +. d in
+  check_err "locked after deadline"
+    (function
+      | Seed_error.Locked { item = "X"; holder = "a" } -> true | _ -> false)
+    (Lock_table.acquire_wait lt ~client:"b" ~sleep ~timeout:0.05 [ "X" ]);
+  Alcotest.(check bool) "clock advanced past deadline" true (!clock >= 0.05);
+  (* the failed waiter left no wait-for edge behind: a fresh third
+     client sees no phantom cycle through b *)
+  check_ok "c acquires free name" (Lock_table.acquire lt ~client:"c" [ "Y" ])
+
+let test_deadlock_detected_and_broken () =
+  (* a holds X and wants Y; b holds Y and, from inside a's backoff,
+     wants X — the classic cycle. b closes it, so b is the victim:
+     its locks are released and a's next attempt succeeds. *)
+  let clock = ref 0.0 in
+  let lt = Lock_table.create ~now:(fun () -> !clock) () in
+  check_ok "a holds X" (Lock_table.acquire lt ~client:"a" [ "X" ]);
+  check_ok "b holds Y" (Lock_table.acquire lt ~client:"b" [ "Y" ]);
+  let b_result = ref None in
+  let a_sleep _ =
+    if !b_result = None then
+      b_result :=
+        Some
+          (Lock_table.acquire_wait lt ~client:"b" ~sleep:(fun _ -> ())
+             ~timeout:10.0 [ "X" ])
+  in
+  check_ok "a eventually wins"
+    (Lock_table.acquire_wait lt ~client:"a" ~sleep:a_sleep ~timeout:10.0 [ "Y" ]);
+  (match !b_result with
+  | Some (Error (Seed_error.Deadlock { victim; cycle })) ->
+    Alcotest.(check string) "victim is the closer" "b" victim;
+    Alcotest.(check (list string)) "cycle path" [ "b"; "a"; "b" ] cycle
+  | _ -> Alcotest.fail "expected b to be aborted as deadlock victim");
+  Alcotest.(check (list string)) "victim's locks released" []
+    (Lock_table.held_by lt ~client:"b");
+  Alcotest.(check (list string)) "survivor holds both" [ "X"; "Y" ]
+    (Lock_table.held_by lt ~client:"a")
+
+let test_server_checkout_wait () =
+  let clock = ref 0.0 in
+  let s = Server.create ~now:(fun () -> !clock) (schema ()) in
+  let db = Server.database s in
+  let _ = ok (DB.create_object db ~cls:"Data" ~name:"Alarms" ()) in
+  check_ok "alice takes" (Server.checkout s ~client:"alice" ~names:[ "Alarms" ]);
+  (* names must exist even on the waiting path *)
+  check_err "ghost refused"
+    (function Seed_error.Unknown_object _ -> true | _ -> false)
+    (Server.checkout_wait s ~client:"bob" ~sleep:(fun _ -> ()) ~timeout:1.0
+       ~names:[ "Ghost" ] ());
+  let sleeps = ref 0 in
+  let sleep d =
+    incr sleeps;
+    clock := !clock +. d;
+    if !sleeps = 1 then Server.release s ~client:"alice"
+  in
+  check_ok "bob blocks then wins"
+    (Server.checkout_wait s ~client:"bob" ~sleep ~timeout:60.0
+       ~names:[ "Alarms" ] ());
+  Alcotest.(check (list string)) "bob holds" [ "Alarms" ]
+    (Server.locked_by s ~client:"bob");
+  (* and with a lease: the waited-for lock expires like any other *)
+  Server.release s ~client:"bob";
+  check_ok "carol leases via wait"
+    (Server.checkout_wait s ~client:"carol" ~ttl:5.0 ~sleep:(fun _ -> ())
+       ~timeout:1.0 ~names:[ "Alarms" ] ());
+  clock := !clock +. 6.0;
+  Alcotest.(check (list string)) "lease lapsed" []
+    (Server.locked_by s ~client:"carol")
+
 let test_versions_server_controlled () =
   let s = with_seeded_server () in
   let v1 = ok (Server.create_version s) in
@@ -381,6 +509,15 @@ let () =
           tc "lock table ttl" test_lock_table_lease_refresh;
           tc "expiry unblocks" test_lease_expiry_unblocks;
           tc "expire_stale" test_expire_stale_reaps;
+          tc "exact-expiry boundary" test_lease_boundary_exact_expiry;
+          tc "acquire reaps expired" test_acquire_reaps_expired;
+        ] );
+      ( "blocking checkout",
+        [
+          tc "wait then acquire" test_acquire_wait_succeeds_after_release;
+          tc "timeout" test_acquire_wait_times_out;
+          tc "deadlock broken" test_deadlock_detected_and_broken;
+          tc "server checkout_wait" test_server_checkout_wait;
         ] );
       ( "clients",
         [ tc "stage and commit" test_client_api; tc "abort" test_client_abort ] );

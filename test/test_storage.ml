@@ -312,7 +312,7 @@ let test_group_roundtrip () =
   Alcotest.(check (list string)) "frame kinds"
     [ "data"; "begin"; "data"; "data"; "data"; "commit"; "data" ]
     (List.map (fun f -> kind_label f.Journal.f_kind) s.Journal.frames);
-  Alcotest.(check bool) "no damage" true (s.Journal.scan_damage = None)
+  Alcotest.(check bool) "no damage" true (s.Journal.scan_damage = [])
 
 let test_group_without_commit_invisible () =
   (* the crash-mid-flush signature: the begin marker and the records
@@ -355,7 +355,7 @@ let test_group_torn_commit_marker () =
     (ok (Journal.read_all path));
   let s = ok (Journal.scan path) in
   Alcotest.(check bool) "torn marker is damage" true
-    (s.Journal.scan_damage <> None);
+    (s.Journal.scan_damage <> []);
   let g = Journal.resolve_groups s.Journal.frames in
   Alcotest.(check int) "group dropped" 2 g.Journal.g_dropped_records
 
@@ -530,7 +530,7 @@ let test_journal_epoch_tagging () =
   let s = ok (Journal.scan path) in
   Alcotest.(check (list int)) "epochs" [ 7 ]
     (List.map (fun f -> f.Journal.f_epoch) s.Journal.frames);
-  Alcotest.(check bool) "no damage" true (s.Journal.scan_damage = None)
+  Alcotest.(check bool) "no damage" true (s.Journal.scan_damage = [])
 
 let test_stale_journal_skipped () =
   (* a journal left behind by a crash between snapshot rename and
@@ -805,6 +805,284 @@ let test_fsck_dangling_txn () =
   Alcotest.(check (list string)) "only committed data" [ "base" ] records;
   Alcotest.(check bool) "clean open" true (Store.recovery_clean report)
 
+(* ------------------------------------------------------------------ *)
+(* Self-healing recovery                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* three standalone records, then flip one byte inside the middle
+   frame's payload — a mid-file corruption that is NOT a torn tail *)
+let corrupt_middle_frame dir =
+  let jpath = Filename.concat dir "journal.log" in
+  let fd = Unix.openfile jpath [ Unix.O_RDWR ] 0o644 in
+  (* frames are 16-byte header + 2-byte payload; frame 2 spans 18..35 *)
+  ignore (Unix.lseek fd (18 + 16) Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "!") 0 1);
+  Unix.close fd
+
+let three_record_dir () =
+  let dir = tmp_dir () in
+  let store, _, _, _ = ok (Store.open_dir dir) in
+  check_ok "r1" (Store.append store "r1");
+  check_ok "r2" (Store.append store "r2");
+  check_ok "r3" (Store.append store "r3");
+  Store.close store;
+  dir
+
+let test_mid_journal_corruption_quarantined () =
+  (* a corrupt frame in the middle of the journal must not cost the
+     committed records on either side of it: the scanner resynchronizes
+     on the next frame boundary and reports the damage *)
+  let dir = three_record_dir () in
+  corrupt_middle_frame dir;
+  let store, _, records, report = ok (Store.open_dir dir) in
+  Alcotest.(check (list string)) "survivors" [ "r1"; "r3" ] records;
+  Alcotest.(check int) "one region" 1 (List.length report.Store.quarantined);
+  (match report.Store.quarantined with
+  | [ d ] ->
+    Alcotest.(check int) "region start" 18 d.Journal.d_offset;
+    Alcotest.(check int) "region end" 36 d.Journal.d_end
+  | _ -> Alcotest.fail "expected one damage region");
+  Alcotest.(check (option string)) "not a torn tail" None report.Store.torn_tail;
+  Alcotest.(check bool) "not clean" false (Store.recovery_clean report);
+  (* the store stays usable; the damage stays on disk until repair *)
+  check_ok "append after" (Store.append store "r4");
+  Store.close store;
+  let _, _, records, report = ok (Store.open_dir dir) in
+  Alcotest.(check (list string)) "stable" [ "r1"; "r3"; "r4" ] records;
+  Alcotest.(check int) "still quarantined" 1
+    (List.length report.Store.quarantined)
+
+let test_fsck_excises_quarantined_region () =
+  let dir = three_record_dir () in
+  corrupt_middle_frame dir;
+  let r = ok (Store.fsck dir) in
+  Alcotest.(check bool) "unhealthy" false r.Store.fsck_healthy;
+  Alcotest.(check int) "regions" 1 r.Store.fsck_quarantined_regions;
+  Alcotest.(check int) "bytes" 18 r.Store.fsck_quarantined_bytes;
+  let r = ok (Store.fsck ~repair:true dir) in
+  Alcotest.(check bool) "healthy after repair" true r.Store.fsck_healthy;
+  Alcotest.(check bool) "repairs named" true (r.Store.fsck_repairs <> []);
+  let _, _, records, report = ok (Store.open_dir dir) in
+  Alcotest.(check (list string)) "survivors kept" [ "r1"; "r3" ] records;
+  Alcotest.(check bool) "clean open" true (Store.recovery_clean report)
+
+let generations_dir () =
+  (* two compactions leave snapshot.bin (epoch 2, "S2"), generation 1
+     (epoch 1, "S1"), and an epoch-2 journal holding "c" *)
+  let dir = tmp_dir () in
+  let store, _, _, _ = ok (Store.open_dir dir) in
+  check_ok "a" (Store.append store "a");
+  check_ok "compact1" (Store.compact store ~snapshot:"S1");
+  check_ok "b" (Store.append store "b");
+  check_ok "compact2" (Store.compact store ~snapshot:"S2");
+  check_ok "c" (Store.append store "c");
+  Store.close store;
+  dir
+
+let corrupt_file path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd 17 Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "?") 0 1);
+  Unix.close fd
+
+let test_generation_rotation_on_compact () =
+  let dir = generations_dir () in
+  Alcotest.check snap_pair "generation 1 holds the previous snapshot"
+    (Some (1, "S1"))
+    (ok (Snapshot_file.read (Filename.concat dir "snapshot.bin.1")));
+  Alcotest.(check bool) "no .old left" false
+    (Sys.file_exists (Filename.concat dir "snapshot.bin.old"));
+  (* a third compact shifts S2 into slot 1 and retires S1 to slot 2 *)
+  let store, _, _, _ = ok (Store.open_dir dir) in
+  check_ok "compact3" (Store.compact store ~snapshot:"S3");
+  Store.close store;
+  Alcotest.check snap_pair "slot 1 rotated" (Some (2, "S2"))
+    (ok (Snapshot_file.read (Filename.concat dir "snapshot.bin.1")));
+  Alcotest.check snap_pair "slot 2 rotated" (Some (1, "S1"))
+    (ok (Snapshot_file.read (Filename.concat dir "snapshot.bin.2")));
+  (* default keeps 2 generations: a fourth compact drops S1 for good *)
+  let store, _, _, _ = ok (Store.open_dir dir) in
+  check_ok "compact4" (Store.compact store ~snapshot:"S4");
+  Store.close store;
+  Alcotest.(check bool) "oldest dropped" false
+    (Sys.file_exists (Filename.concat dir "snapshot.bin.3"))
+
+let test_generation_fallback_on_open () =
+  (* the newest snapshot is corrupt and there is no .old: recovery must
+     walk back to generation 1, quarantine the damaged primary, and
+     drop the now-unreplayable epoch-2 journal records *)
+  let dir = generations_dir () in
+  corrupt_file (Filename.concat dir "snapshot.bin");
+  let store, snap, records, report = ok (Store.open_dir dir) in
+  Alcotest.(check (option string)) "generation data" (Some "S1") snap;
+  Alcotest.(check (list string)) "ahead records dropped" [] records;
+  Alcotest.(check bool) "fallback flagged" true report.Store.used_fallback;
+  Alcotest.(check (option int)) "generation flagged" (Some 1)
+    report.Store.snapshot_generation;
+  Alcotest.(check int) "ahead counted" 1 report.Store.ahead_dropped;
+  Alcotest.(check bool) "not clean" false (Store.recovery_clean report);
+  Alcotest.(check int) "epoch adopted" 1 (Store.epoch store);
+  Alcotest.(check bool) "damaged primary quarantined" true
+    (Sys.file_exists (Filename.concat dir "snapshot.bin.corrupt"));
+  (* recovery converges: life goes on from the generation's state *)
+  check_ok "append" (Store.append store "d");
+  Store.close store;
+  let _, snap, records, report = ok (Store.open_dir dir) in
+  Alcotest.(check (option string)) "promoted" (Some "S1") snap;
+  Alcotest.(check (list string)) "new records" [ "d" ] records;
+  Alcotest.(check bool) "second open clean" true (Store.recovery_clean report)
+
+let test_fsck_promotes_generation () =
+  let dir = generations_dir () in
+  corrupt_file (Filename.concat dir "snapshot.bin");
+  let r = ok (Store.fsck dir) in
+  Alcotest.(check bool) "unhealthy" false r.Store.fsck_healthy;
+  Alcotest.(check bool) "snapshot damaged" true (is_damaged r.Store.fsck_snapshot);
+  Alcotest.(check bool) "generation 1 intact" true
+    (List.exists
+       (fun (k, st) -> k = 1 && is_intact st)
+       r.Store.fsck_generations);
+  let r = ok (Store.fsck ~repair:true dir) in
+  Alcotest.(check bool) "healthy after repair" true r.Store.fsck_healthy;
+  let _, snap, _, _ = ok (Store.open_dir dir) in
+  Alcotest.(check (option string)) "generation promoted" (Some "S1") snap
+
+let test_transient_reads_absorbed () =
+  (* EINTR-class read faults on open are retried away: the recovery is
+     clean and only the retry counter remembers them *)
+  let dir = populated_dir () in
+  let f = Faulty_io.create ~transient_reads:2 () in
+  let store, snap, records, report = ok (Store.open_dir ~io:(Faulty_io.io f) dir) in
+  Alcotest.(check (option string)) "snapshot read" (Some "SNAP") snap;
+  Alcotest.(check (list string)) "journal read" [ "r2" ] records;
+  Alcotest.(check bool) "clean" true (Store.recovery_clean report);
+  Alcotest.(check bool) "retries counted" true (report.Store.io_retries >= 2);
+  Alcotest.(check bool) "store counter agrees" true (Store.retries store >= 2);
+  Store.close store
+
+let test_flip_read_double_checked () =
+  (* a bit flipped on the wire (not on disk) makes the first journal
+     scan look damaged; the double-check re-read comes back clean, so
+     nothing is quarantined or truncated *)
+  let dir = populated_dir () in
+  let f = Faulty_io.create ~flip_read:1 () in
+  let _, snap, records, report = ok (Store.open_dir ~io:(Faulty_io.io f) dir) in
+  Alcotest.(check (option string)) "snapshot" (Some "SNAP") snap;
+  Alcotest.(check (list string)) "no data lost" [ "r2" ] records;
+  Alcotest.(check (list pass)) "nothing quarantined" []
+    report.Store.quarantined;
+  Alcotest.(check bool) "clean" true (Store.recovery_clean report);
+  Alcotest.(check bool) "re-read counted" true (report.Store.io_retries >= 1)
+
+let test_short_read_double_checked () =
+  (* a short read looks like a torn tail; the re-read proves the file
+     is whole, so the tail must NOT be truncated *)
+  let dir = populated_dir () in
+  let jsize = (Unix.stat (Filename.concat dir "journal.log")).Unix.st_size in
+  let f = Faulty_io.create ~short_read:1 () in
+  let _, _, records, report = ok (Store.open_dir ~io:(Faulty_io.io f) dir) in
+  Alcotest.(check (list string)) "no data lost" [ "r2" ] records;
+  Alcotest.(check (option string)) "no torn tail" None report.Store.torn_tail;
+  Alcotest.(check bool) "clean" true (Store.recovery_clean report);
+  Alcotest.(check int) "file untouched" jsize
+    (Unix.stat (Filename.concat dir "journal.log")).Unix.st_size
+
+let test_eio_read_is_permanent () =
+  (* EIO is a media error, not a transient: with no fallback in the
+     directory the open must surface it rather than spin retrying *)
+  let dir = populated_dir () in
+  let f = Faulty_io.create ~eio_read:0 () in
+  check_err "surfaced"
+    (function Seed_util.Seed_error.Io_error _ -> true | _ -> false)
+    (Store.open_dir ~io:(Faulty_io.io f) dir);
+  Alcotest.(check bool) "no runaway retries" true (Faulty_io.reads f <= 3)
+
+let test_lie_fsync_keeps_schedule () =
+  (* a lying fsync must not change the operation schedule (crash-step
+     sweeps depend on it) and a clean shutdown still recovers *)
+  let run lie =
+    let dir = tmp_dir () in
+    let f = Faulty_io.create ~lie_fsync:lie () in
+    let store, _, _, _ =
+      ok (Store.open_dir ~io:(Faulty_io.io f) ~sync:`Always_fsync dir)
+    in
+    check_ok "a" (Store.append store "a");
+    check_ok "compact" (Store.compact store ~snapshot:"S");
+    check_ok "b" (Store.append store "b");
+    Store.close store;
+    let _, snap, records, _ = ok (Store.open_dir dir) in
+    Alcotest.(check (option string)) "snapshot" (Some "S") snap;
+    Alcotest.(check (list string)) "records" [ "b" ] records;
+    Faulty_io.steps f
+  in
+  let honest = run false and lying = run true in
+  Alcotest.(check int) "same step schedule" honest lying
+
+let test_salvage_sweep () =
+  (* ISSUE acceptance: for EVERY single corrupt mid-journal frame, and
+     for a corrupt newest snapshot generation, fsck --repair + reopen
+     recovers with the damage quarantined and every acked committed
+     record outside the damage intact *)
+  let mk () =
+    let dir = tmp_dir () in
+    let store, _, _, _ = ok (Store.open_dir dir) in
+    check_ok "a" (Store.append store "a1");
+    check_ok "compact" (Store.compact store ~snapshot:"BASE");
+    check_ok "g1" (Store.append_group store [ "g1a"; "g1b" ]);
+    check_ok "solo" (Store.append store "solo");
+    check_ok "g2" (Store.append_group store [ "g2a"; "g2b" ]);
+    Store.close store;
+    dir
+  in
+  (* count the journal frames of a pristine copy *)
+  let probe = mk () in
+  let s = ok (Journal.scan (Filename.concat probe "journal.log")) in
+  let frames = s.Journal.frames in
+  Alcotest.(check bool) "several frames" true (List.length frames > 5);
+  List.iteri
+    (fun i f ->
+      let dir = mk () in
+      let jpath = Filename.concat dir "journal.log" in
+      (* flip a payload/header byte inside frame i *)
+      let fd = Unix.openfile jpath [ Unix.O_RDWR ] 0o644 in
+      ignore (Unix.lseek fd (f.Journal.f_offset + 5) Unix.SEEK_SET);
+      let b = Bytes.create 1 in
+      ignore (Unix.read fd b 0 1);
+      ignore (Unix.lseek fd (f.Journal.f_offset + 5) Unix.SEEK_SET);
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x20));
+      ignore (Unix.write fd b 0 1);
+      Unix.close fd;
+      let name = Printf.sprintf "frame %d" i in
+      (* recovery must succeed and keep every committed unit that does
+         not share a transaction group with the damaged frame *)
+      let _ = ok (Store.fsck ~repair:true dir) in
+      let _, snap, records, report = ok (Store.open_dir dir) in
+      Alcotest.(check (option string)) (name ^ ": snapshot") (Some "BASE") snap;
+      Alcotest.(check bool) (name ^ ": clean after repair") true
+        (Store.recovery_clean report);
+      let survived r = List.mem r records in
+      let group_intact g = List.for_all survived g in
+      let group_gone g = List.for_all (fun r -> not (survived r)) g in
+      Alcotest.(check bool) (name ^ ": g1 all-or-nothing") true
+        (group_intact [ "g1a"; "g1b" ] || group_gone [ "g1a"; "g1b" ]);
+      Alcotest.(check bool) (name ^ ": g2 all-or-nothing") true
+        (group_intact [ "g2a"; "g2b" ] || group_gone [ "g2a"; "g2b" ]);
+      (* at most the damaged frame's own commit unit may be missing *)
+      let units = [ [ "g1a"; "g1b" ]; [ "solo" ]; [ "g2a"; "g2b" ] ] in
+      let lost = List.filter (fun u -> not (group_intact u)) units in
+      Alcotest.(check bool) (name ^ ": at most one unit lost") true
+        (List.length lost <= 1))
+    frames;
+  (* corrupt newest snapshot generation: recovery falls back to it only
+     when the primary dies too, so damage there must not block opening *)
+  let dir = generations_dir () in
+  corrupt_file (Filename.concat dir "snapshot.bin.1");
+  let _ = ok (Store.fsck ~repair:true dir) in
+  let _, snap, records, report = ok (Store.open_dir dir) in
+  Alcotest.(check (option string)) "primary wins" (Some "S2") snap;
+  Alcotest.(check (list string)) "journal intact" [ "c" ] records;
+  Alcotest.(check bool) "clean" true (Store.recovery_clean report)
+
 let () =
   Alcotest.run "storage"
     [
@@ -881,5 +1159,21 @@ let () =
           tc "corrupt snapshot without fallback" test_fsck_corrupt_snapshot_no_fallback;
           tc "leftover tmp and fallback" test_fsck_leftover_tmp_and_fallback;
           tc "dangling transaction" test_fsck_dangling_txn;
+        ] );
+      ( "self-healing",
+        [
+          tc "mid-journal corruption quarantined"
+            test_mid_journal_corruption_quarantined;
+          tc "fsck excises quarantined region"
+            test_fsck_excises_quarantined_region;
+          tc "generation rotation on compact" test_generation_rotation_on_compact;
+          tc "generation fallback on open" test_generation_fallback_on_open;
+          tc "fsck promotes generation" test_fsck_promotes_generation;
+          tc "transient reads absorbed" test_transient_reads_absorbed;
+          tc "flip read double-checked" test_flip_read_double_checked;
+          tc "short read double-checked" test_short_read_double_checked;
+          tc "eio read is permanent" test_eio_read_is_permanent;
+          tc "lying fsync keeps schedule" test_lie_fsync_keeps_schedule;
+          tc "salvage sweep" test_salvage_sweep;
         ] );
     ]

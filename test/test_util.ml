@@ -201,6 +201,113 @@ let test_ok_exn () =
     (Seed_error.Error (Seed_error.Unknown_object "x"))
     (fun () -> ignore (Seed_error.ok_exn (Error (Seed_error.Unknown_object "x"))))
 
+(* ------------------------------------------------------------------ *)
+(* Retry                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_retry_first_try_no_sleep () =
+  let slept = ref [] in
+  let r =
+    Retry.with_retry ~sleep:(fun d -> slept := d :: !slept) (fun () -> Ok 42)
+  in
+  Alcotest.(check int) "value" 42 (ok r);
+  Alcotest.(check (list (float 0.0))) "no sleeps" [] !slept
+
+let test_retry_bounded_attempts () =
+  let calls = ref 0 in
+  let policy = { Retry.default_policy with Retry.attempts = 3 } in
+  let r =
+    Retry.with_retry ~policy ~sleep:(fun _ -> ()) (fun () ->
+        incr calls;
+        Seed_error.fail (Seed_error.Io_transient "flaky"))
+  in
+  Alcotest.(check int) "exactly attempts calls" 3 !calls;
+  (* the exhausted transient is hardened: callers never see
+     Io_transient escape the retry layer *)
+  check_err "hardened to permanent"
+    (function Seed_error.Io_error m -> String.length m > 0 | _ -> false)
+    r
+
+let test_retry_transient_then_ok () =
+  let calls = ref 0 and slept = ref [] in
+  let r =
+    Retry.with_retry ~sleep:(fun d -> slept := d :: !slept) (fun () ->
+        incr calls;
+        if !calls < 3 then Seed_error.fail (Seed_error.Io_transient "eintr")
+        else Ok "done")
+  in
+  Alcotest.(check string) "succeeds" "done" (ok r);
+  Alcotest.(check int) "two backoffs" 2 (List.length !slept);
+  Alcotest.(check bool) "delays positive" true (List.for_all (fun d -> d > 0.0) !slept);
+  Alcotest.(check bool) "backoff grows" true
+    (match !slept with [ d2; d1 ] -> d2 > d1 | _ -> false)
+
+let test_retry_permanent_not_retried () =
+  let calls = ref 0 in
+  let r =
+    Retry.with_retry ~sleep:(fun _ -> ()) (fun () ->
+        incr calls;
+        Seed_error.fail (Seed_error.Io_error "media died"))
+  in
+  Alcotest.(check int) "one call" 1 !calls;
+  check_err "error verbatim"
+    (function Seed_error.Io_error "media died" -> true | _ -> false)
+    r
+
+let test_retry_custom_should_retry () =
+  let calls = ref 0 in
+  let should_retry = function Seed_error.Corrupt _ -> !calls < 2 | _ -> false in
+  let r =
+    Retry.with_retry ~should_retry ~sleep:(fun _ -> ()) (fun () ->
+        incr calls;
+        Seed_error.fail (Seed_error.Corrupt "maybe a bad read"))
+  in
+  Alcotest.(check int) "retried once then surfaced" 2 !calls;
+  check_err "corrupt stays corrupt"
+    (function Seed_error.Corrupt _ -> true | _ -> false)
+    r
+
+let test_retry_delay_curve () =
+  let p =
+    { Retry.attempts = 10; base_delay = 0.001; max_delay = 0.05; multiplier = 2.0 }
+  in
+  (* deterministic: same attempt, same delay — replays are stable *)
+  List.iter
+    (fun a ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "attempt %d deterministic" a)
+        (Retry.delay_for p ~attempt:a)
+        (Retry.delay_for p ~attempt:a))
+    [ 1; 2; 3; 7 ];
+  (* jittered exponential: within [0.5x, 1x] of the nominal value,
+     capped by max_delay *)
+  List.iter
+    (fun a ->
+      let nominal = Float.min p.Retry.max_delay (0.001 *. (2.0 ** float_of_int (a - 1))) in
+      let d = Retry.delay_for p ~attempt:a in
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d in band" a)
+        true
+        (d >= (0.5 *. nominal) -. 1e-12 && d <= nominal +. 1e-12))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+  (* the cap holds even deep into the schedule *)
+  Alcotest.(check bool) "capped" true
+    (Retry.delay_for p ~attempt:40 <= p.Retry.max_delay)
+
+let test_retry_on_retry_hook () =
+  let seen = ref [] in
+  let calls = ref 0 in
+  let _ =
+    Retry.with_retry ~policy:Retry.no_delay
+      ~on_retry:(fun ~attempt e -> seen := (attempt, e) :: !seen)
+      (fun () ->
+        incr calls;
+        if !calls < 3 then Seed_error.fail (Seed_error.Io_transient "x")
+        else Ok ())
+  in
+  Alcotest.(check (list int)) "attempts reported" [ 1; 2 ]
+    (List.rev_map fst !seen)
+
 let () =
   Alcotest.run "util"
     [
@@ -234,5 +341,15 @@ let () =
           tc "combinators" test_error_combinators;
           tc "printing" test_error_printing;
           tc "ok_exn" test_ok_exn;
+        ] );
+      ( "retry",
+        [
+          tc "first try, no sleep" test_retry_first_try_no_sleep;
+          tc "bounded attempts" test_retry_bounded_attempts;
+          tc "transient then ok" test_retry_transient_then_ok;
+          tc "permanent not retried" test_retry_permanent_not_retried;
+          tc "custom should_retry" test_retry_custom_should_retry;
+          tc "delay curve" test_retry_delay_curve;
+          tc "on_retry hook" test_retry_on_retry_hook;
         ] );
     ]
