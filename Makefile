@@ -4,7 +4,7 @@
 # formatting when the formatter is available.
 
 .PHONY: check build test fmt soak soak-ci bench bench-query bench-version \
-	bench-txn bench-chaos
+	bench-txn bench-mvcc bench-chaos
 
 check: build test fmt
 
@@ -23,16 +23,22 @@ fmt:
 
 # chaos soak: randomized op batches under crash-injected I/O, recover,
 # verify. A fixed-seed 25-iteration smoke run is part of `make test`;
-# this target is the larger configurable sweep.
+# this target is the larger configurable sweep. The MVCC stress run
+# (reader domains against a committing writer, snapshots checked for
+# internal consistency and replay equivalence) rides along at the same
+# scale.
 SOAK_ITERS ?= 200
 SOAK_SEED ?= 42
 soak:
 	dune exec test/soak.exe -- --iters $(SOAK_ITERS) --seed $(SOAK_SEED)
+	dune exec test/mvcc_stress.exe -- --iters $(SOAK_ITERS) --seed $(SOAK_SEED)
 
 # the CI soak gate: fixed seed, 100 iterations — crash injection plus
-# the read-fault (EINTR/bit-flip/short-read) pass on every iteration
+# the read-fault (EINTR/bit-flip/short-read) pass on every iteration,
+# and the multi-domain MVCC equivalence sweep
 soak-ci:
 	dune exec test/soak.exe -- --iters 100 --seed 42
+	dune exec test/mvcc_stress.exe -- --iters 100 --seed 42
 
 # regenerate the committed query-planner baseline
 bench-query:
@@ -46,10 +52,15 @@ bench-version:
 bench-txn:
 	dune exec bench/main.exe -- txn
 
+# regenerate the committed MVCC baseline (snapshot-grab latency, reader
+# domains vs a committing writer, single-threaded write-path cost)
+bench-mvcc:
+	dune exec bench/main.exe -- mvcc
+
 # regenerate the committed chaos baseline (recovery time and data
 # survival under injected corruption and read faults)
 bench-chaos:
 	dune exec bench/main.exe -- chaos
 
 # regenerate every committed benchmark baseline
-bench: bench-query bench-version bench-txn bench-chaos
+bench: bench-query bench-version bench-txn bench-mvcc bench-chaos

@@ -715,9 +715,11 @@ let txn () =
     ~title:"committing K records under `Always_fsync: bare frames vs one group"
     ~header:[ "K records"; "K bare appends"; "one group"; "speedup" ]
     rows;
-  (* rollback: a failed transaction of B ops undone from the undo log
-     (O(B)) vs the pre-transaction alternative — restoring the database
-     from a snapshot (O(db), what Server.checkin used to do) *)
+  (* rollback: a failed transaction of B ops dropped by swapping back
+     to the savepoint root (O(1)) vs the pre-transaction alternative —
+     restoring the database from a serialized snapshot (O(db), what
+     Server.checkin used to do); the JSON field keeps its historical
+     name [undo_us] so runs stay comparable across revisions *)
   let rollback_ops = 20 in
   let rows =
     List.map
@@ -1007,6 +1009,174 @@ let chaos () =
   Fmt.pr "@.wrote BENCH_chaos.json@."
 
 (* ------------------------------------------------------------------ *)
+(* M1: MVCC read scaling - O(1) snapshots, multi-domain readers         *)
+(*     against a committing writer, write-path overhead                 *)
+(* ------------------------------------------------------------------ *)
+
+let mvcc () =
+  heading "M1"
+    "MVCC: snapshot-grab latency, reader domains vs a committing writer, \
+     write-path cost";
+  let module Q = Seed_core.Query in
+  let json = ref [] in
+  (* snapshot grab: an O(1) pointer grab of the published root — the
+     latency must stay flat as the database grows *)
+  let rows =
+    List.map
+      (fun n ->
+        let db = Workloads.seed_populate n in
+        let iters = 100_000 in
+        let _, t =
+          Report.time_of (fun () ->
+              for _ = 1 to iters do
+                ignore (DB.snapshot_view db)
+              done)
+        in
+        let grab = t /. float_of_int iters in
+        let items = 4 * n in
+        json :=
+          Printf.sprintf
+            "    {\"case\": \"snapshot_grab\", \"items\": %d, \"grab_ns\": \
+             %.1f}"
+            items (grab *. 1e9)
+          :: !json;
+        [ string_of_int items; Printf.sprintf "%.0f ns" (grab *. 1e9) ])
+      [ 250; 2_500; 12_500 ]
+  in
+  Report.table ~title:"snapshot_view latency vs database size"
+    ~header:[ "physical items"; "grab" ] rows;
+  (* reader scaling: D reader domains each run a planner query per
+     iteration against a freshly pinned snapshot while one writer
+     domain commits continuously; the mutex baseline serializes the
+     same query and the same writer behind one global lock *)
+  let n = 1_000 in
+  let db = Workloads.seed_populate n in
+  let subs =
+    Array.init n (fun i ->
+        Option.get (DB.resolve db (Workloads.data_name i ^ ".Description")))
+  in
+  let pred = Q.in_class "Action" in
+  let run_mode mode domains =
+    let stop = Atomic.make false in
+    let commits = Atomic.make 0 in
+    let mutex = Mutex.create () in
+    let locked f =
+      Mutex.lock mutex;
+      Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+    in
+    let reader () =
+      let c = ref 0 in
+      while not (Atomic.get stop) do
+        (match mode with
+        | `Mvcc ->
+          (* lock-free: pin a snapshot, query it *)
+          ignore (Q.count (DB.snapshot_view db) pred)
+        | `Mutex -> locked (fun () -> ignore (Q.count (DB.view db) pred)));
+        incr c
+      done;
+      !c
+    in
+    let writer () =
+      let i = ref 0 in
+      while not (Atomic.get stop) do
+        incr i;
+        let id = subs.(!i mod n) in
+        let commit () =
+          ok (DB.set_value db id (Some (Value.String (string_of_int !i))))
+        in
+        (match mode with `Mvcc -> commit () | `Mutex -> locked commit);
+        Atomic.incr commits
+      done
+    in
+    let dur = 0.4 in
+    let rds = List.init domains (fun _ -> Domain.spawn reader) in
+    let wr = Domain.spawn writer in
+    Unix.sleepf dur;
+    Atomic.set stop true;
+    let reads = List.fold_left (fun acc d -> acc + Domain.join d) 0 rds in
+    Domain.join wr;
+    ( float_of_int reads /. dur,
+      float_of_int (Atomic.get commits) /. dur )
+  in
+  (* warm both paths once so domain spawn-up noise is off the clock *)
+  ignore (run_mode `Mvcc 1);
+  let rows =
+    List.concat_map
+      (fun domains ->
+        List.map
+          (fun (label, mode) ->
+            let reads_s, commits_s = run_mode mode domains in
+            json :=
+              Printf.sprintf
+                "    {\"case\": \"readers\", \"mode\": \"%s\", \"domains\": \
+                 %d, \"reads_per_sec\": %.0f, \"writer_commits_per_sec\": \
+                 %.0f}"
+                label domains reads_s commits_s
+              :: !json;
+            [
+              label;
+              string_of_int domains;
+              Printf.sprintf "%.0f" reads_s;
+              Printf.sprintf "%.0f" commits_s;
+            ])
+          [ ("mvcc", `Mvcc); ("mutex", `Mutex) ])
+      [ 1; 2; 4 ]
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "planner query on a db of %d clusters under sustained writer load \
+          (%d cores — domains timeslice when cores < domains + 1)"
+         n
+         (Domain.recommended_domain_count ()))
+    ~header:[ "mode"; "reader domains"; "reads/s"; "commits/s" ] rows;
+  (* single-threaded write path: the copy-on-write commit must stay
+     within a small factor of the old in-place write *)
+  let db = Workloads.seed_populate 1_000 in
+  let iters = 2_000 in
+  let _, t =
+    Report.time_of (fun () ->
+        for i = 1 to iters do
+          ignore
+            (ok
+               (DB.create_object db ~cls:"Action"
+                  ~name:(Printf.sprintf "Write%05d" i) ()))
+        done)
+  in
+  let create_us = t /. float_of_int iters *. 1e6 in
+  let subs =
+    Array.init 1_000 (fun i ->
+        Option.get (DB.resolve db (Workloads.data_name i ^ ".Description")))
+  in
+  let _, t =
+    Report.time_of (fun () ->
+        for i = 1 to iters do
+          ok (DB.set_value db subs.(i mod 1_000) (Some (Value.String "w")))
+        done)
+  in
+  let set_us = t /. float_of_int iters *. 1e6 in
+  json :=
+    Printf.sprintf
+      "    {\"case\": \"write_path\", \"objects\": %d, \"create_us\": %.2f, \
+       \"set_value_us\": %.2f}"
+      (DB.object_count db) create_us set_us
+    :: !json;
+  Report.table ~title:"single-threaded write path (db of 1000 clusters)"
+    ~header:[ "op"; "per op" ]
+    [
+      [ "create_object"; Printf.sprintf "%.2f us" create_us ];
+      [ "set_value"; Printf.sprintf "%.2f us" set_us ];
+    ];
+  let oc = open_out "BENCH_mvcc.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"mvcc\",\n  \"command\": \"dune exec bench/main.exe -- \
+     mvcc\",\n  \"host_cores\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
+    (Domain.recommended_domain_count ())
+    (String.concat ",\n" (List.rev !json));
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_mvcc.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let suites =
   [
@@ -1017,6 +1187,7 @@ let suites =
     ("query", query);
     ("version", version);
     ("txn", txn);
+    ("mvcc", mvcc);
     ("spades", spades);
     ("ablation", ablation);
     ("storage", storage);

@@ -345,6 +345,82 @@ let select_cmd =
     (Cmd.info "select" ~doc:"Query objects by class and completeness.")
     Term.(const run $ dir_arg $ cls $ incomplete)
 
+(* --- explain ----------------------------------------------------------- *)
+
+(* tiny predicate language for the planner: terms [class=C], [isa=C],
+   [name=N], [incomplete], combined with [and], [or], [not] — binding
+   tightest to loosest: not, and, or *)
+let parse_pred tokens =
+  let module Q = Seed_core.Query in
+  let open Seed_error in
+  let atom tok =
+    match String.index_opt tok '=' with
+    | Some i -> (
+      let k = String.sub tok 0 i
+      and v = String.sub tok (i + 1) (String.length tok - i - 1) in
+      match k with
+      | "class" -> Ok (Q.in_class v)
+      | "isa" -> Ok (Q.is_a v)
+      | "name" -> Ok (Q.name_is v)
+      | _ -> fail (Invalid_operation ("unknown predicate term " ^ tok)))
+    | None -> (
+      match tok with
+      | "incomplete" -> Ok Q.is_incomplete
+      | _ -> fail (Invalid_operation ("unknown predicate term " ^ tok)))
+  in
+  let rec parse_or toks =
+    let* l, toks = parse_and toks in
+    match toks with
+    | "or" :: rest ->
+      let* r, toks = parse_or rest in
+      Ok (Q.( ||| ) l r, toks)
+    | _ -> Ok (l, toks)
+  and parse_and toks =
+    let* l, toks = parse_not toks in
+    match toks with
+    | "and" :: rest ->
+      let* r, toks = parse_and rest in
+      Ok (Q.( &&& ) l r, toks)
+    | _ -> Ok (l, toks)
+  and parse_not = function
+    | "not" :: rest ->
+      let* p, toks = parse_not rest in
+      Ok (Q.not_ p, toks)
+    | tok :: rest ->
+      let* p = atom tok in
+      Ok (p, rest)
+    | [] -> fail (Invalid_operation "empty predicate")
+  in
+  let* p, leftover = parse_or tokens in
+  match leftover with
+  | [] -> Ok p
+  | tok :: _ -> fail (Invalid_operation ("predicate syntax error at " ^ tok))
+
+let explain_pred db tokens =
+  let open Seed_error in
+  let* pred = parse_pred tokens in
+  let module Q = Seed_core.Query in
+  Fmt.pr "%a@." Q.pp_plan (Q.explain (DB.view db) pred);
+  Ok ()
+
+let explain_cmd =
+  let run dir tokens = with_session dir (fun db -> explain_pred db tokens) in
+  let tokens =
+    Arg.(
+      non_empty & pos_right 0 string []
+      & info [] ~docv:"PRED"
+          ~doc:
+            "Predicate terms: $(b,class=C), $(b,isa=C), $(b,name=N), \
+             $(b,incomplete), combined with $(b,and), $(b,or), $(b,not).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Show the access path the query planner would take for a \
+          predicate — indexed candidate set with estimated cardinality, \
+          or a full scan and why — without running the query.")
+    Term.(const run $ dir_arg $ tokens)
+
 (* --- export / import ---------------------------------------------------- *)
 
 let export_cmd =
@@ -672,6 +748,7 @@ let shell_help () =
     \  delete PATH                logical deletion\n\
     \  show [NAME]                object tree(s)\n\
     \  report                     completeness findings\n\
+    \  explain PRED...            planner access path for a predicate\n\
     \  stats                      database summary\n\
     \  snapshot                   save a version\n\
     \  versions                   list versions\n\
@@ -782,6 +859,7 @@ let shell_cmd =
               List.iter
                 (fun d -> Fmt.pr "- %a@." Seed_core.Completeness.pp_diagnostic d)
                 findings
+          | "explain" :: tokens -> report_result (explain_pred db tokens)
           | [ "stats" ] -> Fmt.pr "%a@." DB.pp_stats (DB.stats db)
           | [ "snapshot" ] ->
             report_result
@@ -832,6 +910,7 @@ let main =
       link_cmd;
       show_cmd;
       select_cmd;
+      explain_cmd;
       dot_cmd;
       export_cmd;
       import_cmd;

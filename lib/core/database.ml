@@ -9,7 +9,7 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 type t = Db_state.t
 
 let create schema = Db_state.create schema
-let schema (db : t) = db.Db_state.schema
+let schema (db : t) = Db_state.schema db
 let raw db = db
 let of_raw st = st
 
@@ -17,51 +17,48 @@ let view db = View.retrieval db
 let view_current db = View.current db
 
 let view_at db vid =
-  if Versioning.mem db.Db_state.versions vid then Ok (View.at db vid)
+  if Versioning.mem (Db_state.versions db) vid then Ok (View.at db vid)
   else fail (Unknown_version (Version_id.to_string vid))
 
 let register_procedure db name p = Db_state.register_procedure db name p
 
 (* ------------------------------------------------------------------ *)
-(* Rollback machinery                                                   *)
+(* Snapshots and rollback                                               *)
+(*                                                                      *)
+(* Every mutation below builds a new working root; [Db_state.publish]   *)
+(* at the end of a successful top-level operation makes it visible to   *)
+(* snapshot readers in one atomic store. Rollback — whether of a single *)
+(* failed operation or of a whole transaction — is a root swap: restore *)
+(* the root captured before the work began and {e everything} it did    *)
+(* (item states, indexes, extents, the dirty set, nested mutations by   *)
+(* attached procedures) is undone at once, in O(1).                     *)
 (* ------------------------------------------------------------------ *)
 
-type saved = { s_item : Item.t; s_state : Item.state option; s_dirty : bool }
+type saved = Db_state.root
 
-let save (it : Item.t) = { s_item = it; s_state = it.current; s_dirty = it.dirty }
+let save db : saved = Db_state.root db
+let restore db (r : saved) = Db_state.set_root db r
 
-let deindex_current_name db (it : Item.t) =
-  match (it.Item.body, it.Item.current) with
-  | Item.Independent, Some (Item.Obj { name = Some n; deleted = false; _ }) ->
-    Db_state.unindex_name db n
-  | _ -> ()
+let snapshot db = Db_state.freeze db
+let snapshot_view db = View.current (Db_state.freeze db)
 
-let index_current_name db (it : Item.t) =
-  match (it.Item.body, it.Item.current) with
-  | Item.Independent, Some (Item.Obj { name = Some n; deleted = false; _ }) ->
-    Db_state.index_name db n it.Item.id
-  | _ -> ()
-
-let restore db saved =
-  let it = saved.s_item in
-  deindex_current_name db it;
-  Db_state.unindex_extent db it;
-  it.Item.current <- saved.s_state;
-  it.Item.dirty <- saved.s_dirty;
-  Db_state.index_extent db it;
-  index_current_name db it
+(* Publish after a successful top-level mutation. Mutations nested
+   inside an attached procedure must not publish the enclosing
+   operation's intermediate state; [publish] itself already no-ops
+   inside a transaction. *)
+let publish_if_top db =
+  if Db_state.proc_depth db = 0 then Db_state.publish db
 
 (* ------------------------------------------------------------------ *)
 (* Transactions                                                         *)
 (*                                                                      *)
-(* A transaction records the inverse of every mutation as it is applied *)
-(* (an undo log), chronologically; rollback replays the log newest      *)
-(* entry first. Entries are logged at mutation time — before the        *)
-(* operation's own consistency checks and attached procedures run — so  *)
-(* nested mutations made by procedures are interleaved correctly. Every *)
-(* inverse is an absolute restore, so replaying an entry whose          *)
-(* operation already undid itself (a failed op inside the batch) is     *)
-(* harmless.                                                            *)
+(* A transaction pins the working root as a savepoint and suppresses    *)
+(* publication until commit: readers never observe a half-applied       *)
+(* batch, and rollback is the same O(1) root swap as a single failed    *)
+(* operation. Transactions do not nest, and version or schema           *)
+(* operations ({!create_version}, {!begin_alternative},                 *)
+(* {!delete_version}, {!update_schema}) are refused while one is        *)
+(* active.                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let in_transaction db = Db_state.txn_active db
@@ -70,43 +67,40 @@ let begin_transaction db =
   if Db_state.txn_active db then
     fail (Invalid_operation "a transaction is already active")
   else begin
-    db.Db_state.txn_undo <- Some [];
+    Db_state.begin_txn db;
     Ok ()
   end
 
 let commit_transaction db =
-  match db.Db_state.txn_undo with
-  | None -> fail (Invalid_operation "no active transaction")
-  | Some _ ->
-    db.Db_state.txn_undo <- None;
+  if Db_state.txn_active db then begin
+    Db_state.commit_txn db;
     Ok ()
+  end
+  else fail (Invalid_operation "no active transaction")
 
 let rollback_transaction db =
-  match db.Db_state.txn_undo with
-  | None -> fail (Invalid_operation "no active transaction")
-  | Some undos ->
-    (* stop recording first: the inverses must not log inverses *)
-    db.Db_state.txn_undo <- None;
-    List.iter (fun f -> f ()) undos;
+  if Db_state.txn_active db then begin
+    Db_state.rollback_txn db;
     Ok ()
+  end
+  else fail (Invalid_operation "no active transaction")
 
 let with_transaction db f =
   let* () = begin_transaction db in
   match f () with
   | Ok v ->
-    db.Db_state.txn_undo <- None;
+    Db_state.commit_txn db;
     Ok v
   | Error e ->
-    ignore (rollback_transaction db);
+    Db_state.rollback_txn db;
     Error e
   | exception exn ->
-    ignore (rollback_transaction db);
+    Db_state.rollback_txn db;
     raise exn
 
 let forbid_in_transaction db what =
   if Db_state.txn_active db then
-    fail
-      (Invalid_operation (what ^ " is not allowed inside a transaction"))
+    fail (Invalid_operation (what ^ " is not allowed inside a transaction"))
   else Ok ()
 
 (* ------------------------------------------------------------------ *)
@@ -114,7 +108,7 @@ let forbid_in_transaction db what =
 (* ------------------------------------------------------------------ *)
 
 let procedure_names db (it : Item.t) =
-  let schema = db.Db_state.schema in
+  let schema = Db_state.schema db in
   match it.Item.current with
   | Some (Item.Obj o) ->
     let chain =
@@ -157,58 +151,66 @@ let procedure_names db (it : Item.t) =
 let run_procedures db (it : Item.t) event =
   let names = procedure_names db it in
   if names = [] then Ok ()
-  else if db.Db_state.proc_depth >= 16 then
+  else if Db_state.proc_depth db >= 16 then
     fail (Invalid_operation "attached procedure recursion too deep")
   else
     let* procs = map_result (Db_state.find_procedure db) names in
-    db.Db_state.proc_depth <- db.Db_state.proc_depth + 1;
+    Db_state.set_proc_depth db (Db_state.proc_depth db + 1);
     let result = iter_result (fun p -> p db event) procs in
-    db.Db_state.proc_depth <- db.Db_state.proc_depth - 1;
+    Db_state.set_proc_depth db (Db_state.proc_depth db - 1);
     result
 
-(* After a mutation touching [it], re-validate the normal contexts that
-   see it through pattern inheritance, then run attached procedures. Any
-   failure triggers [undo].
+(* After a mutation touching the item [id], re-validate the normal
+   contexts that see it through pattern inheritance, then run attached
+   procedures. Any failure restores [before] (the pre-operation root).
+   On success the new root is published (top-level operations only).
+
+   The item is re-fetched here: the handle the caller started from was
+   superseded by the mutation.
 
    [recheck_contexts] is false for updates that cannot affect counting
    constraints (value changes, renames): their structural checks have
    already run, so pattern value updates stay O(1) regardless of the
    number of inheritors — the point of patterns. *)
-let commit ?(recheck_contexts = true) db (it : Item.t) event ~undo =
+let commit ?(recheck_contexts = true) db id event ~before =
   let v = View.current db in
+  let it =
+    match Db_state.find_item db id with
+    | Some it -> it
+    | None -> assert false (* deletion is logical; the item is present *)
+  in
   let contexts =
-    match View.state v it with
+    match it.Item.current with
     | Some s when recheck_contexts && Item.state_pattern s ->
       Consistency.normal_inheritor_contexts v it
     | Some _ | None -> []
   in
   let result =
-    let* () =
-      iter_result (Consistency.check_inheritor_context v) contexts
-    in
+    let* () = iter_result (Consistency.check_inheritor_context v) contexts in
     run_procedures db it event
   in
   match result with
-  | Ok () -> Ok ()
+  | Ok () ->
+    publish_if_top db;
+    Ok ()
   | Error e ->
     Log.debug (fun m ->
-        m "update of %a rolled back: %a" Ident.pp it.Item.id Seed_error.pp e);
-    undo ();
+        m "update of %a rolled back: %a" Ident.pp id Seed_error.pp e);
+    restore db before;
     Error e
 
 (* ------------------------------------------------------------------ *)
 (* Creation                                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* Enter a freshly created item, recording its removal as the inverse. *)
 let add_new_item db item =
   Db_state.add_item db item;
-  Db_state.mark_dirty db item;
-  Db_state.log_undo db (fun () -> Db_state.remove_item db item)
+  Db_state.mark_dirty db item
 
 let create_object db ~cls ~name ?(pattern = false) () =
   let v = View.current db in
   let* () = Consistency.check_new_object v ~cls ~name in
+  let before = save db in
   let id = Db_state.fresh_id db in
   let state =
     Item.Obj
@@ -223,10 +225,7 @@ let create_object db ~cls ~name ?(pattern = false) () =
   in
   let item = Item.make id Item.Independent state in
   add_new_item db item;
-  let* () =
-    commit db item (Event.Created id) ~undo:(fun () ->
-        Db_state.remove_item db item)
-  in
+  let* () = commit db id (Event.Created id) ~before in
   Ok id
 
 let used_indices v parent ~role =
@@ -264,6 +263,7 @@ let create_sub_object db ~parent ~role ?index ?value () =
     | Some o -> o.Item.pattern
     | None -> false
   in
+  let before = save db in
   let id = Db_state.fresh_id db in
   let state =
     Item.Obj
@@ -278,10 +278,7 @@ let create_sub_object db ~parent ~role ?index ?value () =
   in
   let item = Item.make id (Item.Dependent { parent; role; index }) state in
   add_new_item db item;
-  let* () =
-    commit db item (Event.Created id) ~undo:(fun () ->
-        Db_state.remove_item db item)
-  in
+  let* () = commit db id (Event.Created id) ~before in
   Ok id
 
 let create_relationship db ~assoc ~endpoints ?(pattern = false) () =
@@ -291,6 +288,7 @@ let create_relationship db ~assoc ~endpoints ?(pattern = false) () =
     Consistency.check_new_relationship v ~assoc ~endpoints:endpoint_items
       ~pattern
   in
+  let before = save db in
   let id = Db_state.fresh_id db in
   let state =
     Item.Rel
@@ -304,14 +302,11 @@ let create_relationship db ~assoc ~endpoints ?(pattern = false) () =
   in
   let item = Item.make id Item.Relationship state in
   add_new_item db item;
-  let* () =
-    commit db item (Event.Created id) ~undo:(fun () ->
-        Db_state.remove_item db item)
-  in
+  let* () = commit db id (Event.Created id) ~before in
   Ok id
 
 let create_relationship_named db ~assoc ~bindings ?(pattern = false) () =
-  let* def = Schema.find_assoc_res db.Db_state.schema assoc in
+  let* def = Schema.find_assoc_res (Db_state.schema db) assoc in
   let* endpoints =
     map_result
       (fun (role : Assoc_def.role) ->
@@ -343,15 +338,7 @@ let create_relationship_named db ~assoc ~bindings ?(pattern = false) () =
 (* ------------------------------------------------------------------ *)
 
 let update_item_state db (item : Item.t) new_state =
-  if Db_state.txn_active db then begin
-    let before = save item in
-    Db_state.log_undo db (fun () -> restore db before)
-  end;
-  deindex_current_name db item;
-  Db_state.unindex_extent db item;
-  item.Item.current <- Some new_state;
-  Db_state.index_extent db item;
-  index_current_name db item;
+  Db_state.replace_state db item.Item.id (Some new_state);
   Db_state.mark_dirty db item
 
 let set_value db id value =
@@ -361,12 +348,12 @@ let set_value db id value =
   match View.obj_state v item with
   | None -> fail (Unknown_item (Ident.to_string id))
   | Some o ->
-    let before = save item in
+    let before = save db in
     let old_value = o.Item.value in
     update_item_state db item (Item.Obj { o with Item.value });
-    commit ~recheck_contexts:false db item
+    commit ~recheck_contexts:false db id
       (Event.Value_updated { id; old_value })
-      ~undo:(fun () -> restore db before)
+      ~before
 
 let set_rel_attr db id name value =
   let v = View.current db in
@@ -375,16 +362,16 @@ let set_rel_attr db id name value =
   match View.rel_state v item with
   | None -> fail (Unknown_item (Ident.to_string id))
   | Some r ->
-    let before = save item in
+    let before = save db in
     let attrs = List.remove_assoc name r.Item.rel_attrs in
     let attrs =
       match value with None -> attrs | Some value -> (name, value) :: attrs
     in
     update_item_state db item (Item.Rel { r with Item.rel_attrs = attrs });
-    commit ~recheck_contexts:false db item
+    commit ~recheck_contexts:false db id
       (Event.Value_updated
          { id; old_value = List.assoc_opt name r.Item.rel_attrs })
-      ~undo:(fun () -> restore db before)
+      ~before
 
 let rel_attr db id name =
   let v = view db in
@@ -402,12 +389,10 @@ let rename_object db id new_name =
   match View.obj_state v item with
   | None -> fail (Unknown_item (Ident.to_string id))
   | Some o ->
-    let before = save item in
+    let before = save db in
     let old_name = Option.value o.Item.name ~default:"" in
     update_item_state db item (Item.Obj { o with Item.name = Some new_name });
-    commit ~recheck_contexts:false db item
-      (Event.Renamed { id; old_name })
-      ~undo:(fun () -> restore db before)
+    commit ~recheck_contexts:false db id (Event.Renamed { id; old_name }) ~before
 
 let reclassify db id ~to_ =
   let v = View.current db in
@@ -416,20 +401,16 @@ let reclassify db id ~to_ =
   | None -> fail (Unknown_item (Ident.to_string id))
   | Some (Item.Obj o) ->
     let* () = Consistency.check_reclassify_object v item ~to_ in
-    let before = save item in
+    let before = save db in
     let from_ = o.Item.cls in
     update_item_state db item (Item.Obj { o with Item.cls = to_ });
-    commit db item
-      (Event.Reclassified { id; from_ })
-      ~undo:(fun () -> restore db before)
+    commit db id (Event.Reclassified { id; from_ }) ~before
   | Some (Item.Rel r) ->
     let* () = Consistency.check_reclassify_rel v item ~to_ in
-    let before = save item in
+    let before = save db in
     let from_ = r.Item.assoc in
     update_item_state db item (Item.Rel { r with Item.assoc = to_ });
-    commit db item
-      (Event.Reclassified { id; from_ })
-      ~undo:(fun () -> restore db before)
+    commit db id (Event.Reclassified { id; from_ }) ~before
 
 (* the sub-object tree below an object, live items only *)
 let rec subtree v acc (item : Item.t) =
@@ -445,13 +426,11 @@ let delete db id =
     | Item.Relationship -> [ item ]
     | Item.Independent ->
       let tree = subtree v [] item in
-      let incident =
-        View.rels v item.Item.id |> List.filter (View.live v)
-      in
+      let incident = View.rels v item.Item.id |> List.filter (View.live v) in
       tree @ incident
     | Item.Dependent _ -> subtree v [] item
   in
-  let saves = List.map save cascade in
+  let before = save db in
   let mark_deleted (it : Item.t) =
     match it.Item.current with
     | Some (Item.Obj o) ->
@@ -461,8 +440,7 @@ let delete db id =
     | None -> ()
   in
   List.iter mark_deleted cascade;
-  commit db item (Event.Deleted id) ~undo:(fun () ->
-      List.iter (restore db) saves)
+  commit db id (Event.Deleted id) ~before
 
 (* ------------------------------------------------------------------ *)
 (* Patterns                                                             *)
@@ -476,16 +454,10 @@ let inherit_pattern db ~pattern ~inheritor =
   match View.obj_state v inh with
   | None -> fail (Unknown_item (Ident.to_string inheritor))
   | Some o ->
-    let before = save inh in
+    let before = save db in
     update_item_state db inh
       (Item.Obj { o with Item.inherits = o.Item.inherits @ [ pattern ] });
     Db_state.index_inheritor db ~pattern ~inheritor;
-    Db_state.log_undo db (fun () ->
-        Db_state.unindex_inheritor db ~pattern ~inheritor);
-    let undo () =
-      Db_state.unindex_inheritor db ~pattern ~inheritor;
-      restore db before
-    in
     let result =
       (* the combined context must be consistent right away *)
       if View.live_normal v inh then Consistency.check_inheritor_context v inh
@@ -493,9 +465,9 @@ let inherit_pattern db ~pattern ~inheritor =
     in
     (match result with
     | Error e ->
-      undo ();
+      restore db before;
       Error e
-    | Ok () -> commit db inh (Event.Inherited { pattern; inheritor }) ~undo)
+    | Ok () -> commit db inheritor (Event.Inherited { pattern; inheritor }) ~before)
 
 let uninherit_pattern db ~pattern ~inheritor =
   let v = View.current db in
@@ -511,8 +483,7 @@ let uninherit_pattern db ~pattern ~inheritor =
       in
       update_item_state db inh (Item.Obj { o with Item.inherits });
       Db_state.unindex_inheritor db ~pattern ~inheritor;
-      Db_state.log_undo db (fun () ->
-          Db_state.index_inheritor db ~pattern ~inheritor);
+      publish_if_top db;
       Ok ()
     end
 
@@ -520,7 +491,7 @@ let uninherit_pattern db ~pattern ~inheritor =
 (* Versions                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let current_base (db : t) = db.Db_state.current_base
+let current_base (db : t) = Db_state.current_base db
 
 let is_dirty db =
   List.exists
@@ -532,45 +503,55 @@ let is_dirty db =
 
 let create_version db =
   let* () = forbid_in_transaction db "create_version" in
-  let* () =
-    iter_result
-      (fun (_, rule) -> rule db ~base:db.Db_state.current_base)
-      db.Db_state.transition_rules
-  in
-  let* vid =
-    Versioning.derive db.Db_state.versions ~base:db.Db_state.current_base
-      ~schema_rev:(Schema.revision db.Db_state.schema)
-  in
-  let dirty = Db_state.take_dirty db in
-  List.iter (fun it -> Item.stamp it vid) dirty;
-  db.Db_state.current_base <- Some vid;
-  Log.info (fun m ->
-      m "version %a created (%d items stamped)" Version_id.pp vid
-        (List.length dirty));
-  Ok vid
+  let before = save db in
+  match
+    let* () =
+      iter_result
+        (fun (_, rule) -> rule db ~base:(Db_state.current_base db))
+        (Db_state.transition_rules db)
+    in
+    let* vid, vt =
+      Versioning.derive (Db_state.versions db)
+        ~base:(Db_state.current_base db)
+        ~schema_rev:(Schema.revision (Db_state.schema db))
+    in
+    Db_state.set_versions db vt;
+    let stamped = Db_state.stamp_dirty db vid in
+    Db_state.set_current_base db (Some vid);
+    Db_state.publish db;
+    Log.info (fun m ->
+        m "version %a created (%d items stamped)" Version_id.pp vid stamped);
+    Ok vid
+  with
+  | Ok vid -> Ok vid
+  | Error e ->
+    restore db before;
+    Error e
 
 let select_version db vid_opt =
   match vid_opt with
   | None ->
-    db.Db_state.retrieval_version <- None;
+    Db_state.set_retrieval_version db None;
+    Db_state.publish db;
     Ok ()
   | Some vid ->
-    if Versioning.mem db.Db_state.versions vid then begin
-      db.Db_state.retrieval_version <- Some vid;
+    if Versioning.mem (Db_state.versions db) vid then begin
+      Db_state.set_retrieval_version db (Some vid);
+      Db_state.publish db;
       Ok ()
     end
     else fail (Unknown_version (Version_id.to_string vid))
 
-let selected_version (db : t) = db.Db_state.retrieval_version
+let selected_version (db : t) = Db_state.retrieval_version db
 
 let begin_alternative db ~from_ ?(force = false) () =
   let* () = forbid_in_transaction db "begin_alternative" in
-  let* _node = Versioning.find_res db.Db_state.versions from_ in
+  let* _node = Versioning.find_res (Db_state.versions db) from_ in
   let* () =
     if is_dirty db && not force then
       fail
         (Unsaved_changes
-           (match db.Db_state.current_base with
+           (match Db_state.current_base db with
            | Some v -> Version_id.to_string v
            | None -> "(unsaved initial state)"))
     else Ok ()
@@ -580,20 +561,22 @@ let begin_alternative db ~from_ ?(force = false) () =
      otherwise resolve each item through the ancestor chain *)
   let resolve =
     match Db_state.version_extent db from_ with
-    | Some ve -> fun it -> Db_state.ve_state ve it.Item.id
-    | None -> fun it -> Versioning.state_at db.Db_state.versions it from_
+    | Some ve -> fun (it : Item.t) -> Db_state.ve_state ve it.Item.id
+    | None ->
+      let versions = Db_state.versions db in
+      fun it -> Versioning.state_at versions it from_
   in
-  Db_state.iter_items db (fun it ->
-      it.Item.current <- resolve it;
-      it.Item.dirty <- false);
+  Db_state.map_items db (fun it ->
+      Item.with_dirty (Item.with_current it (resolve it)) false);
   Db_state.rebuild_state_indexes db;
-  db.Db_state.current_base <- Some from_;
+  Db_state.set_current_base db (Some from_);
+  Db_state.publish db;
   Ok ()
 
 let delete_version db vid =
   let* () = forbid_in_transaction db "delete_version" in
   let* () =
-    match db.Db_state.current_base with
+    match Db_state.current_base db with
     | Some b when Version_id.equal b vid ->
       fail
         (Invalid_operation
@@ -601,24 +584,27 @@ let delete_version db vid =
     | Some _ | None -> Ok ()
   in
   let* () =
-    match db.Db_state.retrieval_version with
+    match Db_state.retrieval_version db with
     | Some r when Version_id.equal r vid ->
       fail (Invalid_operation "version is selected for retrieval; deselect first")
     | Some _ | None -> Ok ()
   in
-  let* () = Versioning.delete db.Db_state.versions vid in
-  Db_state.iter_items db (fun it -> Item.drop_stamp it vid);
+  let* vt = Versioning.delete (Db_state.versions db) vid in
+  Db_state.set_versions db vt;
+  Db_state.drop_version_stamps db vid;
   Db_state.invalidate_version_cache db vid;
+  Db_state.publish db;
   Ok ()
 
-let versions db = Versioning.all db.Db_state.versions
+let versions db = Versioning.all (Db_state.versions db)
 
 let set_version_cache_capacity db n = Db_state.set_version_cache_capacity db n
 let version_cache_stats db = Db_state.version_cache_stats db
 let clear_version_cache db = Db_state.clear_version_cache db
 
 let add_transition_rule db name rule =
-  db.Db_state.transition_rules <- db.Db_state.transition_rules @ [ (name, rule) ]
+  Db_state.set_transition_rules db
+    (Db_state.transition_rules db @ [ (name, rule) ])
 
 (* ------------------------------------------------------------------ *)
 (* Schema evolution                                                     *)
@@ -627,16 +613,17 @@ let add_transition_rule db name rule =
 let update_schema db new_schema =
   let* () = forbid_in_transaction db "update_schema" in
   let* () = Schema.validate new_schema in
-  let rev = Schema.revision db.Db_state.schema + 1 in
+  let before = save db in
+  let rev = Schema.revision (Db_state.schema db) + 1 in
   let stamped = Schema.with_revision new_schema rev in
-  let old = db.Db_state.schema in
-  db.Db_state.schema <- stamped;
+  Db_state.set_schema db stamped;
   match Consistency.check_database (View.current db) with
   | Error e ->
-    db.Db_state.schema <- old;
+    restore db before;
     Error e
   | Ok () ->
-    db.Db_state.schemas <- (rev, stamped) :: db.Db_state.schemas;
+    Db_state.set_schemas db ((rev, stamped) :: Db_state.schemas db);
+    Db_state.publish db;
     Ok ()
 
 (* ------------------------------------------------------------------ *)
@@ -743,6 +730,11 @@ type stats = {
   st_items_total : int;
   st_dirty : int;
   st_schema_revision : int;
+  st_vc_hits : int;
+  st_vc_misses : int;
+  st_vc_evictions : int;
+  st_snapshots : int;
+  st_commits : int;
 }
 
 let stats db =
@@ -756,13 +748,14 @@ let stats db =
           | Item.Dependent _ when View.live v it -> acc + 1
           | _ -> acc)
   in
+  let vc = Db_state.version_cache_stats db in
   {
     st_objects = List.length (View.all_objects v);
     st_sub_objects;
     st_relationships = List.length (View.all_rels v);
     st_patterns = List.length (View.all_patterns v);
-    st_versions = List.length (Versioning.all db.Db_state.versions);
-    st_items_total = Db_state.fold_items db ~init:0 ~f:(fun acc _ -> acc + 1);
+    st_versions = List.length (Versioning.all (Db_state.versions db));
+    st_items_total = Db_state.item_count db;
     st_dirty =
       List.length
         (List.filter
@@ -771,7 +764,12 @@ let stats db =
              | Some it -> it.Item.dirty
              | None -> false)
            (Db_state.dirty_ids db));
-    st_schema_revision = Schema.revision db.Db_state.schema;
+    st_schema_revision = Schema.revision (Db_state.schema db);
+    st_vc_hits = vc.Db_state.vc_hits;
+    st_vc_misses = vc.Db_state.vc_misses;
+    st_vc_evictions = vc.Db_state.vc_evictions;
+    st_snapshots = Db_state.snapshot_grabs db;
+    st_commits = Db_state.commits_published db;
   }
 
 let pp_stats ppf s =
@@ -783,9 +781,13 @@ let pp_stats ppf s =
      versions: %d@,\
      physical items: %d@,\
      unsaved changes: %d@,\
-     schema revision: %d@]"
+     schema revision: %d@,\
+     version cache: %d hits / %d misses / %d evictions@,\
+     snapshots grabbed: %d@,\
+     roots published: %d@]"
     s.st_objects s.st_sub_objects s.st_relationships s.st_patterns
-    s.st_versions s.st_items_total s.st_dirty s.st_schema_revision
+    s.st_versions s.st_items_total s.st_dirty s.st_schema_revision s.st_vc_hits
+    s.st_vc_misses s.st_vc_evictions s.st_snapshots s.st_commits
 
 let completeness_report db = Completeness.check_database (view db)
 

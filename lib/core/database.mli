@@ -39,23 +39,37 @@ val view : t -> View.t
 val view_current : t -> View.t
 val view_at : t -> Version_id.t -> (View.t, Seed_error.t) result
 
+(** {1 Snapshots}
+
+    The database state is copy-on-write: every committed operation
+    publishes a new immutable root, and a snapshot is one atomic load
+    of the latest published root — O(1), no lock, valid forever.
+    Snapshots see only committed state (never the inside of an open
+    transaction or a half-applied operation) and are safe to read from
+    other domains concurrently with the writer. *)
+
+val snapshot : t -> Db_state.t
+(** A frozen handle pinned to the latest committed state. *)
+
+val snapshot_view : t -> View.t
+(** [View.current (snapshot db)] — the usual entry point for readers. *)
+
 (** {1 Transactions}
 
-    A transaction makes a sequence of update operations atomic in
-    memory: as each mutation is applied, its inverse is recorded in an
-    undo log; rolling back replays the log newest-first, restoring item
-    states, indexes, and extents exactly — including mutations made by
-    attached procedures along the way. Cost is proportional to the
-    number of mutations, not to the size of the database. Transactions
-    do not nest, and version or schema operations ({!create_version},
-    {!begin_alternative}, {!delete_version}, {!update_schema}) are
-    refused while one is active. *)
+    A transaction pins the pre-transaction root as a savepoint and
+    holds back publication until commit: concurrent snapshot readers
+    never observe a half-applied batch. Rollback restores the savepoint
+    root — O(1), independent of how many operations the transaction
+    made (including mutations by attached procedures along the way).
+    Transactions do not nest, and version or schema operations
+    ({!create_version}, {!begin_alternative}, {!delete_version},
+    {!update_schema}) are refused while one is active. *)
 
 val with_transaction :
   t -> (unit -> ('a, Seed_error.t) result) -> ('a, Seed_error.t) result
-(** [with_transaction db f] runs [f] with undo recording on. [Ok] keeps
-    every change; [Error] (or an exception) rolls all of them back and
-    re-reports. *)
+(** [with_transaction db f] runs [f] atomically. [Ok] keeps and
+    publishes every change; [Error] (or an exception) rolls all of them
+    back and re-reports. *)
 
 val in_transaction : t -> bool
 
@@ -64,10 +78,10 @@ val begin_transaction : t -> (unit, Seed_error.t) result
     {!with_transaction}. Fails when a transaction is already active. *)
 
 val commit_transaction : t -> (unit, Seed_error.t) result
-(** Keep the changes, drop the undo log. *)
+(** Keep the changes and publish them to snapshot readers. *)
 
 val rollback_transaction : t -> (unit, Seed_error.t) result
-(** Undo every operation since {!begin_transaction}, newest first. *)
+(** Undo every operation since {!begin_transaction} (one root swap). *)
 
 (** {1 Schema evolution} *)
 
@@ -259,6 +273,11 @@ type stats = {
   st_items_total : int;  (** physical items, history included *)
   st_dirty : int;  (** changed since the last snapshot *)
   st_schema_revision : int;
+  st_vc_hits : int;  (** materialized version view cache hits *)
+  st_vc_misses : int;  (** misses = extent builds (reconstruction sweeps) *)
+  st_vc_evictions : int;
+  st_snapshots : int;  (** snapshot roots grabbed via {!snapshot} *)
+  st_commits : int;  (** roots published (op and transaction commits) *)
 }
 
 val stats : t -> stats

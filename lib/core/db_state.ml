@@ -2,313 +2,554 @@ open Seed_util
 open Seed_schema
 open Seed_error
 
-module Name_index = Seed_storage.Btree.Make (String)
+(* ------------------------------------------------------------------ *)
+(* The copy-on-write root                                               *)
+(*                                                                      *)
+(* Everything a reader can observe — item table, indexes, extents, the  *)
+(* version tree, the schema revisions — lives in one immutable [root]   *)
+(* built from persistent maps. A mutation builds a new root sharing all *)
+(* untouched branches with the old one; publishing it is a single       *)
+(* atomic pointer store, and grabbing a consistent snapshot is a single *)
+(* atomic load. Pinned roots stay valid forever: nothing reachable from *)
+(* a root is ever mutated.                                              *)
+(* ------------------------------------------------------------------ *)
 
-type proc = t -> Event.t -> (unit, Seed_error.t) result
+type root = {
+  r_schema : Schema.t;
+  r_schemas : (int * Schema.t) list;
+  r_items : Item.t Ident.Map.t;
+  r_names : Ident.t Smap.t;
+  r_children : Idmap.t;
+  r_rels_of : Idmap.t;
+  r_inheritors : Idmap.t;
+  r_obj_extent : Ident.Set.t Smap.t;
+  r_pattern_extent : Ident.Set.t Smap.t;
+  r_rel_extent : Ident.Set.t Smap.t;
+  r_rel_pattern_extent : Ident.Set.t Smap.t;
+  r_dependent_extent : Ident.Set.t;
+  r_versions : Versioning.t;
+  r_current_base : Version_id.t option;
+  r_retrieval_version : Version_id.t option;
+  r_dirty : Ident.Set.t;
+}
 
 (* A materialized view of one saved version: the live ids per class and
    association, the name index, and every resolved state of that
    version, computed by a single reconstruction sweep over the item
-   table. Once built, any read against the version is a table lookup
-   instead of an ancestor-chain resolution per item. *)
-and version_extent = {
-  ve_obj : (string, Ident.t list) Hashtbl.t;
-  ve_pattern : (string, Ident.t list) Hashtbl.t;
-  ve_rel : (string, Ident.t list) Hashtbl.t;
-  ve_rel_pattern : (string, Ident.t list) Hashtbl.t;
-  mutable ve_dependents : Ident.t list;
+   table. Once built, any read against the version is a lookup instead
+   of an ancestor-chain resolution per item. Id lists are sorted deduped
+   arrays: compact, cache-friendly, and O(log n) membership. *)
+type version_extent = {
+  ve_obj : (string, Ident.t array) Hashtbl.t;
+  ve_pattern : (string, Ident.t array) Hashtbl.t;
+  ve_rel : (string, Ident.t array) Hashtbl.t;
+  ve_rel_pattern : (string, Ident.t array) Hashtbl.t;
+  ve_dependents : Ident.t array;
   ve_names : (string, Ident.t) Hashtbl.t;
   ve_states : Item.state Ident.Tbl.t;
   mutable ve_tick : int;  (* last access, for LRU eviction *)
 }
 
-and version_cache_stats = {
+type version_cache_stats = {
   vc_hits : int;
   vc_misses : int;
   vc_evictions : int;
 }
 
-and t = {
-  mutable schema : Schema.t;
-  mutable schemas : (int * Schema.t) list;
-  items : Item.t Ident.Tbl.t;
+type t = {
+  mutable working : root;
+  published : root Atomic.t;
+  mutable txn_root : root option;
   gen : Ident.Gen.t;
-  name_index : Ident.t Name_index.t;
-  children : Ident.Set.t ref Ident.Tbl.t;
-  rels_of : Ident.Set.t ref Ident.Tbl.t;
-  inheritors : Ident.Set.t ref Ident.Tbl.t;
-  obj_extent : (string, Ident.Hset.t) Hashtbl.t;
-  pattern_extent : (string, Ident.Hset.t) Hashtbl.t;
-  rel_extent : (string, Ident.Hset.t) Hashtbl.t;
-  rel_pattern_extent : (string, Ident.Hset.t) Hashtbl.t;
-  dependent_extent : Ident.Hset.t;
-  versions : Versioning.t;
+  snapshot_count : int Atomic.t;
+  commit_count : int Atomic.t;
+  (* Handle-private version-extent LRU cache. A frozen handle gets its
+     own empty cache, so concurrent readers never share these tables. *)
   version_cache : (Version_id.t, version_extent) Hashtbl.t;
   mutable version_cache_capacity : int;
   mutable version_cache_tick : int;
   mutable vc_hit_count : int;
   mutable vc_miss_count : int;
   mutable vc_eviction_count : int;
-  mutable current_base : Version_id.t option;
-  mutable retrieval_version : Version_id.t option;
-  dirty_set : Ident.Hset.t;
   procedures : (string, proc) Hashtbl.t;
   mutable proc_depth : int;
   mutable transition_rules :
     (string * (t -> base:Version_id.t option -> (unit, Seed_error.t) result))
     list;
-  mutable txn_undo : (unit -> unit) list option;
 }
 
-let create schema =
+and proc = t -> Event.t -> (unit, Seed_error.t) result
+
+let empty_root schema =
   {
-    schema;
-    schemas = [ (Schema.revision schema, schema) ];
-    items = Ident.Tbl.create 256;
+    r_schema = schema;
+    r_schemas = [ (Schema.revision schema, schema) ];
+    r_items = Ident.Map.empty;
+    r_names = Smap.empty;
+    r_children = Idmap.empty;
+    r_rels_of = Idmap.empty;
+    r_inheritors = Idmap.empty;
+    r_obj_extent = Smap.empty;
+    r_pattern_extent = Smap.empty;
+    r_rel_extent = Smap.empty;
+    r_rel_pattern_extent = Smap.empty;
+    r_dependent_extent = Ident.Set.empty;
+    r_versions = Versioning.empty;
+    r_current_base = None;
+    r_retrieval_version = None;
+    r_dirty = Ident.Set.empty;
+  }
+
+let create schema =
+  let root = empty_root schema in
+  {
+    working = root;
+    published = Atomic.make root;
+    txn_root = None;
     gen = Ident.Gen.create ();
-    name_index = Name_index.create ();
-    children = Ident.Tbl.create 64;
-    rels_of = Ident.Tbl.create 64;
-    inheritors = Ident.Tbl.create 16;
-    obj_extent = Hashtbl.create 16;
-    pattern_extent = Hashtbl.create 16;
-    rel_extent = Hashtbl.create 16;
-    rel_pattern_extent = Hashtbl.create 16;
-    dependent_extent = Ident.Hset.create 64;
-    versions = Versioning.create ();
+    snapshot_count = Atomic.make 0;
+    commit_count = Atomic.make 0;
     version_cache = Hashtbl.create 8;
     version_cache_capacity = 8;
     version_cache_tick = 0;
     vc_hit_count = 0;
     vc_miss_count = 0;
     vc_eviction_count = 0;
-    current_base = None;
-    retrieval_version = None;
-    dirty_set = Ident.Hset.create 64;
     procedures = Hashtbl.create 8;
     proc_depth = 0;
     transition_rules = [];
-    txn_undo = None;
   }
 
-let txn_active t = t.txn_undo <> None
+(* ------------------------------------------------------------------ *)
+(* Roots, publication, snapshots                                        *)
+(* ------------------------------------------------------------------ *)
 
-let log_undo t f =
-  match t.txn_undo with
+let root t = t.working
+let set_root t root = t.working <- root
+
+let publish t =
+  if t.txn_root = None then begin
+    (* Schema closures are memoized behind [Lazy.t]; force them on the
+       writer before the root escapes so no reader domain ever races on
+       [Lazy.force]. *)
+    Schema.prepare t.working.r_schema;
+    List.iter (fun (_, s) -> Schema.prepare s) t.working.r_schemas;
+    Atomic.set t.published t.working;
+    Atomic.incr t.commit_count
+  end
+
+let published_root t = Atomic.get t.published
+
+let freeze t =
+  let root = Atomic.get t.published in
+  Atomic.incr t.snapshot_count;
+  {
+    working = root;
+    published = Atomic.make root;
+    txn_root = None;
+    gen = t.gen;
+    snapshot_count = t.snapshot_count;
+    commit_count = t.commit_count;
+    version_cache = Hashtbl.create 8;
+    version_cache_capacity = t.version_cache_capacity;
+    version_cache_tick = 0;
+    vc_hit_count = 0;
+    vc_miss_count = 0;
+    vc_eviction_count = 0;
+    procedures = t.procedures;
+    proc_depth = 0;
+    transition_rules = [];
+  }
+
+let snapshot_grabs t = Atomic.get t.snapshot_count
+let commits_published t = Atomic.get t.commit_count
+
+let begin_txn t = t.txn_root <- Some t.working
+
+let commit_txn t =
+  t.txn_root <- None;
+  publish t
+
+let rollback_txn t =
+  match t.txn_root with
+  | Some r ->
+    t.working <- r;
+    t.txn_root <- None
   | None -> ()
-  | Some fs -> t.txn_undo <- Some (f :: fs)
 
-let find_item t id = Ident.Tbl.find_opt t.items id
+let txn_active t = t.txn_root <> None
+
+(* ------------------------------------------------------------------ *)
+(* Root-level field accessors                                           *)
+(* ------------------------------------------------------------------ *)
+
+let schema t = t.working.r_schema
+let set_schema t s = t.working <- { t.working with r_schema = s }
+let schemas t = t.working.r_schemas
+let set_schemas t l = t.working <- { t.working with r_schemas = l }
+let versions t = t.working.r_versions
+let set_versions t v = t.working <- { t.working with r_versions = v }
+let current_base t = t.working.r_current_base
+let set_current_base t b = t.working <- { t.working with r_current_base = b }
+let retrieval_version t = t.working.r_retrieval_version
+
+let set_retrieval_version t v =
+  t.working <- { t.working with r_retrieval_version = v }
+
+let gen t = t.gen
+let fresh_id t = Ident.Gen.next t.gen
+
+let find_item t id = Ident.Map.find_opt id t.working.r_items
 
 let find_item_res t id =
   match find_item t id with
   | Some it -> Ok it
   | None -> fail (Unknown_item (Ident.to_string id))
 
-let fresh_id t = Ident.Gen.next t.gen
+let item_count t = Ident.Map.cardinal t.working.r_items
 
-let multi_add tbl key v =
-  match Ident.Tbl.find_opt tbl key with
-  | Some cell -> cell := Ident.Set.add v !cell
-  | None -> Ident.Tbl.replace tbl key (ref (Ident.Set.singleton v))
+let iter_items t f = Ident.Map.iter (fun _ it -> f it) t.working.r_items
 
-let multi_remove tbl key v =
-  match Ident.Tbl.find_opt tbl key with
-  | Some cell -> cell := Ident.Set.remove v !cell
-  | None -> ()
-
-let multi_get tbl key =
-  match Ident.Tbl.find_opt tbl key with
-  | Some cell -> Ident.Set.elements !cell
-  | None -> []
-
-let index_name t name id = Name_index.insert t.name_index name id
-let unindex_name t name = ignore (Name_index.remove t.name_index name)
+let fold_items t ~init ~f =
+  Ident.Map.fold (fun _ it acc -> f acc it) t.working.r_items init
 
 (* ------------------------------------------------------------------ *)
 (* Class / association extents                                          *)
 (*                                                                      *)
-(* Invariant: after every mutation of an item's current state the item  *)
-(* belongs to exactly the extent matching that state — [obj_extent cls] *)
-(* holds the live normal independent objects classified [cls],          *)
-(* [pattern_extent cls] the live pattern objects, [rel_extent assoc]    *)
-(* and [rel_pattern_extent assoc] the live (pattern) relationships, and *)
-(* [dependent_extent] the live sub-objects. Deleted items and items     *)
-(* with no current state are in no extent. Re-classification moves the  *)
-(* item between class extents, deletion drops it, and a pattern flip    *)
-(* (never produced today, but handled uniformly) would move it between  *)
-(* the normal and pattern tables.                                       *)
+(* Invariant: after every replacement of an item's current state the    *)
+(* item belongs to exactly the extent matching that state —             *)
+(* [r_obj_extent cls] holds the live normal independent objects         *)
+(* classified [cls], [r_pattern_extent cls] the live pattern objects,   *)
+(* [r_rel_extent assoc] and [r_rel_pattern_extent assoc] the live       *)
+(* (pattern) relationships, and [r_dependent_extent] the live           *)
+(* sub-objects. Deleted items and items with no current state are in no *)
+(* extent. Re-classification moves the item between class extents,      *)
+(* deletion drops it, and a pattern flip (never produced today, but     *)
+(* handled uniformly) would move it between the normal and pattern      *)
+(* maps. [replace_state] maintains all of this in one place.            *)
 (* ------------------------------------------------------------------ *)
 
-let extent_get tbl key =
-  match Hashtbl.find_opt tbl key with
-  | Some set -> set
-  | None ->
-    let set = Ident.Hset.create 16 in
-    Hashtbl.add tbl key set;
-    set
-
-let extent_ids tbl key =
-  match Hashtbl.find_opt tbl key with
-  | Some set -> Ident.Hset.elements set
-  | None -> []
-
-let all_extent_ids tbl =
-  Hashtbl.fold (fun _ set acc -> Ident.Hset.fold List.cons set acc) tbl []
-
-(* Add the item's current state to its extent. Called with the state the
-   item is about to expose; a no-op for deleted or stateless items. *)
-let index_extent t (item : Item.t) =
-  match item.current with
-  | None -> ()
-  | Some s when Item.state_deleted s -> ()
+(* Enter [state]'s extent membership for [item] into [r]; no-op for
+   deleted or absent states. *)
+let root_index_state r (item : Item.t) (state : Item.state option) =
+  match state with
+  | None -> r
+  | Some s when Item.state_deleted s -> r
   | Some (Item.Obj o) -> (
     match item.body with
     | Item.Independent ->
-      let tbl = if o.Item.pattern then t.pattern_extent else t.obj_extent in
-      Ident.Hset.add (extent_get tbl o.Item.cls) item.id
-    | Item.Dependent _ -> Ident.Hset.add t.dependent_extent item.id
-    | Item.Relationship -> ())
-  | Some (Item.Rel r) -> (
+      let r =
+        if o.Item.pattern then
+          { r with r_pattern_extent = Smap.add_id r.r_pattern_extent o.Item.cls item.id }
+        else { r with r_obj_extent = Smap.add_id r.r_obj_extent o.Item.cls item.id }
+      in
+      (match o.Item.name with
+      | Some n -> { r with r_names = Smap.add n item.id r.r_names }
+      | None -> r)
+    | Item.Dependent _ ->
+      { r with r_dependent_extent = Ident.Set.add item.id r.r_dependent_extent }
+    | Item.Relationship -> r)
+  | Some (Item.Rel rel) -> (
     match item.body with
     | Item.Relationship ->
-      let tbl =
-        if r.Item.rel_pattern then t.rel_pattern_extent else t.rel_extent
-      in
-      Ident.Hset.add (extent_get tbl r.Item.assoc) item.id
-    | Item.Independent | Item.Dependent _ -> ())
+      if rel.Item.rel_pattern then
+        {
+          r with
+          r_rel_pattern_extent =
+            Smap.add_id r.r_rel_pattern_extent rel.Item.assoc item.id;
+        }
+      else { r with r_rel_extent = Smap.add_id r.r_rel_extent rel.Item.assoc item.id }
+    | Item.Independent | Item.Dependent _ -> r)
 
-(* Remove the item's current-state extent membership. Must be called
-   BEFORE the current state is overwritten. *)
-let unindex_extent t (item : Item.t) =
-  match item.current with
-  | None -> ()
+(* Drop [state]'s extent membership for [item] from [r]. *)
+let root_unindex_state r (item : Item.t) (state : Item.state option) =
+  match state with
+  | None -> r
   | Some (Item.Obj o) -> (
     match item.body with
     | Item.Independent ->
-      let tbl = if o.Item.pattern then t.pattern_extent else t.obj_extent in
-      (match Hashtbl.find_opt tbl o.Item.cls with
-      | Some set -> Ident.Hset.remove set item.id
-      | None -> ())
-    | Item.Dependent _ -> Ident.Hset.remove t.dependent_extent item.id
-    | Item.Relationship -> ())
-  | Some (Item.Rel r) -> (
+      let r =
+        if Item.state_deleted (Item.Obj o) then r
+        else if o.Item.pattern then
+          {
+            r with
+            r_pattern_extent = Smap.remove_id r.r_pattern_extent o.Item.cls item.id;
+          }
+        else
+          { r with r_obj_extent = Smap.remove_id r.r_obj_extent o.Item.cls item.id }
+      in
+      (match o.Item.name with
+      | Some n when (match Smap.find_opt n r.r_names with
+                    | Some id -> Ident.equal id item.id
+                    | None -> false) ->
+        { r with r_names = Smap.remove n r.r_names }
+      | Some _ | None -> r)
+    | Item.Dependent _ ->
+      { r with r_dependent_extent = Ident.Set.remove item.id r.r_dependent_extent }
+    | Item.Relationship -> r)
+  | Some (Item.Rel rel) -> (
     match item.body with
     | Item.Relationship ->
-      let tbl =
-        if r.Item.rel_pattern then t.rel_pattern_extent else t.rel_extent
-      in
-      (match Hashtbl.find_opt tbl r.Item.assoc with
-      | Some set -> Ident.Hset.remove set item.id
-      | None -> ())
-    | Item.Independent | Item.Dependent _ -> ())
+      if Item.state_deleted (Item.Rel rel) then r
+      else if rel.Item.rel_pattern then
+        {
+          r with
+          r_rel_pattern_extent =
+            Smap.remove_id r.r_rel_pattern_extent rel.Item.assoc item.id;
+        }
+      else
+        { r with r_rel_extent = Smap.remove_id r.r_rel_extent rel.Item.assoc item.id }
+    | Item.Independent | Item.Dependent _ -> r)
 
-let obj_extent_ids t cls = extent_ids t.obj_extent cls
-let pattern_extent_ids t cls = extent_ids t.pattern_extent cls
-let rel_extent_ids t assoc = extent_ids t.rel_extent assoc
-let rel_pattern_extent_ids t assoc = extent_ids t.rel_pattern_extent assoc
-let all_obj_extent_ids t = all_extent_ids t.obj_extent
-let all_pattern_extent_ids t = all_extent_ids t.pattern_extent
-let all_rel_extent_ids t = all_extent_ids t.rel_extent
-let all_rel_pattern_extent_ids t = all_extent_ids t.rel_pattern_extent
-let dependent_extent_ids t = Ident.Hset.elements t.dependent_extent
-let live_dependent_count t = Ident.Hset.cardinal t.dependent_extent
+let obj_extent_ids t cls = Smap.ids t.working.r_obj_extent cls
+let pattern_extent_ids t cls = Smap.ids t.working.r_pattern_extent cls
+let rel_extent_ids t assoc = Smap.ids t.working.r_rel_extent assoc
+let rel_pattern_extent_ids t assoc = Smap.ids t.working.r_rel_pattern_extent assoc
+let all_obj_extent_ids t = Smap.all_ids t.working.r_obj_extent
+let all_pattern_extent_ids t = Smap.all_ids t.working.r_pattern_extent
+let all_rel_extent_ids t = Smap.all_ids t.working.r_rel_extent
+let all_rel_pattern_extent_ids t = Smap.all_ids t.working.r_rel_pattern_extent
+let dependent_extent_ids t = Ident.Set.elements t.working.r_dependent_extent
+let live_dependent_count t = Ident.Set.cardinal t.working.r_dependent_extent
+
+let obj_extent_count t cls = Ident.Set.cardinal (Smap.set t.working.r_obj_extent cls)
+let pattern_extent_count t cls =
+  Ident.Set.cardinal (Smap.set t.working.r_pattern_extent cls)
+let rel_extent_count t assoc =
+  Ident.Set.cardinal (Smap.set t.working.r_rel_extent assoc)
+let rel_pattern_extent_count t assoc =
+  Ident.Set.cardinal (Smap.set t.working.r_rel_pattern_extent assoc)
 
 let all_live_ids t =
   all_obj_extent_ids t @ all_pattern_extent_ids t @ all_rel_extent_ids t
   @ all_rel_pattern_extent_ids t @ dependent_extent_ids t
 
+(* ------------------------------------------------------------------ *)
+(* Item mutation (new roots)                                            *)
+(* ------------------------------------------------------------------ *)
+
 let add_item t (item : Item.t) =
-  Ident.Tbl.replace t.items item.id item;
-  index_extent t item;
-  (match item.body with
-  | Item.Dependent { parent; _ } -> multi_add t.children parent item.id
-  | Item.Independent -> (
-    match Item.obj_state item with
-    | Some { name = Some n; _ } -> index_name t n item.id
-    | Some _ | None -> ())
-  | Item.Relationship -> (
-    match Item.rel_state item with
-    | Some { endpoints; _ } ->
-      List.iter (fun e -> multi_add t.rels_of e item.id) endpoints
-    | None -> ()))
+  let r = t.working in
+  let r = { r with r_items = Ident.Map.add item.id item r.r_items } in
+  let r = root_index_state r item item.current in
+  let r =
+    match item.body with
+    | Item.Dependent { parent; _ } ->
+      { r with r_children = Idmap.add r.r_children parent item.id }
+    | Item.Independent -> r
+    | Item.Relationship -> (
+      match Item.rel_state item with
+      | Some { endpoints; _ } ->
+        {
+          r with
+          r_rels_of =
+            List.fold_left (fun m e -> Idmap.add m e item.id) r.r_rels_of endpoints;
+        }
+      | None -> r)
+  in
+  t.working <- r
 
 let add_loaded_item t (item : Item.t) =
   (* Like [add_item] but suitable for items loaded from storage: an item
      may exist only in history (current = None), in which case the
      relationship index must still cover its historical endpoints. Name,
      inheritor, and extent indexes are rebuilt wholesale afterwards. *)
-  Ident.Tbl.replace t.items item.id item;
-  (match item.body with
-  | Item.Dependent { parent; _ } -> multi_add t.children parent item.id
-  | Item.Independent -> ()
-  | Item.Relationship ->
-    let state =
-      match item.current with
-      | Some s -> Some s
-      | None -> Item.any_history_state item
-    in
-    (match state with
-    | Some (Item.Rel { endpoints; _ }) ->
-      List.iter (fun e -> multi_add t.rels_of e item.id) endpoints
-    | Some (Item.Obj _) | None -> ()))
+  let r = t.working in
+  let r = { r with r_items = Ident.Map.add item.id item r.r_items } in
+  let r =
+    match item.body with
+    | Item.Dependent { parent; _ } ->
+      { r with r_children = Idmap.add r.r_children parent item.id }
+    | Item.Independent -> r
+    | Item.Relationship -> (
+      let state =
+        match item.current with
+        | Some s -> Some s
+        | None -> Item.any_history_state item
+      in
+      match state with
+      | Some (Item.Rel { endpoints; _ }) ->
+        {
+          r with
+          r_rels_of =
+            List.fold_left (fun m e -> Idmap.add m e item.id) r.r_rels_of endpoints;
+        }
+      | Some (Item.Obj _) | None -> r)
+  in
+  t.working <- r
 
 let remove_item t (item : Item.t) =
-  unindex_extent t item;
-  Ident.Tbl.remove t.items item.id;
-  (match item.body with
-  | Item.Dependent { parent; _ } -> multi_remove t.children parent item.id
-  | Item.Independent -> (
-    match Item.obj_state item with
-    | Some { name = Some n; _ } -> unindex_name t n
-    | Some _ | None -> ())
-  | Item.Relationship -> (
-    match Item.rel_state item with
-    | Some { endpoints; _ } ->
-      List.iter (fun e -> multi_remove t.rels_of e item.id) endpoints
-    | None -> ()));
-  Ident.Hset.remove t.dirty_set item.id
+  let r = t.working in
+  let item =
+    match Ident.Map.find_opt item.Item.id r.r_items with
+    | Some it -> it
+    | None -> item
+  in
+  let r = root_unindex_state r item item.current in
+  let r = { r with r_items = Ident.Map.remove item.id r.r_items } in
+  let r =
+    match item.body with
+    | Item.Dependent { parent; _ } ->
+      { r with r_children = Idmap.remove r.r_children parent item.id }
+    | Item.Independent -> r
+    | Item.Relationship -> (
+      match Item.rel_state item with
+      | Some { endpoints; _ } ->
+        {
+          r with
+          r_rels_of =
+            List.fold_left
+              (fun m e -> Idmap.remove m e item.id)
+              r.r_rels_of endpoints;
+        }
+      | None -> r)
+  in
+  t.working <- { r with r_dirty = Ident.Set.remove item.id r.r_dirty }
+
+let replace_state t id new_state =
+  match Ident.Map.find_opt id t.working.r_items with
+  | None -> ()
+  | Some item ->
+    let r = root_unindex_state t.working item item.current in
+    let item' = Item.with_current item new_state in
+    let r = { r with r_items = Ident.Map.add id item' r.r_items } in
+    t.working <- root_index_state r item' new_state
+
+let unsafe_put_item t (item : Item.t) =
+  (* Replace the stored record without any index maintenance — test
+     support for tampering with an item behind the API's back. *)
+  t.working <-
+    { t.working with r_items = Ident.Map.add item.Item.id item t.working.r_items }
+
+let map_items t f =
+  let r = t.working in
+  t.working <- { r with r_items = Ident.Map.map f r.r_items }
+
+(* ------------------------------------------------------------------ *)
+(* The delta set                                                        *)
+(* ------------------------------------------------------------------ *)
 
 let mark_dirty t (item : Item.t) =
-  if not item.dirty then begin
-    item.dirty <- true;
-    Ident.Hset.add t.dirty_set item.id
-  end
+  match Ident.Map.find_opt item.Item.id t.working.r_items with
+  | Some it when not it.Item.dirty ->
+    t.working <-
+      {
+        t.working with
+        r_items = Ident.Map.add it.Item.id (Item.with_dirty it true) t.working.r_items;
+        r_dirty = Ident.Set.add it.Item.id t.working.r_dirty;
+      }
+  | Some _ | None -> ()
+
+let dirty_ids t = Ident.Set.elements t.working.r_dirty
 
 let take_dirty t =
-  let ids = Ident.Hset.elements t.dirty_set in
-  Ident.Hset.clear t.dirty_set;
-  List.filter_map
-    (fun id ->
-      match find_item t id with
-      | Some it when it.Item.dirty -> Some it
-      | Some _ | None -> None)
-    ids
+  let r = t.working in
+  let items =
+    Ident.Set.fold
+      (fun id acc ->
+        match Ident.Map.find_opt id r.r_items with
+        | Some it when it.Item.dirty -> it :: acc
+        | Some _ | None -> acc)
+      r.r_dirty []
+  in
+  t.working <- { r with r_dirty = Ident.Set.empty };
+  items
 
 let clear_dirty t =
-  Ident.Hset.iter
-    (fun id ->
-      match find_item t id with
-      | Some it -> it.Item.dirty <- false
-      | None -> ())
-    t.dirty_set;
-  Ident.Hset.clear t.dirty_set
+  let r = t.working in
+  let items =
+    Ident.Set.fold
+      (fun id m ->
+        match Ident.Map.find_opt id m with
+        | Some it -> Ident.Map.add id (Item.with_dirty it false) m
+        | None -> m)
+      r.r_dirty r.r_items
+  in
+  t.working <- { r with r_items = items; r_dirty = Ident.Set.empty }
 
-let dirty_ids t = Ident.Hset.elements t.dirty_set
+let rebuild_dirty t =
+  let r = t.working in
+  let dirty =
+    Ident.Map.fold
+      (fun id it acc -> if it.Item.dirty then Ident.Set.add id acc else acc)
+      r.r_items Ident.Set.empty
+  in
+  t.working <- { r with r_dirty = dirty }
 
-let children_ids t id = multi_get t.children id
-let rels_ids t id = multi_get t.rels_of id
-let inheritor_ids t id = multi_get t.inheritors id
+let stamp_dirty t vid =
+  let r = t.working in
+  let count = ref 0 in
+  let items =
+    Ident.Set.fold
+      (fun id m ->
+        match Ident.Map.find_opt id m with
+        | Some it when it.Item.dirty ->
+          incr count;
+          Ident.Map.add id (Item.stamp it vid) m
+        | Some _ | None -> m)
+      r.r_dirty r.r_items
+  in
+  t.working <- { r with r_items = items; r_dirty = Ident.Set.empty };
+  !count
 
-let index_inheritor t ~pattern ~inheritor = multi_add t.inheritors pattern inheritor
+let drop_version_stamps t vid =
+  let r = t.working in
+  t.working <- { r with r_items = Ident.Map.map (fun it -> Item.drop_stamp it vid) r.r_items }
+
+(* ------------------------------------------------------------------ *)
+(* Identity indexes                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let children_ids t id = Idmap.ids t.working.r_children id
+let rels_ids t id = Idmap.ids t.working.r_rels_of id
+let inheritor_ids t id = Idmap.ids t.working.r_inheritors id
+
+let index_inheritor t ~pattern ~inheritor =
+  t.working <-
+    { t.working with r_inheritors = Idmap.add t.working.r_inheritors pattern inheritor }
 
 let unindex_inheritor t ~pattern ~inheritor =
-  multi_remove t.inheritors pattern inheritor
+  t.working <-
+    {
+      t.working with
+      r_inheritors = Idmap.remove t.working.r_inheritors pattern inheritor;
+    }
 
-let iter_items t f = Ident.Tbl.iter (fun _ it -> f it) t.items
+let index_name t name id =
+  t.working <- { t.working with r_names = Smap.add name id t.working.r_names }
 
-let fold_items t ~init ~f =
-  Ident.Tbl.fold (fun _ it acc -> f acc it) t.items init
+let unindex_name t name =
+  t.working <- { t.working with r_names = Smap.remove name t.working.r_names }
+
+let find_id_by_name t name = Smap.find_opt name t.working.r_names
+
+let rebuild_state_indexes t =
+  let r = t.working in
+  let r =
+    {
+      r with
+      r_names = Smap.empty;
+      r_inheritors = Idmap.empty;
+      r_obj_extent = Smap.empty;
+      r_pattern_extent = Smap.empty;
+      r_rel_extent = Smap.empty;
+      r_rel_pattern_extent = Smap.empty;
+      r_dependent_extent = Ident.Set.empty;
+    }
+  in
+  let r =
+    Ident.Map.fold
+      (fun _ it r ->
+        let r = root_index_state r it it.Item.current in
+        match (it.Item.body, it.Item.current) with
+        | Item.Independent, Some (Item.Obj o) when not o.Item.deleted ->
+          List.fold_left
+            (fun r p -> { r with r_inheritors = Idmap.add r.r_inheritors p it.Item.id })
+            r o.Item.inherits
+        | _ -> r)
+      r.r_items r
+  in
+  t.working <- r
 
 (* ------------------------------------------------------------------ *)
 (* Materialized version views                                           *)
@@ -319,51 +560,78 @@ let fold_items t ~init ~f =
 (* never reused), version deletion is leaf-only and drops exactly that  *)
 (* label's stamps, and a load rebuilds the whole state. A cached extent *)
 (* therefore stays valid until its own version is deleted; the cache is *)
-(* invalidated per label on delete and starts empty after load/restore. *)
-(* Capacity is configurable ({!set_version_cache_capacity}); 0 disables *)
-(* materialization and readers fall back to the resolution scan.        *)
+(* invalidated per label on delete and starts empty after load/restore  *)
+(* (and in every frozen handle — the cache is private to its handle, so *)
+(* reader domains never contend on it). Capacity is configurable        *)
+(* ({!set_version_cache_capacity}); 0 disables materialization and      *)
+(* readers fall back to the resolution scan.                            *)
 (* ------------------------------------------------------------------ *)
+
+let sorted_ids l =
+  let a = Array.of_list l in
+  Array.sort Ident.compare a;
+  (* dedupe in place: build sweeps each item once so duplicates should
+     not occur, but the extent promises a set *)
+  let n = Array.length a in
+  if n = 0 then a
+  else begin
+    let w = ref 1 in
+    for i = 1 to n - 1 do
+      if not (Ident.equal a.(i) a.(!w - 1)) then begin
+        a.(!w) <- a.(i);
+        incr w
+      end
+    done;
+    if !w = n then a else Array.sub a 0 !w
+  end
+
+let finalize_id_lists src =
+  let dst = Hashtbl.create (Hashtbl.length src) in
+  Hashtbl.iter (fun k l -> Hashtbl.replace dst k (sorted_ids l)) src;
+  dst
 
 let ve_push tbl key id =
   Hashtbl.replace tbl key
     (id :: (match Hashtbl.find_opt tbl key with Some l -> l | None -> []))
 
 let build_version_extent t vid =
-  let ve =
-    {
-      ve_obj = Hashtbl.create 16;
-      ve_pattern = Hashtbl.create 4;
-      ve_rel = Hashtbl.create 16;
-      ve_rel_pattern = Hashtbl.create 4;
-      ve_dependents = [];
-      ve_names = Hashtbl.create 64;
-      ve_states = Ident.Tbl.create 256;
-      ve_tick = 0;
-    }
-  in
+  let obj = Hashtbl.create 16 in
+  let pattern = Hashtbl.create 4 in
+  let rel = Hashtbl.create 16 in
+  let rel_pattern = Hashtbl.create 4 in
+  let dependents = ref [] in
+  let names = Hashtbl.create 64 in
+  let states = Ident.Tbl.create 256 in
+  let versions = t.working.r_versions in
   iter_items t (fun it ->
-      match Versioning.state_at t.versions it vid with
+      match Versioning.state_at versions it vid with
       | None -> ()
       | Some s ->
-        Ident.Tbl.replace ve.ve_states it.Item.id s;
+        Ident.Tbl.replace states it.Item.id s;
         if not (Item.state_deleted s) then begin
           match (it.Item.body, s) with
           | Item.Independent, Item.Obj o ->
-            let tbl = if o.Item.pattern then ve.ve_pattern else ve.ve_obj in
+            let tbl = if o.Item.pattern then pattern else obj in
             ve_push tbl o.Item.cls it.Item.id;
             (match o.Item.name with
-            | Some n -> Hashtbl.replace ve.ve_names n it.Item.id
+            | Some n -> Hashtbl.replace names n it.Item.id
             | None -> ())
-          | Item.Dependent _, Item.Obj _ ->
-            ve.ve_dependents <- it.Item.id :: ve.ve_dependents
+          | Item.Dependent _, Item.Obj _ -> dependents := it.Item.id :: !dependents
           | Item.Relationship, Item.Rel r ->
-            let tbl =
-              if r.Item.rel_pattern then ve.ve_rel_pattern else ve.ve_rel
-            in
+            let tbl = if r.Item.rel_pattern then rel_pattern else rel in
             ve_push tbl r.Item.assoc it.Item.id
           | _ -> ()
         end);
-  ve
+  {
+    ve_obj = finalize_id_lists obj;
+    ve_pattern = finalize_id_lists pattern;
+    ve_rel = finalize_id_lists rel;
+    ve_rel_pattern = finalize_id_lists rel_pattern;
+    ve_dependents = sorted_ids !dependents;
+    ve_names = names;
+    ve_states = states;
+    ve_tick = 0;
+  }
 
 let evict_version_lru t =
   let victim =
@@ -381,8 +649,10 @@ let evict_version_lru t =
   | None -> ()
 
 let version_extent t vid =
-  if t.version_cache_capacity <= 0 || not (Versioning.mem t.versions vid) then
-    None
+  if
+    t.version_cache_capacity <= 0
+    || not (Versioning.mem t.working.r_versions vid)
+  then None
   else begin
     t.version_cache_tick <- t.version_cache_tick + 1;
     match Hashtbl.find_opt t.version_cache vid with
@@ -415,12 +685,17 @@ let set_version_cache_capacity t n =
 let version_cache_capacity t = t.version_cache_capacity
 
 let version_cache_stats t =
-  { vc_hits = t.vc_hit_count; vc_misses = t.vc_miss_count; vc_evictions = t.vc_eviction_count }
+  {
+    vc_hits = t.vc_hit_count;
+    vc_misses = t.vc_miss_count;
+    vc_evictions = t.vc_eviction_count;
+  }
 
 let ve_ids tbl key =
-  match Hashtbl.find_opt tbl key with Some l -> l | None -> []
+  match Hashtbl.find_opt tbl key with Some a -> Array.to_list a | None -> []
 
-let ve_all_ids tbl = Hashtbl.fold (fun _ l acc -> List.rev_append l acc) tbl []
+let ve_all_ids tbl =
+  Hashtbl.fold (fun _ a acc -> Array.fold_left (fun acc id -> id :: acc) acc a) tbl []
 
 let ve_obj_ids ve cls = ve_ids ve.ve_obj cls
 let ve_pattern_ids ve cls = ve_ids ve.ve_pattern cls
@@ -429,33 +704,37 @@ let ve_rel_pattern_ids ve assoc = ve_ids ve.ve_rel_pattern assoc
 let ve_all_obj_ids ve = ve_all_ids ve.ve_obj
 let ve_all_pattern_ids ve = ve_all_ids ve.ve_pattern
 let ve_all_rel_ids ve = ve_all_ids ve.ve_rel
-let ve_dependent_ids ve = ve.ve_dependents
+let ve_dependent_ids ve = Array.to_list ve.ve_dependents
+
+let sorted_mem a id =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  let found = ref false in
+  while (not !found) && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = Ident.compare id a.(mid) in
+    if c = 0 then found := true
+    else if c < 0 then hi := mid
+    else lo := mid + 1
+  done;
+  !found
+
+let ve_class_mem ve cls id =
+  match Hashtbl.find_opt ve.ve_obj cls with
+  | Some a -> sorted_mem a id
+  | None -> false
+
+let ve_obj_count ve cls =
+  match Hashtbl.find_opt ve.ve_obj cls with Some a -> Array.length a | None -> 0
+
+let ve_rel_count ve assoc =
+  match Hashtbl.find_opt ve.ve_rel assoc with Some a -> Array.length a | None -> 0
+
 let ve_find_name ve name = Hashtbl.find_opt ve.ve_names name
 let ve_state ve id = Ident.Tbl.find_opt ve.ve_states id
 
-let rebuild_state_indexes t =
-  (* name index *)
-  let names = Name_index.to_list t.name_index in
-  List.iter (fun (n, _) -> unindex_name t n) names;
-  Ident.Tbl.reset t.inheritors;
-  Hashtbl.reset t.obj_extent;
-  Hashtbl.reset t.pattern_extent;
-  Hashtbl.reset t.rel_extent;
-  Hashtbl.reset t.rel_pattern_extent;
-  Ident.Hset.clear t.dependent_extent;
-  iter_items t (fun it ->
-      index_extent t it;
-      match (it.Item.body, it.Item.current) with
-      | Item.Independent, Some (Item.Obj o) when not o.Item.deleted ->
-        (match o.Item.name with
-        | Some n -> index_name t n it.Item.id
-        | None -> ());
-        List.iter
-          (fun p -> index_inheritor t ~pattern:p ~inheritor:it.Item.id)
-          o.Item.inherits
-      | _ -> ())
-
-let find_id_by_name t name = Name_index.find t.name_index name
+(* ------------------------------------------------------------------ *)
+(* Registries (handle-level, not part of the root)                      *)
+(* ------------------------------------------------------------------ *)
 
 let register_procedure t name p = Hashtbl.replace t.procedures name p
 
@@ -464,5 +743,9 @@ let find_procedure t name =
   | Some p -> Ok p
   | None -> fail (Unknown_procedure name)
 
-let schema_at_revision t rev =
-  List.assoc_opt rev t.schemas
+let proc_depth t = t.proc_depth
+let set_proc_depth t d = t.proc_depth <- d
+let transition_rules t = t.transition_rules
+let set_transition_rules t l = t.transition_rules <- l
+
+let schema_at_revision t rev = List.assoc_opt rev t.working.r_schemas

@@ -1,11 +1,20 @@
-(** Mutable database state: item tables, indexes, class/association
+(** Copy-on-write database state: item table, indexes, class/association
     extents, the version tree, and the attached-procedure registry.
 
     This module is the engine room — it performs no semantic checking.
     {!Database} is the checked operational interface; {!Consistency} and
     {!Completeness} read through these accessors.
 
-    Beyond the identity-level indexes, the state maintains {e extents}:
+    The data lives in an immutable {!root} of persistent maps; a handle
+    ([t]) carries a mutable {e working} root plus an atomically
+    {e published} root. Mutators replace the working root (sharing all
+    untouched branches with the previous one); {!publish} makes it the
+    published root with a single atomic store. {!freeze} grabs the
+    published root into a read-only handle in O(1) — the basis of
+    {!Database.snapshot_view} and lock-free multi-domain readers:
+    nothing reachable from a published root is ever mutated.
+
+    Beyond the identity-level indexes, the root maintains {e extents}:
     per-class and per-association sets of the items whose current state
     is live in that class or association. They are maintained
     incrementally on create, delete, re-classify, and rollback, and give
@@ -14,101 +23,108 @@
 open Seed_util
 open Seed_schema
 
-module Name_index : module type of Seed_storage.Btree.Make (String)
+type root
+(** An immutable, internally consistent state of the whole database.
+    Cheap to retain: two roots share every branch they did not change. *)
+
+type t
+(** A state handle: working/published roots plus handle-private caches
+    and registries. Writer handles mutate and publish; frozen handles
+    (from {!freeze}) are pinned to one published root and are safe to
+    read from any domain. *)
 
 type proc = t -> Event.t -> (unit, Seed_error.t) result
 (** An attached procedure: called after the mutation it observes; an
     [Error] vetoes and rolls back the update. *)
 
-and version_extent = {
-  ve_obj : (string, Ident.t list) Hashtbl.t;
-      (** class → live normal independent objects in that version *)
-  ve_pattern : (string, Ident.t list) Hashtbl.t;
-  ve_rel : (string, Ident.t list) Hashtbl.t;
-  ve_rel_pattern : (string, Ident.t list) Hashtbl.t;
-  mutable ve_dependents : Ident.t list;
-  ve_names : (string, Ident.t) Hashtbl.t;
-      (** name → live independent object (patterns included, as in the
-          current-state name index) *)
-  ve_states : Item.state Ident.Tbl.t;
-      (** every resolved state of the version, deleted stamps included;
-          an id absent here does not exist in that version *)
-  mutable ve_tick : int;
-}
-(** A materialized view of one saved version — see {!version_extent}. *)
+type version_extent
+(** A materialized view of one saved version — see the
+    {e Materialized version views} section. *)
 
-and version_cache_stats = {
+type version_cache_stats = {
   vc_hits : int;
   vc_misses : int;  (** misses = extent builds (reconstruction sweeps) *)
   vc_evictions : int;
 }
 
-and t = {
-  mutable schema : Schema.t;
-  mutable schemas : (int * Schema.t) list;
-      (** every schema revision ever in force, newest first — schema
-          versions in the sense of the paper *)
-  items : Item.t Ident.Tbl.t;
-  gen : Ident.Gen.t;
-  name_index : Ident.t Name_index.t;
-      (** name → id for independent objects live in the current state *)
-  children : Ident.Set.t ref Ident.Tbl.t;  (** parent id → sub-object ids *)
-  rels_of : Ident.Set.t ref Ident.Tbl.t;  (** object id → relationship ids *)
-  inheritors : Ident.Set.t ref Ident.Tbl.t;  (** pattern id → inheritor ids *)
-  obj_extent : (string, Ident.Hset.t) Hashtbl.t;
-      (** class → live normal independent objects currently in it *)
-  pattern_extent : (string, Ident.Hset.t) Hashtbl.t;
-      (** class → live pattern objects currently in it *)
-  rel_extent : (string, Ident.Hset.t) Hashtbl.t;
-      (** association → live normal relationships currently in it *)
-  rel_pattern_extent : (string, Ident.Hset.t) Hashtbl.t;
-      (** association → live pattern relationships currently in it *)
-  dependent_extent : Ident.Hset.t;  (** all live dependent sub-objects *)
-  versions : Versioning.t;
-  version_cache : (Version_id.t, version_extent) Hashtbl.t;
-      (** LRU-bounded materialized version views; see {!version_extent} *)
-  mutable version_cache_capacity : int;
-  mutable version_cache_tick : int;
-  mutable vc_hit_count : int;
-  mutable vc_miss_count : int;
-  mutable vc_eviction_count : int;
-  mutable current_base : Version_id.t option;
-      (** the saved version the current state derives from *)
-  mutable retrieval_version : Version_id.t option;
-      (** the version retrieval operations read from; [None] = current *)
-  dirty_set : Ident.Hset.t;
-      (** candidate delta set: ids marked since the last snapshot; the
-          per-item [dirty] flag is authoritative (rollback may leave
-          stale entries, filtered on {!take_dirty}) *)
-  procedures : (string, proc) Hashtbl.t;
-  mutable proc_depth : int;
-      (** attached-procedure nesting depth (recursion guard) *)
-  mutable transition_rules :
-    (string * (t -> base:Version_id.t option -> (unit, Seed_error.t) result))
-    list;
-      (** history-sensitive consistency rules, checked when a version is
-          created (paper §Discussion lists these as an open problem) *)
-  mutable txn_undo : (unit -> unit) list option;
-      (** the undo log of the active transaction, newest entry first;
-          [None] = no transaction is recording. Owned by
-          {!Database.with_transaction}. *)
-}
-
 val create : Schema.t -> t
 
-val txn_active : t -> bool
-(** A transaction is recording undo entries. *)
+(** {1 Roots, publication, snapshots} *)
 
-val log_undo : t -> (unit -> unit) -> unit
-(** Record the inverse of a mutation about to be applied. A no-op
-    outside a transaction. Entries are replayed newest-first on
-    rollback, so log {e before} mutating and make the inverse an
-    absolute restore (safe to run more than once). *)
+val root : t -> root
+(** The working root — every accessor below reads from it. *)
+
+val set_root : t -> root -> unit
+(** Replace the working root (op-level rollback: restoring the root
+    captured before the op undoes {e everything} the op did). *)
+
+val publish : t -> unit
+(** Make the working root the published root (one atomic store) and
+    count a commit. No-op while a transaction is open — readers never
+    observe uncommitted intermediate states. Also forces the schema's
+    memoized closures so reader domains never race on [Lazy.force]. *)
+
+val published_root : t -> root
+
+val freeze : t -> t
+(** O(1): a read-only handle pinned to the currently published root,
+    with its own private version cache — safe to hand to another
+    domain. Counts a snapshot grab. *)
+
+val snapshot_grabs : t -> int
+(** Snapshots grabbed via {!freeze} over the handle's lifetime (shared
+    with its frozen handles). *)
+
+val commits_published : t -> int
+(** Roots published via {!publish} (op and transaction commits). *)
+
+val begin_txn : t -> unit
+(** Pin the working root as the transaction savepoint; {!publish}
+    becomes a no-op until commit/rollback. *)
+
+val commit_txn : t -> unit
+(** Drop the savepoint and publish the working root. *)
+
+val rollback_txn : t -> unit
+(** Restore the working root to the savepoint — O(1), nothing to
+    replay. *)
+
+val txn_active : t -> bool
+
+(** {1 Root fields} *)
+
+val schema : t -> Schema.t
+val set_schema : t -> Schema.t -> unit
+
+val schemas : t -> (int * Schema.t) list
+(** Every schema revision ever in force, newest first — schema versions
+    in the sense of the paper. *)
+
+val set_schemas : t -> (int * Schema.t) list -> unit
+val versions : t -> Versioning.t
+val set_versions : t -> Versioning.t -> unit
+
+val current_base : t -> Version_id.t option
+(** The saved version the current state derives from. *)
+
+val set_current_base : t -> Version_id.t option -> unit
+
+val retrieval_version : t -> Version_id.t option
+(** The version retrieval operations read from; [None] = current. *)
+
+val set_retrieval_version : t -> Version_id.t option -> unit
+val gen : t -> Ident.Gen.t
 
 val find_item : t -> Ident.t -> Item.t option
 val find_item_res : t -> Ident.t -> (Item.t, Seed_error.t) result
+val item_count : t -> int
 
 val fresh_id : t -> Ident.t
+
+(** {1 Item mutation}
+
+    Each of these replaces the working root with one reflecting the
+    change; none publishes. *)
 
 val add_item : t -> Item.t -> unit
 (** Insert into the item table and all identity-level indexes, the
@@ -124,20 +140,24 @@ val remove_item : t -> Item.t -> unit
 (** Physically remove a just-created item (update rollback only — user
     deletion is always logical). *)
 
+val replace_state : t -> Ident.t -> Item.state option -> unit
+(** Overwrite the item's current state, maintaining the name index and
+    all extents (the old state is unindexed, the new one indexed).
+    Does not touch the dirty flag — callers {!mark_dirty}. *)
+
+val unsafe_put_item : t -> Item.t -> unit
+(** Replace the stored record with {e no} index maintenance — test
+    support for tampering with an item behind the API's back. *)
+
+val map_items : t -> (Item.t -> Item.t) -> unit
+(** Replace every item by [f item] (branch switch); callers must
+    {!rebuild_state_indexes} afterwards. *)
+
 (** {1 Extents}
 
     Extent membership follows the {e current} state only — version
     views cannot use them and fall back to scans. All accessors return
     ids in unspecified order. *)
-
-val index_extent : t -> Item.t -> unit
-(** Enter the item's current state into its extent. {!Database} calls
-    this after every current-state overwrite (update and rollback);
-    deleted or stateless items are not entered. *)
-
-val unindex_extent : t -> Item.t -> unit
-(** Drop the item's current-state extent membership. Must be called
-    {e before} the current state is overwritten. *)
 
 val obj_extent_ids : t -> string -> Ident.t list
 (** Live normal independent objects classified exactly in this class. *)
@@ -145,6 +165,14 @@ val obj_extent_ids : t -> string -> Ident.t list
 val pattern_extent_ids : t -> string -> Ident.t list
 val rel_extent_ids : t -> string -> Ident.t list
 val rel_pattern_extent_ids : t -> string -> Ident.t list
+
+val obj_extent_count : t -> string -> int
+(** [List.length (obj_extent_ids t cls)] without building the list —
+    the planner's cardinality estimate. *)
+
+val pattern_extent_count : t -> string -> int
+val rel_extent_count : t -> string -> int
+val rel_pattern_extent_count : t -> string -> int
 
 val all_obj_extent_ids : t -> Ident.t list
 (** Union of {!obj_extent_ids} over all classes — the live normal
@@ -160,8 +188,11 @@ val live_dependent_count : t -> int
 val all_live_ids : t -> Ident.t list
 (** Every item live in the current state (all five extent groups). *)
 
+(** {1 The delta set} *)
+
 val mark_dirty : t -> Item.t -> unit
-(** Add to the delta set for the next version snapshot. *)
+(** Add to the delta set for the next version snapshot (sets the
+    per-item flag). *)
 
 val take_dirty : t -> Item.t list
 (** Items changed since the last snapshot; clears the set but not the
@@ -171,7 +202,18 @@ val clear_dirty : t -> unit
 (** Reset all dirty flags and the set (after a branch switch). *)
 
 val dirty_ids : t -> Ident.t list
-(** The candidate delta set (callers filter on the per-item flag). *)
+
+val rebuild_dirty : t -> unit
+(** Recompute the delta set from the per-item flags (after a load). *)
+
+val stamp_dirty : t -> Version_id.t -> int
+(** Stamp every dirty item's current state under [vid], clearing flags
+    and the set; returns the number of items stamped — the delta. *)
+
+val drop_version_stamps : t -> Version_id.t -> unit
+(** Remove every item's stamp for a deleted version. *)
+
+(** {1 Identity indexes} *)
 
 val children_ids : t -> Ident.t -> Ident.t list
 val rels_ids : t -> Ident.t -> Ident.t list
@@ -196,13 +238,14 @@ val rebuild_state_indexes : t -> unit
 
     Reads against a saved version resolve every item through its
     ancestor chain; a {!version_extent} materializes the whole view
-    once — per-class/association live-id lists, the name index, and all
-    resolved states — so subsequent reads are lookups. Extents live in
-    a bounded LRU cache keyed by version label. Validity: snapshot
-    labels are never reused, version deletion is leaf-only, so a cached
-    extent can only be invalidated by deleting its own version
-    ({!invalidate_version_cache}) or replacing the whole state (load —
-    the fresh state starts with an empty cache). *)
+    once — per-class/association live-id arrays (sorted, deduped), the
+    name index, and all resolved states — so subsequent reads are
+    lookups. Extents live in a bounded LRU cache keyed by version
+    label, private to the handle (frozen handles build their own).
+    Validity: snapshot labels are never reused, version deletion is
+    leaf-only, so a cached extent can only be invalidated by deleting
+    its own version ({!invalidate_version_cache}) or replacing the
+    whole state (load — the fresh state starts with an empty cache). *)
 
 val version_extent : t -> Version_id.t -> version_extent option
 (** The materialized view of a version, built on first access (one
@@ -227,7 +270,7 @@ val version_cache_stats : t -> version_cache_stats
 
 val ve_obj_ids : version_extent -> string -> Ident.t list
 (** Live normal independent objects classified exactly in this class,
-    in that version. *)
+    in that version, in ascending id order. *)
 
 val ve_pattern_ids : version_extent -> string -> Ident.t list
 val ve_rel_ids : version_extent -> string -> Ident.t list
@@ -236,15 +279,36 @@ val ve_all_obj_ids : version_extent -> Ident.t list
 val ve_all_pattern_ids : version_extent -> Ident.t list
 val ve_all_rel_ids : version_extent -> Ident.t list
 val ve_dependent_ids : version_extent -> Ident.t list
+
+val ve_class_mem : version_extent -> string -> Ident.t -> bool
+(** O(log n) membership in one class's live objects (binary search on
+    the sorted array). *)
+
+val ve_obj_count : version_extent -> string -> int
+val ve_rel_count : version_extent -> string -> int
 val ve_find_name : version_extent -> string -> Ident.t option
 
 val ve_state : version_extent -> Ident.t -> Item.state option
 (** The item's resolved state in that version ([None] = does not
     exist there). *)
 
+(** {1 Registries (handle-level, not part of the root)} *)
+
 val register_procedure : t -> string -> proc -> unit
 
 val find_procedure : t -> string -> (proc, Seed_error.t) result
+
+val proc_depth : t -> int
+val set_proc_depth : t -> int -> unit
+
+val transition_rules :
+  t ->
+  (string * (t -> base:Version_id.t option -> (unit, Seed_error.t) result)) list
+
+val set_transition_rules :
+  t ->
+  (string * (t -> base:Version_id.t option -> (unit, Seed_error.t) result)) list ->
+  unit
 
 val schema_at_revision : t -> int -> Schema.t option
 (** The schema that was in force at a given revision. *)

@@ -10,7 +10,7 @@ let stamps_of db id =
   | Some item ->
     List.filter_map
       (fun (vid, state) ->
-        match Versioning.find st.Db_state.versions vid with
+        match Versioning.find (Db_state.versions st) vid with
         | Some node -> Some { version = vid; state; seq = node.Versioning.seq }
         | None -> None)
       (Item.history_bindings item)
@@ -23,7 +23,7 @@ let versions_of db id ?from_ () =
   match from_ with
   | None -> Ok all
   | Some v ->
-    let* node = Versioning.find_res st.Db_state.versions v in
+    let* node = Versioning.find_res (Db_state.versions st) v in
     Ok (List.filter (fun e -> e.seq >= node.Versioning.seq) all)
 
 let find_item_by_name_anywhere db name =
@@ -54,13 +54,13 @@ let versions_of_object db name ?from_ () =
 let state_in db id vid =
   let st = Database.raw db in
   let* item = Db_state.find_item_res st id in
-  let* _ = Versioning.find_res st.Db_state.versions vid in
-  Ok (Versioning.state_at st.Db_state.versions item vid)
+  let* _ = Versioning.find_res (Db_state.versions st) vid in
+  Ok (Versioning.state_at (Db_state.versions st) item vid)
 
 let changed_between db v1 v2 =
   let st = Database.raw db in
-  let* _ = Versioning.find_res st.Db_state.versions v1 in
-  let* _ = Versioning.find_res st.Db_state.versions v2 in
+  let* _ = Versioning.find_res (Db_state.versions st) v1 in
+  let* _ = Versioning.find_res (Db_state.versions st) v2 in
   let changed =
     (* with both views materialized, the diff is two table lookups per
        item instead of two ancestor-chain resolutions *)
@@ -72,15 +72,15 @@ let changed_between db v1 v2 =
           else acc)
     | _ ->
       Db_state.fold_items st ~init:[] ~f:(fun acc item ->
-          let s1 = Versioning.state_at st.Db_state.versions item v1 in
-          let s2 = Versioning.state_at st.Db_state.versions item v2 in
+          let s1 = Versioning.state_at (Db_state.versions st) item v1 in
+          let s2 = Versioning.state_at (Db_state.versions st) item v2 in
           if s1 <> s2 then item.Item.id :: acc else acc)
   in
   Ok (List.sort Ident.compare changed)
 
 let version_path db vid =
   let st = Database.raw db in
-  List.rev (Versioning.ancestors st.Db_state.versions vid)
+  List.rev (Versioning.ancestors (Db_state.versions st) vid)
 
 let pp_entry ppf e =
   let describe = function

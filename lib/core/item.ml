@@ -28,15 +28,18 @@ type body =
 type t = {
   id : Ident.t;
   body : body;
-  mutable current : state option;
-  mutable dirty : bool;
-  mutable history : state Version_id.Map.t;
+  current : state option;
+  dirty : bool;
+  history : state Version_id.Map.t;
 }
 
 (* dirty starts false so that Db_state.mark_dirty both sets the flag and
    enqueues the item in the delta set *)
 let make id body state =
   { id; body; current = Some state; dirty = false; history = Version_id.Map.empty }
+
+let with_current t current = { t with current }
+let with_dirty t dirty = if t.dirty = dirty then t else { t with dirty }
 
 let state_deleted = function
   | Obj o -> o.deleted
@@ -68,12 +71,17 @@ let rel_state t =
 let stamp_at t vid = Version_id.Map.find_opt vid t.history
 
 let stamp t vid =
-  (match t.current with
-  | Some s -> t.history <- Version_id.Map.add vid s t.history
-  | None -> ());
-  t.dirty <- false
+  let history =
+    match t.current with
+    | Some s -> Version_id.Map.add vid s t.history
+    | None -> t.history
+  in
+  { t with history; dirty = false }
 
-let drop_stamp t vid = t.history <- Version_id.Map.remove vid t.history
+let drop_stamp t vid =
+  if Version_id.Map.mem vid t.history then
+    { t with history = Version_id.Map.remove vid t.history }
+  else t
 
 let history_is_empty t = Version_id.Map.is_empty t.history
 let history_size t = Version_id.Map.cardinal t.history

@@ -45,21 +45,29 @@ type body =
 type t = {
   id : Ident.t;
   body : body;
-  mutable current : state option;
+  current : state option;
       (** working state; [None] when the item does not exist in the
           current alternative (it was created on another branch) *)
-  mutable dirty : bool;
-      (** changed since the last version stamp — the delta set *)
-  mutable history : state Version_id.Map.t;
+  dirty : bool;  (** changed since the last version stamp — the delta set *)
+  history : state Version_id.Map.t;
       (** version stamps keyed by version label, so resolving one stamp
           is a map lookup instead of an assoc-list walk; grow-only
           except for version deletion *)
 }
+(** Items are immutable values: an update replaces the item in the
+    database root with a copy carrying the new state, so any pinned
+    snapshot of an older root keeps seeing the unmodified item. *)
 
 val make : Ident.t -> body -> state -> t
 (** Fresh item with the given initial current state. The dirty flag
     starts clear; creation paths call [Db_state.mark_dirty], which both
     sets it and enqueues the item in the delta set. *)
+
+val with_current : t -> state option -> t
+(** Copy with a different working state. *)
+
+val with_dirty : t -> bool -> t
+(** Copy with the dirty flag set/cleared ([t] itself when unchanged). *)
 
 val state_deleted : state -> bool
 val state_pattern : state -> bool
@@ -80,12 +88,13 @@ val rel_state : t -> rel_state option
 val stamp_at : t -> Version_id.t -> state option
 (** The state stamped exactly at the given version, if any. *)
 
-val stamp : t -> Version_id.t -> unit
-(** Record the current state (or nonexistence, encoded as a deleted
-    stamp) under [vid] and clear the dirty flag. *)
+val stamp : t -> Version_id.t -> t
+(** Copy with the current state recorded under [vid] and the dirty flag
+    cleared. *)
 
-val drop_stamp : t -> Version_id.t -> unit
-(** Remove the stamp for a deleted version. *)
+val drop_stamp : t -> Version_id.t -> t
+(** Copy without the stamp for a deleted version ([t] itself when the
+    stamp is absent). *)
 
 val history_is_empty : t -> bool
 

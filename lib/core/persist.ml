@@ -135,16 +135,16 @@ let w_raw_node w (r : Versioning.raw) =
   W.varint w r.Versioning.r_next_branch
 
 let w_meta w (st : Db_state.t) =
-  W.varint w (Ident.Gen.current st.Db_state.gen);
-  let trunk, nodes = Versioning.dump st.Db_state.versions in
+  W.varint w (Ident.Gen.current (Db_state.gen st));
+  let trunk, nodes = Versioning.dump (Db_state.versions st) in
   W.varint w trunk;
   W.list w w_raw_node nodes;
-  W.option w w_version_id st.Db_state.current_base;
+  W.option w w_version_id (Db_state.current_base st);
   W.list w
     (fun w (rev, s) ->
       W.varint w rev;
       w_schema w s)
-    st.Db_state.schemas
+    (Db_state.schemas st)
 
 (* ------------------------------------------------------------------ *)
 (* Decoders                                                             *)
@@ -348,25 +348,21 @@ let build_db meta items ~verify =
     | [] -> fail (Corrupt "database without schema")
   in
   let st = Db_state.create schema in
-  st.Db_state.schemas <- meta.m_schemas;
-  Ident.Gen.mark_used st.Db_state.gen (Ident.of_int meta.m_gen);
-  Versioning.restore st.Db_state.versions ~trunk:meta.m_trunk
-    ~nodes:meta.m_nodes;
-  st.Db_state.current_base <- meta.m_base;
+  Db_state.set_schemas st meta.m_schemas;
+  Ident.Gen.mark_used (Db_state.gen st) (Ident.of_int meta.m_gen);
+  Db_state.set_versions st
+    (Versioning.restore ~trunk:meta.m_trunk ~nodes:meta.m_nodes);
+  Db_state.set_current_base st meta.m_base;
   List.iter
     (fun (it : Item.t) ->
       Db_state.add_loaded_item st it;
-      Ident.Gen.mark_used st.Db_state.gen it.Item.id)
+      Ident.Gen.mark_used (Db_state.gen st) it.Item.id)
     items;
   Db_state.rebuild_state_indexes st;
-  (* rebuild the delta queue from the persisted dirty flags *)
-  List.iter
-    (fun (it : Item.t) ->
-      if it.Item.dirty then begin
-        it.Item.dirty <- false;
-        Db_state.mark_dirty st it
-      end)
-    items;
+  (* rebuild the delta set from the persisted dirty flags *)
+  Db_state.rebuild_dirty st;
+  (* the loaded state is the first committed state *)
+  Db_state.publish st;
   let db = Database.of_raw st in
   let* () =
     if verify then Consistency.check_database (View.current st) else Ok ()

@@ -176,6 +176,99 @@ let rec candidates src schema p =
     | Some _, None | None, Some _ | None, None -> None)
   | Not _ | Opaque _ -> None
 
+(* ------------------------------------------------------------------ *)
+(* Plan explanation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type plan =
+  | Indexed of {
+      via : string;
+      classes : string list;
+      names : string list;
+      est_candidates : int;
+    }
+  | Scan of { reason : string }
+
+(* The first structural reason the candidate computation gives up — for
+   the [Scan] diagnosis. Mirrors [candidates]'s bounding rules. *)
+let rec unbounded_reason p =
+  match p with
+  | In_class _ | Is_a _ | Name_is _ -> None
+  | And (p, q) -> (
+    (* bounded as soon as either side is *)
+    match (unbounded_reason p, unbounded_reason q) with
+    | Some a, Some _ -> Some a
+    | _ -> None)
+  | Or (p, q) -> (
+    match unbounded_reason p with
+    | Some r -> Some ("disjunction with an unbounded arm: " ^ r)
+    | None -> (
+      match unbounded_reason q with
+      | Some r -> Some ("disjunction with an unbounded arm: " ^ r)
+      | None -> None))
+  | Not _ -> Some "negation is unbounded"
+  | Opaque _ -> Some "opaque predicate (no index structure)"
+
+(* Index terms the planner would consult, in appearance order. *)
+let rec index_terms p =
+  match p with
+  | In_class c -> ([ c ], [])
+  | Is_a c -> ([ c ^ " (and descendants)" ], [])
+  | Name_is n -> ([], [ n ])
+  | And (p, q) | Or (p, q) ->
+    let pc, pn = index_terms p and qc, qn = index_terms q in
+    (pc @ qc, pn @ qn)
+  | Not _ | Opaque _ -> ([], [])
+
+let explain v p =
+  match source_of_view v with
+  | None ->
+    Scan
+      {
+        reason =
+          "version view is not materialized (version cache disabled or \
+           unknown version)";
+      }
+  | Some src -> (
+    match candidates src (View.schema v) p with
+    | None ->
+      Scan
+        {
+          reason =
+            (match unbounded_reason p with
+            | Some r -> r
+            | None -> "predicate is unbounded");
+        }
+    | Some ids ->
+      let classes, names = index_terms p in
+      let via =
+        match View.version v with
+        | None -> "current-state extents"
+        | Some vid ->
+          Printf.sprintf "materialized view of version %s"
+            (Version_id.to_string vid)
+      in
+      Indexed
+        {
+          via;
+          classes = List.sort_uniq String.compare classes;
+          names = List.sort_uniq String.compare names;
+          est_candidates = Ident.Set.cardinal ids;
+        })
+
+let pp_plan ppf = function
+  | Indexed { via; classes; names; est_candidates } ->
+    Fmt.pf ppf "@[<v>plan: indexed candidate set@,source: %s@," via;
+    if classes <> [] then
+      Fmt.pf ppf "class extents: %s@," (String.concat ", " classes);
+    if names <> [] then
+      Fmt.pf ppf "name index: %s@," (String.concat ", " names);
+    Fmt.pf ppf
+      "estimated candidates: %d (each re-tested against the full predicate)@]"
+      est_candidates
+  | Scan { reason } ->
+    Fmt.pf ppf "@[<v>plan: full scan of the view@,reason: %s@]" reason
+
 let by_name v (a : Item.t) (b : Item.t) =
   match (View.full_name v a, View.full_name v b) with
   | Some x, Some y -> String.compare x y

@@ -84,6 +84,26 @@ val count : View.t -> pred -> int
 val select_rels : View.t -> assoc:string -> Item.t list
 (** Live normal relationships of this association or a specialization. *)
 
+(** {1 Plan explanation} *)
+
+type plan =
+  | Indexed of {
+      via : string;  (** where the candidate ids come from *)
+      classes : string list;  (** class extents the planner consults *)
+      names : string list;  (** name-index lookups the planner makes *)
+      est_candidates : int;
+          (** candidate-set cardinality — the number of items {!select}
+              would re-test, against the extents as they stand now *)
+    }
+  | Scan of { reason : string }
+
+val explain : View.t -> pred -> plan
+(** The access path {!select}/{!count} would take for this predicate on
+    this view, without running it: an indexed candidate set (with its
+    estimated cardinality) or a full scan and why. *)
+
+val pp_plan : Format.formatter -> plan -> unit
+
 (** {1 Navigation} *)
 
 val neighbors :

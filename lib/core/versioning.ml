@@ -4,26 +4,21 @@ open Seed_error
 type node = {
   vid : Version_id.t;
   parent : Version_id.t option;
-  mutable children_rev : Version_id.t list;
+  children_rev : Version_id.t list;
   seq : int;
   schema_rev : int;
-  mutable next_branch : int;
+  next_branch : int;
+  ancestors : Version_id.t list;
 }
 
 type t = {
-  mutable nodes : node Version_id.Map.t;
-  mutable next_seq : int;
-  mutable trunk : int;
-  path_memo : (Version_id.t, Version_id.t list) Hashtbl.t;
+  nodes : node Version_id.Map.t;
+  next_seq : int;
+  trunk : int;
 }
 
-let create () =
-  {
-    nodes = Version_id.Map.empty;
-    next_seq = 1;
-    trunk = 0;
-    path_memo = Hashtbl.create 16;
-  }
+let empty = { nodes = Version_id.Map.empty; next_seq = 1; trunk = 0 }
+let create () = empty
 
 let is_empty t = Version_id.Map.is_empty t.nodes
 let mem t vid = Version_id.Map.mem vid t.nodes
@@ -39,7 +34,20 @@ let trunk_count t = t.trunk
 let children n = List.rev n.children_rev
 let has_children n = n.children_rev <> []
 
+(* The ancestor chain is computed once at creation and stored in the
+   node: parents are immutable and only leaves can be deleted (nobody's
+   ancestor), so the chain stays valid for the node's whole lifetime —
+   the purely functional replacement for the old per-version memo
+   table. *)
 let add_node t ~vid ~parent ~schema_rev =
+  let ancestors =
+    match parent with
+    | None -> [ vid ]
+    | Some p -> (
+      match Version_id.Map.find_opt p t.nodes with
+      | Some pn -> vid :: pn.ancestors
+      | None -> assert false)
+  in
   let node =
     {
       vid;
@@ -48,61 +56,51 @@ let add_node t ~vid ~parent ~schema_rev =
       seq = t.next_seq;
       schema_rev;
       next_branch = 1;
+      ancestors;
     }
   in
-  t.next_seq <- t.next_seq + 1;
-  t.nodes <- Version_id.Map.add vid node t.nodes;
-  (match parent with
-  | None -> ()
-  | Some p -> (
-    match find t p with
-    | Some pn -> pn.children_rev <- vid :: pn.children_rev
-    | None -> assert false));
-  vid
+  let nodes = Version_id.Map.add vid node t.nodes in
+  let nodes =
+    match parent with
+    | None -> nodes
+    | Some p ->
+      Version_id.Map.update p
+        (function
+          | Some pn -> Some { pn with children_rev = vid :: pn.children_rev }
+          | None -> assert false)
+        nodes
+  in
+  (vid, { t with nodes; next_seq = t.next_seq + 1 })
 
 let derive t ~base ~schema_rev =
   match base with
   | None ->
     if t.trunk > 0 then
       fail (Invalid_operation "version tree: trunk exists but no base version")
-    else begin
-      t.trunk <- 1;
-      Ok (add_node t ~vid:(Version_id.trunk 1) ~parent:None ~schema_rev)
-    end
+    else
+      Ok
+        (add_node { t with trunk = 1 } ~vid:(Version_id.trunk 1) ~parent:None
+           ~schema_rev)
   | Some b ->
     let* bn = find_res t b in
-    if Version_id.is_trunk b && Version_id.major b = t.trunk then begin
+    if Version_id.is_trunk b && Version_id.major b = t.trunk then
       (* continuing the latest trunk version extends the trunk *)
-      t.trunk <- t.trunk + 1;
+      let t = { t with trunk = t.trunk + 1 } in
       Ok (add_node t ~vid:(Version_id.trunk t.trunk) ~parent:(Some b) ~schema_rev)
-    end
     else begin
       let vid = Version_id.child b bn.next_branch in
-      bn.next_branch <- bn.next_branch + 1;
-      if mem t vid then
-        fail (Duplicate_version (Version_id.to_string vid))
+      let nodes =
+        Version_id.Map.add b { bn with next_branch = bn.next_branch + 1 } t.nodes
+      in
+      let t = { t with nodes } in
+      if mem t vid then fail (Duplicate_version (Version_id.to_string vid))
       else Ok (add_node t ~vid ~parent:(Some b) ~schema_rev)
     end
 
-(* Ancestor chains are memoized per version: parents are immutable, a
-   fresh node cannot appear in an existing chain, and only leaves can be
-   deleted (nobody's ancestor), so a memoized path stays valid until the
-   version itself is deleted or the whole tree is restored. *)
 let ancestors t vid =
-  match Hashtbl.find_opt t.path_memo vid with
-  | Some p -> p
-  | None ->
-    let rec go acc v =
-      match find t v with
-      | None -> List.rev acc
-      | Some n -> (
-        match n.parent with
-        | None -> List.rev (v :: acc)
-        | Some p -> go (v :: acc) p)
-    in
-    let p = go [] vid in
-    if p <> [] then Hashtbl.replace t.path_memo vid p;
-    p
+  match find t vid with
+  | Some n -> n.ancestors
+  | None -> []
 
 let state_at t item vid =
   if Item.history_is_empty item then None
@@ -111,7 +109,7 @@ let state_at t item vid =
     | None ->
       (* not in the tree: only an exact stamp could answer *)
       Item.stamp_at item vid
-    | Some _ ->
+    | Some n ->
       let rec first = function
         | [] -> None
         | v :: rest -> (
@@ -119,7 +117,7 @@ let state_at t item vid =
           | Some s -> Some s
           | None -> first rest)
       in
-      first (ancestors t vid)
+      first n.ancestors
 
 let delete t vid =
   let* n = find_res t vid in
@@ -129,19 +127,28 @@ let delete t vid =
          (Printf.sprintf "version %s has derived versions and cannot be deleted"
             (Version_id.to_string vid)))
   else begin
-    (match n.parent with
-    | None -> ()
-    | Some p -> (
-      match find t p with
-      | Some pn ->
-        pn.children_rev <-
-          List.filter (fun c -> not (Version_id.equal c vid)) pn.children_rev
-      | None -> ()));
-    t.nodes <- Version_id.Map.remove vid t.nodes;
-    Hashtbl.remove t.path_memo vid;
+    let nodes = Version_id.Map.remove vid t.nodes in
+    let nodes =
+      match n.parent with
+      | None -> nodes
+      | Some p ->
+        Version_id.Map.update p
+          (function
+            | Some pn ->
+              Some
+                {
+                  pn with
+                  children_rev =
+                    List.filter
+                      (fun c -> not (Version_id.equal c vid))
+                      pn.children_rev;
+                }
+            | None -> None)
+          nodes
+    in
     (* the latest trunk version may be deleted; the trunk counter keeps
        counting upward so labels are never reused *)
-    Ok ()
+    Ok { t with nodes }
   end
 
 let all t =
@@ -175,32 +182,57 @@ let dump t =
         })
       (all t) )
 
-let restore t ~trunk ~nodes =
-  t.nodes <- Version_id.Map.empty;
-  t.trunk <- trunk;
-  t.next_seq <- 1;
-  Hashtbl.reset t.path_memo;
-  List.iter
-    (fun r ->
-      let node =
+let restore ~trunk ~nodes =
+  (* first pass: nodes without links; children and ancestor chains need
+     every node present *)
+  let next_seq, bare =
+    List.fold_left
+      (fun (next_seq, m) r ->
+        let node =
+          {
+            vid = r.r_vid;
+            parent = r.r_parent;
+            children_rev = [];
+            seq = r.r_seq;
+            schema_rev = r.r_schema_rev;
+            next_branch = r.r_next_branch;
+            ancestors = [];
+          }
+        in
+        (max next_seq (r.r_seq + 1), Version_id.Map.add r.r_vid node m))
+      (1, Version_id.Map.empty)
+      nodes
+  in
+  let children =
+    Version_id.Map.fold
+      (fun vid n acc ->
+        match n.parent with
+        | None -> acc
+        | Some p ->
+          Version_id.Map.update p
+            (function None -> Some [ vid ] | Some l -> Some (vid :: l))
+            acc)
+      bare Version_id.Map.empty
+  in
+  (* ancestor chains: walk parents through [bare] (acyclic by
+     construction of the dump) *)
+  let rec chain vid =
+    match Version_id.Map.find_opt vid bare with
+    | None -> []
+    | Some n -> (
+      match n.parent with None -> [ vid ] | Some p -> vid :: chain p)
+  in
+  let nodes =
+    Version_id.Map.mapi
+      (fun vid n ->
         {
-          vid = r.r_vid;
-          parent = r.r_parent;
-          children_rev = [];
-          seq = r.r_seq;
-          schema_rev = r.r_schema_rev;
-          next_branch = r.r_next_branch;
-        }
-      in
-      t.nodes <- Version_id.Map.add r.r_vid node t.nodes;
-      if r.r_seq >= t.next_seq then t.next_seq <- r.r_seq + 1)
-    nodes;
-  List.iter
-    (fun node ->
-      match node.parent with
-      | None -> ()
-      | Some p -> (
-        match find t p with
-        | Some pn -> pn.children_rev <- node.vid :: pn.children_rev
-        | None -> ()))
-    (all t)
+          n with
+          ancestors = chain vid;
+          children_rev =
+            (match Version_id.Map.find_opt vid children with
+            | Some l -> l
+            | None -> []);
+        })
+      bare
+  in
+  { nodes; next_seq; trunk }

@@ -6,24 +6,35 @@
     (delta storage); the view of version [v] resolves each item to the
     stamp of the nearest ancestor of [v] in this tree — the tree
     generalization of the paper's "greatest version number that is less
-    than or equal to n". *)
+    than or equal to n".
+
+    The tree is a persistent value: [derive]/[delete] return a new tree,
+    so it lives inside the copy-on-write database root and pinned
+    snapshots keep resolving against the tree they were taken with. *)
 
 open Seed_util
 
 type node = {
   vid : Version_id.t;
   parent : Version_id.t option;  (** [None] for first-trunk versions *)
-  mutable children_rev : Version_id.t list;
-      (** derived versions, newest first (prepend keeps [add_node] O(1));
+  children_rev : Version_id.t list;
+      (** derived versions, newest first (prepend keeps creation O(1));
           read through {!children} for creation order *)
   seq : int;  (** global creation order *)
   schema_rev : int;  (** schema revision in force when the snapshot was taken *)
-  mutable next_branch : int;  (** next branch index to hand out *)
+  next_branch : int;  (** next branch index to hand out *)
+  ancestors : Version_id.t list;
+      (** [vid] first, then the parent chain up to a trunk root —
+          precomputed at creation (parents are immutable and only leaves
+          can be deleted, so the chain never goes stale) *)
 }
 
 type t
 
+val empty : t
+
 val create : unit -> t
+(** Alias of {!empty} for call sites that read better imperatively. *)
 
 val is_empty : t -> bool
 
@@ -45,7 +56,7 @@ val derive :
   t ->
   base:Version_id.t option ->
   schema_rev:int ->
-  (Version_id.t, Seed_error.t) result
+  (Version_id.t * t, Seed_error.t) result
 (** Allocate the next version label derived from [base] and record it:
     continuing from the latest trunk version (or from nothing) extends
     the trunk ([m.0] → [(m+1).0]); deriving from any other version
@@ -54,17 +65,15 @@ val derive :
 val ancestors : t -> Version_id.t -> Version_id.t list
 (** [v] first, then its parent chain up to a trunk root. Includes the
     implicit trunk predecessors: the parent of trunk version [m.0] is
-    [(m-1).0]. Memoized per version — parents are immutable and only
-    leaves can be deleted, so a chain is invalidated exactly when its
-    own version is deleted (or the tree is {!restore}d). *)
+    [(m-1).0]. *)
 
 val state_at : t -> Item.t -> Version_id.t -> Item.state option
 (** Resolve an item's state in the view of a version: the stamp at the
     nearest ancestor. [None] when the item does not exist there. The
-    memoized ancestor chain plus the item's stamp map make this
+    precomputed ancestor chain plus the item's stamp map make this
     O(depth × log stamps) without rebuilding the chain per call. *)
 
-val delete : t -> Version_id.t -> (unit, Seed_error.t) result
+val delete : t -> Version_id.t -> (t, Seed_error.t) result
 (** Remove a leaf version. Versions with descendants cannot be deleted
     (their views depend on the deleted stamps). *)
 
@@ -88,6 +97,6 @@ type raw = {
 val dump : t -> int * raw list
 (** [(trunk_count, nodes)] in creation order. *)
 
-val restore : t -> trunk:int -> nodes:raw list -> unit
-(** Overwrite the tree in place from a {!dump}; children lists and the
-    sequence counter are recomputed. *)
+val restore : trunk:int -> nodes:raw list -> t
+(** Rebuild a tree from a {!dump}; children lists, ancestor chains and
+    the sequence counter are recomputed. *)

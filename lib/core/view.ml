@@ -8,7 +8,7 @@ let current db_ = { db_; mode = Current }
 let at db_ vid = { db_; mode = At vid }
 
 let retrieval db_ =
-  match db_.Db_state.retrieval_version with
+  match Db_state.retrieval_version db_ with
   | None -> current db_
   | Some vid -> at db_ vid
 
@@ -17,24 +17,29 @@ let db t = t.db_
 
 let schema t =
   match t.mode with
-  | Current -> t.db_.Db_state.schema
+  | Current -> Db_state.schema t.db_
   | At v -> (
-    match Versioning.find t.db_.Db_state.versions v with
-    | None -> t.db_.Db_state.schema
+    match Versioning.find (Db_state.versions t.db_) v with
+    | None -> Db_state.schema t.db_
     | Some node -> (
       match Db_state.schema_at_revision t.db_ node.Versioning.schema_rev with
       | Some s -> s
-      | None -> t.db_.Db_state.schema))
+      | None -> Db_state.schema t.db_))
 
 let state t (item : Item.t) =
   match t.mode with
-  | Current -> item.current
+  | Current -> (
+    (* resolve by id: items are immutable values, so a handle obtained
+       before an update still points at the superseded record *)
+    match Db_state.find_item t.db_ item.Item.id with
+    | Some it -> it.Item.current
+    | None -> None)
   | At v -> (
     (* a materialized view answers from its state table; otherwise walk
        the ancestor chain *)
     match Db_state.cached_version_extent t.db_ v with
     | Some ve -> Db_state.ve_state ve item.Item.id
-    | None -> Versioning.state_at t.db_.Db_state.versions item v)
+    | None -> Versioning.state_at (Db_state.versions t.db_) item v)
 
 let live t item =
   match state t item with Some s -> not (Item.state_deleted s) | None -> false

@@ -94,6 +94,10 @@ let compute_closures class_map assoc_map =
 let make ~class_map ~assoc_map ~rev =
   { class_map; assoc_map; rev; closures = lazy (compute_closures class_map assoc_map) }
 
+(* Forcing on the writer before a schema escapes to reader domains makes
+   the subsequent cross-domain [Lazy.force] calls plain reads. *)
+let prepare s = ignore (Lazy.force s.closures)
+
 let class_closure s n = SMap.find_opt n (Lazy.force s.closures).class_closures
 let assoc_closure s n = SMap.find_opt n (Lazy.force s.closures).assoc_closures
 

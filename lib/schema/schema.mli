@@ -19,6 +19,11 @@ type t
 val revision : t -> int
 (** Monotonic schema revision, used by schema versioning. *)
 
+val prepare : t -> unit
+(** Force the memoized hierarchy closures. Called by the writer before
+    the schema is published to other domains, so concurrent readers
+    never race on the underlying [Lazy.force]. *)
+
 val empty : t
 
 val add_class : t -> Class_def.t -> (t, Seed_util.Seed_error.t) result

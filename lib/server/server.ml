@@ -13,6 +13,12 @@ let create ?now schema =
 
 let database t = t.db
 
+(* retrieval never goes through the lock table: a snapshot is an O(1)
+   grab of the last published root, immutable from then on, so readers
+   — including ones running in other domains — proceed while writers
+   commit *)
+let snapshot t = Database.snapshot_view t.db
+
 let do_checkout t ~client ~ttl ~names =
   let* () =
     iter_result
@@ -154,10 +160,12 @@ let checkin t ~client ops =
   in
   let touched = List.sort_uniq String.compare touched in
   let* () = Lock_table.covers t.locks ~client touched in
-  (* one in-memory transaction: the undo log restores every applied op
-     on failure, in O(ops applied) — not O(database) — and registered
-     closures (attached procedures, transition rules) are never
-     disturbed because the database instance is never replaced *)
+  (* one in-memory transaction: on failure the rollback is a single
+     root swap back to the savepoint — O(1), not O(ops applied) — and
+     registered closures (attached procedures, transition rules) are
+     never disturbed because the database instance is never replaced;
+     no intermediate root is published, so concurrent snapshots never
+     observe a half-applied batch *)
   match
     Database.with_transaction t.db (fun () -> iter_result (apply_op t.db) ops)
   with

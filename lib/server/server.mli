@@ -20,6 +20,13 @@ val create : ?now:(unit -> float) -> Schema.t -> t
 val database : t -> Seed_core.Database.t
 (** The central database — retrieval operations go straight here. *)
 
+val snapshot : t -> Seed_core.View.t
+(** An immutable read-only view of the last committed state — an O(1)
+    grab of the published copy-on-write root. The snapshot never takes
+    the lock table and stays consistent however many check-ins commit
+    after it, so retrieval (from any domain) runs concurrently with
+    writers. *)
+
 val checkout :
   t -> client:string -> names:string list -> (unit, Seed_error.t) result
 (** Write-lock the named independent objects for the client. All the
@@ -67,8 +74,9 @@ val checkin :
   t -> client:string -> Protocol.op list -> (unit, Seed_error.t) result
 (** Apply the client's operations in one transaction
     ({!Seed_core.Database.with_transaction}): either every operation
-    succeeds, or the undo log rolls the whole batch back in memory —
-    attached procedures and transition rules are untouched either way.
+    succeeds, or the whole batch is rolled back by an O(1) root swap —
+    attached procedures and transition rules are untouched either way,
+    and no intermediate state is ever published to snapshots.
     Every touched existing object must be covered by the client's
     locks; a failing operation keeps the locks (the client may fix
     and retry). On success the client's locks are released. *)

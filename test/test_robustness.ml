@@ -252,8 +252,9 @@ let test_load_verification_catches_tampering () =
   let item = Option.get (Seed_core.Db_state.find_item (DB.raw db) d) in
   (match item.Seed_core.Item.current with
   | Some (Seed_core.Item.Obj o) ->
-    item.Seed_core.Item.current <-
-      Some (Seed_core.Item.Obj { o with Seed_core.Item.cls = "Action" })
+    Seed_core.Db_state.unsafe_put_item (DB.raw db)
+      (Seed_core.Item.with_current item
+         (Some (Seed_core.Item.Obj { o with Seed_core.Item.cls = "Action" })))
   | _ -> ());
   check_ok "save" (Persist.save db ~dir);
   check_err "verification refuses" is_membership (Persist.load ~dir ());

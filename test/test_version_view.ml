@@ -178,7 +178,7 @@ let ref_state st (it : Item.t) vid =
     match Item.stamp_at it v with
     | Some s -> Some s
     | None -> (
-      match Versioning.find st.Db_state.versions v with
+      match Versioning.find (Db_state.versions st) v with
       | None -> None
       | Some n -> (
         match n.Versioning.parent with None -> None | Some p -> go p))
