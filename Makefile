@@ -4,7 +4,7 @@
 # formatting when the formatter is available.
 
 .PHONY: check build test fmt soak soak-ci bench bench-query bench-version \
-	bench-txn bench-mvcc bench-chaos
+	bench-txn bench-commit bench-mvcc bench-chaos
 
 check: build test fmt
 
@@ -35,9 +35,12 @@ soak:
 
 # the CI soak gate: fixed seed, 100 iterations — crash injection plus
 # the read-fault (EINTR/bit-flip/short-read) pass on every iteration,
-# and the multi-domain MVCC equivalence sweep
+# the same chaos schedule against a 4-partition journal (crashes land
+# between per-partition writes; recovery merges the partitions), and
+# the multi-domain MVCC equivalence sweep
 soak-ci:
 	dune exec test/soak.exe -- --iters 100 --seed 42
+	dune exec test/soak.exe -- --iters 50 --seed 42 --partitions 4
 	dune exec test/mvcc_stress.exe -- --iters 100 --seed 42
 
 # regenerate the committed query-planner baseline
@@ -52,6 +55,11 @@ bench-version:
 bench-txn:
 	dune exec bench/main.exe -- txn
 
+# regenerate the committed group-commit baseline (txns/s and fsyncs/txn
+# vs writer-domain count x journal-partition count)
+bench-commit:
+	dune exec bench/main.exe -- commit
+
 # regenerate the committed MVCC baseline (snapshot-grab latency, reader
 # domains vs a committing writer, single-threaded write-path cost)
 bench-mvcc:
@@ -63,4 +71,4 @@ bench-chaos:
 	dune exec bench/main.exe -- chaos
 
 # regenerate every committed benchmark baseline
-bench: bench-query bench-version bench-txn bench-mvcc bench-chaos
+bench: bench-query bench-version bench-txn bench-commit bench-mvcc bench-chaos

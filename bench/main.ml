@@ -674,26 +674,36 @@ let txn () =
   let payload = String.make 512 't' in
   let json = ref [] in
   (* group commit: K records as K bare frames (K fsyncs) vs one
-     transaction group (one write, one fsync) under `Always_fsync` *)
+     transaction group (one write, one fsync) under `Always_fsync`.
+     Each arm gets its own fresh store and the arms are interleaved
+     iteration by iteration: fsync timing drifts with file growth and
+     with unrelated host activity, so timing one arm's whole loop after
+     the other's bills the drift to whichever ran second (at K=1, where
+     both arms write identical bytes, that skew used to be the whole
+     reported difference). *)
   let rows =
     List.map
       (fun k ->
-        let dir = fresh_dir () in
-        let store, _, _, _ = ok (Store.open_dir ~sync:`Always_fsync dir) in
         let batch = List.init k (fun _ -> payload) in
-        let iters = if k >= 64 then 10 else 50 in
-        let _, bare_t =
-          Report.time_of (fun () ->
-              for _ = 1 to iters do
-                List.iter (fun p -> ok (Store.append store p)) batch
-              done)
+        let iters = if k >= 64 then 10 else 100 in
+        let bare_store, _, _, _ =
+          ok (Store.open_dir ~sync:`Always_fsync (fresh_dir ()))
         in
-        let _, group_t =
-          Report.time_of (fun () ->
-              for _ = 1 to iters do
-                ok (Store.append_group store batch)
-              done)
+        let store, _, _, _ =
+          ok (Store.open_dir ~sync:`Always_fsync (fresh_dir ()))
         in
+        let bare_t = ref 0. and group_t = ref 0. in
+        for _ = 1 to iters do
+          let t0 = Unix.gettimeofday () in
+          List.iter (fun p -> ok (Store.append bare_store p)) batch;
+          let t1 = Unix.gettimeofday () in
+          ok (Store.append_group store batch);
+          let t2 = Unix.gettimeofday () in
+          bare_t := !bare_t +. (t1 -. t0);
+          group_t := !group_t +. (t2 -. t1)
+        done;
+        let bare_t = !bare_t and group_t = !group_t in
+        Store.close bare_store;
         Store.close store;
         let bare = bare_t /. float_of_int iters in
         let group = group_t /. float_of_int iters in
@@ -828,6 +838,165 @@ let txn () =
     (String.concat ",\n" (List.rev !json));
   close_out oc;
   Fmt.pr "@.wrote BENCH_txn.json@."
+
+(* ------------------------------------------------------------------ *)
+(* T2: group-commit coalescing - writer threads x journal partitions    *)
+(* ------------------------------------------------------------------ *)
+
+let commit () =
+  heading "T2"
+    "group commit: committed txns/s and fsyncs/txn under `Always_fsync, \
+     writer threads x journal partitions x key distribution";
+  let module Store = Seed_storage.Store in
+  let module CD = Seed_storage.Commit_daemon in
+  let fresh_dir =
+    let c = ref 0 in
+    fun () ->
+      incr c;
+      let d =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "seed_bench_commit_%d_%d" (Unix.getpid ()) !c)
+      in
+      if Sys.file_exists d then
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat d f))
+          (Sys.readdir d);
+      d
+  in
+  let payload = String.make 512 'c' in
+  (* Two key distributions. [`Uniform] draws routing keys from a 64-key
+     pool, spreading groups over all partitions — independent root
+     objects under hash routing, the fan-out case. [`Hot] routes every
+     group with the same key — concurrent writers contending on one
+     root entity, the pure-coalescing case (all load on one partition's
+     daemon). Writers are sys-threads, not domains: on few cores the
+     blocking fsync releases the runtime lock, which is exactly the
+     window where the other writers enqueue, and thread wake-up is
+     cheaper than cross-domain wake-up. *)
+  let key_of workload w n =
+    match workload with
+    | `Hot -> "hot-root"
+    | `Uniform -> Printf.sprintf "obj%d" (((w * 131) + (n * 7)) mod 64)
+  in
+  let workload_name = function `Hot -> "hot" | `Uniform -> "uniform" in
+  let json = ref [] in
+  let baselines = Hashtbl.create 8 in
+  let run ~workload ~writers ~partitions =
+    let dir = fresh_dir () in
+    let store, _, _, _ =
+      ok (Store.open_dir ~sync:`Always_fsync ~partitions dir)
+    in
+    let stop = Atomic.make false in
+    let ready = Atomic.make 0 in
+    let counts = Array.make writers 0 in
+    let worker w =
+      Thread.create
+        (fun () ->
+          Atomic.incr ready;
+          while Atomic.get ready <= writers do
+            Thread.yield ()
+          done;
+          let n = ref 0 in
+          while not (Atomic.get stop) do
+            ok (Store.append_group ~key:(key_of workload w !n) store
+                  [ payload; payload ]);
+            incr n
+          done;
+          counts.(w) <- !n)
+        ()
+    in
+    let threads = List.init writers worker in
+    (* release the workers only when all are spinning, so spawn-up cost
+       stays off the clock *)
+    while Atomic.get ready < writers do
+      Thread.yield ()
+    done;
+    let t0 = Unix.gettimeofday () in
+    Atomic.incr ready;
+    Unix.sleepf 0.5;
+    Atomic.set stop true;
+    List.iter Thread.join threads;
+    let txns = Array.fold_left ( + ) 0 counts in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let s =
+      List.fold_left
+        (fun acc (_, s) -> CD.add_stats acc s)
+        CD.empty_stats (Store.write_stats store)
+    in
+    Store.close store;
+    let txns_s = float_of_int txns /. elapsed in
+    let fsyncs_txn = float_of_int s.CD.fsyncs /. float_of_int (max 1 txns) in
+    if writers = 1 then
+      Hashtbl.replace baselines (workload_name workload, partitions) txns_s;
+    let speedup =
+      match Hashtbl.find_opt baselines (workload_name workload, partitions) with
+      | Some base when base > 0. -> txns_s /. base
+      | _ -> 1.
+    in
+    json :=
+      Printf.sprintf
+        "    {\"case\": \"group_commit_scaling\", \"workload\": \"%s\", \
+         \"writers\": %d, \"partitions\": %d, \"txns_per_sec\": %.0f, \
+         \"speedup_vs_1_writer\": %.2f, \"fsyncs_per_txn\": %.3f, \
+         \"max_batch\": %d, \"queue_hwm\": %d}"
+        (workload_name workload) writers partitions txns_s speedup fsyncs_txn
+        s.CD.max_batch s.CD.queue_hwm
+      :: !json;
+    [
+      workload_name workload;
+      string_of_int writers;
+      string_of_int partitions;
+      Printf.sprintf "%.0f" txns_s;
+      Printf.sprintf "%.2fx" speedup;
+      Printf.sprintf "%.2f" fsyncs_txn;
+      string_of_int s.CD.max_batch;
+      string_of_int s.CD.queue_hwm;
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun partitions ->
+        List.map
+          (fun writers -> run ~workload:`Uniform ~writers ~partitions)
+          [ 1; 2; 4; 8; 16; 32 ])
+      [ 1; 4 ]
+    @ List.map
+        (fun writers -> run ~workload:`Hot ~writers ~partitions:4)
+        [ 1; 2; 4; 8; 16 ]
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "2-record transaction groups under `Always_fsync (%d cores): \
+          coalesced commits and partition fan-out"
+         (Domain.recommended_domain_count ()))
+    ~header:
+      [
+        "workload"; "writers"; "parts"; "txns/s"; "vs 1 wr"; "fsyncs/txn";
+        "max batch"; "q hwm";
+      ]
+    rows;
+  let oc = open_out "BENCH_commit.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"commit\",\n\
+    \  \"command\": \"dune exec bench/main.exe -- commit\",\n\
+    \  \"host_cores\": %d,\n\
+    \  \"environment_note\": \"single-core host: writer wake-up and the \
+     commit-window quantum (~75us OS sleep floor) serialize between \
+     fsyncs, and concurrent fsyncs to separate journal files scale \
+     ~1.6x at 4 streams on this filesystem; the speedup from batching \
+     therefore ramps with writer count rather than arriving at 4 \
+     writers, and the fsyncs/txn column is the hardware-independent \
+     measure of coalescing\",\n\
+    \  \"results\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    (Domain.recommended_domain_count ())
+    (String.concat ",\n" (List.rev !json));
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_commit.json@."
 
 (* ------------------------------------------------------------------ *)
 (* C1: chaos - recovery under injected corruption and read faults       *)
@@ -1187,6 +1356,7 @@ let suites =
     ("query", query);
     ("version", version);
     ("txn", txn);
+    ("commit", commit);
     ("mvcc", mvcc);
     ("spades", spades);
     ("ablation", ablation);

@@ -735,10 +735,24 @@ type stats = {
   st_vc_evictions : int;
   st_snapshots : int;
   st_commits : int;
+  st_partitions : int;
+  st_txns_submitted : int;
+  st_txn_batches : int;
+  st_txn_fsyncs : int;
+  st_txn_max_batch : int;
+  st_txn_queue_hwm : int;
 }
+
+let write_stats db = Db_state.write_stats db
 
 let stats db =
   let v = view db in
+  let ws = Db_state.write_stats db in
+  let total =
+    List.fold_left
+      (fun acc (_, s) -> Seed_storage.Commit_daemon.add_stats acc s)
+      Seed_storage.Commit_daemon.empty_stats ws
+  in
   let st_sub_objects =
     match View.version v with
     | None -> Db_state.live_dependent_count db
@@ -770,6 +784,12 @@ let stats db =
     st_vc_evictions = vc.Db_state.vc_evictions;
     st_snapshots = Db_state.snapshot_grabs db;
     st_commits = Db_state.commits_published db;
+    st_partitions = List.length ws;
+    st_txns_submitted = total.Seed_storage.Commit_daemon.submitted;
+    st_txn_batches = total.Seed_storage.Commit_daemon.batches;
+    st_txn_fsyncs = total.Seed_storage.Commit_daemon.fsyncs;
+    st_txn_max_batch = total.Seed_storage.Commit_daemon.max_batch;
+    st_txn_queue_hwm = total.Seed_storage.Commit_daemon.queue_hwm;
   }
 
 let pp_stats ppf s =
@@ -787,7 +807,20 @@ let pp_stats ppf s =
      roots published: %d@]"
     s.st_objects s.st_sub_objects s.st_relationships s.st_patterns
     s.st_versions s.st_items_total s.st_dirty s.st_schema_revision s.st_vc_hits
-    s.st_vc_misses s.st_vc_evictions s.st_snapshots s.st_commits
+    s.st_vc_misses s.st_vc_evictions s.st_snapshots s.st_commits;
+  if s.st_partitions > 0 then
+    Fmt.pf ppf
+      "@,\
+       @[<v>journal partitions: %d@,\
+       txns committed: %d in %d writes / %d fsyncs%s@,\
+       largest coalesced batch: %d@,\
+       commit queue high-water: %d@]"
+      s.st_partitions s.st_txns_submitted s.st_txn_batches s.st_txn_fsyncs
+      (if s.st_txn_batches > 0 then
+         Printf.sprintf " (%.2f txns/write)"
+           (float_of_int s.st_txns_submitted /. float_of_int s.st_txn_batches)
+       else "")
+      s.st_txn_max_batch s.st_txn_queue_hwm
 
 let completeness_report db = Completeness.check_database (view db)
 

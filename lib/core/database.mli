@@ -278,10 +278,25 @@ type stats = {
   st_vc_evictions : int;
   st_snapshots : int;  (** snapshot roots grabbed via {!snapshot} *)
   st_commits : int;  (** roots published (op and transaction commits) *)
+  st_partitions : int;
+      (** journal partitions of the attached store (0 when the database
+          has no durable session) *)
+  st_txns_submitted : int;
+      (** transactions through the store's group-commit daemons *)
+  st_txn_batches : int;  (** physical journal writes those coalesced into *)
+  st_txn_fsyncs : int;  (** fsyncs performed for them *)
+  st_txn_max_batch : int;  (** most transactions coalesced into one write *)
+  st_txn_queue_hwm : int;  (** commit-daemon queue depth high-water *)
 }
 
 val stats : t -> stats
-(** Size and state summary of the retrieval view / current state. *)
+(** Size and state summary of the retrieval view / current state. The
+    [st_txn_*] write-path counters come from the store attached by
+    {!Persist.Session} (zero without one). *)
+
+val write_stats : t -> (int * Seed_storage.Commit_daemon.stats) list
+(** Per-partition group-commit counters of the attached store; [[]]
+    when the database has no durable session. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 

@@ -76,6 +76,11 @@ type t = {
   mutable transition_rules :
     (string * (t -> base:Version_id.t option -> (unit, Seed_error.t) result))
     list;
+  (* registered by Persist.Session so Database.stats can surface the
+     store's group-commit counters without the state layer holding a
+     store *)
+  mutable write_stats_source :
+    (unit -> (int * Seed_storage.Commit_daemon.stats) list) option;
 }
 
 and proc = t -> Event.t -> (unit, Seed_error.t) result
@@ -118,6 +123,7 @@ let create schema =
     procedures = Hashtbl.create 8;
     proc_depth = 0;
     transition_rules = [];
+    write_stats_source = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -159,10 +165,15 @@ let freeze t =
     procedures = t.procedures;
     proc_depth = 0;
     transition_rules = [];
+    write_stats_source = t.write_stats_source;
   }
 
 let snapshot_grabs t = Atomic.get t.snapshot_count
 let commits_published t = Atomic.get t.commit_count
+let set_write_stats_source t f = t.write_stats_source <- Some f
+
+let write_stats t =
+  match t.write_stats_source with None -> [] | Some f -> f ()
 
 let begin_txn t = t.txn_root <- Some t.working
 

@@ -78,6 +78,16 @@ val snapshot_grabs : t -> int
 val commits_published : t -> int
 (** Roots published via {!publish} (op and transaction commits). *)
 
+val set_write_stats_source :
+  t -> (unit -> (int * Seed_storage.Commit_daemon.stats) list) -> unit
+(** Registered by the durable session layer: a thunk yielding the
+    store's per-partition group-commit counters, so {!Database.stats}
+    can report the write path without this layer holding a store. *)
+
+val write_stats : t -> (int * Seed_storage.Commit_daemon.stats) list
+(** Per-partition group-commit counters of the attached store; [[]]
+    when the database has no durable session. *)
+
 val begin_txn : t -> unit
 (** Pin the working root as the transaction savepoint; {!publish}
     becomes a no-op until commit/rollback. *)

@@ -6,10 +6,24 @@ type t = {
   db : Database.t;
   locks : Lock_table.t;
   mutable checkins : int;
+  session : Seed_core.Persist.Session.t option;
 }
 
 let create ?now schema =
-  { db = Database.create schema; locks = Lock_table.create ?now (); checkins = 0 }
+  {
+    db = Database.create schema;
+    locks = Lock_table.create ?now ();
+    checkins = 0;
+    session = None;
+  }
+
+let of_session ?now session =
+  {
+    db = Seed_core.Persist.Session.db session;
+    locks = Lock_table.create ?now ();
+    checkins = 0;
+    session = Some session;
+  }
 
 let database t = t.db
 
@@ -170,6 +184,17 @@ let checkin t ~client ops =
     Database.with_transaction t.db (fun () -> iter_result (apply_op t.db) ops)
   with
   | Ok () ->
+    (* a durable server publishes the committed batch through the
+       store's group-commit daemon: the flush is one transaction group
+       routed by the batch's root object, and concurrent checkins
+       coalesce into shared fsyncs. On a flush failure the locks are
+       kept and the session's shadow table is untouched, so a later
+       flush (or checkin) retries exactly the same records *)
+    let* () =
+      match t.session with
+      | None -> Ok ()
+      | Some session -> Seed_core.Persist.Session.flush session
+    in
     Lock_table.release_all t.locks ~client;
     t.checkins <- t.checkins + 1;
     Ok ()

@@ -15,7 +15,18 @@ type t
 
 val create : ?now:(unit -> float) -> Schema.t -> t
 (** [now] is the lock table's lease clock (default [Unix.gettimeofday];
-    injectable for tests). *)
+    injectable for tests). The server is in-memory only; see
+    {!of_session} for a durable one. *)
+
+val of_session : ?now:(unit -> float) -> Seed_core.Persist.Session.t -> t
+(** A server over a durable session's database: every successful
+    {!checkin} flushes the committed batch through the session — one
+    atomic journal transaction group, routed to the partition of the
+    batch's root object and coalesced with concurrent checkins by the
+    store's group-commit daemon. A flush failure fails the checkin and
+    keeps the client's locks; the un-flushed records stay pending, so
+    the next successful flush carries them. The caller retains
+    ownership of the session (close it after the server). *)
 
 val database : t -> Seed_core.Database.t
 (** The central database — retrieval operations go straight here. *)
@@ -79,7 +90,9 @@ val checkin :
     and no intermediate state is ever published to snapshots.
     Every touched existing object must be covered by the client's
     locks; a failing operation keeps the locks (the client may fix
-    and retry). On success the client's locks are released. *)
+    and retry). On success the client's locks are released — after the
+    batch has been durably flushed, when the server was built with
+    {!of_session}. *)
 
 val create_version : t -> (Version_id.t, Seed_error.t) result
 (** Global version creation, server-controlled. *)

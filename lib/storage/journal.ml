@@ -19,7 +19,7 @@ type t = {
    extent). *)
 let magic = 0x53454533l
 
-(* "SEEC": control frames — transaction begin/commit markers. Same
+(* "SEEC": control frames — transaction begin/commit/solo markers. Same
    envelope as data frames, so the CRC/torn-tail machinery covers them
    for free; a distinct magic keeps old readers from mistaking a marker
    for a record. *)
@@ -68,9 +68,10 @@ let frame_with ~magic:m epoch payload =
 let frame epoch payload = frame_with ~magic epoch payload
 
 (* Control payloads: [kind u8 | txn u32] for begin,
-   [kind u8 | txn u32 | count u32 | group crc u32] for commit. The
-   group CRC covers the concatenated data payloads, so a commit marker
-   vouches for the exact records it closes, not just their count. *)
+   [kind u8 | txn u32 | count u32 | group crc u32] for commit, and
+   [kind u8 | txn u32 | crc u32] for a solo marker. The commit/solo CRC
+   covers the record payload(s), so a marker vouches for the exact
+   records it closes, not just their count. *)
 let begin_payload txn =
   let b = Buffer.create 5 in
   Buffer.add_uint8 b 0;
@@ -85,7 +86,20 @@ let commit_payload ~txn ~count ~group_crc =
   Buffer.add_int32_le b group_crc;
   Buffer.contents b
 
-let group_crc payloads = Crc32.digest (String.concat "" payloads)
+(* A solo marker folds Begin and Commit into one control frame for
+   single-record transactions: it sequences (txn) and vouches for (crc)
+   exactly the one data frame that follows it. *)
+let solo_payload ~txn ~crc =
+  let b = Buffer.create 9 in
+  Buffer.add_uint8 b 2;
+  Buffer.add_int32_le b (Int32.of_int txn);
+  Buffer.add_int32_le b crc;
+  Buffer.contents b
+
+(* Chained digests give the same value as digesting the concatenation,
+   without materializing the concatenated copy on the commit path. *)
+let group_crc payloads =
+  List.fold_left (fun acc p -> Crc32.digest ~init:acc p) 0l payloads
 
 let write_pending j (f : Io.file) =
   if Buffer.length j.pending > 0 then begin
@@ -93,48 +107,75 @@ let write_pending j (f : Io.file) =
     Buffer.clear j.pending
   end
 
-let append j payload =
-  let* f = file_of j in
-  wrap_io (fun () ->
-      let bytes = frame j.jepoch payload in
-      match j.sync_policy with
-      | `None -> Buffer.add_string j.pending bytes
-      | `Flush_only ->
-        write_pending j f;
-        f.Io.write bytes
-      | `Always_fsync ->
-        write_pending j f;
-        f.Io.write bytes;
-        f.Io.fsync ())
+(* ------------------------------------------------------------------ *)
+(* Appending                                                            *)
+(* ------------------------------------------------------------------ *)
 
-let append_group j payloads =
-  match payloads with
+type entry =
+  | Bare of string
+  | Solo of { seq : int; payload : string }
+  | Group of { seq : int; payloads : string list }
+
+let encode_entry j b = function
+  | Bare p -> Buffer.add_string b (frame j.jepoch p)
+  | Solo { seq; payload } ->
+    Buffer.add_string b
+      (frame_with ~magic:control_magic j.jepoch
+         (solo_payload ~txn:seq ~crc:(Crc32.digest payload)));
+    Buffer.add_string b (frame j.jepoch payload)
+  | Group { seq; payloads } ->
+    Buffer.add_string b
+      (frame_with ~magic:control_magic j.jepoch (begin_payload seq));
+    List.iter (fun p -> Buffer.add_string b (frame j.jepoch p)) payloads;
+    Buffer.add_string b
+      (frame_with ~magic:control_magic j.jepoch
+         (commit_payload ~txn:seq ~count:(List.length payloads)
+            ~group_crc:(group_crc payloads)))
+
+let write_bytes j f bytes =
+  match j.sync_policy with
+  | `None -> Buffer.add_string j.pending bytes
+  | `Flush_only ->
+    write_pending j f;
+    f.Io.write bytes
+  | `Always_fsync ->
+    write_pending j f;
+    f.Io.write bytes;
+    f.Io.fsync ()
+
+let append_entries j entries =
+  match entries with
   | [] -> Ok ()
   | _ ->
     let* f = file_of j in
     wrap_io (fun () ->
-        let txn = j.next_txn in
-        j.next_txn <- txn + 1;
         let b = Buffer.create 512 in
-        Buffer.add_string b
-          (frame_with ~magic:control_magic j.jepoch (begin_payload txn));
-        List.iter (fun p -> Buffer.add_string b (frame j.jepoch p)) payloads;
-        Buffer.add_string b
-          (frame_with ~magic:control_magic j.jepoch
-             (commit_payload ~txn ~count:(List.length payloads)
-                ~group_crc:(group_crc payloads)));
-        (* the whole group goes down in one write: a crash leaves either
-           no commit marker (group discarded on recovery) or all of it *)
-        let bytes = Buffer.contents b in
-        match j.sync_policy with
-        | `None -> Buffer.add_string j.pending bytes
-        | `Flush_only ->
-          write_pending j f;
-          f.Io.write bytes
-        | `Always_fsync ->
-          write_pending j f;
-          f.Io.write bytes;
-          f.Io.fsync ())
+        List.iter (encode_entry j b) entries;
+        (* all the entries go down in one write (and, under
+           [`Always_fsync], one fsync): a crash leaves each transaction
+           either whole or marker-less — never a committed prefix *)
+        write_bytes j f (Buffer.contents b))
+
+let append j payload =
+  let* f = file_of j in
+  wrap_io (fun () -> write_bytes j f (frame j.jepoch payload))
+
+let fresh_seq j =
+  let txn = j.next_txn in
+  j.next_txn <- txn + 1;
+  txn
+
+let append_group ?seq j payloads =
+  match payloads with
+  | [] -> Ok ()
+  | [ p ] ->
+    (* a single-record transaction needs no markers: a bare frame is
+       already individually committed (all-or-nothing is trivial for one
+       record), so the group framing would be pure overhead *)
+    append_entries j [ Bare p ]
+  | _ ->
+    let seq = match seq with Some s -> s | None -> fresh_seq j in
+    append_entries j [ Group { seq; payloads } ]
 
 let sync j =
   let* f = file_of j in
@@ -154,6 +195,7 @@ let close j =
 
 let path j = j.jpath
 let epoch j = j.jepoch
+let sync_policy j = j.sync_policy
 
 (* ------------------------------------------------------------------ *)
 (* Recovery-side reads                                                  *)
@@ -163,6 +205,7 @@ type kind =
   | Data
   | Begin of { txn : int }
   | Commit of { txn : int; count : int; crc : int32 }
+  | Solo_marker of { txn : int; crc : int32 }
 
 type frame = {
   f_epoch : int;
@@ -184,6 +227,13 @@ let decode_control payload =
            txn = Int32.to_int (String.get_int32_le payload 1);
            count = Int32.to_int (String.get_int32_le payload 5);
            crc = String.get_int32_le payload 9;
+         })
+  else if len = 9 && String.get_uint8 payload 0 = 2 then
+    Some
+      (Solo_marker
+         {
+           txn = Int32.to_int (String.get_int32_le payload 1);
+           crc = String.get_int32_le payload 5;
          })
   else None
 
@@ -280,31 +330,49 @@ let quarantined s =
 (* Transaction-group resolution                                         *)
 (* ------------------------------------------------------------------ *)
 
+type unit_ = { u_seq : int option; u_frames : frame list }
+
 type groups = {
+  g_units : unit_ list;
   g_committed : frame list;
   g_dropped_records : int;
   g_tail_records : int;
   g_tail_begin : int option;
 }
 
+let max_seq frames =
+  List.fold_left
+    (fun acc f ->
+      match f.f_kind with
+      | Begin { txn } | Commit { txn; _ } | Solo_marker { txn; _ } ->
+        max acc txn
+      | Data -> acc)
+    0 frames
+
 let resolve_groups ?(damage = []) frames =
   (* Walks the intact frames in append order. A bare data frame (old
-     journals, single-record appends) is committed on its own. A [Begin]
-     opens a group; the group's records count only when a matching
-     [Commit] (same txn, right count, right group CRC) closes it —
-     anything else drops the whole group, never a prefix of it.
+     journals, single-record appends) is committed on its own, without a
+     sequence tag. A [Begin] opens a group; the group's records count
+     only when a matching [Commit] (same txn, right count, right group
+     CRC) closes it — anything else drops the whole group, never a
+     prefix of it. A [Solo_marker] is a fused begin+commit: it commits
+     exactly the one data frame following it, when that frame's payload
+     CRC matches.
 
      A quarantined [damage] region falling inside an open group is a
      barrier: the group cannot be trusted across it. The records before
      the barrier are dropped; the records after it are in limbo until
      the next marker decides them — a [Commit] means the group ran past
      the damage (a record was destroyed, so the whole group drops), a
-     [Begin] or the end of the file means the damage most plausibly ate
-     the commit marker, so the limbo records are independent appends
-     that must survive. *)
-  let committed = ref [] and dropped = ref 0 in
+     [Begin]/[Solo_marker] or the end of the file means the damage most
+     plausibly ate the commit marker, so the limbo records are
+     independent appends that must survive. *)
+  let units = ref [] and dropped = ref 0 in
   let tail_records = ref 0 and tail_begin = ref None in
-  let add_committed fs = committed := List.rev_append fs !committed in
+  let commit_unit ?seq fs = units := { u_seq = seq; u_frames = fs } :: !units in
+  let commit_bare fs =
+    List.iter (fun f -> commit_unit [ f ]) fs
+  in
   let barrier ~last_off f =
     List.exists (fun d -> d.d_offset > last_off && d.d_end <= f.f_offset) damage
   in
@@ -314,13 +382,34 @@ let resolve_groups ?(damage = []) frames =
     | f :: rest -> (
       match f.f_kind with
       | Data ->
-        committed := f :: !committed;
+        commit_unit [ f ];
         walk rest
       | Commit _ ->
         (* a stray commit with no open group: ignore the marker *)
         walk rest
       | Begin { txn } ->
-        in_group ~txn ~begin_off:f.f_offset ~last_off:f.f_offset [] rest)
+        in_group ~txn ~begin_off:f.f_offset ~last_off:f.f_offset [] rest
+      | Solo_marker { txn; crc } ->
+        solo ~txn ~crc ~off:f.f_offset rest)
+  and solo ~txn ~crc ~off frames =
+    match frames with
+    | [] ->
+      (* journal ends at the marker: the record never landed; the
+         marker itself is a truncatable dangling tail *)
+      tail_begin := Some off
+    | f :: rest ->
+      if barrier ~last_off:off f then begin
+        (* the record the marker vouches for was destroyed *)
+        walk (f :: rest)
+      end
+      else (
+        match f.f_kind with
+        | Data when Crc32.digest f.f_payload = crc ->
+          commit_unit ~seq:txn [ f ];
+          walk rest
+        | _ ->
+          (* orphaned marker: whatever follows stands on its own *)
+          walk (f :: rest))
   and in_group ~txn ~begin_off ~last_off acc frames =
     match frames with
     | [] ->
@@ -340,6 +429,11 @@ let resolve_groups ?(damage = []) frames =
           (* nested begin: the open group never committed *)
           dropped := !dropped + List.length acc;
           in_group ~txn:txn' ~begin_off:f.f_offset ~last_off:f.f_offset [] rest
+        | Solo_marker { txn = txn'; crc } ->
+          (* a marker interrupting an open group: the group never
+             committed *)
+          dropped := !dropped + List.length acc;
+          solo ~txn:txn' ~crc ~off:f.f_offset rest
         | Commit { txn = ctxn; count; crc } ->
           let recs = List.rev acc in
           let ok =
@@ -347,26 +441,31 @@ let resolve_groups ?(damage = []) frames =
             && count = List.length recs
             && crc = group_crc (List.map (fun r -> r.f_payload) recs)
           in
-          if ok then add_committed recs
+          if ok then commit_unit ~seq:txn recs
           else dropped := !dropped + List.length recs;
           walk rest)
   and limbo acc frames =
     match frames with
-    | [] -> add_committed (List.rev acc)
+    | [] -> commit_bare (List.rev acc)
     | f :: rest -> (
       match f.f_kind with
       | Data -> limbo (f :: acc) rest
       | Begin { txn } ->
-        add_committed (List.rev acc);
+        commit_bare (List.rev acc);
         in_group ~txn ~begin_off:f.f_offset ~last_off:f.f_offset [] rest
+      | Solo_marker { txn; crc } ->
+        commit_bare (List.rev acc);
+        solo ~txn ~crc ~off:f.f_offset rest
       | Commit _ ->
         (* the open group ran past the damage: a record is missing *)
         dropped := !dropped + List.length acc;
         walk rest)
   in
   walk frames;
+  let units = List.rev !units in
   {
-    g_committed = List.rev !committed;
+    g_units = units;
+    g_committed = List.concat_map (fun u -> u.u_frames) units;
     g_dropped_records = !dropped;
     g_tail_records = !tail_records;
     g_tail_begin = !tail_begin;

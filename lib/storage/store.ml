@@ -3,6 +3,17 @@ open Seed_error
 
 type sync_policy = Journal.sync_policy
 
+(* One journal partition: its file, its open journal, and the
+   group-commit daemon that owns all physical appends to it. Partition 0
+   keeps the legacy name [journal.log]; the rest are [journal.pK]. *)
+type partition = {
+  p_index : int;
+  p_path : string;
+  mutable p_journal : Journal.t option;
+  mutable p_records : int;  (* data records since last compaction *)
+  mutable p_daemon : Commit_daemon.t option;  (* Some after construction *)
+}
+
 type t = {
   dir : string;
   io : Io.t;
@@ -11,9 +22,10 @@ type t = {
   sleep : (float -> unit) option;
   generations : int;
   mutable epoch : int;
-  mutable journal : Journal.t option;
-  mutable records : int;
-  mutable retried : int;
+  parts : partition array;
+  seq : int Atomic.t;  (* global transaction sequence, shared by all partitions *)
+  retried : int Atomic.t;
+  active : int Atomic.t;  (* writers currently inside append/append_group *)
 }
 
 let snapshot_path dir = Filename.concat dir "snapshot.bin"
@@ -23,12 +35,24 @@ let quarantine_path dir = Filename.concat dir "snapshot.bin.corrupt"
 let journal_path dir = Filename.concat dir "journal.log"
 let generation_path dir k = Printf.sprintf "%s.%d" (snapshot_path dir) k
 
+let partition_file dir k =
+  if k = 0 then journal_path dir
+  else Filename.concat dir (Printf.sprintf "journal.p%d" k)
+
+let partition_name k =
+  if k = 0 then "journal.log" else Printf.sprintf "journal.p%d" k
+
 let default_generations = 2
 
 (* generation slots are probed, not configured, on the read side: a
    store reopened with a smaller [generations] must still see (and fsck
    must still clean) the slots an earlier configuration left behind *)
 let max_generation_probe = 9
+
+(* likewise, partition files are probed on the read side: a store
+   written with [~partitions:4] must replay all four journals even when
+   reopened with the default, so the partition count only ever grows *)
+let max_partition_probe = 15
 
 let wrap_io = Seed_error.wrap_io
 
@@ -56,6 +80,7 @@ type recovery = {
   snapshot_generation : int option;
   io_retries : int;
   epoch : int;
+  partitions_merged : int;
 }
 
 let recovery_clean r =
@@ -66,16 +91,21 @@ let recovery_clean r =
   && r.snapshot_generation = None
 
 let pp_recovery ppf r =
+  let partitions =
+    if r.partitions_merged > 1 then
+      Printf.sprintf ", %d journal partitions merged" r.partitions_merged
+    else ""
+  in
   if recovery_clean r then
-    Fmt.pf ppf "clean (epoch %d, %d records replayed%s)" r.epoch
-      r.records_replayed
+    Fmt.pf ppf "clean (epoch %d, %d records replayed%s%s)" r.epoch
+      r.records_replayed partitions
       (if r.io_retries > 0 then
          Printf.sprintf ", %d transient i/o retr%s" r.io_retries
            (if r.io_retries = 1 then "y" else "ies")
        else "")
   else
-    Fmt.pf ppf "epoch %d, %d records replayed, %d bytes dropped%s%s%s%s%s%s%s"
-      r.epoch r.records_replayed r.bytes_dropped
+    Fmt.pf ppf "epoch %d, %d records replayed%s, %d bytes dropped%s%s%s%s%s%s%s"
+      r.epoch r.records_replayed partitions r.bytes_dropped
       (match r.torn_tail with
       | Some reason -> Printf.sprintf ", torn tail (%s)" reason
       | None -> "")
@@ -151,11 +181,12 @@ let load_snapshot ~io ~retry ~sleep ~count_retry dir =
   | None -> Ok (None, Src_primary, false)
   | Some (sp, src) -> Ok (Some sp, src, !primary_damaged)
 
-(* Sorts the scanned journal against the snapshot's epoch: which frames
-   to replay, how many bytes are dead (torn tail, stale or ahead frames),
-   and whether the file should be cut back on open. [allow_ahead] is set
-   when recovery fell back to an older snapshot: frames of a newer epoch
-   are then unreplayable leftovers to drop (and report), not corruption. *)
+(* Sorts one scanned partition journal against the snapshot's epoch:
+   which transaction units to replay, how many bytes are dead (torn
+   tail, stale or ahead frames), and whether the file should be cut back
+   on open. [allow_ahead] is set when recovery fell back to an older
+   snapshot: frames of a newer epoch are then unreplayable leftovers to
+   drop (and report), not corruption. *)
 let classify ~snap_epoch ~allow_ahead ~path (s : Journal.scan_result) =
   let ahead, rest =
     List.partition (fun f -> f.Journal.f_epoch > snap_epoch) s.Journal.frames
@@ -207,7 +238,7 @@ let classify ~snap_epoch ~allow_ahead ~path (s : Journal.scan_result) =
       else None
     in
     Ok
-      ( committed,
+      ( groups.Journal.g_units,
         {
           records_replayed = List.length committed;
           bytes_dropped = dead_tail_bytes + stale_bytes + frame_bytes ahead;
@@ -223,27 +254,122 @@ let classify ~snap_epoch ~allow_ahead ~path (s : Journal.scan_result) =
           snapshot_generation = None;
           io_retries = 0;
           epoch = snap_epoch;
+          partitions_merged = 1;
         },
         truncate_to )
 
-(* Rewrites the journal to contain exactly [frames], under [epoch]. Used
-   to drop a stale prefix, quarantined regions, or epoch-ahead leftovers
-   while keeping the committed records. *)
-let rewrite_journal ~io path ~epoch frames =
+(* Rewrites a partition journal to contain exactly [units], under
+   [epoch], preserving each unit's shape (bare / solo / group) and
+   sequence tag so the cross-partition merge order survives the
+   rewrite. Used to drop a stale prefix, quarantined regions, or
+   epoch-ahead leftovers while keeping the committed records. *)
+let rewrite_journal ~io path ~epoch units =
   let* () = Journal.truncate ~io path in
   let* j = Journal.open_ ~io ~sync:`Flush_only ~epoch path in
   let* () =
-    iter_result (fun f -> Journal.append j f.Journal.f_payload) frames
+    iter_result
+      (fun u ->
+        let payloads =
+          List.map (fun f -> f.Journal.f_payload) u.Journal.u_frames
+        in
+        match (u.Journal.u_seq, payloads) with
+        | None, ps -> iter_result (Journal.append j) ps
+        | Some seq, [ payload ] ->
+          Journal.append_entries j [ Journal.Solo { seq; payload } ]
+        | Some seq, ps -> Journal.append_group ~seq j ps)
+      units
   in
   let* () = Journal.sync j in
   Journal.close j;
   Ok ()
 
+(* Merges per-partition unit lists into one total replay order. Units
+   carry the globally allocated sequence tag of their commit marker; an
+   untagged (bare, legacy) unit inherits the last tag seen in its own
+   partition, so it sorts right after the transaction it followed on
+   disk. With a single populated partition the file order is kept as
+   is — exactly the pre-partitioning semantics. *)
+let merge_units per_part =
+  match List.filter (fun us -> us <> []) per_part with
+  | [] -> []
+  | [ only ] -> only
+  | _ ->
+    let tag units =
+      let last = ref 0 in
+      List.map
+        (fun u ->
+          (match u.Journal.u_seq with Some s -> last := s | None -> ());
+          (!last, u))
+        units
+    in
+    List.concat_map tag per_part
+    |> List.stable_sort (fun (s1, _) (s2, _) -> Int.compare s1 s2)
+    |> List.map snd
+
+let entry_records = function
+  | Journal.Bare _ | Journal.Solo _ -> 1
+  | Journal.Group { payloads; _ } -> List.length payloads
+
+(* Builds a partition handle and its commit daemon. The daemon's write
+   callback is the only code path that touches the journal for appends;
+   transient write errors are retried there. Re-appending a batch whose
+   first attempt half-landed is safe: the scanner quarantines the torn
+   bytes and resynchronizes on the retried frames' headers. *)
+let make_partition ~sync ~retry ~sleep ~retried ~active k path journal records
+    =
+  let p =
+    {
+      p_index = k;
+      p_path = path;
+      p_journal = Some journal;
+      p_records = records;
+      p_daemon = None;
+    }
+  in
+  let write entries =
+    match p.p_journal with
+    | None -> fail (Io_error ("store closed: " ^ path))
+    | Some j ->
+      let* () =
+        Retry.with_retry ~policy:retry ?sleep
+          ~on_retry:(fun ~attempt:_ _ -> Atomic.incr retried)
+          (fun () -> Journal.append_entries j entries)
+      in
+      p.p_records <-
+        p.p_records + List.fold_left (fun acc e -> acc + entry_records e) 0 entries;
+      Ok ()
+  in
+  (* The commit window only pays off when the physical write is
+     dominated by an fsync worth amortizing; leave it off for buffered
+     policies where writes are near-free. The nap request is tiny
+     because the OS floor rounds it up to tens of microseconds — about
+     half an fsync — which is the hold we actually want. *)
+  let coalesce = if sync = `Always_fsync then 1e-5 else 0. in
+  p.p_daemon <-
+    Some
+      (Commit_daemon.create ~coalesce
+         ~siblings:(fun () -> Atomic.get active)
+         ~counts_fsync:(sync = `Always_fsync) write);
+  p
+
+let daemon_of p = Option.get p.p_daemon
+
+(* Partition files present on disk, as a count (file indexes are dense
+   from the write side, but a missing [journal.pK] with a present
+   [journal.pK+1] — say, after a manual delete — must not hide K+1). *)
+let found_partition_count ~exists dir =
+  let rec go k best =
+    if k > max_partition_probe then best
+    else go (k + 1) (if exists (partition_file dir k) then k + 1 else best)
+  in
+  go 1 1
+
 let open_dir ?(io = Io.real) ?(sync = `Flush_only)
-    ?(generations = default_generations) ?(retry = Retry.default_policy)
-    ?sleep dir =
-  let retried = ref 0 in
-  let count_retry () = incr retried in
+    ?(generations = default_generations) ?(partitions = 1)
+    ?(retry = Retry.default_policy) ?sleep dir =
+  let retried = Atomic.make 0 in
+  let active = Atomic.make 0 in
+  let count_retry () = Atomic.incr retried in
   let* () = ensure_dir dir in
   let* snap, source, primary_damaged =
     load_snapshot ~io ~retry ~sleep ~count_retry dir
@@ -289,42 +415,111 @@ let open_dir ?(io = Io.real) ?(sync = `Flush_only)
         if !dirty then io.Io.fsync_dir dir)
   in
   let snap_epoch = match snap with Some (e, _) -> e | None -> 0 in
-  let jpath = journal_path dir in
-  let scan_with_retry () =
-    Retry.with_retry ~policy:retry ?sleep
-      ~on_retry:(fun ~attempt:_ _ -> count_retry ())
-      (fun () -> Journal.scan ~io jpath)
+  let n_parts = max partitions (found_partition_count ~exists:io.Io.exists dir) in
+  (* recover each partition independently, then merge *)
+  let recover_partition k =
+    let jpath = partition_file dir k in
+    let scan_with_retry () =
+      Retry.with_retry ~policy:retry ?sleep
+        ~on_retry:(fun ~attempt:_ _ -> count_retry ())
+        (fun () -> Journal.scan ~io jpath)
+    in
+    let* scanned = scan_with_retry () in
+    let* scanned =
+      (* read-repair double check: damage may live in the read path (a
+         flipped bit on the wire, a short read), not on the medium — only
+         damage that survives a second read is trusted, so a transient
+         fault never truncates or quarantines committed records *)
+      if scanned.Journal.scan_damage = [] then Ok scanned
+      else begin
+        count_retry ();
+        scan_with_retry ()
+      end
+    in
+    let* units, report, truncate_to =
+      classify ~snap_epoch ~allow_ahead:(source <> Src_primary) ~path:jpath
+        scanned
+    in
+    let* () =
+      if report.ahead_dropped > 0 then
+        (* epoch-ahead leftovers must not linger: a future compaction
+           would reuse their epoch and mistake them for live records *)
+        rewrite_journal ~io jpath ~epoch:snap_epoch units
+      else
+        (* cut tail damage back so it does not persist into the next
+           session; quarantined mid-file regions stay (fsck rewrites) *)
+        match truncate_to with
+        | Some len when scanned.Journal.file_size > len ->
+          Journal.truncate ~io ~len jpath
+        | _ -> Ok ()
+    in
+    Ok (units, report, Journal.max_seq scanned.Journal.frames)
   in
-  let* scanned = scan_with_retry () in
-  let* scanned =
-    (* read-repair double check: damage may live in the read path (a
-       flipped bit on the wire, a short read), not on the medium — only
-       damage that survives a second read is trusted, so a transient
-       fault never truncates or quarantines committed records *)
-    if scanned.Journal.scan_damage = [] then Ok scanned
-    else begin
-      count_retry ();
-      scan_with_retry ()
-    end
-  in
-  let* live, report, truncate_to =
-    classify ~snap_epoch ~allow_ahead:(source <> Src_primary) ~path:jpath
-      scanned
-  in
-  let* () =
-    if report.ahead_dropped > 0 then
-      (* epoch-ahead leftovers must not linger: a future compaction
-         would reuse their epoch and mistake them for live records *)
-      rewrite_journal ~io jpath ~epoch:snap_epoch live
+  let rec recover_all k acc =
+    if k >= n_parts then Ok (List.rev acc)
     else
-      (* cut tail damage back so it does not persist into the next
-         session; quarantined mid-file regions stay (fsck rewrites) *)
-      match truncate_to with
-      | Some len when scanned.Journal.file_size > len ->
-        Journal.truncate ~io ~len jpath
-      | _ -> Ok ()
+      let* r = recover_partition k in
+      recover_all (k + 1) (r :: acc)
   in
-  let* journal = Journal.open_ ~io ~sync ~epoch:snap_epoch jpath in
+  let* recovered = recover_all 0 [] in
+  let merged = merge_units (List.map (fun (us, _, _) -> us) recovered) in
+  let live =
+    List.concat_map (fun u -> u.Journal.u_frames) merged
+    |> List.map (fun f -> f.Journal.f_payload)
+  in
+  let next_seq =
+    1 + List.fold_left (fun acc (_, _, s) -> max acc s) 0 recovered
+  in
+  let report =
+    List.fold_left
+      (fun acc (_, r, _) ->
+        {
+          records_replayed = acc.records_replayed + r.records_replayed;
+          bytes_dropped = acc.bytes_dropped + r.bytes_dropped;
+          txn_dropped = acc.txn_dropped + r.txn_dropped;
+          torn_tail =
+            (if acc.torn_tail <> None then acc.torn_tail else r.torn_tail);
+          quarantined = acc.quarantined @ r.quarantined;
+          ahead_dropped = acc.ahead_dropped + r.ahead_dropped;
+          stale_journal = acc.stale_journal || r.stale_journal;
+          used_fallback = false;
+          snapshot_generation = None;
+          io_retries = 0;
+          epoch = snap_epoch;
+          partitions_merged = n_parts;
+        })
+      {
+        records_replayed = 0;
+        bytes_dropped = 0;
+        txn_dropped = 0;
+        torn_tail = None;
+        quarantined = [];
+        ahead_dropped = 0;
+        stale_journal = false;
+        used_fallback = false;
+        snapshot_generation = None;
+        io_retries = 0;
+        epoch = snap_epoch;
+        partitions_merged = n_parts;
+      }
+      (List.map (fun (_, r, _) -> ((), r, ())) recovered)
+  in
+  let rec open_parts k acc =
+    if k >= n_parts then Ok (List.rev acc)
+    else
+      let jpath = partition_file dir k in
+      let* j = Journal.open_ ~io ~sync ~epoch:snap_epoch jpath in
+      let records =
+        match List.nth_opt recovered k with
+        | Some (us, _, _) ->
+          List.fold_left (fun a u -> a + List.length u.Journal.u_frames) 0 us
+        | None -> 0
+      in
+      open_parts (k + 1)
+        (make_partition ~sync ~retry ~sleep ~retried ~active k jpath j records
+        :: acc)
+  in
+  let* parts = open_parts 0 [] in
   Ok
     ( {
         dir;
@@ -334,50 +529,98 @@ let open_dir ?(io = Io.real) ?(sync = `Flush_only)
         sleep;
         generations;
         epoch = snap_epoch;
-        journal = Some journal;
-        records = List.length live;
-        retried = !retried;
+        parts = Array.of_list parts;
+        seq = Atomic.make next_seq;
+        retried;
+        active;
       },
       Option.map snd snap,
-      List.map (fun f -> f.Journal.f_payload) live,
+      live,
       {
         report with
         used_fallback = source <> Src_primary;
         snapshot_generation =
           (match source with Src_generation k -> Some k | _ -> None);
-        io_retries = !retried;
+        io_retries = Atomic.get retried;
       } )
 
-let journal_of t =
-  match t.journal with
-  | Some j -> Ok j
-  | None -> fail (Io_error ("store closed: " ^ t.dir))
+(* ------------------------------------------------------------------ *)
+(* Writes                                                               *)
+(* ------------------------------------------------------------------ *)
 
-(* Transient write errors are retried here. Re-appending a frame whose
-   first attempt half-landed is safe: the scanner quarantines the torn
-   bytes and resynchronizes on the retried frame's header. *)
+let partitions t = Array.length t.parts
+let next_seq t = Atomic.fetch_and_add t.seq 1
+
+(* Routing: a transaction group goes whole to one partition, chosen by
+   hashing the caller's routing key (a root-object id / class hash);
+   conflicting groups share a key — the server's lock table serializes
+   them and their sequence tags are allocated in that order — so the
+   per-partition daemons only ever run independent groups in parallel. *)
+let partition_for t key =
+  let n = Array.length t.parts in
+  if n = 1 then t.parts.(0)
+  else
+    match key with
+    | None -> t.parts.(0)
+    | Some k -> t.parts.(Hashtbl.hash (k : string) mod n)
+
+(* The in-flight writer count feeds the daemons' commit window: a
+   leader holds its drain while other writers are still between here
+   and their own enqueue. *)
+let submit t p entry =
+  Atomic.incr t.active;
+  Fun.protect
+    ~finally:(fun () -> Atomic.decr t.active)
+    (fun () -> Commit_daemon.submit (daemon_of p) entry)
+
+let append ?key t payload =
+  let p = partition_for t key in
+  let entry =
+    if Array.length t.parts = 1 then Journal.Bare payload
+    else Journal.Solo { seq = next_seq t; payload }
+  in
+  submit t p entry
+
+let append_group ?key t payloads =
+  match payloads with
+  | [] -> Ok ()
+  | [ payload ] -> append ?key t payload
+  | _ ->
+    let p = partition_for t key in
+    submit t p (Journal.Group { seq = next_seq t; payloads })
+
 let with_retry t f =
   Retry.with_retry ~policy:t.retry ?sleep:t.sleep
-    ~on_retry:(fun ~attempt:_ _ -> t.retried <- t.retried + 1)
+    ~on_retry:(fun ~attempt:_ _ -> Atomic.incr t.retried)
     f
 
-let append t payload =
-  let* j = journal_of t in
-  let* () = with_retry t (fun () -> Journal.append j payload) in
-  t.records <- t.records + 1;
-  Ok ()
-
-let append_group t payloads =
-  let* j = journal_of t in
-  let* () = with_retry t (fun () -> Journal.append_group j payloads) in
-  t.records <- t.records + List.length payloads;
-  Ok ()
+(* Daemons are paused around direct journal access (sync, compaction):
+   [Commit_daemon.pause] waits out the in-flight batch, so the journal
+   is quiescent while we hold it. *)
+let quiesced t f =
+  Array.iter (fun p -> Commit_daemon.pause (daemon_of p)) t.parts;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun p -> Commit_daemon.resume (daemon_of p)) t.parts)
+    (fun () -> f ())
 
 let sync t =
-  let* j = journal_of t in
-  with_retry t (fun () -> Journal.sync j)
+  quiesced t (fun () ->
+      Array.to_list t.parts
+      |> iter_result (fun p ->
+             match p.p_journal with
+             | None -> fail (Io_error ("store closed: " ^ t.dir))
+             | Some j -> with_retry t (fun () -> Journal.sync j)))
 
-let retries t = t.retried
+let retries t = Atomic.get t.retried
+
+let write_stats t =
+  Array.to_list t.parts
+  |> List.map (fun p -> (p.p_index, Commit_daemon.stats (daemon_of p)))
+
+(* ------------------------------------------------------------------ *)
+(* Compaction                                                           *)
+(* ------------------------------------------------------------------ *)
 
 (* Shifts snapshot generations up one slot (dropping the oldest) to free
    [snapshot.bin.1] for the snapshot being replaced. Every operation is
@@ -395,23 +638,38 @@ let rotate_generations t =
         done
       end)
 
-let compact t ~snapshot =
-  let* j = journal_of t in
-  Journal.close j;
-  t.journal <- None;
+let close_journals t =
+  Array.iter
+    (fun p ->
+      match p.p_journal with
+      | None -> ()
+      | Some j ->
+        p.p_journal <- None;
+        Journal.close j)
+    t.parts
+
+let reopen_journals t ~epoch =
+  Array.to_list t.parts
+  |> iter_result (fun p ->
+         match p.p_journal with
+         | Some _ -> Ok ()
+         | None ->
+           let* j =
+             Journal.open_ ~io:t.io ~sync:t.sync_policy ~epoch p.p_path
+           in
+           p.p_journal <- Some j;
+           Ok ())
+
+let compact_quiesced t ~snapshot =
+  close_journals t;
   let next = t.epoch + 1 in
   let io = t.io in
   let snap = snapshot_path t.dir and old = fallback_path t.dir in
-  let reopen_journal ~epoch =
-    let* j = Journal.open_ ~io ~sync:t.sync_policy ~epoch (journal_path t.dir) in
-    t.journal <- Some j;
-    Ok ()
-  in
   (* step 0: make room in generation slot 1 for the snapshot being
      replaced (the previous generations shift up, the oldest drops) *)
   match rotate_generations t with
   | Error e ->
-    let* () = reopen_journal ~epoch:t.epoch in
+    let* () = reopen_journals t ~epoch:t.epoch in
     Error e
   | Ok () -> (
     (* step 1: set the previous snapshot aside as the fallback *)
@@ -419,7 +677,7 @@ let compact t ~snapshot =
       wrap_io (fun () -> if io.Io.exists snap then io.Io.rename snap old)
     with
     | Error e ->
-      let* () = reopen_journal ~epoch:t.epoch in
+      let* () = reopen_journals t ~epoch:t.epoch in
       Error e
     | Ok () -> (
       (* step 2: write the new snapshot under the next epoch (tmp file,
@@ -434,15 +692,18 @@ let compact t ~snapshot =
            if io.Io.exists old && not (io.Io.exists snap) then
              io.Io.rename old snap
          with Sys_error _ | Unix.Unix_error _ -> ());
-        let* () = reopen_journal ~epoch:t.epoch in
+        let* () = reopen_journals t ~epoch:t.epoch in
         Error e
       | Ok () ->
         (* the new snapshot is durable: the store is at [next] from here
            on, even if the housekeeping below fails — recovery skips the
-           now-stale journal by epoch mismatch *)
+           now-stale journals by epoch mismatch *)
         t.epoch <- next;
         let housekeeping =
-          let* () = Journal.truncate ~io (journal_path t.dir) in
+          let* () =
+            Array.to_list t.parts
+            |> iter_result (fun p -> Journal.truncate ~io p.p_path)
+          in
           wrap_io (fun () ->
               if io.Io.exists old then
                 if
@@ -455,20 +716,17 @@ let compact t ~snapshot =
                 end
                 else io.Io.unlink old)
         in
-        let* () = reopen_journal ~epoch:next in
-        t.records <- 0;
+        let* () = reopen_journals t ~epoch:next in
+        Array.iter (fun p -> p.p_records <- 0) t.parts;
         housekeeping))
 
-let journal_size t = t.records
+let compact t ~snapshot = quiesced t (fun () -> compact_quiesced t ~snapshot)
+
+let journal_size t =
+  Array.fold_left (fun acc p -> acc + p.p_records) 0 t.parts
+
 let epoch (t : t) = t.epoch
-
-let close t =
-  match t.journal with
-  | None -> ()
-  | Some j ->
-    t.journal <- None;
-    Journal.close j
-
+let close t = close_journals t
 let dir t = t.dir
 
 (* ------------------------------------------------------------------ *)
@@ -480,11 +738,26 @@ type file_status =
   | Intact of { epoch : int; bytes : int }
   | Damaged of string
 
+type journal_health = {
+  jh_frames : int;  (** committed data frames of the reference epoch *)
+  jh_epoch : int option;
+  jh_torn_bytes : int;
+  jh_torn_reason : string option;
+  jh_quarantined_regions : int;
+  jh_quarantined_bytes : int;
+  jh_stale : bool;
+  jh_ahead : bool;
+  jh_dangling_records : int;
+  jh_dangling_tail : bool;
+  jh_healthy : bool;
+}
+
 type fsck_report = {
   fsck_snapshot : file_status;
   fsck_fallback : file_status;
   fsck_generations : (int * file_status) list;
   fsck_tmp_leftover : bool;
+  fsck_partitions : (int * journal_health) list;
   fsck_journal_frames : int;
   fsck_journal_epoch : int option;
   fsck_torn_bytes : int;
@@ -523,14 +796,48 @@ let generation_statuses ?io dir =
   in
   go 1 []
 
+let analyze_journal ?io ~reference path =
+  let* scanned = Journal.scan ?io path in
+  let frames = scanned.Journal.frames in
+  let live = List.filter (fun f -> f.Journal.f_epoch = reference) frames in
+  let stale = List.exists (fun f -> f.Journal.f_epoch < reference) frames in
+  let ahead = List.exists (fun f -> f.Journal.f_epoch > reference) frames in
+  let quarantined = Journal.quarantined scanned in
+  let groups = Journal.resolve_groups ~damage:quarantined live in
+  let prefix_end =
+    match Journal.tail_damage scanned with
+    | Some d -> d.Journal.d_offset
+    | None -> scanned.Journal.file_size
+  in
+  let torn_bytes = scanned.Journal.file_size - prefix_end in
+  Ok
+    {
+      jh_frames = List.length groups.Journal.g_committed;
+      jh_epoch =
+        (match frames with f :: _ -> Some f.Journal.f_epoch | [] -> None);
+      jh_torn_bytes = torn_bytes;
+      jh_torn_reason =
+        Option.map (fun d -> d.Journal.d_reason) (Journal.tail_damage scanned);
+      jh_quarantined_regions = List.length quarantined;
+      jh_quarantined_bytes =
+        List.fold_left
+          (fun acc d -> acc + (d.Journal.d_end - d.Journal.d_offset))
+          0 quarantined;
+      jh_stale = stale;
+      jh_ahead = ahead;
+      jh_dangling_records = groups.Journal.g_dropped_records;
+      jh_dangling_tail = groups.Journal.g_tail_begin <> None;
+      jh_healthy =
+        torn_bytes = 0 && quarantined = [] && (not stale) && (not ahead)
+        && groups.Journal.g_dropped_records = 0;
+    }
+
 let analyze ?io dir =
   let* () = ensure_dir dir in
   let* snapshot = status_of_snapshot ?io (snapshot_path dir) in
   let* fallback = status_of_snapshot ?io (fallback_path dir) in
   let* gens = generation_statuses ?io dir in
   let tmp = Sys.file_exists (tmp_path dir) in
-  let* scanned = Journal.scan ?io (journal_path dir) in
-  let frames = scanned.Journal.frames in
   let snap_epoch =
     match (snapshot, fallback) with
     | Intact { epoch; _ }, _ -> Some epoch
@@ -543,17 +850,25 @@ let analyze ?io dir =
       | _ -> None)
   in
   let reference = Option.value snap_epoch ~default:0 in
-  let live = List.filter (fun f -> f.Journal.f_epoch = reference) frames in
-  let stale = List.exists (fun f -> f.Journal.f_epoch < reference) frames in
-  let ahead = List.exists (fun f -> f.Journal.f_epoch > reference) frames in
-  let quarantined = Journal.quarantined scanned in
-  let groups = Journal.resolve_groups ~damage:quarantined live in
-  let prefix_end =
-    match Journal.tail_damage scanned with
-    | Some d -> d.Journal.d_offset
-    | None -> scanned.Journal.file_size
+  let exists =
+    match io with Some i -> i.Io.exists | None -> Sys.file_exists
   in
-  let torn_bytes = scanned.Journal.file_size - prefix_end in
+  let n_parts = found_partition_count ~exists dir in
+  let rec per_partition k acc =
+    if k >= n_parts then Ok (List.rev acc)
+    else
+      let* jh = analyze_journal ?io ~reference (partition_file dir k) in
+      per_partition (k + 1) ((k, jh) :: acc)
+  in
+  let* parts = per_partition 0 [] in
+  let sum f = List.fold_left (fun acc (_, jh) -> acc + f jh) 0 parts in
+  let any f = List.exists (fun (_, jh) -> f jh) parts in
+  let first f =
+    List.fold_left
+      (fun acc (_, jh) -> if acc = None then f jh else acc)
+      None parts
+  in
+  let total_frames = sum (fun jh -> jh.jh_frames) in
   let gens_healthy =
     List.for_all
       (fun (_, st) -> match st with Intact _ -> true | _ -> false)
@@ -562,12 +877,11 @@ let analyze ?io dir =
   let healthy =
     (match snapshot with
     | Intact _ -> true
-    | Absent -> frames = [] || reference = 0
+    | Absent -> total_frames = 0 || reference = 0
     | Damaged _ -> false)
     && (match fallback with Absent -> true | _ -> false)
-    && gens_healthy && (not tmp) && torn_bytes = 0 && quarantined = []
-    && (not stale) && (not ahead)
-    && groups.Journal.g_dropped_records = 0
+    && gens_healthy && (not tmp)
+    && List.for_all (fun (_, jh) -> jh.jh_healthy) parts
   in
   Ok
     {
@@ -575,25 +889,85 @@ let analyze ?io dir =
       fsck_fallback = fallback;
       fsck_generations = gens;
       fsck_tmp_leftover = tmp;
-      fsck_journal_frames = List.length groups.Journal.g_committed;
-      fsck_journal_epoch =
-        (match frames with f :: _ -> Some f.Journal.f_epoch | [] -> None);
-      fsck_torn_bytes = torn_bytes;
-      fsck_torn_reason =
-        Option.map
-          (fun d -> d.Journal.d_reason)
-          (Journal.tail_damage scanned);
-      fsck_quarantined_regions = List.length quarantined;
-      fsck_quarantined_bytes =
-        List.fold_left
-          (fun acc d -> acc + (d.Journal.d_end - d.Journal.d_offset))
-          0 quarantined;
-      fsck_stale_journal = stale;
-      fsck_dangling_txn_records = groups.Journal.g_dropped_records;
-      fsck_dangling_txn_tail = groups.Journal.g_tail_begin <> None;
+      fsck_partitions = parts;
+      fsck_journal_frames = total_frames;
+      fsck_journal_epoch = first (fun jh -> jh.jh_epoch);
+      fsck_torn_bytes = sum (fun jh -> jh.jh_torn_bytes);
+      fsck_torn_reason = first (fun jh -> jh.jh_torn_reason);
+      fsck_quarantined_regions = sum (fun jh -> jh.jh_quarantined_regions);
+      fsck_quarantined_bytes = sum (fun jh -> jh.jh_quarantined_bytes);
+      fsck_stale_journal = any (fun jh -> jh.jh_stale);
+      fsck_dangling_txn_records = sum (fun jh -> jh.jh_dangling_records);
+      fsck_dangling_txn_tail = any (fun jh -> jh.jh_dangling_tail);
       fsck_healthy = healthy;
       fsck_repairs = [];
     }
+
+(* Repairs one partition journal against the (already repaired)
+   snapshot's epoch: rewrites it when stale/ahead frames, mid-journal
+   drops or quarantined damage are buried inside, otherwise truncates a
+   dangling tail group and/or torn tail bytes. *)
+let repair_journal ~io ~add ~reference dir k =
+  let act fmt = Printf.ksprintf add fmt in
+  let jpath = partition_file dir k in
+  let jname = partition_name k in
+  let* scanned = Journal.scan ~io jpath in
+  let frames = scanned.Journal.frames in
+  let live = List.filter (fun f -> f.Journal.f_epoch = reference) frames in
+  let quarantined = Journal.quarantined scanned in
+  let groups = Journal.resolve_groups ~damage:quarantined live in
+  let mid_dropped =
+    groups.Journal.g_dropped_records - groups.Journal.g_tail_records
+  in
+  let prefix_end =
+    match Journal.tail_damage scanned with
+    | Some d -> d.Journal.d_offset
+    | None -> scanned.Journal.file_size
+  in
+  let torn_bytes = scanned.Journal.file_size - prefix_end in
+  if
+    List.length live <> List.length frames
+    || mid_dropped > 0 || quarantined <> []
+  then begin
+    (* stale or epoch-ahead frames, dropped groups buried mid-journal,
+       or quarantined damage — rewrite with exactly the committed
+       records the current snapshot can base *)
+    let* () =
+      rewrite_journal ~io jpath ~epoch:reference groups.Journal.g_units
+    in
+    let other_epochs = List.length frames - List.length live in
+    if other_epochs > 0 then
+      act "%s: dropped %d frame(s) from other epochs" jname other_epochs;
+    if quarantined <> [] then
+      act "%s: excised %d quarantined damaged region(s) (%d byte(s))" jname
+        (List.length quarantined)
+        (List.fold_left
+           (fun acc d -> acc + (d.Journal.d_end - d.Journal.d_offset))
+           0 quarantined);
+    if groups.Journal.g_dropped_records > 0 then
+      act "%s: dropped %d uncommitted transaction record(s)" jname
+        groups.Journal.g_dropped_records;
+    Ok ()
+  end
+  else
+    match groups.Journal.g_tail_begin with
+    | Some off ->
+      (* the dangling group's begin marker is before any torn bytes,
+         so one cut removes both *)
+      let* () = Journal.truncate ~io ~len:(min off prefix_end) jpath in
+      act
+        "%s: truncated a dangling transaction (%d uncommitted record(s), %d \
+         byte(s))"
+        jname groups.Journal.g_tail_records
+        (scanned.Journal.file_size - min off prefix_end);
+      Ok ()
+    | None ->
+      if torn_bytes > 0 then begin
+        let* () = Journal.truncate ~io ~len:prefix_end jpath in
+        act "%s: truncated %d torn byte(s) off the tail" jname torn_bytes;
+        Ok ()
+      end
+      else Ok ()
 
 let repair_actions ~io dir report =
   let actions = ref [] in
@@ -665,69 +1039,18 @@ let repair_actions ~io dir report =
         | _ -> Ok ())
       report.fsck_generations
   in
-  (* re-read the (possibly repaired) snapshot, then fix the journal *)
+  (* re-read the (possibly repaired) snapshot, then fix each journal
+     partition — quarantine and repair stay partition-local *)
   let* snapshot = status_of_snapshot ~io (snapshot_path dir) in
   let reference =
     match snapshot with Intact { epoch; _ } -> epoch | _ -> 0
   in
-  let jpath = journal_path dir in
-  let* scanned = Journal.scan ~io jpath in
-  let frames = scanned.Journal.frames in
-  let live = List.filter (fun f -> f.Journal.f_epoch = reference) frames in
-  let quarantined = Journal.quarantined scanned in
-  let groups = Journal.resolve_groups ~damage:quarantined live in
-  let committed = groups.Journal.g_committed in
-  let mid_dropped =
-    groups.Journal.g_dropped_records - groups.Journal.g_tail_records
-  in
-  let prefix_end =
-    match Journal.tail_damage scanned with
-    | Some d -> d.Journal.d_offset
-    | None -> scanned.Journal.file_size
-  in
-  let torn_bytes = scanned.Journal.file_size - prefix_end in
   let* () =
-    if
-      List.length live <> List.length frames
-      || mid_dropped > 0 || quarantined <> []
-    then begin
-      (* stale or epoch-ahead frames, dropped groups buried mid-journal,
-         or quarantined damage — rewrite with exactly the committed
-         records the current snapshot can base *)
-      let* () = rewrite_journal ~io jpath ~epoch:reference committed in
-      let other_epochs = List.length frames - List.length live in
-      if other_epochs > 0 then
-        act "dropped %d journal frame(s) from other epochs" other_epochs;
-      if quarantined <> [] then
-        act "excised %d quarantined damaged region(s) (%d byte(s))"
-          (List.length quarantined)
-          (List.fold_left
-             (fun acc d -> acc + (d.Journal.d_end - d.Journal.d_offset))
-             0 quarantined);
-      if groups.Journal.g_dropped_records > 0 then
-        act "dropped %d uncommitted transaction record(s)"
-          groups.Journal.g_dropped_records;
-      Ok ()
-    end
-    else
-      match groups.Journal.g_tail_begin with
-      | Some off ->
-        (* the dangling group's begin marker is before any torn bytes,
-           so one cut removes both *)
-        let* () = Journal.truncate ~io ~len:(min off prefix_end) jpath in
-        act
-          "truncated a dangling transaction (%d uncommitted record(s), %d \
-           byte(s))"
-          groups.Journal.g_tail_records
-          (scanned.Journal.file_size - min off prefix_end);
-        Ok ()
-      | None ->
-        if torn_bytes > 0 then begin
-          let* () = Journal.truncate ~io ~len:prefix_end jpath in
-          act "truncated %d torn byte(s) off the journal tail" torn_bytes;
-          Ok ()
-        end
-        else Ok ()
+    iter_result
+      (fun (k, _) ->
+        repair_journal ~io ~add:(fun m -> actions := m :: !actions) ~reference
+          dir k)
+      report.fsck_partitions
   in
   Ok (List.rev !actions)
 
@@ -755,10 +1078,16 @@ let pp_fsck_report ppf r =
     r.fsck_generations;
   if r.fsck_tmp_leftover then
     Fmt.pf ppf "snapshot.bin.tmp:  present (leftover of an interrupted write)@.";
-  Fmt.pf ppf "journal.log:       %d live record(s)%s@." r.fsck_journal_frames
-    (match r.fsck_journal_epoch with
-    | Some e -> Printf.sprintf ", epoch %d" e
-    | None -> ", empty");
+  List.iter
+    (fun (k, jh) ->
+      Fmt.pf ppf "%-18s %d live record(s)%s%s@."
+        (partition_name k ^ ":")
+        jh.jh_frames
+        (match jh.jh_epoch with
+        | Some e -> Printf.sprintf ", epoch %d" e
+        | None -> ", empty")
+        (if jh.jh_healthy then "" else " — NEEDS ATTENTION"))
+    r.fsck_partitions;
   if r.fsck_stale_journal then
     Fmt.pf ppf "stale journal:     records predating the snapshot's epoch \
                 (skipped on open)@.";
