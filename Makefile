@@ -3,8 +3,8 @@
 # planner/scan equivalence properties and a fixed-seed smoke soak), and
 # formatting when the formatter is available.
 
-.PHONY: check build test fmt soak soak-ci bench bench-query bench-version \
-	bench-txn bench-commit bench-mvcc bench-chaos
+.PHONY: check build test fmt soak soak-ci soak-net bench bench-query \
+	bench-version bench-txn bench-commit bench-mvcc bench-chaos bench-server
 
 check: build test fmt
 
@@ -43,6 +43,21 @@ soak-ci:
 	dune exec test/soak.exe -- --iters 50 --seed 42 --partitions 4
 	dune exec test/mvcc_stress.exe -- --iters 100 --seed 42
 
+# network chaos soak: simulated clients drive the server core through
+# seeded frame-level fault injectors (drops, duplicates, bit flips,
+# truncation, delays, disconnects, dead clients, clock jumps past the
+# lease) over a durable store. Exactly-once check-in, lease reaping and
+# store survival (fsck + fingerprint across reopen) are verified every
+# iteration. A fixed-seed 8-iteration smoke run is part of `make test`;
+# this is the long configurable sweep.
+SOAK_NET_ITERS ?= 100
+SOAK_NET_STEPS ?= 200
+soak-net:
+	dune exec test/chaos_net.exe -- --iters $(SOAK_NET_ITERS) \
+	  --steps $(SOAK_NET_STEPS) --seed $(SOAK_SEED)
+	dune exec test/chaos_net.exe -- --iters $(SOAK_NET_ITERS) \
+	  --steps $(SOAK_NET_STEPS) --clients 8 --seed $(SOAK_SEED)
+
 # regenerate the committed query-planner baseline
 bench-query:
 	dune exec bench/main.exe -- query
@@ -70,5 +85,11 @@ bench-mvcc:
 bench-chaos:
 	dune exec bench/main.exe -- chaos
 
+# regenerate the committed networked-server baseline (multi-client
+# throughput/latency over TCP and graceful-drain wall time)
+bench-server:
+	dune exec bench/main.exe -- server
+
 # regenerate every committed benchmark baseline
-bench: bench-query bench-version bench-txn bench-commit bench-mvcc bench-chaos
+bench: bench-query bench-version bench-txn bench-commit bench-mvcc \
+	bench-chaos bench-server

@@ -1346,6 +1346,176 @@ let mvcc () =
   Fmt.pr "@.wrote BENCH_mvcc.json@."
 
 (* ------------------------------------------------------------------ *)
+(* S: the networked server — concurrent clients over TCP               *)
+(* ------------------------------------------------------------------ *)
+
+module NS = Seed_net.Net_server
+module NC = Seed_net.Net_client
+
+let server () =
+  heading "S" "networked server: concurrent clients over TCP (DESIGN.md §13)";
+  let json = ref [] in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let with_server f =
+    let srv = Seed_server.Server.create Spades_tool.Spec_model.schema in
+    ignore
+      (ok (DB.create_object (Seed_server.Server.database srv) ~cls:"Data"
+             ~name:"Shared" ()));
+    let core = NS.create srv in
+    match NS.serve ~port:0 core with
+    | Error e -> Fmt.failwith "serve: %s" (Seed_error.to_string e)
+    | Ok l ->
+      Fun.protect
+        ~finally:(fun () -> NS.shutdown ~grace:0.05 l)
+        (fun () -> f (NS.port l) core)
+  in
+  (* throughput/latency: each client thread runs a mixed workload of
+     pings, finds and check-ins (unique object per check-in) until the
+     deadline; latencies are per request, wall clock *)
+  let run_point nclients =
+    with_server (fun port _core ->
+        let duration = 0.5 in
+        let reads = Array.make nclients [] in
+        let writes = Array.make nclients [] in
+        let counts = Array.make nclients 0 in
+        let deadline = Unix.gettimeofday () +. duration in
+        let worker i () =
+          let client = Printf.sprintf "bench-%d" i in
+          let cl = NC.connect_tcp ~client ~host:"127.0.0.1" ~port () in
+          let n = ref 0 in
+          while Unix.gettimeofday () < deadline do
+            incr n;
+            let t0 = Unix.gettimeofday () in
+            let r =
+              match !n mod 4 with
+              | 0 ->
+                Result.map
+                  (fun () -> ())
+                  (NC.checkin cl
+                     [
+                       Seed_server.Protocol.Create_object
+                         {
+                           cls = "InputData";
+                           name = Printf.sprintf "B%d_%d" i !n;
+                           pattern = false;
+                         };
+                     ])
+              | 1 -> Result.map (fun _ -> ()) (NC.find cl "Shared")
+              | _ -> NC.ping cl
+            in
+            let dt = Unix.gettimeofday () -. t0 in
+            (match r with
+            | Ok () ->
+              if !n mod 4 = 0 then writes.(i) <- dt :: writes.(i)
+              else reads.(i) <- dt :: reads.(i)
+            | Error _ -> ());
+            counts.(i) <- counts.(i) + 1
+          done;
+          NC.close cl
+        in
+        let threads = List.init nclients (fun i -> Thread.create (worker i) ()) in
+        List.iter Thread.join threads;
+        let total = Array.fold_left ( + ) 0 counts in
+        let rl =
+          Array.to_list reads |> List.concat |> List.map (fun t -> t *. 1e6)
+          |> List.sort compare |> Array.of_list
+        in
+        let nwrites = Array.fold_left (fun a l -> a + List.length l) 0 writes in
+        let p50 = percentile rl 0.50
+        and p95 = percentile rl 0.95
+        and p99 = percentile rl 0.99 in
+        let reqs_s = float_of_int total /. duration in
+        let checkins_s = float_of_int nwrites /. duration in
+        json :=
+          Printf.sprintf
+            "    {\"case\": \"throughput\", \"clients\": %d, \
+             \"reqs_per_sec\": %.0f, \"checkins_per_sec\": %.0f, \
+             \"read_p50_us\": %.1f, \"read_p95_us\": %.1f, \"read_p99_us\": \
+             %.1f}"
+            nclients reqs_s checkins_s p50 p95 p99
+          :: !json;
+        [
+          string_of_int nclients;
+          Printf.sprintf "%.0f" reqs_s;
+          Printf.sprintf "%.0f" checkins_s;
+          Printf.sprintf "%.0f us" p50;
+          Printf.sprintf "%.0f us" p95;
+          Printf.sprintf "%.0f us" p99;
+        ])
+  in
+  let rows = List.map run_point [ 1; 2; 4; 8 ] in
+  Report.table
+    ~title:
+      "mixed workload over TCP (75% ping/find, 25% check-in), one session \
+       per client"
+    ~header:[ "clients"; "reqs/s"; "checkins/s"; "read p50"; "p95"; "p99" ]
+    rows;
+  (* graceful drain: clients hammering when the server shuts down must
+     see the retryable [Draining]/a clean close, never a wedge; the
+     drain itself must be quick *)
+  let drain_ms, clean =
+    let srv = Seed_server.Server.create Spades_tool.Spec_model.schema in
+    let core = NS.create srv in
+    match NS.serve ~port:0 core with
+    | Error e -> Fmt.failwith "serve: %s" (Seed_error.to_string e)
+    | Ok l ->
+      let port = NS.port l in
+      let stop = ref false in
+      let errors = ref 0 in
+      let worker i () =
+        let config =
+          {
+            (NC.default_config ~client:(Printf.sprintf "drain-%d" i)) with
+            NC.retry_window = 0.5;
+          }
+        in
+        let cl =
+          NC.connect_tcp ~config
+            ~client:(Printf.sprintf "drain-%d" i)
+            ~host:"127.0.0.1" ~port ()
+        in
+        let rec loop () =
+          if not !stop then
+            match NC.ping cl with
+            | Ok () -> loop ()
+            | Error _ -> incr errors  (* bounded exit, never a hang *)
+        in
+        loop ();
+        NC.close cl
+      in
+      let threads = List.init 4 (fun i -> Thread.create (worker i) ()) in
+      Unix.sleepf 0.1;
+      let _, t = Report.time_of (fun () -> NS.shutdown ~grace:0.1 l) in
+      stop := true;
+      List.iter Thread.join threads;
+      (t *. 1000., true)
+  in
+  json :=
+    Printf.sprintf
+      "    {\"case\": \"drain\", \"clients\": 4, \"drain_ms\": %.1f, \
+       \"clients_unwedged\": %b}"
+      drain_ms clean
+    :: !json;
+  Report.table ~title:"graceful drain under load (4 clients pinging)"
+    ~header:[ "measure"; "value" ]
+    [
+      [ "drain wall time"; Printf.sprintf "%.1f ms" drain_ms ];
+      [ "clients unwedged"; string_of_bool clean ];
+    ];
+  let oc = open_out "BENCH_server.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"server\",\n  \"command\": \"dune exec bench/main.exe \
+     -- server\",\n  \"host_cores\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
+    (Domain.recommended_domain_count ())
+    (String.concat ",\n" (List.rev !json));
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_server.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let suites =
   [
@@ -1363,6 +1533,7 @@ let suites =
     ("storage", storage);
     ("recovery", recovery);
     ("chaos", chaos);
+    ("server", server);
   ]
 
 let () =

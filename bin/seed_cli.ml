@@ -566,14 +566,69 @@ let salvage_cmd =
 
 (* --- snapshot / versions / history ------------------------------------ *)
 
+let parse_hostport s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p -> Ok ((if host = "" then "127.0.0.1" else host), p)
+    | None -> Error (Printf.sprintf "invalid port in %S" s))
+  | None -> (
+    match int_of_string_opt s with
+    | Some p -> Ok ("127.0.0.1", p)
+    | None -> Error (Printf.sprintf "expected HOST:PORT, got %S" s))
+
 let stats_cmd =
-  let run dir =
-    with_session dir (fun db ->
-        Fmt.pr "%a@." DB.pp_stats (DB.stats db);
-        Ok ())
+  let run dir server =
+    match server with
+    | Some addr -> (
+      (* live occupancy — sessions, in-flight, lock-table leases — only
+         exists in a serving process, so it is asked over the wire *)
+      match parse_hostport addr with
+      | Error msg ->
+        Fmt.epr "seed: %s@." msg;
+        exit 1
+      | Ok (host, port) -> (
+        let client = Printf.sprintf "stats-%d" (Unix.getpid ()) in
+        let cl = Seed_net.Net_client.connect_tcp ~client ~host ~port () in
+        match Seed_net.Net_client.stats cl with
+        | Ok s ->
+          Seed_net.Net_client.close cl;
+          Fmt.pr "%a@." Seed_net.Wire.pp_server_stats s
+        | Error e ->
+          Seed_net.Net_client.close cl;
+          Fmt.epr "seed: %a@." Seed_net.Net_client.pp_error e;
+          exit 1))
+    | None -> (
+      match dir with
+      | Some dir ->
+        with_session dir (fun db ->
+            Fmt.pr "%a@." DB.pp_stats (DB.stats db);
+            Ok ())
+      | None ->
+        Fmt.epr "seed: stats needs a DB directory or --server HOST:PORT@.";
+        exit 1)
   in
-  Cmd.v (Cmd.info "stats" ~doc:"Database size and state summary.")
-    Term.(const run $ dir_arg)
+  let dir_opt =
+    Arg.(
+      value & pos 0 (some dir) None & info [] ~docv:"DB" ~doc:"Database directory.")
+  in
+  let server =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "server" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Ask a running $(b,seed serve) instead: adds live occupancy \
+             (sessions, in-flight requests, lock leases) to the database \
+             summary.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Database size and state summary — of a directory, or of a \
+             running server with $(b,--server).")
+    Term.(const run $ dir_opt $ server)
 
 let snapshot_cmd =
   let run dir =
@@ -895,6 +950,262 @@ let shell_cmd =
              flushed on exit.")
     Term.(const run $ dir_arg)
 
+(* --- serve / connect ---------------------------------------------------- *)
+
+let serve_cmd =
+  let run dir host port ttl max_sessions max_in_flight =
+    match Persist.Session.open_ ~dir () with
+    | Error e -> exit_err e
+    | Ok session ->
+      warn_recovery session;
+      let engine = Seed_server.Server.of_session session in
+      let config =
+        {
+          Seed_net.Net_server.default_config with
+          session_ttl = ttl;
+          max_sessions;
+          max_in_flight;
+        }
+      in
+      let core = Seed_net.Net_server.create ~config engine in
+      (match Seed_net.Net_server.serve ~host ~port core with
+      | Error e ->
+        Persist.Session.close session;
+        exit_err e
+      | Ok listener ->
+        (* the exact line a supervisor (or a test) scrapes for the
+           ephemeral port when started with --port 0 *)
+        Fmt.pr "seed: serving %s on %s:%d (session ttl %gs)@." dir host
+          (Seed_net.Net_server.port listener)
+          ttl;
+        let stop = ref false in
+        let handler = Sys.Signal_handle (fun _ -> stop := true) in
+        Sys.set_signal Sys.sigint handler;
+        Sys.set_signal Sys.sigterm handler;
+        while not !stop do
+          Thread.delay 0.1
+        done;
+        Fmt.pr "seed: draining@.";
+        Seed_net.Net_server.shutdown listener;
+        (match Persist.Session.flush session with
+        | Ok () -> ()
+        | Error e ->
+          Fmt.epr "seed: final flush failed: %s@." (Seed_error.to_string e));
+        Persist.Session.close session;
+        Fmt.pr "seed: stopped@.")
+  in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind (default loopback).")
+  in
+  let port =
+    Arg.(
+      value & opt int 7464
+      & info [ "port"; "p" ] ~docv:"PORT"
+          ~doc:"TCP port (0 picks an ephemeral port, printed on startup).")
+  in
+  let ttl =
+    Arg.(
+      value & opt float 30.0
+      & info [ "ttl" ] ~docv:"SECONDS"
+          ~doc:
+            "Session lease: a client silent this long loses its session \
+             and all its locks.")
+  in
+  let max_sessions =
+    Arg.(
+      value & opt int 64
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Admission cap; further clients get a retryable Busy.")
+  in
+  let max_in_flight =
+    Arg.(
+      value & opt int 128
+      & info [ "max-in-flight" ] ~docv:"N"
+          ~doc:"Cap on concurrently executing requests (load shedding).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a database directory to networked clients. Sessions hold \
+          TTL leases, so a dead client's locks are reaped; SIGINT/SIGTERM \
+          drains gracefully (in-flight requests finish, queued clients get \
+          a retryable error).")
+    Term.(const run $ dir_arg $ host $ port $ ttl $ max_sessions $ max_in_flight)
+
+let connect_help () =
+  print_string
+    "commands:\n\
+    \  checkout [-w SECS] NAME...  write-lock objects (optionally waiting);\n\
+    \                              a successful check-in releases the locks\n\
+    \  add CLASS NAME              check in a new object\n\
+    \  set PATH VALUE              check in a value update\n\
+    \  link ASSOC FROM TO          check in a relationship\n\
+    \  delete PATH                 check in a deletion\n\
+    \  release                     drop locks without applying\n\
+    \  find NAME                   class of an object, via a server snapshot\n\
+    \  select CLASS                names of objects that are-a CLASS\n\
+    \  stats                       server occupancy and database summary\n\
+    \  ping                        round-trip check\n\
+    \  help                        this text\n\
+    \  quit                        free the session's locks and exit\n"
+
+(* one REPL/script command against a connected client; false = the
+   command failed (used for --exec exit status) *)
+let connect_exec cl words =
+  let module C = Seed_net.Net_client in
+  let module P = Seed_server.Protocol in
+  let report = function
+    | Ok () -> true
+    | Error e ->
+      Fmt.pr "error: %a@." C.pp_error e;
+      false
+  in
+  match words with
+  | [] -> true
+  | [ "help" ] ->
+    connect_help ();
+    true
+  | "checkout" :: "-w" :: secs :: names -> (
+    match float_of_string_opt secs with
+    | Some s when names <> [] ->
+      report (C.checkout ~wait_timeout:s cl names)
+    | _ ->
+      Fmt.pr "error: usage: checkout -w SECS NAME...@.";
+      false)
+  | "checkout" :: (_ :: _ as names) -> report (C.checkout cl names)
+  | [ "add"; cls; name ] ->
+    report (C.checkin cl [ P.Create_object { cls; name; pattern = false } ])
+  | [ "set"; path; value ] -> (
+    let v = Some (parse_value value) in
+    match C.checkin cl [ P.Set_value { path; value = v } ] with
+    | Ok () -> true
+    | Error (C.Remote { code = Seed_net.Wire.Unknown_name; _ })
+      when String.contains path '.' ->
+      (* mirror the local CLI: a missing sub-object is created on first
+         set *)
+      let i = String.rindex path '.' in
+      let owner = String.sub path 0 i in
+      let role = String.sub path (i + 1) (String.length path - i - 1) in
+      report
+        (C.checkin cl [ P.Create_sub { owner; role; index = None; value = v } ])
+    | Error e ->
+      Fmt.pr "error: %a@." C.pp_error e;
+      false)
+  | [ "link"; assoc; from_; to_ ] ->
+    report
+      (C.checkin cl
+         [ P.Create_rel { assoc; endpoints = [ from_; to_ ]; pattern = false } ])
+  | [ "delete"; path ] -> report (C.checkin cl [ P.Delete { path } ])
+  | [ "release" ] -> report (C.release cl)
+  | [ "find"; name ] -> (
+    match C.find cl name with
+    | Ok (Some cls) ->
+      Fmt.pr "%s : %s@." name cls;
+      true
+    | Ok None ->
+      Fmt.pr "%s: not found@." name;
+      true
+    | Error e ->
+      Fmt.pr "error: %a@." C.pp_error e;
+      false)
+  | [ "select"; cls ] -> (
+    match C.select_isa cl cls with
+    | Ok names ->
+      List.iter (Fmt.pr "%s@.") names;
+      true
+    | Error e ->
+      Fmt.pr "error: %a@." C.pp_error e;
+      false)
+  | [ "stats" ] -> (
+    match C.stats cl with
+    | Ok s ->
+      Fmt.pr "%a@." Seed_net.Wire.pp_server_stats s;
+      true
+    | Error e ->
+      Fmt.pr "error: %a@." C.pp_error e;
+      false)
+  | [ "ping" ] -> (
+    match C.ping cl with
+    | Ok () ->
+      Fmt.pr "pong@.";
+      true
+    | Error e ->
+      Fmt.pr "error: %a@." C.pp_error e;
+      false)
+  | w :: _ ->
+    Fmt.pr "error: unknown command %s (try 'help')@." w;
+    false
+
+let connect_cmd =
+  let run addr client execs =
+    match parse_hostport addr with
+    | Error msg ->
+      Fmt.epr "seed: %s@." msg;
+      exit 1
+    | Ok (host, port) ->
+      let client =
+        match client with
+        | Some c -> c
+        | None -> Printf.sprintf "cli-%d" (Unix.getpid ())
+      in
+      let cl = Seed_net.Net_client.connect_tcp ~client ~host ~port () in
+      let status = ref 0 in
+      if execs <> [] then
+        (* script mode: each --exec is a ';'-separated command list *)
+        List.iter
+          (fun script ->
+            List.iter
+              (fun cmd ->
+                if not (connect_exec cl (split_words cmd)) then status := 1)
+              (String.split_on_char ';' script))
+          execs
+      else begin
+        let running = ref true in
+        while !running do
+          Fmt.pr "%s@%s:%d> " client host port;
+          Format.pp_print_flush Format.std_formatter ();
+          match In_channel.input_line stdin with
+          | None -> running := false
+          | Some line -> (
+            match split_words line with
+            | [ "quit" ] | [ "exit" ] -> running := false
+            | words -> ignore (connect_exec cl words))
+        done
+      end;
+      Seed_net.Net_client.close cl;
+      exit !status
+  in
+  let addr =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"HOST:PORT" ~doc:"A running $(b,seed serve).")
+  in
+  let client =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "client"; "c" ] ~docv:"NAME"
+          ~doc:"Lock-owner name (default cli-<pid>).")
+  in
+  let execs =
+    Arg.(
+      value & opt_all string []
+      & info [ "exec"; "e" ] ~docv:"CMDS"
+          ~doc:
+            "Run this ';'-separated command list instead of the interactive \
+             prompt; exits non-zero if any command fails. Repeatable.")
+  in
+  Cmd.v
+    (Cmd.info "connect"
+       ~doc:
+         "Connect to a $(b,seed serve). The client library reconnects with \
+          exponential backoff, resumes its session inside the lease window \
+          and replays lost requests idempotently.")
+    Term.(const run $ addr $ client $ execs)
+
 let main =
   Cmd.group
     (Cmd.info "seed" ~version:"1.0"
@@ -925,6 +1236,8 @@ let main =
       diff_cmd;
       history_cmd;
       shell_cmd;
+      serve_cmd;
+      connect_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,72 @@
+open Seed_util.Seed_error
+
+type t = {
+  send : string -> (unit, Seed_util.Seed_error.t) result;
+  recv : timeout:float option -> (string, Seed_util.Seed_error.t) result;
+  close : unit -> unit;
+}
+
+let of_functions ~send ~recv ~close = { send; recv; close }
+
+(* --- stream sockets --------------------------------------------------- *)
+
+let rec write_all fd s off len =
+  if len = 0 then Ok ()
+  else
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) ->
+      write_all fd s off len
+    | exception Unix.Unix_error (e, _, _) ->
+      fail (Io_error (Printf.sprintf "send: %s" (Unix.error_message e)))
+
+(* Read exactly [len] bytes. [started] tracks whether any byte of this
+   frame has been consumed: a timeout before the first byte leaves the
+   stream intact (transient — the caller may simply wait again), while a
+   timeout or EOF mid-frame loses framing sync and kills the
+   connection. *)
+let read_exact fd buf len =
+  let rec go off =
+    if off = len then Ok ()
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> fail (Io_error "connection closed by peer")
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        ->
+        if off = 0 then fail (Io_transient "recv timeout")
+        else fail (Io_error "recv timeout mid-frame")
+      | exception Unix.Unix_error (e, _, _) ->
+        fail (Io_error (Printf.sprintf "recv: %s" (Unix.error_message e)))
+  in
+  go 0
+
+let of_fd fd =
+  let set_timeout t =
+    (* SO_RCVTIMEO of 0 means "block forever" *)
+    let t = match t with None -> 0.0 | Some s -> Float.max 0.000001 s in
+    try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t with Unix.Unix_error _ -> ()
+  in
+  let send frame = write_all fd frame 0 (String.length frame) in
+  let recv ~timeout =
+    set_timeout timeout;
+    let hdr = Bytes.create Frame.header_size in
+    let* () = read_exact fd hdr Frame.header_size in
+    let hdr = Bytes.to_string hdr in
+    let* _v, len, _crc = Frame.parse_header hdr in
+    let payload = Bytes.create len in
+    let* () =
+      if len = 0 then Ok ()
+      else
+        (* the header arrived; the payload must follow promptly or the
+           stream is broken — a partial-frame stall is fatal *)
+        match read_exact fd payload len with
+        | Ok () -> Ok ()
+        | Error (Io_transient _) -> fail (Io_error "recv timeout mid-frame")
+        | Error _ as e -> e
+    in
+    Ok (hdr ^ Bytes.to_string payload)
+  in
+  let close () = try Unix.close fd with Unix.Unix_error _ -> () in
+  { send; recv; close }

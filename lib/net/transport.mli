@@ -1,0 +1,33 @@
+(** A connection that carries whole encoded frames.
+
+    The transport moves opaque frame bytes (as produced by
+    {!Frame.encode}); interpreting them is the peer's job. Keeping the
+    interface this small lets the same protocol logic run over a real
+    TCP socket, an in-process test harness, or a fault-injecting
+    wrapper, and makes "the wire ate my frame" indistinguishable from
+    "the process died" — which is exactly the assumption the session
+    layer is built on. *)
+
+type t = {
+  send : string -> (unit, Seed_util.Seed_error.t) result;
+      (** Ship one encoded frame. Any error means the connection is no
+          longer trustworthy. *)
+  recv : timeout:float option -> (string, Seed_util.Seed_error.t) result;
+      (** Receive one whole encoded frame. A clean timeout (no bytes
+          consumed) is [Io_transient] and the connection survives; a
+          timeout mid-frame, EOF, or framing corruption is fatal. *)
+  close : unit -> unit;
+}
+
+val of_fd : Unix.file_descr -> t
+(** Framed transport over a stream socket. [send] writes the frame
+    fully (absorbing EINTR/partial writes); [recv] reads header then
+    payload, using [SO_RCVTIMEO] for the timeout. The fd is closed by
+    [close]. *)
+
+val of_functions :
+  send:(string -> (unit, Seed_util.Seed_error.t) result) ->
+  recv:(timeout:float option -> (string, Seed_util.Seed_error.t) result) ->
+  close:(unit -> unit) ->
+  t
+(** Synthetic transport for tests and the chaos harness. *)

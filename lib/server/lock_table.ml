@@ -64,6 +64,20 @@ let release_all t ~client =
   in
   List.iter (Hashtbl.remove t.table) mine
 
+(* Session reaping: one call frees everything a dead client left behind
+   — its locks (live or lapsed) and its wait-for edge, so it can neither
+   block other clients nor figure in a phantom deadlock cycle. Returns
+   what was freed so the server can log the reap. *)
+let release_session t ~client =
+  let mine =
+    Hashtbl.fold
+      (fun n e acc -> if String.equal e.holder client then n :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) mine;
+  Hashtbl.remove t.waiting client;
+  List.sort String.compare mine
+
 (* Follows wait-for edges (waiter -> live holder of a wanted name)
    depth-first from [start]; a path back to [start] is a deadlock. *)
 let find_cycle t start =
@@ -125,6 +139,30 @@ let expire_stale t =
   in
   List.iter (fun (n, _) -> Hashtbl.remove t.table n) stale;
   List.sort (fun (a, _) (b, _) -> String.compare a b) stale
+
+type stats = {
+  locks_held : int;
+  locks_leased : int;
+  locks_expired : int;
+  waiters : int;
+}
+
+let stats t =
+  let held = ref 0 and leased = ref 0 and lapsed = ref 0 in
+  Hashtbl.iter
+    (fun _ e ->
+      if expired t e then incr lapsed
+      else begin
+        incr held;
+        if e.expires <> None then incr leased
+      end)
+    t.table;
+  {
+    locks_held = !held;
+    locks_leased = !leased;
+    locks_expired = !lapsed;
+    waiters = Hashtbl.length t.waiting;
+  }
 
 let holder t name = Option.map (fun e -> e.holder) (live_entry t name)
 

@@ -56,6 +56,24 @@ val acquire_wait :
 
 val release_all : t -> client:string -> unit
 
+val release_session : t -> client:string -> string list
+(** Free everything [client] left behind in one call: all its locks
+    (live or expired) and its wait-for edge, so a reaped session can
+    neither block other clients nor figure in a phantom deadlock cycle.
+    Returns the names freed, sorted — empty if the client held
+    nothing. *)
+
+type stats = {
+  locks_held : int;  (** live locks in the table *)
+  locks_leased : int;  (** of those, lock leases with a TTL *)
+  locks_expired : int;  (** expired-but-unreaped entries still in the table *)
+  waiters : int;  (** clients currently blocked in {!acquire_wait} *)
+}
+
+val stats : t -> stats
+(** Occupancy snapshot for monitoring — server health (are leases
+    piling up? is anything wedged waiting?) at a glance. *)
+
 val expire_stale : t -> (string * string) list
 (** Remove every expired lease and return the [(name, holder)] pairs
     that lapsed, sorted by name. *)

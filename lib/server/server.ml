@@ -72,6 +72,18 @@ let locked_by t ~client = Lock_table.held_by t.locks ~client
 
 let expire_stale t = Lock_table.expire_stale t.locks
 
+let release_session t ~client = Lock_table.release_session t.locks ~client
+
+let refresh_leases t ~client ~ttl =
+  match Lock_table.held_by t.locks ~client with
+  | [] -> ()
+  | names ->
+    (* re-acquiring one's own live locks always succeeds and pushes the
+       lease out; expired names are no longer in [held_by] *)
+    ignore (Lock_table.acquire t.locks ~client ~ttl names)
+
+let lock_stats t = Lock_table.stats t.locks
+
 let resolve_obj db name =
   match Database.find_object db name with
   | Some id -> Ok id

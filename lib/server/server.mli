@@ -81,6 +81,20 @@ val expire_stale : t -> (string * string) list
     [(name, holder)] pairs that lapsed, sorted by name. A dead client's
     expired locks never block acquisition even before this is called. *)
 
+val release_session : t -> client:string -> string list
+(** Free everything the client left behind — all its locks and its
+    wait-for edge — in one call; returns the names freed. This is what
+    a network front end calls when a session's lease runs out. *)
+
+val refresh_leases : t -> client:string -> ttl:float -> unit
+(** Push the expiry of every lease the client still holds out to [ttl]
+    seconds from now — a heartbeat. Locks whose lease already lapsed
+    are gone and stay gone. *)
+
+val lock_stats : t -> Lock_table.stats
+(** Lock-table occupancy (held locks, leases, expired-but-unreaped
+    entries, blocked waiters) for monitoring. *)
+
 val checkin :
   t -> client:string -> Protocol.op list -> (unit, Seed_error.t) result
 (** Apply the client's operations in one transaction

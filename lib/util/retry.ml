@@ -22,6 +22,37 @@ let delay_for p ~attempt =
 
 let transient_only = function Seed_error.Io_transient _ -> true | _ -> false
 
+let with_deadline ?(policy = default_policy) ?(sleep = Unix.sleepf)
+    ?(now = Unix.gettimeofday) ?(should_retry = transient_only)
+    ?(on_retry = fun ~attempt:_ _ -> ()) ~deadline f =
+  let harden = function
+    | Seed_error.Io_transient m ->
+      Error
+        (Seed_error.Io_error (Printf.sprintf "deadline exceeded retrying: %s" m))
+    | e -> Error e
+  in
+  let rec go attempt =
+    match f () with
+    | Ok _ as ok -> ok
+    | Error e when should_retry e ->
+      (* the next delay must fit before the deadline: sleeping past it
+         would retry on borrowed time, so the tail of the window is
+         spent on one final shortened wait instead *)
+      let t = now () in
+      if t >= deadline then harden e
+      else begin
+        on_retry ~attempt e;
+        (* the delay curve saturates; freezing the exponent keeps the
+           attempt index from overflowing on very long deadlines *)
+        let d = delay_for policy ~attempt:(min attempt 32) in
+        let d = Float.min d (deadline -. t) in
+        if d > 0.0 then sleep d;
+        go (attempt + 1)
+      end
+    | Error _ as err -> err
+  in
+  go 1
+
 let with_retry ?(policy = default_policy) ?(sleep = Unix.sleepf)
     ?(should_retry = transient_only) ?(on_retry = fun ~attempt:_ _ -> ()) f =
   let attempts = max 1 policy.attempts in

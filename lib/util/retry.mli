@@ -39,3 +39,21 @@ val with_retry :
     {!delay_for}.  After the final failed attempt a transient error is
     surfaced as a permanent [Io_error] so callers never see
     [Io_transient] escape a retry boundary. *)
+
+val with_deadline :
+  ?policy:policy ->
+  ?sleep:(float -> unit) ->
+  ?now:(unit -> float) ->
+  ?should_retry:(Seed_error.t -> bool) ->
+  ?on_retry:(attempt:int -> Seed_error.t -> unit) ->
+  deadline:float ->
+  (unit -> ('a, Seed_error.t) result) ->
+  ('a, Seed_error.t) result
+(** [with_deadline ~deadline f] retries like {!with_retry} but against an
+    absolute deadline on [now]'s clock instead of an attempt count: the
+    policy's [attempts] field is ignored, its delay curve is kept, and no
+    sleep ever extends past [deadline] (the last gap before the deadline
+    is spent on one shortened wait).  A client reconnecting to a server
+    wants exactly this shape — "keep trying until my lease window is
+    over", however many attempts that is.  As with {!with_retry}, an
+    exhausted transient error hardens to [Io_error]. *)

@@ -440,6 +440,134 @@ let test_server_checkout_wait () =
   Alcotest.(check (list string)) "lease lapsed" []
     (Server.locked_by s ~client:"carol")
 
+(* --- session bulk release, heartbeats, occupancy ---------------------- *)
+
+let test_release_session_bulk () =
+  let s = Server.create (schema ()) in
+  let db = Server.database s in
+  List.iter
+    (fun n -> ignore (ok (DB.create_object db ~cls:"Data" ~name:n ())))
+    [ "A"; "B"; "C" ];
+  check_ok "alice leases"
+    (Server.checkout_lease s ~client:"alice" ~ttl:10.0 ~names:[ "B"; "A" ]);
+  check_ok "bob holds" (Server.checkout s ~client:"bob" ~names:[ "C" ]);
+  Alcotest.(check (list string)) "freed, sorted" [ "A"; "B" ]
+    (Server.release_session s ~client:"alice");
+  Alcotest.(check (list string)) "alice empty" []
+    (Server.locked_by s ~client:"alice");
+  Alcotest.(check (list string)) "bob untouched" [ "C" ]
+    (Server.locked_by s ~client:"bob");
+  Alcotest.(check (list string)) "idempotent" []
+    (Server.release_session s ~client:"alice")
+
+let test_refresh_leases_heartbeat () =
+  let clock = ref 0.0 in
+  let s = Server.create ~now:(fun () -> !clock) (schema ()) in
+  let db = Server.database s in
+  let _ = ok (DB.create_object db ~cls:"Data" ~name:"Alarms" ()) in
+  check_ok "lease"
+    (Server.checkout_lease s ~client:"alice" ~ttl:5.0 ~names:[ "Alarms" ]);
+  (* heartbeats at 4 and 8 carry the lease to 13 — past the original
+     expiry twice over *)
+  clock := 4.0;
+  Server.refresh_leases s ~client:"alice" ~ttl:5.0;
+  clock := 8.0;
+  Server.refresh_leases s ~client:"alice" ~ttl:5.0;
+  clock := 12.9;
+  Alcotest.(check (list string)) "still held" [ "Alarms" ]
+    (Server.locked_by s ~client:"alice");
+  clock := 13.0;
+  Alcotest.(check (list string)) "lapsed" []
+    (Server.locked_by s ~client:"alice");
+  (* a heartbeat after death resurrects nothing *)
+  Server.refresh_leases s ~client:"alice" ~ttl:5.0;
+  Alcotest.(check (list string)) "stays gone" []
+    (Server.locked_by s ~client:"alice")
+
+let test_lock_stats_occupancy () =
+  let clock = ref 0.0 in
+  let s = Server.create ~now:(fun () -> !clock) (schema ()) in
+  let db = Server.database s in
+  List.iter
+    (fun n -> ignore (ok (DB.create_object db ~cls:"Data" ~name:n ())))
+    [ "X"; "Y"; "Z" ];
+  check_ok "permanent" (Server.checkout s ~client:"a" ~names:[ "X" ]);
+  check_ok "leased"
+    (Server.checkout_lease s ~client:"b" ~ttl:5.0 ~names:[ "Y"; "Z" ]);
+  let st = Server.lock_stats s in
+  Alcotest.(check int) "held" 3 st.Lock_table.locks_held;
+  Alcotest.(check int) "leased" 2 st.Lock_table.locks_leased;
+  Alcotest.(check int) "expired" 0 st.Lock_table.locks_expired;
+  Alcotest.(check int) "waiters" 0 st.Lock_table.waiters;
+  (* past the ttl the leases read as expired-but-unreaped until some
+     acquisition (or expire_stale) sweeps them *)
+  clock := 6.0;
+  let st = Server.lock_stats s in
+  Alcotest.(check int) "held after lapse" 1 st.Lock_table.locks_held;
+  Alcotest.(check int) "leased after lapse" 0 st.Lock_table.locks_leased;
+  Alcotest.(check int) "expired unreaped" 2 st.Lock_table.locks_expired;
+  let _ = Server.expire_stale s in
+  let st = Server.lock_stats s in
+  Alcotest.(check int) "swept" 0 st.Lock_table.locks_expired
+
+(* --- lease-expiry races ----------------------------------------------- *)
+
+let test_checkin_exactly_at_lease_expiry () =
+  (* the race the network layer must survive: a client's lease runs out
+     at the very instant its check-in arrives. The boundary is inclusive
+     (expires = now reads as free), so the answer is a deterministic
+     refusal — and the object is immediately safe for others to take *)
+  let clock = ref 0.0 in
+  let s = Server.create ~now:(fun () -> !clock) (schema ()) in
+  let db = Server.database s in
+  let _ = ok (DB.create_object db ~cls:"Data" ~name:"Alarms" ()) in
+  let _ = ok (DB.create_object db ~cls:"Action" ~name:"Handler" ()) in
+  check_ok "lease"
+    (Server.checkout_lease s ~client:"alice" ~ttl:5.0
+       ~names:[ "Alarms"; "Handler" ]);
+  clock := 5.0;
+  check_err "refused at the boundary"
+    (function Seed_error.Invalid_operation _ -> true | _ -> false)
+    (Server.checkin s ~client:"alice"
+       [ Protocol.Reclassify_obj { name = "Alarms"; to_ = "InputData" } ]);
+  Alcotest.(check int) "nothing counted" 0 (Server.checkin_count s);
+  let alarms = Option.get (DB.find_object db "Alarms") in
+  Alcotest.(check (option string)) "nothing applied" (Some "Data")
+    (DB.class_of db alarms);
+  check_ok "bob takes over at the same instant"
+    (Server.checkout s ~client:"bob" ~names:[ "Alarms"; "Handler" ]);
+  (* one tick earlier the same check-in lands *)
+  Server.release s ~client:"bob";
+  check_ok "re-lease"
+    (Server.checkout_lease s ~client:"alice" ~ttl:5.0 ~names:[ "Alarms" ]);
+  clock := 9.999;
+  check_ok "applies just inside the lease"
+    (Server.checkin s ~client:"alice"
+       [ Protocol.Reclassify_obj { name = "Alarms"; to_ = "InputData" } ])
+
+let test_expiry_race_never_partial () =
+  (* a batch mixing lock-free ops (fresh creations) with ops on an
+     expired lease must be refused as a whole: the fresh object must not
+     exist afterwards *)
+  let clock = ref 0.0 in
+  let s = Server.create ~now:(fun () -> !clock) (schema ()) in
+  let db = Server.database s in
+  let _ = ok (DB.create_object db ~cls:"Data" ~name:"Alarms" ()) in
+  check_ok "lease"
+    (Server.checkout_lease s ~client:"alice" ~ttl:5.0 ~names:[ "Alarms" ]);
+  clock := 5.0;
+  check_err "whole batch refused"
+    (function Seed_error.Invalid_operation _ -> true | _ -> false)
+    (Server.checkin s ~client:"alice"
+       [
+         Protocol.Create_object { cls = "Data"; name = "Fresh"; pattern = false };
+         Protocol.Reclassify_obj { name = "Alarms"; to_ = "InputData" };
+       ]);
+  Alcotest.(check (option Alcotest.reject)) "no partial batch" None
+    (DB.find_object db "Fresh");
+  Alcotest.(check (option string)) "target untouched" (Some "Data")
+    (DB.class_of db (Option.get (DB.find_object db "Alarms")))
+
 let test_versions_server_controlled () =
   let s = with_seeded_server () in
   let v1 = ok (Server.create_version s) in
@@ -511,6 +639,14 @@ let () =
           tc "expire_stale" test_expire_stale_reaps;
           tc "exact-expiry boundary" test_lease_boundary_exact_expiry;
           tc "acquire reaps expired" test_acquire_reaps_expired;
+        ] );
+      ( "sessions",
+        [
+          tc "bulk release" test_release_session_bulk;
+          tc "heartbeat refresh" test_refresh_leases_heartbeat;
+          tc "occupancy stats" test_lock_stats_occupancy;
+          tc "checkin at exact expiry" test_checkin_exactly_at_lease_expiry;
+          tc "expiry never partial" test_expiry_race_never_partial;
         ] );
       ( "blocking checkout",
         [

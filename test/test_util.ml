@@ -308,6 +308,92 @@ let test_retry_on_retry_hook () =
   Alcotest.(check (list int)) "attempts reported" [ 1; 2 ]
     (List.rev_map fst !seen)
 
+(* deadline-based retry: a virtual clock advanced by the injected sleep
+   makes the whole schedule observable in zero wall time *)
+let deadline_harness ?(policy = Retry.default_policy) ~deadline f =
+  let clock = ref 0.0 and sleeps = ref [] in
+  let r =
+    Retry.with_deadline ~policy
+      ~sleep:(fun d ->
+        sleeps := d :: !sleeps;
+        clock := !clock +. d)
+      ~now:(fun () -> !clock)
+      ~deadline f
+  in
+  (r, !clock, List.rev !sleeps)
+
+let test_deadline_retries_until_deadline () =
+  let calls = ref 0 in
+  let r, clock, sleeps =
+    deadline_harness ~deadline:0.5 (fun () ->
+        incr calls;
+        Seed_error.fail (Seed_error.Io_transient "down"))
+  in
+  Alcotest.(check bool) "many attempts" true (!calls > Retry.default_policy.Retry.attempts);
+  (* no sleep may extend past the deadline: the clamp spends the tail of
+     the window on one shortened wait, so the clock lands exactly on it *)
+  Alcotest.(check (float 1e-9)) "stopped at the deadline" 0.5 clock;
+  Alcotest.(check bool) "sleeps all positive" true
+    (List.for_all (fun d -> d > 0.0) sleeps);
+  check_err "hardened to permanent"
+    (function Seed_error.Io_error _ -> true | _ -> false)
+    r
+
+let test_deadline_success_midway () =
+  let calls = ref 0 in
+  let r, clock, _ =
+    deadline_harness ~deadline:10.0 (fun () ->
+        incr calls;
+        if !calls < 4 then Seed_error.fail (Seed_error.Io_transient "warming up")
+        else Ok "up")
+  in
+  Alcotest.(check string) "succeeds" "up" (ok r);
+  Alcotest.(check int) "four calls" 4 !calls;
+  Alcotest.(check bool) "well before the deadline" true (clock < 10.0)
+
+let test_deadline_ignores_attempt_count () =
+  (* the policy's [attempts] bounds [with_retry], not [with_deadline]:
+     only the clock ends this loop *)
+  let calls = ref 0 in
+  let policy = { Retry.default_policy with Retry.attempts = 1 } in
+  let r, _, _ =
+    deadline_harness ~policy ~deadline:0.1 (fun () ->
+        incr calls;
+        Seed_error.fail (Seed_error.Io_transient "flaky"))
+  in
+  Alcotest.(check bool) "more than [attempts] calls" true (!calls > 1);
+  check_err "still hardened"
+    (function Seed_error.Io_error _ -> true | _ -> false)
+    r
+
+let test_deadline_permanent_not_retried () =
+  let calls = ref 0 in
+  let r, _, sleeps =
+    deadline_harness ~deadline:10.0 (fun () ->
+        incr calls;
+        Seed_error.fail (Seed_error.Io_error "media died"))
+  in
+  Alcotest.(check int) "one call" 1 !calls;
+  Alcotest.(check (list (float 0.0))) "no sleeps" [] sleeps;
+  check_err "error verbatim"
+    (function Seed_error.Io_error "media died" -> true | _ -> false)
+    r
+
+let test_deadline_already_expired () =
+  (* a deadline in the past still grants exactly one try — callers get
+     one honest attempt, never a synthetic failure *)
+  let calls = ref 0 in
+  let r, _, sleeps =
+    deadline_harness ~deadline:(-1.0) (fun () ->
+        incr calls;
+        Seed_error.fail (Seed_error.Io_transient "late"))
+  in
+  Alcotest.(check int) "one call" 1 !calls;
+  Alcotest.(check (list (float 0.0))) "no sleeps" [] sleeps;
+  check_err "hardened immediately"
+    (function Seed_error.Io_error _ -> true | _ -> false)
+    r
+
 let () =
   Alcotest.run "util"
     [
@@ -351,5 +437,13 @@ let () =
           tc "custom should_retry" test_retry_custom_should_retry;
           tc "delay curve" test_retry_delay_curve;
           tc "on_retry hook" test_retry_on_retry_hook;
+        ] );
+      ( "retry-deadline",
+        [
+          tc "retries until the deadline" test_deadline_retries_until_deadline;
+          tc "success midway" test_deadline_success_midway;
+          tc "ignores the attempt count" test_deadline_ignores_attempt_count;
+          tc "permanent not retried" test_deadline_permanent_not_retried;
+          tc "already expired" test_deadline_already_expired;
         ] );
     ]
