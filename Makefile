@@ -4,7 +4,8 @@
 # formatting when the formatter is available.
 
 .PHONY: check build test fmt soak soak-ci soak-net bench bench-query \
-	bench-version bench-txn bench-commit bench-mvcc bench-chaos bench-server
+	bench-text bench-version bench-txn bench-commit bench-mvcc bench-chaos \
+	bench-server
 
 check: build test fmt
 
@@ -62,6 +63,11 @@ soak-net:
 bench-query:
 	dune exec bench/main.exe -- query
 
+# regenerate the committed content-search baseline (trigram index vs
+# full scan, plus index build and incremental-update cost)
+bench-text:
+	dune exec bench/main.exe -- text
+
 # regenerate the committed version-read baseline
 bench-version:
 	dune exec bench/main.exe -- version
@@ -91,5 +97,5 @@ bench-server:
 	dune exec bench/main.exe -- server
 
 # regenerate every committed benchmark baseline
-bench: bench-query bench-version bench-txn bench-commit bench-mvcc \
-	bench-chaos bench-server
+bench: bench-query bench-text bench-version bench-txn bench-commit \
+	bench-mvcc bench-chaos bench-server

@@ -557,6 +557,169 @@ let query () =
   Fmt.pr "@.wrote BENCH_query.json@."
 
 (* ------------------------------------------------------------------ *)
+(* X1: content search - trigram positional index vs full scan           *)
+
+let text () =
+  heading "X1" "content search: trigram positional index vs full scan";
+  let module Q = Seed_core.Query in
+  let module View = Seed_core.View in
+  let module Db_state = Seed_core.Db_state in
+  let module Item = Seed_core.Item in
+  (* the pre-index containment select: walk the whole item table,
+     re-test every live independent (for Contains that fetches and
+     substring-scans its string carriers) and sort by name exactly as
+     [Q.select] does, so the two arms differ only in the access path *)
+  let by_name v (a : Item.t) (b : Item.t) =
+    match (View.full_name v a, View.full_name v b) with
+    | Some x, Some y -> String.compare x y
+    | Some _, None -> -1
+    | None, Some _ -> 1
+    | None, None -> Ident.compare a.Item.id b.Item.id
+  in
+  let naive_select v p =
+    Db_state.fold_items (View.db v) ~init:[] ~f:(fun acc it ->
+        if
+          it.Item.body = Item.Independent
+          && View.live_normal v it
+          && Q.test p v it
+        then it :: acc
+        else acc)
+    |> List.sort (by_name v)
+  in
+  let bench_op ~iters f =
+    ignore (f ());
+    let _, t =
+      Report.time_of (fun () ->
+          for _ = 1 to iters do
+            ignore (f ())
+          done)
+    in
+    t /. float_of_int iters
+  in
+  let rows = ref [] in
+  let json = ref [] in
+  List.iter
+    (fun n ->
+      let db, carriers = Workloads.text_populate n in
+      let v = DB.view db in
+      let scan_iters = if n >= 100_000 then 3 else 20 in
+      let ops =
+        [
+          ("selective", Q.contains "" "fault quarantine beacon");
+          ("common", Q.contains "" "recovery");
+          ("negative", Q.contains "" "holographic xylophone");
+          ("conjunction", Q.matches "" [ "fault quarantine"; "beacon" ]);
+          ("path_scoped", Q.contains "Thing.Description" "quarantine");
+        ]
+      in
+      List.iter
+        (fun (key, p) ->
+          let plan =
+            match Q.explain v p with
+            | Q.Indexed { texts = _ :: _; _ } -> "index"
+            | Q.Indexed _ -> "index(other)"
+            | Q.Scan _ -> "scan"
+          in
+          let select_iters = if plan = "scan" then scan_iters else 200 in
+          let indexed = bench_op ~iters:select_iters (fun () -> Q.select v p) in
+          let scan = bench_op ~iters:scan_iters (fun () -> naive_select v p) in
+          let hits = List.length (Q.select v p) in
+          rows :=
+            [
+              string_of_int n;
+              key;
+              plan;
+              string_of_int hits;
+              Report.ms indexed;
+              Report.ms scan;
+              Printf.sprintf "%.1fx" (scan /. indexed);
+            ]
+            :: !rows;
+          json :=
+            Printf.sprintf
+              "    {\"case\": \"search\", \"docs\": %d, \"query\": %S, \
+               \"plan\": %S, \"hits\": %d, \"select_us\": %.2f, \
+               \"scan_us\": %.2f, \"speedup\": %.1f}"
+              n key plan hits (indexed *. 1e6) (scan *. 1e6) (scan /. indexed)
+            :: !json)
+        ops;
+      (* wholesale build: what a branch switch or reopen pays *)
+      let _, rebuild_t =
+        Report.time_of (fun () ->
+            DB.set_text_index_enabled db false;
+            DB.set_text_index_enabled db true)
+      in
+      let st = DB.stats db in
+      rows :=
+        [
+          string_of_int n;
+          "(rebuild)";
+          "-";
+          string_of_int st.DB.st_text_docs;
+          Report.ms rebuild_t;
+          "-";
+          Printf.sprintf "%d KiB" (st.DB.st_text_bytes / 1024);
+        ]
+        :: !rows;
+      json :=
+        Printf.sprintf
+          "    {\"case\": \"build\", \"docs\": %d, \"rebuild_us\": %.2f, \
+           \"trigrams\": %d, \"postings\": %d, \"bytes\": %d}"
+          n (rebuild_t *. 1e6) st.DB.st_text_trigrams st.DB.st_text_postings
+          st.DB.st_text_bytes
+        :: !json;
+      (* incremental maintenance: set_value with the index on vs off *)
+      let touches = min n 2_000 in
+      let touch i =
+        let c = carriers.(i * 7919 mod n) in
+        ok (DB.set_value db c (Some (Value.String (Workloads.text_body ~n i))))
+      in
+      let time_touches () =
+        let _, t =
+          Report.time_of (fun () ->
+              for i = 1 to touches do
+                touch i
+              done)
+        in
+        t /. float_of_int touches
+      in
+      let on_us = time_touches () in
+      DB.set_text_index_enabled db false;
+      let off_us = time_touches () in
+      DB.set_text_index_enabled db true;
+      rows :=
+        [
+          string_of_int n;
+          "(update)";
+          "-";
+          string_of_int touches;
+          Report.ms on_us;
+          Report.ms off_us;
+          Printf.sprintf "%.2fx" (on_us /. off_us);
+        ]
+        :: !rows;
+      json :=
+        Printf.sprintf
+          "    {\"case\": \"update\", \"docs\": %d, \"touches\": %d, \
+           \"indexed_us\": %.2f, \"plain_us\": %.2f, \"overhead\": %.2f}"
+          n touches (on_us *. 1e6) (off_us *. 1e6) (on_us /. off_us)
+        :: !json)
+    [ 10_000; 100_000 ];
+  Report.table
+    ~title:
+      "containment select: trigram index vs naive scan (plus build/update \
+       cost)"
+    ~header:[ "docs"; "query"; "plan"; "hits"; "select"; "scan"; "speedup" ]
+    (List.rev !rows);
+  let oc = open_out "BENCH_text.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"text\",\n  \"command\": \"dune exec bench/main.exe -- \
+     text\",\n  \"results\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.rev !json));
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_text.json@."
+
+(* ------------------------------------------------------------------ *)
 (* V1: materialized version views - cached reads vs resolution scans    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1524,6 +1687,7 @@ let suites =
     ("fig4", fig4);
     ("fig5", fig5);
     ("query", query);
+    ("text", text);
     ("version", version);
     ("txn", txn);
     ("commit", commit);

@@ -326,3 +326,51 @@ let versioned_query_db ~items ~versions =
     vids := ok (DB.create_version db) :: !vids
   done;
   (db, List.rev !vids)
+
+(* --- X1: the content-search workload --------------------------------- *)
+
+(* n specification documents over the SPADES schema: each a [Data]
+   object whose [Description] carries a sentence of 12 vocabulary words
+   drawn by a deterministic LCG. Selectivity is planted: the phrase
+   "fault quarantine beacon" (words outside the vocabulary) appears in
+   exactly 10 documents at any size, "recovery" shows up in roughly a
+   fifth of them, and "holographic xylophone" in none. *)
+
+let text_vocab =
+  [|
+    "the"; "module"; "reads"; "its"; "input"; "stream"; "and"; "writes";
+    "a"; "checked"; "record"; "to"; "journal"; "before"; "commit";
+    "every"; "alarm"; "handler"; "must"; "release"; "lease"; "within";
+    "bounded"; "time"; "or"; "escalate"; "recovery"; "path"; "replays";
+    "pending"; "groups"; "after"; "crash"; "version"; "views"; "stay";
+    "immutable"; "while"; "branch"; "switch"; "rebuilds"; "extent";
+    "caches"; "operator"; "confirms"; "each"; "step"; "manually";
+  |]
+
+let text_doc_name i = Printf.sprintf "Spec%06d" i
+
+let text_body ~n i =
+  let buf = Buffer.create 96 in
+  let s = ref ((i * 2654435761) land 0x3FFFFFFF) in
+  for w = 0 to 11 do
+    s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+    if w > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf text_vocab.(!s mod Array.length text_vocab)
+  done;
+  if i mod (max 1 (n / 10)) = 0 then
+    Buffer.add_string buf " fault quarantine beacon";
+  Buffer.contents buf
+
+(* Returns the database and the carrier (Description sub-object) ids,
+   indexable by document number, for the update benchmarks. *)
+let text_populate n =
+  let db = DB.create schema in
+  let carriers = Array.make n Seed_util.Ident.(of_int 0) in
+  for i = 0 to n - 1 do
+    let d = ok (DB.create_object db ~cls:"Data" ~name:(text_doc_name i) ()) in
+    carriers.(i) <-
+      ok
+        (DB.create_sub_object db ~parent:d ~role:"Description"
+           ~value:(Value.String (text_body ~n i)) ())
+  done;
+  (db, carriers)

@@ -348,8 +348,9 @@ let select_cmd =
 (* --- explain ----------------------------------------------------------- *)
 
 (* tiny predicate language for the planner: terms [class=C], [isa=C],
-   [name=N], [incomplete], combined with [and], [or], [not] — binding
-   tightest to loosest: not, and, or *)
+   [name=N], [contains=PATH:NEEDLE] (or [contains=NEEDLE] for any path),
+   [incomplete], combined with [and], [or], [not] — binding tightest to
+   loosest: not, and, or *)
 let parse_pred tokens =
   let module Q = Seed_core.Query in
   let open Seed_error in
@@ -362,6 +363,15 @@ let parse_pred tokens =
       | "class" -> Ok (Q.in_class v)
       | "isa" -> Ok (Q.is_a v)
       | "name" -> Ok (Q.name_is v)
+      | "contains" -> (
+        (* class paths never contain ':', so the first one splits
+           PATH:NEEDLE; without it the needle searches every path *)
+        match String.index_opt v ':' with
+        | Some j ->
+          let path = String.sub v 0 j
+          and needle = String.sub v (j + 1) (String.length v - j - 1) in
+          Ok (Q.contains path needle)
+        | None -> Ok (Q.contains "" v))
       | _ -> fail (Invalid_operation ("unknown predicate term " ^ tok)))
     | None -> (
       match tok with
@@ -411,7 +421,9 @@ let explain_cmd =
       & info [] ~docv:"PRED"
           ~doc:
             "Predicate terms: $(b,class=C), $(b,isa=C), $(b,name=N), \
-             $(b,incomplete), combined with $(b,and), $(b,or), $(b,not).")
+             $(b,contains=PATH:NEEDLE) (or $(b,contains=NEEDLE) for any \
+             path), $(b,incomplete), combined with $(b,and), $(b,or), \
+             $(b,not).")
   in
   Cmd.v
     (Cmd.info "explain"
@@ -804,6 +816,7 @@ let shell_help () =
     \  show [NAME]                object tree(s)\n\
     \  report                     completeness findings\n\
     \  explain PRED...            planner access path for a predicate\n\
+    \  search [PATH:]N [N...]     objects whose text contains every needle\n\
     \  stats                      database summary\n\
     \  snapshot                   save a version\n\
     \  versions                   list versions\n\
@@ -915,6 +928,31 @@ let shell_cmd =
                 (fun d -> Fmt.pr "- %a@." Seed_core.Completeness.pp_diagnostic d)
                 findings
           | "explain" :: tokens -> report_result (explain_pred db tokens)
+          | "search" :: tokens -> (
+            match tokens with
+            | [] -> Fmt.pr "error: search needs at least one needle@."
+            | first :: rest ->
+              (* a ':' in the first token scopes the search to one class
+                 path, mirroring the explain syntax contains=PATH:NEEDLE *)
+              let path, needles =
+                match String.index_opt first ':' with
+                | Some i ->
+                  ( String.sub first 0 i,
+                    String.sub first (i + 1) (String.length first - i - 1)
+                    :: rest )
+                | None -> ("", first :: rest)
+              in
+              let module Q = Seed_core.Query in
+              let v = DB.view db in
+              let hits = Q.select v (Q.matches path needles) in
+              if hits = [] then Fmt.pr "no matches@."
+              else
+                List.iter
+                  (fun it ->
+                    match Seed_core.View.full_name v it with
+                    | Some n -> Fmt.pr "%s@." n
+                    | None -> ())
+                  hits)
           | [ "stats" ] -> Fmt.pr "%a@." DB.pp_stats (DB.stats db)
           | [ "snapshot" ] ->
             report_result
@@ -1046,6 +1084,8 @@ let connect_help () =
     \  release                     drop locks without applying\n\
     \  find NAME                   class of an object, via a server snapshot\n\
     \  select CLASS                names of objects that are-a CLASS\n\
+    \  search [PATH:]N [N...]      objects whose text contains every needle\n\
+    \                              (trigram-indexed on the server)\n\
     \  stats                       server occupancy and database summary\n\
     \  ping                        round-trip check\n\
     \  help                        this text\n\
@@ -1112,6 +1152,24 @@ let connect_exec cl words =
       false)
   | [ "select"; cls ] -> (
     match C.select_isa cl cls with
+    | Ok names ->
+      List.iter (Fmt.pr "%s@.") names;
+      true
+    | Error e ->
+      Fmt.pr "error: %a@." C.pp_error e;
+      false)
+  | "search" :: first :: rest -> (
+    let path, needles =
+      match String.index_opt first ':' with
+      | Some i ->
+        ( String.sub first 0 i,
+          String.sub first (i + 1) (String.length first - i - 1) :: rest )
+      | None -> ("", first :: rest)
+    in
+    match C.search cl ~path needles with
+    | Ok [] ->
+      Fmt.pr "no matches@.";
+      true
     | Ok names ->
       List.iter (Fmt.pr "%s@.") names;
       true

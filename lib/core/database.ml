@@ -599,6 +599,8 @@ let delete_version db vid =
 let versions db = Versioning.all (Db_state.versions db)
 
 let set_version_cache_capacity db n = Db_state.set_version_cache_capacity db n
+let set_text_index_enabled db on = Db_state.set_text_index_enabled db on
+let text_index_enabled db = Db_state.text_index_enabled db
 let version_cache_stats db = Db_state.version_cache_stats db
 let clear_version_cache db = Db_state.clear_version_cache db
 
@@ -733,6 +735,13 @@ type stats = {
   st_vc_hits : int;
   st_vc_misses : int;
   st_vc_evictions : int;
+  st_text_enabled : bool;
+  st_text_trigrams : int;
+  st_text_postings : int;
+  st_text_docs : int;
+  st_text_bytes : int;
+  st_text_hits : int;
+  st_text_fallbacks : int;
   st_snapshots : int;
   st_commits : int;
   st_partitions : int;
@@ -763,6 +772,8 @@ let stats db =
           | _ -> acc)
   in
   let vc = Db_state.version_cache_stats db in
+  let tx = Db_state.text_stats db in
+  let text_hits, text_fallbacks = Db_state.text_counters db in
   {
     st_objects = List.length (View.all_objects v);
     st_sub_objects;
@@ -782,6 +793,15 @@ let stats db =
     st_vc_hits = vc.Db_state.vc_hits;
     st_vc_misses = vc.Db_state.vc_misses;
     st_vc_evictions = vc.Db_state.vc_evictions;
+    st_text_enabled = tx <> None;
+    st_text_trigrams =
+      (match tx with Some s -> s.Text_index.trigrams | None -> 0);
+    st_text_postings =
+      (match tx with Some s -> s.Text_index.postings | None -> 0);
+    st_text_docs = (match tx with Some s -> s.Text_index.docs | None -> 0);
+    st_text_bytes = (match tx with Some s -> s.Text_index.bytes | None -> 0);
+    st_text_hits = text_hits;
+    st_text_fallbacks = text_fallbacks;
     st_snapshots = Db_state.snapshot_grabs db;
     st_commits = Db_state.commits_published db;
     st_partitions = List.length ws;
@@ -803,11 +823,19 @@ let pp_stats ppf s =
      unsaved changes: %d@,\
      schema revision: %d@,\
      version cache: %d hits / %d misses / %d evictions@,\
+     text index: %s@,\
+     text queries: %d indexed / %d scanned@,\
      snapshots grabbed: %d@,\
      roots published: %d@]"
     s.st_objects s.st_sub_objects s.st_relationships s.st_patterns
     s.st_versions s.st_items_total s.st_dirty s.st_schema_revision s.st_vc_hits
-    s.st_vc_misses s.st_vc_evictions s.st_snapshots s.st_commits;
+    s.st_vc_misses s.st_vc_evictions
+    (if s.st_text_enabled then
+       Printf.sprintf "%d docs / %d trigrams / %d postings (~%d KiB)"
+         s.st_text_docs s.st_text_trigrams s.st_text_postings
+         (s.st_text_bytes / 1024)
+     else "disabled")
+    s.st_text_hits s.st_text_fallbacks s.st_snapshots s.st_commits;
   if s.st_partitions > 0 then
     Fmt.pf ppf
       "@,\

@@ -224,6 +224,14 @@ val version_cache_stats : t -> Db_state.version_cache_stats
 val clear_version_cache : t -> unit
 (** Drop all materialized version views (they are rebuilt on demand). *)
 
+val set_text_index_enabled : t -> bool -> unit
+(** Enable or disable the trigram text index behind [Query.contains]
+    (enabled by default). Disabling drops it and containment queries
+    scan; re-enabling rebuilds it in one sweep over the item table. See
+    {!Db_state.text_index}. *)
+
+val text_index_enabled : t -> bool
+
 val add_transition_rule :
   t ->
   string ->
@@ -276,6 +284,13 @@ type stats = {
   st_vc_hits : int;  (** materialized version view cache hits *)
   st_vc_misses : int;  (** misses = extent builds (reconstruction sweeps) *)
   st_vc_evictions : int;
+  st_text_enabled : bool;
+  st_text_trigrams : int;  (** distinct trigrams in the text index *)
+  st_text_postings : int;  (** posting entries (carrier per trigram) *)
+  st_text_docs : int;  (** indexed string values *)
+  st_text_bytes : int;  (** rough resident-size estimate *)
+  st_text_hits : int;  (** text predicates answered from the index *)
+  st_text_fallbacks : int;  (** text predicates that had to scan *)
   st_snapshots : int;  (** snapshot roots grabbed via {!snapshot} *)
   st_commits : int;  (** roots published (op and transaction commits) *)
   st_partitions : int;

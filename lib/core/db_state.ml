@@ -27,6 +27,7 @@ type root = {
   r_rel_extent : Ident.Set.t Smap.t;
   r_rel_pattern_extent : Ident.Set.t Smap.t;
   r_dependent_extent : Ident.Set.t;
+  r_text : Text_index.t option;  (* [None] = text indexing disabled *)
   r_versions : Versioning.t;
   r_current_base : Version_id.t option;
   r_retrieval_version : Version_id.t option;
@@ -47,6 +48,9 @@ type version_extent = {
   ve_dependents : Ident.t array;
   ve_names : (string, Ident.t) Hashtbl.t;
   ve_states : Item.state Ident.Tbl.t;
+  mutable ve_text : Text_index.t option;
+      (* trigram index over this version's string values, built lazily
+         on the first text query against the view *)
   mutable ve_tick : int;  (* last access, for LRU eviction *)
 }
 
@@ -71,6 +75,8 @@ type t = {
   mutable vc_hit_count : int;
   mutable vc_miss_count : int;
   mutable vc_eviction_count : int;
+  mutable text_hit_count : int;  (* text predicates answered from the index *)
+  mutable text_fallback_count : int;  (* text predicates that had to scan *)
   procedures : (string, proc) Hashtbl.t;
   mutable proc_depth : int;
   mutable transition_rules :
@@ -99,6 +105,7 @@ let empty_root schema =
     r_rel_extent = Smap.empty;
     r_rel_pattern_extent = Smap.empty;
     r_dependent_extent = Ident.Set.empty;
+    r_text = Some Text_index.empty;
     r_versions = Versioning.empty;
     r_current_base = None;
     r_retrieval_version = None;
@@ -120,6 +127,8 @@ let create schema =
     vc_hit_count = 0;
     vc_miss_count = 0;
     vc_eviction_count = 0;
+    text_hit_count = 0;
+    text_fallback_count = 0;
     procedures = Hashtbl.create 8;
     proc_depth = 0;
     transition_rules = [];
@@ -162,6 +171,8 @@ let freeze t =
     vc_hit_count = 0;
     vc_miss_count = 0;
     vc_eviction_count = 0;
+    text_hit_count = 0;
+    text_fallback_count = 0;
     procedures = t.procedures;
     proc_depth = 0;
     transition_rules = [];
@@ -240,9 +251,43 @@ let fold_items t ~init ~f =
 (* maps. [replace_state] maintains all of this in one place.            *)
 (* ------------------------------------------------------------------ *)
 
+(* The text index covers exactly the live object states (independent or
+   dependent, patterns included) carrying a string value; the class path
+   — the full dotted path for sub-objects — is the posting's attribute
+   path. This predicate is the single source of truth for what gets
+   indexed: the incremental hooks, the wholesale rebuilds, and the
+   consistency check in the soak harness all go through it. *)
+let text_doc_of_state (item : Item.t) (state : Item.state option) =
+  match (item.Item.body, state) with
+  | (Item.Independent | Item.Dependent _), Some (Item.Obj o)
+    when not o.Item.deleted -> (
+    match o.Item.value with
+    | Some (Value.String s) -> Some (o.Item.cls, s)
+    | Some _ | None -> None)
+  | _ -> None
+
+let root_text_index r (item : Item.t) (state : Item.state option) =
+  match r.r_text with
+  | None -> r
+  | Some tx -> (
+    match text_doc_of_state item state with
+    | Some (path, s) ->
+      { r with r_text = Some (Text_index.add_doc tx item.Item.id ~path s) }
+    | None -> r)
+
+let root_text_unindex r (item : Item.t) (state : Item.state option) =
+  match r.r_text with
+  | None -> r
+  | Some tx -> (
+    match text_doc_of_state item state with
+    | Some (_, s) ->
+      { r with r_text = Some (Text_index.remove_doc tx item.Item.id s) }
+    | None -> r)
+
 (* Enter [state]'s extent membership for [item] into [r]; no-op for
    deleted or absent states. *)
 let root_index_state r (item : Item.t) (state : Item.state option) =
+  let r = root_text_index r item state in
   match state with
   | None -> r
   | Some s when Item.state_deleted s -> r
@@ -274,6 +319,7 @@ let root_index_state r (item : Item.t) (state : Item.state option) =
 
 (* Drop [state]'s extent membership for [item] from [r]. *)
 let root_unindex_state r (item : Item.t) (state : Item.state option) =
+  let r = root_text_unindex r item state in
   match state with
   | None -> r
   | Some (Item.Obj o) -> (
@@ -546,6 +592,8 @@ let rebuild_state_indexes t =
       r_rel_extent = Smap.empty;
       r_rel_pattern_extent = Smap.empty;
       r_dependent_extent = Ident.Set.empty;
+      (* reset but preserve enabledness *)
+      r_text = Option.map (fun _ -> Text_index.empty) r.r_text;
     }
   in
   let r =
@@ -641,6 +689,7 @@ let build_version_extent t vid =
     ve_dependents = sorted_ids !dependents;
     ve_names = names;
     ve_states = states;
+    ve_text = None;
     ve_tick = 0;
   }
 
@@ -742,6 +791,65 @@ let ve_rel_count ve assoc =
 
 let ve_find_name ve name = Hashtbl.find_opt ve.ve_names name
 let ve_state ve id = Ident.Tbl.find_opt ve.ve_states id
+
+(* ------------------------------------------------------------------ *)
+(* Text index                                                           *)
+(*                                                                      *)
+(* The trigram index lives in the root next to the extents and is       *)
+(* maintained by the same hooks ([root_index_state] /                   *)
+(* [root_unindex_state]), so every state replacement — create, value    *)
+(* update, logical delete, re-classification, rollback by root swap —   *)
+(* keeps it exact, and [rebuild_state_indexes] rebuilds it wholesale on *)
+(* branch switch and load. Version views get their own frozen index,    *)
+(* built lazily from the materialized states and cached on the          *)
+(* version extent (handle-private, like the extent itself).             *)
+(* ------------------------------------------------------------------ *)
+
+let text_index t = t.working.r_text
+let text_index_enabled t = t.working.r_text <> None
+
+let build_text_index items =
+  Ident.Map.fold
+    (fun _ (it : Item.t) tx ->
+      match text_doc_of_state it it.Item.current with
+      | Some (path, s) -> Text_index.add_doc tx it.Item.id ~path s
+      | None -> tx)
+    items Text_index.empty
+
+let rebuilt_text_index t = build_text_index t.working.r_items
+
+let set_text_index_enabled t on =
+  match (t.working.r_text, on) with
+  | Some _, true | None, false -> ()
+  | Some _, false -> t.working <- { t.working with r_text = None }
+  | None, true ->
+    t.working <-
+      { t.working with r_text = Some (build_text_index t.working.r_items) }
+
+let text_stats t = Option.map Text_index.stats t.working.r_text
+let note_text_hit t = t.text_hit_count <- t.text_hit_count + 1
+let note_text_fallback t = t.text_fallback_count <- t.text_fallback_count + 1
+let text_counters t = (t.text_hit_count, t.text_fallback_count)
+
+let ve_text_index ve =
+  match ve.ve_text with
+  | Some tx -> tx
+  | None ->
+    (* mirror [text_doc_of_state]: any item holding an [Obj] state has a
+       non-relationship body, so the body check is implied here *)
+    let tx =
+      Ident.Tbl.fold
+        (fun id s tx ->
+          match s with
+          | Item.Obj o when not o.Item.deleted -> (
+            match o.Item.value with
+            | Some (Value.String str) -> Text_index.add_doc tx id ~path:o.Item.cls str
+            | Some _ | None -> tx)
+          | Item.Obj _ | Item.Rel _ -> tx)
+        ve.ve_states Text_index.empty
+    in
+    ve.ve_text <- Some tx;
+    tx
 
 (* ------------------------------------------------------------------ *)
 (* Registries (handle-level, not part of the root)                      *)

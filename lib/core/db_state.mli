@@ -302,6 +302,48 @@ val ve_state : version_extent -> Ident.t -> Item.state option
 (** The item's resolved state in that version ([None] = does not
     exist there). *)
 
+(** {1 Text index}
+
+    A {!Text_index.t} rides in the root next to the extents, maintained
+    by the same hooks: every current-state replacement — create, value
+    update, logical delete (cascade included), re-classification, and
+    rollback by root swap — keeps it exact over the live object states
+    carrying string values, and {!rebuild_state_indexes} rebuilds it
+    wholesale on branch switch and load. Being persistent, it is frozen
+    for free in every published root and MVCC snapshot. *)
+
+val text_index : t -> Text_index.t option
+(** The current state's trigram index; [None] when disabled — the
+    planner falls back to scans. *)
+
+val text_index_enabled : t -> bool
+
+val set_text_index_enabled : t -> bool -> unit
+(** Disabling drops the index from the working root; re-enabling
+    rebuilds it from the item table in one sweep. *)
+
+val rebuilt_text_index : t -> Text_index.t
+(** A from-scratch index over the current item states — what the
+    incrementally maintained one must equal (soak invariant). *)
+
+val text_stats : t -> Text_index.stats option
+
+val note_text_hit : t -> unit
+(** Count a text predicate answered from the index (handle-private,
+    like the version-cache counters). *)
+
+val note_text_fallback : t -> unit
+(** Count a text predicate that had to scan (index disabled or needle
+    too short). *)
+
+val text_counters : t -> int * int
+(** [(hits, fallbacks)]. *)
+
+val ve_text_index : version_extent -> Text_index.t
+(** The trigram index over a materialized version's string values,
+    built lazily on first use and cached on the extent — historical
+    text queries plan too. *)
+
 (** {1 Registries (handle-level, not part of the root)} *)
 
 val register_procedure : t -> string -> proc -> unit

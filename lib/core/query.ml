@@ -9,6 +9,8 @@ type pred =
   | In_class of string
   | Is_a of string
   | Name_is of string
+  | Contains of { path : string; needle : string }
+  | Matches of { path : string; needles : string list }
   | And of pred * pred
   | Or of pred * pred
   | Not of pred
@@ -17,6 +19,8 @@ type pred =
 let in_class cls = In_class cls
 let is_a cls = Is_a cls
 let name_is n = Name_is n
+let contains path needle = Contains { path; needle }
+let matches path needles = Matches { path; needles }
 let of_fun f = Opaque f
 
 let name_matches f =
@@ -76,6 +80,24 @@ let related_to ~assoc other =
 let is_incomplete =
   Opaque (fun v it -> Completeness.check_object v it <> [])
 
+(* Containment semantics: the object itself, or any of its live
+   descendant sub-objects, carries a string value at the class path
+   ([""] = any path) satisfying [f]. Only the object's {e own} subtree
+   is walked — information viewed through pattern inheritance is not
+   searched, matching what the trigram index covers. *)
+let carrier_matches v (it : Item.t) ~path f =
+  let path_ok cls = String.equal path "" || String.equal path cls in
+  let check (node : Item.t) =
+    match View.obj_state v node with
+    | Some { Item.cls; value = Some (Value.String s); _ } when path_ok cls ->
+      f s
+    | Some _ | None -> false
+  in
+  let rec walk (node : Item.t) =
+    check node || List.exists walk (View.children v node.Item.id)
+  in
+  walk it
+
 let rec test p v it =
   match p with
   | In_class cls -> (
@@ -88,6 +110,11 @@ let rec test p v it =
     | None -> false)
   | Name_is n -> (
     match View.full_name v it with Some m -> String.equal m n | None -> false)
+  | Contains { path; needle } ->
+    carrier_matches v it ~path (fun s -> Text_index.string_contains s needle)
+  | Matches { path; needles } ->
+    carrier_matches v it ~path (fun s ->
+        List.for_all (Text_index.string_contains s) needles)
   | And (p, q) -> test p v it && test q v it
   | Or (p, q) -> test p v it || test q v it
   | Not p -> not (test p v it)
@@ -113,6 +140,11 @@ let not_ p = Not p
 (*     [n] — every live named independent is indexed and names are      *)
 (*     unique (the index may yield a pattern; the domain filter drops   *)
 (*     it);                                                             *)
+(*   - [Contains]/[Matches] intersect and positionally verify trigram   *)
+(*     posting lists ({!Text_index}), then map each matching carrier to *)
+(*     its root object — a superset because pattern roots and inherited *)
+(*     subtrees wash out in the re-test; they are unbounded when the    *)
+(*     index is disabled or no needle reaches trigram length;           *)
 (*   - [And] intersects (either side alone is already a superset),      *)
 (*     [Or] unions (sound only when both sides are bounded);            *)
 (*   - [Not] and [Opaque] are unbounded.                                *)
@@ -128,6 +160,14 @@ type extent_source = {
   src_class_ids : string -> Ident.t list;
       (** live normal independents classified exactly in the class *)
   src_name : string -> Ident.t option;
+  src_text : unit -> Text_index.t option;
+      (** the trigram index for this view — the current root's for the
+          current view, the lazily built per-version one for a version
+          view; [None] when text indexing is disabled *)
+  src_db : Db_state.t;
+      (** for carrier-to-root resolution (item bodies are immutable, so
+          the parent chain is version-independent) and the hit/fallback
+          counters *)
 }
 
 let source_of_view v =
@@ -138,6 +178,8 @@ let source_of_view v =
       {
         src_class_ids = Db_state.obj_extent_ids db;
         src_name = Db_state.find_id_by_name db;
+        src_text = (fun () -> Db_state.text_index db);
+        src_db = db;
       }
   | Some vid -> (
     match Db_state.version_extent db vid with
@@ -146,8 +188,67 @@ let source_of_view v =
         {
           src_class_ids = Db_state.ve_obj_ids ve;
           src_name = Db_state.ve_find_name ve;
+          src_text =
+            (fun () ->
+              if Db_state.text_index_enabled db then
+                Some (Db_state.ve_text_index ve)
+              else None);
+          src_db = db;
         }
     | None -> None)
+
+(* The independent object owning a carrier: the carrier itself, or the
+   top of its parent chain when the match is inside a sub-object. *)
+let rec root_owner db id =
+  match Db_state.find_item db id with
+  | Some { Item.body = Item.Dependent { parent; _ }; _ } -> root_owner db parent
+  | Some { Item.body = Item.Independent; _ } -> Some id
+  | Some { Item.body = Item.Relationship; _ } | None -> None
+
+(* Needles worth probing: long enough for a trigram and rare enough to
+   beat the scan. Dropping a needle is always sound — the remaining
+   ones still bound a superset and the re-test applies the full
+   conjunction — so a needle whose rarest posting list covers over a
+   tenth of the documents is answered by the scan instead of by walking
+   a posting list of comparable size (tiny lists always pass: below 64
+   candidates the walk is cheap at any ratio). *)
+let probe_worthy tx needles =
+  let cutoff = max 64 (Text_index.doc_count tx / 10) in
+  List.filter
+    (fun n ->
+      String.length n >= Text_index.min_needle
+      && Text_index.estimate tx n <= cutoff)
+    needles
+
+(* Verified root-object candidates for conjunctive containment. [None]
+   (scan fallback) when the index is disabled or no needle is worth
+   probing. *)
+let text_candidates src ~path needles =
+  match src.src_text () with
+  | None ->
+    Db_state.note_text_fallback src.src_db;
+    None
+  | Some tx -> (
+    let qpath = if String.equal path "" then None else Some path in
+    match probe_worthy tx needles with
+    | [] ->
+      Db_state.note_text_fallback src.src_db;
+      None
+    | first :: rest ->
+      Db_state.note_text_hit src.src_db;
+      let carriers =
+        List.fold_left
+          (fun acc n -> Ident.Set.inter acc (Text_index.query tx ?path:qpath n))
+          (Text_index.query tx ?path:qpath first)
+          rest
+      in
+      Some
+        (Ident.Set.fold
+           (fun id acc ->
+             match root_owner src.src_db id with
+             | Some root -> Ident.Set.add root acc
+             | None -> acc)
+           carriers Ident.Set.empty))
 
 let rec candidates src schema p =
   match p with
@@ -165,6 +266,8 @@ let rec candidates src schema p =
     match src.src_name n with
     | Some id -> Some (Ident.Set.singleton id)
     | None -> Some Ident.Set.empty)
+  | Contains { path; needle } -> text_candidates src ~path [ needle ]
+  | Matches { path; needles } -> text_candidates src ~path needles
   | And (p, q) -> (
     match (candidates src schema p, candidates src schema q) with
     | Some a, Some b -> Some (Ident.Set.inter a b)
@@ -180,11 +283,21 @@ let rec candidates src schema p =
 (* Plan explanation                                                     *)
 (* ------------------------------------------------------------------ *)
 
+type text_probe = {
+  tp_path : string;  (* "" = any path *)
+  tp_needle : string;
+  tp_trigrams : int;
+  tp_postings : int;
+  tp_candidates : int;
+  tp_verified : int;
+}
+
 type plan =
   | Indexed of {
       via : string;
       classes : string list;
       names : string list;
+      texts : text_probe list;
       est_candidates : int;
     }
   | Scan of { reason : string }
@@ -194,6 +307,20 @@ type plan =
 let rec unbounded_reason p =
   match p with
   | In_class _ | Is_a _ | Name_is _ -> None
+  | Contains { needle; _ } ->
+    if String.length needle >= Text_index.min_needle then None
+    else
+      Some
+        (Printf.sprintf
+           "needle %S is shorter than %d bytes (below trigram length)" needle
+           Text_index.min_needle)
+  | Matches { needles; _ } ->
+    if
+      List.exists
+        (fun n -> String.length n >= Text_index.min_needle)
+        needles
+    then None
+    else Some "no needle reaches trigram length (3 bytes)"
   | And (p, q) -> (
     (* bounded as soon as either side is *)
     match (unbounded_reason p, unbounded_reason q) with
@@ -215,10 +342,39 @@ let rec index_terms p =
   | In_class c -> ([ c ], [])
   | Is_a c -> ([ c ^ " (and descendants)" ], [])
   | Name_is n -> ([], [ n ])
+  | Contains _ | Matches _ -> ([], [])
   | And (p, q) | Or (p, q) ->
     let pc, pn = index_terms p and qc, qn = index_terms q in
     (pc @ qc, pn @ qn)
   | Not _ | Opaque _ -> ([], [])
+
+(* Text-index lookups the planner would make: (path, needles) per node. *)
+let rec text_terms p =
+  match p with
+  | Contains { path; needle } -> [ (path, [ needle ]) ]
+  | Matches { path; needles } -> [ (path, needles) ]
+  | And (p, q) | Or (p, q) -> text_terms p @ text_terms q
+  | In_class _ | Is_a _ | Name_is _ | Not _ | Opaque _ -> []
+
+let probe_texts src p =
+  match src.src_text () with
+  | None -> []
+  | Some tx ->
+    text_terms p
+    |> List.concat_map (fun (path, needles) ->
+           let qpath = if String.equal path "" then None else Some path in
+           List.map
+             (fun n ->
+               let _, pr = Text_index.query_probe tx ?path:qpath n in
+               {
+                     tp_path = path;
+                     tp_needle = n;
+                     tp_trigrams = pr.Text_index.pr_trigrams;
+                     tp_postings = pr.Text_index.pr_postings;
+                     tp_candidates = pr.Text_index.pr_candidates;
+                     tp_verified = pr.Text_index.pr_verified;
+                   })
+             needles)
 
 let explain v p =
   match source_of_view v with
@@ -237,7 +393,13 @@ let explain v p =
           reason =
             (match unbounded_reason p with
             | Some r -> r
-            | None -> "predicate is unbounded");
+            | None ->
+              if text_terms p = [] then "predicate is unbounded"
+              else if src.src_text () = None then
+                "text index disabled — containment falls back to the scan"
+              else
+                "every containment needle matches too many documents — \
+                 the scan is cheaper than walking their posting lists");
         }
     | Some ids ->
       let classes, names = index_terms p in
@@ -253,16 +415,26 @@ let explain v p =
           via;
           classes = List.sort_uniq String.compare classes;
           names = List.sort_uniq String.compare names;
+          texts = probe_texts src p;
           est_candidates = Ident.Set.cardinal ids;
         })
 
 let pp_plan ppf = function
-  | Indexed { via; classes; names; est_candidates } ->
+  | Indexed { via; classes; names; texts; est_candidates } ->
     Fmt.pf ppf "@[<v>plan: indexed candidate set@,source: %s@," via;
     if classes <> [] then
       Fmt.pf ppf "class extents: %s@," (String.concat ", " classes);
     if names <> [] then
       Fmt.pf ppf "name index: %s@," (String.concat ", " names);
+    List.iter
+      (fun tp ->
+        Fmt.pf ppf
+          "text index: %s contains %S (%d trigrams, %d postings, %d \
+           candidates, %d verified)@,"
+          (if tp.tp_path = "" then "any path" else tp.tp_path)
+          tp.tp_needle tp.tp_trigrams tp.tp_postings tp.tp_candidates
+          tp.tp_verified)
+      texts;
     Fmt.pf ppf
       "estimated candidates: %d (each re-tested against the full predicate)@]"
       est_candidates

@@ -41,6 +41,22 @@ val is_a : string -> pred
 
 val name_is : string -> pred
 
+val contains : string -> string -> pred
+(** [contains path needle]: the object itself or one of its live
+    descendant sub-objects carries a string value, classified exactly
+    [path] ([""] = any class path), containing [needle] as a substring.
+    Information viewed through pattern inheritance is not searched.
+    Planned from the trigram index ({!Text_index}): posting-list
+    intersection plus positional verification yields the candidates
+    without touching any document text; needles shorter than 3 bytes or
+    a disabled index fall back to the scan — same results. *)
+
+val matches : string -> string list -> pred
+(** [matches path needles]: like {!contains} but conjunctive — one
+    carrier at [path] must contain {e all} the needles. Needles below
+    trigram length are dropped from the planning intersection (the
+    re-test still applies them); if none remain, the query scans. *)
+
 val name_matches : (string -> bool) -> pred
 (** Applied to the composed full name. *)
 
@@ -86,11 +102,23 @@ val select_rels : View.t -> assoc:string -> Item.t list
 
 (** {1 Plan explanation} *)
 
+type text_probe = {
+  tp_path : string;  (** attribute path probed; [""] = any path *)
+  tp_needle : string;
+  tp_trigrams : int;  (** distinct needle trigrams consulted *)
+  tp_postings : int;  (** posting entries across their lists *)
+  tp_candidates : int;  (** carriers surviving the intersection *)
+  tp_verified : int;  (** carriers surviving positional verification *)
+}
+(** One text-index lookup of the plan, with its access-path
+    measurements. *)
+
 type plan =
   | Indexed of {
       via : string;  (** where the candidate ids come from *)
       classes : string list;  (** class extents the planner consults *)
       names : string list;  (** name-index lookups the planner makes *)
+      texts : text_probe list;  (** text-index probes the planner makes *)
       est_candidates : int;
           (** candidate-set cardinality — the number of items {!select}
               would re-test, against the extents as they stand now *)

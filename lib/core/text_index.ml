@@ -1,0 +1,258 @@
+open Seed_util
+
+(* ------------------------------------------------------------------ *)
+(* Trigram positional index                                             *)
+(*                                                                      *)
+(* Containment search without scans: every indexed string ("document",  *)
+(* carried by exactly one item) is decomposed into its overlapping      *)
+(* 3-byte substrings, and the index maps each trigram to a posting map  *)
+(* carrier id -> sorted array of byte offsets at which the trigram      *)
+(* occurs. A needle of length n >= 3 contains the trigram instances     *)
+(* needle[i..i+2] for i = 0..n-3; a document contains the needle at     *)
+(* offset p iff every instance i occurs in it at p + i. Intersecting    *)
+(* the per-trigram carrier sets gives the candidates; checking the      *)
+(* position lists for one aligned start verifies them exactly — no      *)
+(* false positives, and the document text is never fetched.             *)
+(*                                                                      *)
+(* The structure is built from the same persistent maps as the          *)
+(* database root, so copying it into a new root is O(1) and a frozen    *)
+(* MVCC snapshot sees a frozen index for free.                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A posting list carries its cardinality: stdlib [Map.cardinal] is
+   O(n), and the planner must rank trigrams rarest-first on every
+   query — over a common trigram's 100k-entry posting map that walk
+   would dwarf the search itself. *)
+type posting = { size : int; docs : int array Ident.Map.t }
+
+type t = {
+  grams : posting Smap.t;
+      (* trigram -> carrier id -> sorted occurrence offsets *)
+  paths : string Ident.Map.t;
+      (* carrier id -> attribute (class) path of the indexed value *)
+  ndocs : int;  (* cardinal of [paths] — O(1) for the planner's cutoff *)
+  positions : int;  (* total offsets indexed, maintained incrementally *)
+}
+
+let empty =
+  { grams = Smap.empty; paths = Ident.Map.empty; ndocs = 0; positions = 0 }
+
+let is_empty t = Ident.Map.is_empty t.paths
+let doc_count t = t.ndocs
+let path_of t id = Ident.Map.find_opt id t.paths
+
+let min_needle = 3
+
+(* The distinct trigrams of [s] with their occurrence offsets, offsets
+   accumulated in decreasing order (reversed on use). *)
+let doc_grams s =
+  let tbl = Hashtbl.create 64 in
+  for i = 0 to String.length s - 3 do
+    let g = String.sub s i 3 in
+    Hashtbl.replace tbl g
+      (i :: (match Hashtbl.find_opt tbl g with Some l -> l | None -> []))
+  done;
+  tbl
+
+let add_doc t id ~path s =
+  let grams, added =
+    Hashtbl.fold
+      (fun g rev_offs (grams, added) ->
+        let offs = Array.of_list (List.rev rev_offs) in
+        let p =
+          match Smap.find_opt g grams with
+          | Some p -> p
+          | None -> { size = 0; docs = Ident.Map.empty }
+        in
+        let size = if Ident.Map.mem id p.docs then p.size else p.size + 1 in
+        ( Smap.add g { size; docs = Ident.Map.add id offs p.docs } grams,
+          added + Array.length offs ))
+      (doc_grams s) (t.grams, 0)
+  in
+  {
+    grams;
+    paths = Ident.Map.add id path t.paths;
+    ndocs = (if Ident.Map.mem id t.paths then t.ndocs else t.ndocs + 1);
+    positions = t.positions + added;
+  }
+
+let remove_doc t id s =
+  if not (Ident.Map.mem id t.paths) then t
+  else
+    let grams, removed =
+      Hashtbl.fold
+        (fun g _ (grams, removed) ->
+          match Smap.find_opt g grams with
+          | None -> (grams, removed)
+          | Some p -> (
+            match Ident.Map.find_opt id p.docs with
+            | None -> (grams, removed)
+            | Some offs ->
+              let docs = Ident.Map.remove id p.docs in
+              let grams =
+                if Ident.Map.is_empty docs then Smap.remove g grams
+                else Smap.add g { size = p.size - 1; docs } grams
+              in
+              (grams, removed + Array.length offs)))
+        (doc_grams s) (t.grams, 0)
+    in
+    {
+      grams;
+      paths = Ident.Map.remove id t.paths;
+      ndocs = t.ndocs - 1;
+      positions = t.positions - removed;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type probe = {
+  pr_trigrams : int;  (* distinct needle trigrams consulted *)
+  pr_postings : int;  (* posting entries across their lists *)
+  pr_candidates : int;  (* carriers surviving the intersection *)
+  pr_verified : int;  (* carriers surviving positional verification *)
+}
+
+let int_mem a x =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  let found = ref false in
+  while (not !found) && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) = x then found := true
+    else if x < a.(mid) then hi := mid
+    else lo := mid + 1
+  done;
+  !found
+
+let query_probe t ?path needle =
+  if String.length needle < min_needle then
+    invalid_arg "Text_index.query: needle shorter than 3 bytes";
+  let instances =
+    Hashtbl.fold
+      (fun g rev_offs acc ->
+        let posting =
+          match Smap.find_opt g t.grams with
+          | Some p -> p
+          | None -> { size = 0; docs = Ident.Map.empty }
+        in
+        (List.rev rev_offs, posting) :: acc)
+      (doc_grams needle) []
+  in
+  let postings =
+    List.fold_left (fun acc (_, p) -> acc + p.size) 0 instances
+  in
+  (* intersect starting from the rarest trigram *)
+  let instances =
+    List.sort (fun (_, a) (_, b) -> compare a.size b.size) instances
+  in
+  let path_ok id =
+    match path with
+    | None -> true
+    | Some p -> (
+      match Ident.Map.find_opt id t.paths with
+      | Some q -> String.equal p q
+      | None -> false)
+  in
+  match instances with
+  | [] -> assert false (* needle >= 3 bytes has at least one trigram *)
+  | ((offs0, p0) :: rest) as all ->
+    let off0 = List.hd offs0 in
+    let candidates = ref 0 in
+    let verified = ref Ident.Set.empty in
+    Ident.Map.iter
+      (fun id offsets0 ->
+        if
+          path_ok id
+          && List.for_all (fun (_, p) -> Ident.Map.mem id p.docs) rest
+        then begin
+          incr candidates;
+          (* candidate starts come from the rarest instance's offsets;
+             a start is a match iff every instance aligns with it *)
+          let ok =
+            Array.exists
+              (fun q ->
+                let p = q - off0 in
+                p >= 0
+                && List.for_all
+                     (fun (offs, inst) ->
+                       match Ident.Map.find_opt id inst.docs with
+                       | None -> false
+                       | Some pos ->
+                         List.for_all (fun off -> int_mem pos (p + off)) offs)
+                     all)
+              offsets0
+          in
+          if ok then verified := Ident.Set.add id !verified
+        end)
+      p0.docs;
+    ( !verified,
+      {
+        pr_trigrams = List.length all;
+        pr_postings = postings;
+        pr_candidates = !candidates;
+        pr_verified = Ident.Set.cardinal !verified;
+      } )
+
+let query t ?path needle = fst (query_probe t ?path needle)
+
+(* Upper bound on the candidates [query] would verify: the size of the
+   needle's rarest posting list (0 when some trigram is absent). O(#
+   needle trigrams) — the planner uses it to refuse needles so common
+   that walking their postings would cost more than the scan. *)
+let estimate t needle =
+  if String.length needle < min_needle then
+    invalid_arg "Text_index.estimate: needle shorter than 3 bytes";
+  Hashtbl.fold
+    (fun g _ acc ->
+      let size =
+        match Smap.find_opt g t.grams with Some p -> p.size | None -> 0
+      in
+      min size acc)
+    (doc_grams needle) max_int
+
+(* Naive scan-side containment — the semantics the index answers. *)
+let string_contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  if n = 0 then true
+  else if n > h then false
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i <= h - n do
+      if String.sub hay !i n = needle then found := true else incr i
+    done;
+    !found
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Stats and structural equality                                        *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  trigrams : int;
+  postings : int;
+  positions : int;
+  docs : int;
+  bytes : int;  (* rough resident-size estimate *)
+}
+
+let stats t =
+  let trigrams = Smap.cardinal t.grams in
+  let postings = Smap.fold (fun _ p acc -> acc + p.size) t.grams 0 in
+  (* estimate: a map node per trigram and per posting, a word per
+     position, a node plus the path string per document *)
+  let path_bytes = Ident.Map.fold (fun _ p acc -> acc + String.length p) t.paths 0 in
+  let bytes =
+    (trigrams * 64) + (postings * 56) + (t.positions * 8)
+    + (doc_count t * 48) + path_bytes
+  in
+  { trigrams; postings; positions = t.positions; docs = doc_count t; bytes }
+
+let equal a b =
+  Ident.Map.equal String.equal a.paths b.paths
+  && Smap.equal
+       (fun p q ->
+         p.size = q.size
+         && Ident.Map.equal (fun (x : int array) y -> x = y) p.docs q.docs)
+       a.grams b.grams

@@ -1,0 +1,87 @@
+(** Trigram positional index over string values — the access path behind
+    [Query.contains]/[Query.matches] (DESIGN.md §14).
+
+    Each indexed string is owned by exactly one carrier item; the index
+    maps every overlapping 3-byte substring to a posting map
+    [carrier id -> sorted occurrence offsets]. Containment is answered
+    by intersecting the carrier sets of the needle's trigrams and then
+    verifying positional alignment, which is exact: a carrier survives
+    iff the literal needle occurs in its text, so no document string is
+    ever fetched at query time.
+
+    The structure is persistent (built from [Smap]/[Ident.Map]), so it
+    rides inside the copy-on-write database root: snapshots freeze it
+    for free, and transaction rollback restores it by root swap. *)
+
+open Seed_util
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val doc_count : t -> int
+(** Number of indexed carriers (documents). *)
+
+val path_of : t -> Ident.t -> string option
+(** The attribute (class) path recorded for a carrier. *)
+
+val min_needle : int
+(** Shortest needle the index can answer (3 bytes — one trigram).
+    Shorter needles must fall back to a scan. *)
+
+val add_doc : t -> Ident.t -> path:string -> string -> t
+(** Index a carrier's string value under its class path. The carrier
+    must not already be indexed (callers remove the old document
+    first). Strings shorter than 3 bytes contribute no postings but are
+    still counted as documents. *)
+
+val remove_doc : t -> Ident.t -> string -> t
+(** Drop a carrier, given the exact string that was indexed for it.
+    No-op when the carrier is not indexed. *)
+
+(** {1 Queries} *)
+
+type probe = {
+  pr_trigrams : int;  (** distinct needle trigrams consulted *)
+  pr_postings : int;  (** posting entries across their lists *)
+  pr_candidates : int;  (** carriers surviving the intersection *)
+  pr_verified : int;  (** carriers surviving positional verification *)
+}
+
+val query : t -> ?path:string -> string -> Ident.Set.t
+(** Exactly the carriers whose text contains the needle (restricted to
+    carriers at [path] when given). Raises [Invalid_argument] when the
+    needle is shorter than {!min_needle}. *)
+
+val query_probe : t -> ?path:string -> string -> Ident.Set.t * probe
+(** {!query} plus the access-path measurements [Query.explain]
+    renders. *)
+
+val estimate : t -> string -> int
+(** Upper bound on the carriers {!query} would have to verify: the size
+    of the needle's rarest posting list (0 when one of its trigrams is
+    absent). Costs one lookup per needle trigram — the planner consults
+    it to skip needles so common that walking their postings would cost
+    more than the scan it replaces. Raises [Invalid_argument] below
+    {!min_needle}. *)
+
+val string_contains : string -> string -> bool
+(** [string_contains hay needle] — the scan-side containment test the
+    index is equivalent to. Empty needles match everything. *)
+
+(** {1 Stats and equality} *)
+
+type stats = {
+  trigrams : int;
+  postings : int;
+  positions : int;
+  docs : int;
+  bytes : int;  (** rough resident-size estimate *)
+}
+
+val stats : t -> stats
+
+val equal : t -> t -> bool
+(** Structural equality — used by the soak harness to check that the
+    incrementally maintained index matches a wholesale rebuild. *)

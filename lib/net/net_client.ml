@@ -231,6 +231,17 @@ let select_isa t cls =
         retryable = false }
   | Error e -> Error e
 
+let search t ~path needles =
+  match rpc t (Wire.Search { path; needles }) with
+  | Ok (Wire.Names ns) -> Ok ns
+  | Ok (Wire.Err w) -> remote w
+  | Ok _ ->
+    remote
+      { Wire.code = Wire.Server_error;
+        message = "unexpected response";
+        retryable = false }
+  | Error e -> Error e
+
 let stats t =
   match rpc t Wire.Stats with
   | Ok (Wire.Stats_reply s) -> Ok s

@@ -75,6 +75,12 @@ val find : t -> string -> (string option, error) result
 
 val select_isa : t -> string -> (string list, error) result
 
+val search : t -> path:string -> string list -> (string list, error) result
+(** Names of the live objects carrying a string value at [path]
+    ([""] = any class path) that contains all the needles — the
+    server runs [Query.matches] against its current snapshot, planned
+    from the trigram index. *)
+
 val stats : t -> (Wire.server_stats, error) result
 
 val ping : t -> (unit, error) result

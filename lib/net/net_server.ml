@@ -253,6 +253,11 @@ let execute_locked t (conn : Conn.t) s (body : Wire.req_body) =
     let items = Query.select v (Query.is_a cls) in
     Wire.Names
       (List.sort String.compare (List.filter_map (View.full_name v) items))
+  | Wire.Search { path; needles } ->
+    let v = Server.snapshot t.eng in
+    let items = Query.select v (Query.matches path needles) in
+    Wire.Names
+      (List.sort String.compare (List.filter_map (View.full_name v) items))
   | Wire.Stats -> Wire.Stats_reply (stats_locked t)
   | Wire.Ping -> Wire.Pong
   | Wire.Bye ->

@@ -19,6 +19,9 @@ type req_body =
   | Stats
   | Ping
   | Bye
+  | Search of { path : string; needles : string list }
+      (* [Query.matches] over the wire: names of the live objects with a
+         carrier at [path] ("" = any) containing all the needles *)
 
 type request = { req_id : int64; body : req_body }
 
@@ -237,7 +240,11 @@ let encode_request { req_id; body } =
     W.string w cls
   | Stats -> W.u8 w 6
   | Ping -> W.u8 w 7
-  | Bye -> W.u8 w 8);
+  | Bye -> W.u8 w 8
+  | Search { path; needles } ->
+    W.u8 w 9;
+    W.string w path;
+    W.list w W.string needles);
   W.contents w
 
 let decode_request s =
@@ -273,6 +280,10 @@ let decode_request s =
     | 6 -> Ok Stats
     | 7 -> Ok Ping
     | 8 -> Ok Bye
+    | 9 ->
+      let* path = R.string r in
+      let* needles = R.list r R.string in
+      Ok (Search { path; needles })
     | n -> fail (Corrupt (Printf.sprintf "unknown request tag %d" n))
   in
   let* () = R.expect_end r in

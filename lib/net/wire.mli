@@ -30,6 +30,9 @@ type req_body =
   | Stats
   | Ping
   | Bye
+  | Search of { path : string; needles : string list }
+      (** conjunctive containment search ([Query.matches]) at a class
+          path ([""] = any) -> names of the matching objects *)
 
 type request = { req_id : int64; body : req_body }
 

@@ -84,7 +84,12 @@ let gen_op rng =
   | 9 | 10 | 11 -> CreateRel (int 40, int 40, pick assocs)
   | 12 | 13 ->
     SetValue
-      (int 40, if int 4 = 0 then None else Some (Printf.sprintf "v%d" (int 100)))
+      ( int 40,
+        if int 4 = 0 then None
+        else if int 3 = 0 then
+          (* longer bodies give the trigram index real content *)
+          Some (Printf.sprintf "spec %d revises the recovery path" (int 100))
+        else Some (Printf.sprintf "v%d" (int 100)) )
   | 14 -> Rename (int 40, int 100)
   | 15 | 16 -> Reclassify (int 40, pick classes)
   | 17 -> Delete (int 40)
@@ -224,6 +229,16 @@ let fingerprint db =
           (DB.versions db)));
   Buffer.contents buf
 
+(* The incrementally maintained trigram index must equal a wholesale
+   rebuild from the item table — checked after the live workload (where
+   every create/update/delete/re-classify/rollback/branch maintained it
+   hook by hook) and again on the recovered state. *)
+let text_index_consistent db =
+  let st = DB.raw db in
+  match Db_state.text_index st with
+  | None -> true
+  | Some tx -> Seed_core.Text_index.equal tx (Db_state.rebuilt_text_index st)
+
 (* Runs the whole workload against [dir] through [io]. [acked] always
    holds the fingerprint of the last acknowledged flush; [pending] the
    fingerprint an in-flight flush would establish. A [Faulty.Crash]
@@ -269,6 +284,8 @@ let run ~io ~dir ~partitions ~steps ~acked ~pending =
         flush ()
       | Compact -> Seed_error.ok_exn (Persist.Session.compact s))
     steps;
+  if not (text_index_consistent db) then
+    invalid_arg "soak: incrementally maintained text index diverged";
   Persist.Session.close s
 
 (* ------------------------------------------------------------------ *)
@@ -307,6 +324,14 @@ let predicate_pool =
       Q.(in_class "Data" &&& is_a "Thing");
       Q.(in_class "InputData" ||| in_class "OutputData");
       Q.(not_ (is_a "Data"));
+      (* text containment: indexed, conjunctive, selective, negative,
+         short-needle scan fallback, and combined with a class bound *)
+      Q.contains "" "recovery";
+      Q.contains "" "v1";
+      Q.matches "" [ "spec"; "recovery path" ];
+      Q.contains "" "no-such-needle";
+      Q.contains "" "v";
+      Q.(is_a "Data" &&& contains "" "revises");
     ]
 
 let planner_agrees db =
@@ -399,6 +424,8 @@ let iteration ~seed ~iter ~partitions ~verbose =
   if not (planner_agrees db) then
     failf "iteration %d: planner disagrees with naive scan after recovery"
       iter;
+  if not (text_index_consistent db) then
+    failf "iteration %d: text index inconsistent after recovery" iter;
   Persist.Session.close s;
   (* recovery healed the directory: fsck is happy now *)
   let after = Seed_error.ok_exn (Store.fsck dir) in

@@ -1,0 +1,434 @@
+(* Trigram index / scan equivalence for containment search.
+
+   [Query.contains]/[Query.matches] answer from the trigram positional
+   index; their one obligation is to return exactly what re-testing the
+   predicate over a naive item-table scan returns — after any operation
+   sequence (text creates, updates, clears, deletes, re-classification,
+   transaction rollback, branch switches), on current and on version
+   views, and across an encode/decode reopen. A second invariant pins
+   the maintenance itself: the incrementally maintained index must stay
+   structurally equal to a wholesale rebuild from the live states. *)
+
+open Seed_util
+open Seed_schema
+open Helpers
+module DB = Seed_core.Database
+module Db_state = Seed_core.Db_state
+module Persist = Seed_core.Persist
+module View = Seed_core.View
+module Item = Seed_core.Item
+module Q = Seed_core.Query
+module Text_index = Seed_core.Text_index
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic operations                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Texts share trigrams aggressively ("recovery", "recover", repeated
+   letters) so posting lists overlap and positional verification has
+   false candidates to reject. Short and empty strings ride along. *)
+let texts =
+  [|
+    "";
+    "ab";
+    "abc";
+    "abcabc";
+    "aaaa";
+    "recover";
+    "the recovery path";
+    "spec 7 revises the recovery path";
+    "keyword: alarm reset";
+    "alarm";
+    "mississippi";
+    "self-describing specification text";
+  |]
+
+let text i = texts.(i mod Array.length texts)
+let classes = [ "Thing"; "Data"; "Action"; "InputData"; "OutputData" ]
+
+(* Simple (non-structuring) operations, reusable inside transactions. *)
+type sop =
+  | Create of int * string
+  | MkText of int  (** a [Data.Text] node: carriers can nest below it *)
+  | MkCarrier of int * int * int  (** role choice, owner, text *)
+  | SetText of int * int  (** carrier, new text *)
+  | ClearText of int
+  | Reclassify of int * string
+  | Delete of int  (** an independent: cascades over its carriers *)
+  | DeleteCarrier of int
+
+type op =
+  | Op of sop
+  | Txn of sop list * bool  (** batched apply; [false] rolls back *)
+  | Snapshot
+  | Branch of int
+
+let sop_gen =
+  let open QCheck2.Gen in
+  frequency
+    [
+      (5, map2 (fun i c -> Create (i, c)) (int_bound 40) (oneofl classes));
+      (3, map (fun i -> MkText i) (int_bound 40));
+      ( 9,
+        map3
+          (fun r o t -> MkCarrier (r, o, t))
+          (int_bound 5) (int_bound 40) (int_bound 40) );
+      (5, map2 (fun c t -> SetText (c, t)) (int_bound 40) (int_bound 40));
+      (1, map (fun c -> ClearText c) (int_bound 40));
+      (2, map2 (fun i c -> Reclassify (i, c)) (int_bound 40) (oneofl classes));
+      (1, map (fun i -> Delete i) (int_bound 40));
+      (1, map (fun c -> DeleteCarrier c) (int_bound 40));
+    ]
+
+let op_gen =
+  let open QCheck2.Gen in
+  frequency
+    [
+      (10, map (fun s -> Op s) sop_gen);
+      (1, map2 (fun sops ok -> Txn (sops, ok)) (list_size (int_range 1 6) sop_gen) bool);
+      (1, return Snapshot);
+      (1, map (fun i -> Branch i) (int_bound 2));
+    ]
+
+let ops_gen = QCheck2.Gen.(list_size (int_range 0 80) op_gen)
+
+type env = {
+  mutable db : DB.t;
+  mutable stamp : int;  (** uniquifies object names across branches *)
+  mutable objects : Ident.t list;
+  mutable texts : Ident.t list;  (** Data.Text nodes *)
+  mutable carriers : Ident.t list;  (** string-valued sub-objects *)
+  mutable versions : Version_id.t list;
+}
+
+let pick xs i =
+  match xs with [] -> None | _ -> Some (List.nth xs (i mod List.length xs))
+
+let apply_sop env sop =
+  let ignore_result (r : (_, Seed_error.t) result) = ignore r in
+  match sop with
+  | Create (i, cls) -> (
+    env.stamp <- env.stamp + 1;
+    match
+      DB.create_object env.db ~cls
+        ~name:(Printf.sprintf "obj%d_%d" i env.stamp) ()
+    with
+    | Ok id -> env.objects <- id :: env.objects
+    | Error _ -> ())
+  | MkText i -> (
+    match pick env.objects i with
+    | None -> ()
+    | Some parent -> (
+      match DB.create_sub_object env.db ~parent ~role:"Text" () with
+      | Ok id -> env.texts <- id :: env.texts
+      | Error _ -> ()))
+  | MkCarrier (r, o, t) -> (
+    (* Description/Keywords hang off any Thing; Body/Selector off a
+       Data.Text node — exercising paths at different nesting depths *)
+    let choice =
+      match r mod 5 with
+      | 0 | 1 -> Option.map (fun p -> (p, "Description")) (pick env.objects o)
+      | 2 -> Option.map (fun p -> (p, "Keywords")) (pick env.objects o)
+      | 3 -> Option.map (fun p -> (p, "Body")) (pick env.texts o)
+      | _ -> Option.map (fun p -> (p, "Selector")) (pick env.texts o)
+    in
+    match choice with
+    | None -> ()
+    | Some (parent, role) -> (
+      match
+        DB.create_sub_object env.db ~parent ~role
+          ~value:(Value.String (text t)) ()
+      with
+      | Ok id -> env.carriers <- id :: env.carriers
+      | Error _ -> ()))
+  | SetText (c, t) -> (
+    match pick env.carriers c with
+    | None -> ()
+    | Some id ->
+      ignore_result (DB.set_value env.db id (Some (Value.String (text t)))))
+  | ClearText c -> (
+    match pick env.carriers c with
+    | None -> ()
+    | Some id -> ignore_result (DB.set_value env.db id None))
+  | Reclassify (i, cls) -> (
+    match pick env.objects i with
+    | None -> ()
+    | Some id -> ignore_result (DB.reclassify env.db id ~to_:cls))
+  | Delete i -> (
+    match pick env.objects i with
+    | None -> ()
+    | Some id -> ignore_result (DB.delete env.db id))
+  | DeleteCarrier c -> (
+    match pick env.carriers c with
+    | None -> ()
+    | Some id -> ignore_result (DB.delete env.db id))
+
+let apply env op =
+  match op with
+  | Op sop -> apply_sop env sop
+  | Txn (sops, commit) ->
+    (* id lists may keep ids a rollback erased; later picks on them
+       just fail and are ignored, like any other refused operation *)
+    ignore
+      (DB.with_transaction env.db (fun () ->
+           List.iter (apply_sop env) sops;
+           if commit then Ok () else Error (Seed_error.Invalid_operation "rollback")))
+  | Snapshot -> (
+    match DB.create_version env.db with
+    | Ok v -> env.versions <- v :: env.versions
+    | Error _ -> ())
+  | Branch i -> (
+    match pick env.versions i with
+    | None -> ()
+    | Some v ->
+      ignore (DB.begin_alternative env.db ~from_:v ~force:true ()))
+
+let fresh_env () =
+  {
+    db = DB.create (fig3_schema ());
+    stamp = 0;
+    objects = [];
+    texts = [];
+    carriers = [];
+    versions = [];
+  }
+
+let run_model ops =
+  let env = fresh_env () in
+  List.iter (apply env) ops;
+  env
+
+(* ------------------------------------------------------------------ *)
+(* The two invariants                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_ids items =
+  List.map (fun (it : Item.t) -> it.Item.id) items |> List.sort Ident.compare
+
+(* The naive reference bypasses the planner entirely: [Q.test] on
+   Contains/Matches reads the strings through the view, never the
+   index. *)
+let naive_select v p =
+  Db_state.fold_items (View.db v) ~init:[] ~f:(fun acc it ->
+      if
+        it.Item.body = Item.Independent
+        && View.live_normal v it
+        && Q.test p v it
+      then it.Item.id :: acc
+      else acc)
+  |> List.sort Ident.compare
+
+(* Planted needles, common needles, negatives, sub-trigram shorties
+   (scan fallback), path-scoped probes at both nesting depths, and
+   conjunctions with the class planner. *)
+let predicate_pool =
+  [
+    Q.contains "" "recovery";
+    Q.contains "" "recover";
+    Q.contains "" "the recovery path";
+    Q.contains "" "issip";
+    Q.contains "" "aaa";
+    Q.contains "" "abcab";
+    Q.contains "" "no-such-needle";
+    Q.contains "" "ab";
+    Q.contains "" "z";
+    Q.contains "" "";
+    Q.contains "Thing.Description" "recovery";
+    Q.contains "Thing.Keywords" "alarm";
+    Q.contains "Data.Text.Body" "spec";
+    Q.contains "Data.Text.Selector" "recovery";
+    Q.contains "No.Such.Path" "recovery";
+    Q.matches "" [ "spec"; "recovery path" ];
+    Q.matches "" [ "alarm"; "reset" ];
+    Q.matches "" [ "recovery"; "xyzzy" ];
+    Q.matches "" [ "ab"; "recovery" ];
+    Q.matches "" [];
+    Q.(is_a "Data" &&& contains "" "recovery");
+    Q.(in_class "Action" &&& contains "Thing.Description" "alarm");
+    Q.(contains "" "spec" ||| contains "" "alarm");
+    Q.(not_ (contains "" "recovery"));
+  ]
+
+let views env =
+  let st = DB.raw env.db in
+  View.current st :: List.map (View.at st) env.versions
+
+let select_agrees env =
+  List.for_all
+    (fun v ->
+      List.for_all
+        (fun p ->
+          let planned = sorted_ids (Q.select v p) in
+          planned = naive_select v p
+          && Q.count v p = List.length planned)
+        predicate_pool)
+    (views env)
+
+let index_consistent env =
+  let st = DB.raw env.db in
+  match Db_state.text_index st with
+  | None -> true
+  | Some tx -> Text_index.equal tx (Db_state.rebuilt_text_index st)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized properties                                                *)
+(* ------------------------------------------------------------------ *)
+
+let prop_select =
+  qcheck_case ~count:80 "indexed select/count = naive scan" ops_gen (fun ops ->
+      select_agrees (run_model ops))
+
+let prop_consistent =
+  qcheck_case ~count:80 "incremental index = wholesale rebuild" ops_gen
+    (fun ops -> index_consistent (run_model ops))
+
+let prop_all_prefixes =
+  qcheck_case ~count:25 "index agrees at every prefix"
+    QCheck2.Gen.(list_size (int_range 0 20) op_gen)
+    (fun ops ->
+      let env = fresh_env () in
+      List.for_all
+        (fun op ->
+          apply env op;
+          index_consistent env && select_agrees env)
+        ops)
+
+let prop_reopen =
+  qcheck_case ~count:50 "reopen rebuilds an equivalent index" ops_gen
+    (fun ops ->
+      let env = run_model ops in
+      let db2 = ok (Persist.decode_db (Persist.encode_db env.db)) in
+      let env2 = { env with db = db2 } in
+      index_consistent env2 && select_agrees env2)
+
+let prop_disable =
+  qcheck_case ~count:50 "disable falls back to scan; re-enable rebuilds"
+    ops_gen (fun ops ->
+      let env = run_model ops in
+      DB.set_text_index_enabled env.db false;
+      let off_ok =
+        (Db_state.text_index (DB.raw env.db) = None) && select_agrees env
+      in
+      DB.set_text_index_enabled env.db true;
+      off_ok && index_consistent env && select_agrees env)
+
+(* ------------------------------------------------------------------ *)
+(* Directed cases                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_structure () =
+  let open Text_index in
+  let id i = Ident.of_int i in
+  let t = empty in
+  Alcotest.(check bool) "empty" true (is_empty t);
+  let t = add_doc t (id 1) ~path:"P" "the recovery path" in
+  let t = add_doc t (id 2) ~path:"Q" "recover quickly" in
+  let t = add_doc t (id 3) ~path:"P" "aaaa" in
+  Alcotest.(check int) "docs" 3 (doc_count t);
+  let hits needle = Ident.Set.cardinal (query t needle) in
+  Alcotest.(check int) "shared stem" 2 (hits "recover");
+  Alcotest.(check int) "full phrase" 1 (hits "the recovery path");
+  (* overlapping occurrences: "aaaa" holds "aaa" at offsets 0 and 1 *)
+  Alcotest.(check int) "overlap" 1 (hits "aaa");
+  Alcotest.(check int) "negative" 0 (hits "covery path x");
+  (* trigrams present but never adjacent: positions must reject *)
+  Alcotest.(check int) "adjacency" 0 (hits "pathrec");
+  Alcotest.(check int) "path scope" 1
+    (Ident.Set.cardinal (query t ~path:"Q" "recover"));
+  Alcotest.(check int) "wrong path" 0
+    (Ident.Set.cardinal (query t ~path:"Z" "recover"));
+  let t = remove_doc t (id 2) "recover quickly" in
+  Alcotest.(check int) "after remove" 1
+    (Ident.Set.cardinal (query t "recover"));
+  let s = stats t in
+  Alcotest.(check int) "stats docs" 2 s.docs;
+  Alcotest.(check bool) "stats positions" true (s.positions > 0);
+  Alcotest.check
+    (Alcotest.testable
+       (fun ppf e -> Format.fprintf ppf "%s" (Printexc.to_string e))
+       (fun a b -> a = b))
+    "short needle refused"
+    (Invalid_argument "Text_index.query: needle shorter than 3 bytes")
+    (try
+       ignore (query t "ab");
+       Failure "no exception"
+     with e -> e)
+
+let test_explain () =
+  let db = fresh_db () in
+  let a = ok (DB.create_object db ~cls:"Data" ~name:"A" ()) in
+  let _ =
+    ok
+      (DB.create_sub_object db ~parent:a ~role:"Description"
+         ~value:(Value.String "the recovery path") ())
+  in
+  let v = View.current (DB.raw db) in
+  (match Q.explain v (Q.contains "" "recovery") with
+  | Q.Indexed { texts = [ tp ]; est_candidates; _ } ->
+    Alcotest.(check string) "needle" "recovery" tp.Q.tp_needle;
+    Alcotest.(check int) "trigrams" 6 tp.Q.tp_trigrams;
+    Alcotest.(check bool) "verified" true (tp.Q.tp_verified >= 1);
+    Alcotest.(check int) "candidates bound" 1 est_candidates
+  | _ -> Alcotest.fail "expected an indexed plan with one text probe");
+  (match Q.explain v (Q.contains "" "ab") with
+  | Q.Scan _ -> ()
+  | Q.Indexed _ -> Alcotest.fail "short needle must fall back to scan");
+  DB.set_text_index_enabled db false;
+  (match Q.explain (View.current (DB.raw db)) (Q.contains "" "recovery") with
+  | Q.Scan _ -> ()
+  | Q.Indexed _ -> Alcotest.fail "disabled index must fall back to scan");
+  DB.set_text_index_enabled db true
+
+let test_counters () =
+  let db = fresh_db () in
+  let a = ok (DB.create_object db ~cls:"Data" ~name:"A" ()) in
+  let _ =
+    ok
+      (DB.create_sub_object db ~parent:a ~role:"Description"
+         ~value:(Value.String "alarm reset") ())
+  in
+  let v = View.current (DB.raw db) in
+  let _ = Q.select v (Q.contains "" "alarm") in
+  let _ = Q.select v (Q.contains "" "al") in
+  let hits, fallbacks = Db_state.text_counters (DB.raw db) in
+  Alcotest.(check bool) "hit counted" true (hits >= 1);
+  Alcotest.(check bool) "fallback counted" true (fallbacks >= 1);
+  let st = DB.stats db in
+  Alcotest.(check bool) "stats enabled" true st.DB.st_text_enabled;
+  Alcotest.(check bool) "stats docs" true (st.DB.st_text_docs >= 1);
+  Alcotest.(check int) "stats hits" hits st.DB.st_text_hits
+
+let test_version_views () =
+  let db = fresh_db () in
+  let a = ok (DB.create_object db ~cls:"Data" ~name:"A" ()) in
+  let d =
+    ok
+      (DB.create_sub_object db ~parent:a ~role:"Description"
+         ~value:(Value.String "old text here") ())
+  in
+  let v1 = ok (DB.create_version db) in
+  ok (DB.set_value db d (Some (Value.String "new words entirely")));
+  let st = DB.raw db in
+  let old_v = View.at st v1 and cur_v = View.current st in
+  let names v p = List.filter_map (View.full_name v) (Q.select v p) in
+  Alcotest.(check (list string)) "old view sees old text" [ "A" ]
+    (names old_v (Q.contains "" "old text"));
+  Alcotest.(check (list string)) "old view misses new text" []
+    (names old_v (Q.contains "" "new words"));
+  Alcotest.(check (list string)) "current misses old text" []
+    (names cur_v (Q.contains "" "old text"));
+  Alcotest.(check (list string)) "current sees new text" [ "A" ]
+    (names cur_v (Q.contains "" "new words"))
+
+let () =
+  Alcotest.run "text_index"
+    [
+      ( "structure",
+        [ tc "postings and verification" test_structure;
+          tc "explain" test_explain;
+          tc "counters and stats" test_counters;
+          tc "version views" test_version_views ] );
+      ( "equivalence",
+        [ prop_select; prop_consistent; prop_all_prefixes; prop_reopen;
+          prop_disable ] );
+    ]
